@@ -1,0 +1,79 @@
+// Command flosd serves exact FLoS kNN queries over HTTP.
+//
+// Usage:
+//
+//	flosd -bin graph.bin -addr :8080
+//	flosd -store big.flos -cache 256 -addr :8080
+//
+//	curl 'localhost:8080/topk?q=42&k=10&measure=rwr'
+//	curl 'localhost:8080/unified?q=42&k=10'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"flos"
+	"flos/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "text edge-list file")
+		binPath   = flag.String("bin", "", "binary CSR graph file")
+		storePath = flag.String("store", "", "disk-resident store file")
+		cacheMB   = flag.Int64("cache", 256, "page-cache budget for -store, MiB")
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxK      = flag.Int("maxk", 1000, "largest accepted k")
+	)
+	flag.Parse()
+
+	var (
+		g         flos.Graph
+		serialize bool
+	)
+	start := time.Now()
+	switch {
+	case *graphPath != "":
+		mg, err := flos.LoadEdgeList(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = mg
+	case *binPath != "":
+		mg, err := flos.LoadBinary(*binPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = mg
+	case *storePath != "":
+		dg, err := flos.OpenDiskGraph(*storePath, *cacheMB<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dg.Close()
+		g = dg
+		serialize = true // the page cache is single-reader
+	default:
+		log.Fatal("flosd: one of -graph, -bin, -store is required")
+	}
+	log.Printf("loaded graph: %d nodes, %d edges in %s", g.NumNodes(), g.NumEdges(), time.Since(start))
+
+	srv := server.New(g, server.Config{Serialize: serialize, MaxK: *maxK})
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Println(fmt.Sprintf("%s %s %s", r.Method, r.URL, time.Since(start)))
+	})
+}

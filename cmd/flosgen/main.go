@@ -1,0 +1,89 @@
+// Command flosgen generates synthetic graphs in any of the module's
+// formats.
+//
+// Usage:
+//
+//	flosgen -model rmat -n 1048576 -m 10000000 -seed 7 -out big.bin
+//	flosgen -model rand -n 65536 -m 500000 -out g.txt -format edgelist
+//	flosgen -model rmat -n 16777216 -m 160000000 -out big.flos -format store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flos"
+	"flos/internal/graph"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "rmat", "rmat | rand")
+		n      = flag.Int("n", 1<<20, "node count")
+		m      = flag.Int64("m", 10_000_000, "edge count")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output path (required)")
+		format = flag.String("format", "bin", "bin | edgelist | store")
+		stats  = flag.Bool("stats", false, "print structural statistics")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	start := time.Now()
+	var (
+		g   *flos.MemGraph
+		err error
+	)
+	switch *model {
+	case "rmat":
+		g, err = flos.GenerateRMAT(*n, *m, *seed)
+	case "rand":
+		g, err = flos.GenerateRandom(*n, *m, *seed)
+	default:
+		err = fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %s graph: %d nodes, %d edges in %s\n",
+		*model, g.NumNodes(), g.NumEdges(), time.Since(start))
+	if *stats {
+		fmt.Println(graph.ComputeStats(g))
+	}
+
+	start = time.Now()
+	switch *format {
+	case "bin":
+		err = flos.SaveBinary(*out, g)
+	case "edgelist":
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		err = graph.WriteEdgeList(f, g)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	case "store":
+		err = flos.CreateDiskGraph(*out, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%.1f MB) in %s\n", *out, float64(fi.Size())/1e6, time.Since(start))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flosgen:", err)
+	os.Exit(1)
+}

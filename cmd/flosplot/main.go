@@ -1,0 +1,74 @@
+// Command flosplot renders harness CSV exports (flosbench -csv) as SVG
+// line charts in the style of the paper's figures.
+//
+// Usage:
+//
+//	flosbench -fig 7 -csv results/
+//	flosplot -in results/fig7.csv -out results/
+//
+// One SVG is written per dataset panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flos/internal/plot"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "harness CSV file (required)")
+		out = flag.String("out", ".", "output directory for SVG panels")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	ms, err := plot.ReadMeasurements(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	base := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
+	for _, chart := range plot.TimeVsK(ms) {
+		name := fmt.Sprintf("%s-%s.svg", base, sanitize(chart.Title))
+		path := filepath.Join(*out, name)
+		g, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chart.WriteSVG(g); err != nil {
+			g.Close()
+			fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.NewReplacer(" ", "_", "—", "-", "/", "-").Replace(s)
+	var b strings.Builder
+	for _, r := range s {
+		if r < 128 {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flosplot:", err)
+	os.Exit(1)
+}

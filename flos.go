@@ -1,0 +1,161 @@
+// Package flos is a Go implementation of FLoS — Fast Local Search — the
+// exact top-k proximity search algorithm of Wu, Jin & Zhang, "Fast and
+// Unified Local Search for Random Walk Based K-Nearest-Neighbor Query in
+// Large Graphs" (SIGMOD 2014).
+//
+// Given a weighted undirected graph and a query node, FLoS returns the k
+// nodes nearest to the query under a random-walk proximity measure —
+// penalized hitting probability (PHP), effective importance (EI),
+// discounted hitting time (DHT), truncated hitting time (THT), or random
+// walk with restart (RWR) — while visiting only a small neighborhood of the
+// query, with a proof-carrying guarantee that the returned set is exact.
+//
+// Quick start:
+//
+//	g, err := flos.LoadEdgeList("graph.txt")
+//	res, err := flos.TopK(g, query, flos.DefaultOptions(flos.RWR, 10))
+//	for _, r := range res.TopK {
+//	    fmt.Println(r.Node, r.Score)
+//	}
+//
+// Graphs can live in memory (LoadEdgeList, NewGraphBuilder, the Generate*
+// functions) or on disk behind a byte-budgeted page cache (CreateDiskGraph
+// / OpenDiskGraph); the search code is identical over both.
+package flos
+
+import (
+	"flos/internal/core"
+	"flos/internal/diskgraph"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Graph is the read interface the search consumes; see internal/graph for
+// the contract. MemGraph and DiskGraph both satisfy it.
+type Graph = graph.Graph
+
+// NodeID identifies a node (dense 0..n-1).
+type NodeID = graph.NodeID
+
+// MemGraph is the in-memory CSR graph.
+type MemGraph = graph.MemGraph
+
+// DiskGraph is the disk-resident paged graph store.
+type DiskGraph = diskgraph.Store
+
+// Builder accumulates edges for an in-memory graph.
+type Builder = graph.Builder
+
+// Measure selects a proximity measure.
+type Measure = measure.Kind
+
+// The supported proximity measures.
+const (
+	// PHP is penalized hitting probability (higher = closer).
+	PHP = measure.PHP
+	// EI is effective importance, degree-normalized RWR (higher = closer).
+	EI = measure.EI
+	// DHT is discounted hitting time (lower = closer).
+	DHT = measure.DHT
+	// THT is L-truncated hitting time (lower = closer).
+	THT = measure.THT
+	// RWR is random walk with restart / personalized PageRank
+	// (higher = closer).
+	RWR = measure.RWR
+)
+
+// Params carries the numeric parameters (decay/restart C, THT horizon L,
+// solver tolerance Tau, iteration cap MaxIter).
+type Params = measure.Params
+
+// Options configures a TopK query.
+type Options = core.Options
+
+// Result is a completed query: the top-k list plus work counters.
+type Result = core.Result
+
+// Ranked pairs a node with its proximity score.
+type Ranked = measure.Ranked
+
+// TraceEvent is a per-iteration search snapshot (Options.Trace).
+type TraceEvent = core.TraceEvent
+
+// DefaultOptions mirrors the paper's experimental configuration
+// (c = 0.5, τ = 1e−5, L = 10, self-loop tightening on).
+func DefaultOptions(m Measure, k int) Options { return core.DefaultOptions(m, k) }
+
+// DefaultParams returns the paper's numeric defaults.
+func DefaultParams() Params { return measure.DefaultParams() }
+
+// TopK answers an exact k-nearest-neighbor query with FLoS.
+func TopK(g Graph, q NodeID, opt Options) (*Result, error) { return core.TopK(g, q, opt) }
+
+// UnifiedResult carries both rankings of a UnifiedTopK query.
+type UnifiedResult = core.UnifiedResult
+
+// UnifiedTopK answers both ranking families — PHP/EI/DHT and RWR — with one
+// shared local search (Options.Params.C is the PHP decay factor).
+func UnifiedTopK(g Graph, q NodeID, opt Options) (*UnifiedResult, error) {
+	return core.UnifiedTopK(g, q, opt)
+}
+
+// Exact computes the full proximity vector by global iteration — the
+// brute-force reference (and the paper's GI baseline). Returns the vector
+// and the sweep count.
+func Exact(g Graph, q NodeID, m Measure, p Params) ([]float64, int, error) {
+	return measure.Exact(g, q, m, p)
+}
+
+// Certify audits a TopK result against a full global-iteration solve,
+// accepting either side of score ties within eps. It costs a full GI run.
+func Certify(g Graph, q NodeID, res *Result, m Measure, p Params, eps float64) error {
+	return core.Certify(g, q, res, m, p, eps)
+}
+
+// NewGraphBuilder returns a Builder for a graph with exactly n nodes.
+func NewGraphBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewGrowingGraphBuilder returns a Builder sized by the largest node seen.
+func NewGrowingGraphBuilder() *Builder { return graph.NewGrowingBuilder() }
+
+// LoadEdgeList reads a SNAP-style text edge list ("u v [w]" per line).
+func LoadEdgeList(path string) (*MemGraph, error) { return graph.LoadEdgeList(path) }
+
+// SaveBinary / LoadBinary round-trip a graph in the fast binary format.
+func SaveBinary(path string, g *MemGraph) error { return graph.SaveBinary(path, g) }
+
+// LoadBinary reads a graph written by SaveBinary.
+func LoadBinary(path string) (*MemGraph, error) { return graph.LoadBinary(path) }
+
+// MustPaperExample returns the paper's 8-node Figure 1(a) example graph
+// (0-indexed), used in the quickstart and the worked-example benchmarks.
+func MustPaperExample() *MemGraph { return gen.PaperExample() }
+
+// GenerateCommunity builds a clustered, high-diameter graph with planted
+// communities — the structural stand-in for real social/co-purchase
+// networks (see internal/gen.Community).
+func GenerateCommunity(n int, m int64, seed uint64) (*MemGraph, error) {
+	return gen.Community(n, m, gen.CommunityParamsForDensity(2*float64(m)/float64(n)), seed)
+}
+
+// GenerateRandom builds an Erdős–Rényi G(n, m) graph (the paper's RAND).
+func GenerateRandom(n int, m int64, seed uint64) (*MemGraph, error) {
+	return gen.Erdos(n, m, seed)
+}
+
+// GenerateRMAT builds an R-MAT scale-free graph with GTgraph defaults.
+func GenerateRMAT(n int, m int64, seed uint64) (*MemGraph, error) {
+	return gen.RMAT(n, m, gen.DefaultRMAT(), seed)
+}
+
+// CreateDiskGraph writes g into the paged disk-store format.
+func CreateDiskGraph(path string, g *MemGraph) error {
+	return diskgraph.Create(path, g, 0)
+}
+
+// OpenDiskGraph opens a disk store with the given page-cache budget in
+// bytes (0 = 64 MiB).
+func OpenDiskGraph(path string, cacheBytes int64) (*DiskGraph, error) {
+	return diskgraph.Open(path, cacheBytes)
+}

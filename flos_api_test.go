@@ -1,0 +1,72 @@
+package flos
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIFlow drives the facade end to end: build, query every
+// measure, round-trip through both file formats and the disk store.
+func TestPublicAPIFlow(t *testing.T) {
+	b := NewGraphBuilder(6)
+	edges := [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 2}, {1, 3}}
+	for _, e := range edges {
+		if err := b.AddUnitEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []Measure{PHP, EI, DHT, THT, RWR} {
+		res, err := TopK(g, 0, DefaultOptions(m, 3))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res.TopK) != 3 || !res.Exact {
+			t.Fatalf("%v: %+v", m, res)
+		}
+	}
+
+	scores, sweeps, err := Exact(g, 0, PHP, DefaultParams())
+	if err != nil || sweeps == 0 || len(scores) != 6 {
+		t.Fatalf("Exact: %v %d %d", err, sweeps, len(scores))
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.bin")
+	if err := SaveBinary(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(bin)
+	if err != nil || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip: %v", err)
+	}
+
+	store := filepath.Join(dir, "g.flos")
+	if err := CreateDiskGraph(store, g); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := OpenDiskGraph(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dg.Close()
+	res, err := TopK(dg, 0, DefaultOptions(PHP, 2))
+	if err != nil || len(res.TopK) != 2 {
+		t.Fatalf("disk query: %v %+v", err, res)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	er, err := GenerateRandom(500, 1500, 1)
+	if err != nil || er.NumEdges() != 1500 {
+		t.Fatalf("GenerateRandom: %v", err)
+	}
+	rm, err := GenerateRMAT(500, 1500, 1)
+	if err != nil || rm.NumEdges() != 1500 {
+		t.Fatalf("GenerateRMAT: %v", err)
+	}
+}

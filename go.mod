@@ -1,0 +1,3 @@
+module flos
+
+go 1.22

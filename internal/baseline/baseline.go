@@ -1,0 +1,32 @@
+// Package baseline implements every comparison method of the paper's
+// Table 5, so the experiment harness can regenerate Figures 7–13:
+//
+//	GI_*      global iteration over the whole graph [16]        — exact
+//	DNE       best-first local expansion, fixed node budget [21] — approx
+//	NN_EI     push-style local search with residual bounds [3]   — exact
+//	LS_RWR/EI cluster-precompute local search [18]               — approx
+//	LS_THT    hop-expansion local search for THT [17]            — approx
+//	Castanet  improved global iteration for RWR [9]              — exact
+//	K-dash    matrix-factorization precompute [8]                — exact
+//	GE        landmark graph embedding [22]                      — approx
+//
+// Each method re-derives the published algorithm at the level the FLoS
+// paper evaluates it: its exactness guarantee, its precompute profile, and
+// its query-time work. See DESIGN.md §3 for the substitution notes.
+package baseline
+
+import (
+	"flos/internal/measure"
+)
+
+// Result reports one baseline query.
+type Result struct {
+	// TopK lists the returned nodes, closest first.
+	TopK []measure.Ranked
+	// Visited counts nodes touched by local methods (n for global ones).
+	Visited int
+	// Sweeps counts full or local matrix-vector sweeps (solver work).
+	Sweeps int
+	// Exact reports whether the method guarantees the exact top-k.
+	Exact bool
+}

@@ -1,0 +1,427 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+func tightParams() measure.Params {
+	return measure.Params{C: 0.5, L: 10, Tau: 1e-10, MaxIter: 200000}
+}
+
+func randomConnected(t testing.TB, n, extra int, seed int64) *graph.MemGraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(int32(v), int32(rng.Intn(v)), 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			if err := b.AddEdge(u, v, 0.5+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func oracle(t testing.TB, g graph.Graph, q graph.NodeID, kind measure.Kind, p measure.Params) []float64 {
+	t.Helper()
+	p.Tau = 1e-12
+	p.MaxIter = 500000
+	r, _, err := measure.Exact(g, q, kind, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGlobalIterationExact(t *testing.T) {
+	g := randomConnected(t, 60, 100, 1)
+	for _, kind := range measure.Kinds() {
+		res, err := GlobalIteration(g, 7, kind, tightParams(), 5)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Exact || res.Visited != 60 || res.Sweeps == 0 {
+			t.Errorf("%v: result meta %+v", kind, res)
+		}
+		scores := oracle(t, g, 7, kind, tightParams())
+		if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, 7, 5, kind.HigherIsCloser(), 1e-7) {
+			t.Errorf("%v: GI returned wrong set", kind)
+		}
+	}
+}
+
+func TestDNEWithGenerousBudgetMatchesExact(t *testing.T) {
+	g := randomConnected(t, 60, 100, 2)
+	q := graph.NodeID(3)
+	res, err := DNE(g, q, tightParams(), 5, 1000) // budget covers the graph
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("DNE must not claim exactness")
+	}
+	scores := oracle(t, g, q, measure.PHP, tightParams())
+	if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, q, 5, true, 1e-7) {
+		t.Errorf("DNE with full-coverage budget missed the exact set: %v", measure.Nodes(res.TopK))
+	}
+	if res.Visited != 60 {
+		t.Errorf("visited %d, want the whole component", res.Visited)
+	}
+}
+
+func TestDNEBudgetIsRespected(t *testing.T) {
+	g := randomConnected(t, 3000, 6000, 3)
+	res, err := DNE(g, 0, tightParams(), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited > 200+300 { // one expansion may overshoot by a neighborhood
+		t.Errorf("visited %d with budget 200", res.Visited)
+	}
+	if len(res.TopK) != 10 {
+		t.Errorf("got %d results", len(res.TopK))
+	}
+}
+
+func TestDNEInputValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := DNE(g, 9, tightParams(), 2, 100); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := DNE(g, 0, measure.Params{}, 2, 100); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestNNEIExactOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomConnected(t, 80, 150, seed)
+		q := graph.NodeID(int(seed * 11 % 80))
+		p := tightParams() // PHP-space decay 0.5 == EI restart 0.5
+		res, err := NNEI(g, q, p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("seed %d: NNEI not exact", seed)
+		}
+		scores := oracle(t, g, q, measure.PHP, p)
+		if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, q, 8, true, 1e-7) {
+			t.Errorf("seed %d: NNEI wrong set %v", seed, measure.Nodes(res.TopK))
+		}
+	}
+}
+
+func TestNNEIPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	p := tightParams()
+	p.C = 0.8
+	res, err := NNEI(g, 0, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := measure.Nodes(res.TopK); !measure.SameSet(got, []graph.NodeID{1, 2}) {
+		t.Fatalf("top-2 = %v, want {1,2}", got)
+	}
+}
+
+func TestNNEISmallComponent(t *testing.T) {
+	g := graph.MustFromEdges(6, 0, 1, 1, 2, 3, 4, 4, 5)
+	res, err := NNEI(g, 0, tightParams(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := measure.Nodes(res.TopK); !measure.SameSet(got, []graph.NodeID{1, 2}) {
+		t.Fatalf("component query = %v", got)
+	}
+}
+
+func TestCastanetExactAndCheaperThanGI(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomConnected(t, 150, 400, seed)
+		q := graph.NodeID(int(seed * 31 % 150))
+		p := tightParams()
+		res, err := Castanet(g, q, p, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatal("Castanet not exact")
+		}
+		scores := oracle(t, g, q, measure.RWR, p)
+		if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, q, 10, true, 1e-9) {
+			t.Errorf("seed %d: Castanet wrong set", seed)
+		}
+		gi, err := GlobalIteration(g, q, measure.RWR, p, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sweeps > gi.Sweeps {
+			t.Errorf("seed %d: Castanet %d sweeps > GI %d — early exit never fired",
+				seed, res.Sweeps, gi.Sweeps)
+		}
+	}
+}
+
+func TestClusteringPartition(t *testing.T) {
+	g := randomConnected(t, 200, 300, 5)
+	cl := PrecomputeClusters(g, 40)
+	if cl.NumClusters() < 2 {
+		t.Fatalf("only %d clusters on 200 nodes at target 40", cl.NumClusters())
+	}
+	seen := map[graph.NodeID]int{}
+	for id := 0; id < cl.NumClusters(); id++ {
+		for _, v := range cl.members[id] {
+			seen[v]++
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("partition covers %d/200 nodes", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d assigned %d times", v, c)
+		}
+	}
+	// Query stays inside its own cluster.
+	res, err := cl.Query(g, 17, measure.PHP, tightParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("LS claims exactness")
+	}
+	mine := map[graph.NodeID]bool{}
+	for _, v := range cl.ClusterOf(17) {
+		mine[v] = true
+	}
+	for _, r := range res.TopK {
+		if !mine[r.Node] {
+			t.Errorf("LS returned node %d outside the query's cluster", r.Node)
+		}
+	}
+}
+
+func TestClusteringQueryKinds(t *testing.T) {
+	g := randomConnected(t, 60, 90, 6)
+	cl := PrecomputeClusters(g, 30)
+	for _, kind := range []measure.Kind{measure.PHP, measure.EI, measure.RWR} {
+		if _, err := cl.Query(g, 5, kind, tightParams(), 3); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+	if _, err := cl.Query(g, 5, measure.THT, tightParams(), 3); err == nil {
+		t.Error("THT accepted by cluster LS")
+	}
+}
+
+// TestClusterLSIsApproximate: a query near its cluster border must be able
+// to miss true neighbors — construct a path crossing a cluster boundary and
+// check the method is structurally blind outside.
+func TestClusterLSIsApproximate(t *testing.T) {
+	g := gen.Path(100)
+	cl := PrecomputeClusters(g, 10)
+	// Query at node 9 — right at the edge of the first BFS region.
+	res, err := cl.Query(g, 9, measure.PHP, tightParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := oracle(t, g, 9, measure.PHP, tightParams())
+	prec := measure.Precision(measure.Nodes(res.TopK),
+		measure.Nodes(measure.TopK(exact, 9, 8, true)))
+	if prec == 1 {
+		t.Log("cluster LS got lucky on the border query (acceptable but unusual)")
+	}
+	if len(res.TopK) == 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestLSTHTOnExhaustedComponentMatchesExact(t *testing.T) {
+	g := randomConnected(t, 50, 80, 7)
+	q := graph.NodeID(2)
+	p := tightParams()
+	res, err := LSTHT(g, q, p, 5, 10000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := oracle(t, g, q, measure.THT, p)
+	if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, q, 5, false, 1e-7) {
+		t.Errorf("LSTHT full-coverage run missed exact set: %v", measure.Nodes(res.TopK))
+	}
+}
+
+func TestLSTHTBudget(t *testing.T) {
+	g := randomConnected(t, 5000, 10000, 8)
+	res, err := LSTHT(g, 0, tightParams(), 10, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited > 3000 {
+		t.Errorf("visited %d with budget 300 (hop overshoot should be bounded)", res.Visited)
+	}
+	if len(res.TopK) != 10 {
+		t.Errorf("got %d results", len(res.TopK))
+	}
+}
+
+func TestKDashExact(t *testing.T) {
+	g := randomConnected(t, 80, 120, 9)
+	kd, err := PrecomputeKDash(g, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd.Fill() <= 0 {
+		t.Fatal("no fill recorded")
+	}
+	for _, q := range []graph.NodeID{0, 17, 42} {
+		res, err := kd.Query(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatal("K-dash not exact")
+		}
+		scores := oracle(t, g, q, measure.RWR, tightParams())
+		if !measure.SameSetModuloTies(measure.Nodes(res.TopK), scores, q, 6, true, 1e-9) {
+			t.Errorf("q=%d: K-dash wrong set", q)
+		}
+	}
+}
+
+func TestKDashFillBudget(t *testing.T) {
+	g := randomConnected(t, 300, 2000, 10)
+	if _, err := PrecomputeKDash(g, 0.5, 500); !errors.Is(err, ErrPrecomputeInfeasible) {
+		t.Fatalf("err = %v, want ErrPrecomputeInfeasible", err)
+	}
+}
+
+func TestKDashValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := PrecomputeKDash(g, 1.5, 0); err == nil {
+		t.Error("restart 1.5 accepted")
+	}
+	kd, err := PrecomputeKDash(g, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kd.Query(99, 2); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestEmbeddingSeparatesCliques(t *testing.T) {
+	// Two 10-cliques joined by a single bridge: embedded distance must rank
+	// clique-mates above the far clique.
+	g := gen.Barbell(10, 0)
+	emb, err := PrecomputeEmbedding(g, tightParams(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Dimensions() != 6 {
+		t.Fatalf("dimensions = %d", emb.Dimensions())
+	}
+	res, err := emb.Query(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("embedding claims exactness")
+	}
+	for _, r := range res.TopK {
+		if r.Node >= 10 {
+			t.Errorf("query in clique A ranked far-clique node %d in top-5", r.Node)
+		}
+	}
+}
+
+func TestEmbeddingValidation(t *testing.T) {
+	g := gen.Path(6)
+	emb, err := PrecomputeEmbedding(g, tightParams(), 100) // m > n clamps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Dimensions() != 6 {
+		t.Fatalf("dimensions = %d, want clamp to n", emb.Dimensions())
+	}
+	if _, err := emb.Query(77, 2); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := PrecomputeEmbedding(g, measure.Params{}, 4); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestMCTHTReasonableOnCommunity(t *testing.T) {
+	g, err := gen.Community(3000, 8100, gen.DefaultCommunityParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graph.LargestComponentNodes(g)[50]
+	p := tightParams()
+	res, err := MCTHT(g, q, p, 10, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("Monte Carlo claims exactness")
+	}
+	if len(res.TopK) != 10 {
+		t.Fatalf("got %d results", len(res.TopK))
+	}
+	exact := oracle(t, g, q, measure.THT, p)
+	prec := measure.Precision(measure.Nodes(res.TopK),
+		measure.Nodes(measure.TopK(exact, q, 10, false)))
+	if prec < 0.4 {
+		t.Errorf("MC precision@10 = %.2f — estimator broken?", prec)
+	}
+	// Estimates must fall inside the truncated range.
+	for _, r := range res.TopK {
+		if r.Score < 1 || r.Score > float64(p.L) {
+			t.Errorf("estimate %g outside [1, L]", r.Score)
+		}
+	}
+}
+
+func TestMCTHTDeterministic(t *testing.T) {
+	g := gen.PaperExample()
+	a, err := MCTHT(g, 0, tightParams(), 3, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MCTHT(g, 0, tightParams(), 3, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TopK {
+		if a.TopK[i] != b.TopK[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMCTHTValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := MCTHT(g, 9, tightParams(), 2, 10, 1); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := MCTHT(g, 0, measure.Params{}, 2, 10, 1); err == nil {
+		t.Error("bad params accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Castanet is the improved global iteration for RWR of Fujiwara et al. [9].
+// Instead of iterating to a fixed tolerance like GI, it accumulates the
+// power series
+//
+//	r = Σ_{l≥0} c·(1−c)^l·(Pᵀ)^l·e_q
+//
+// and maintains per-iteration bounds: after t terms the accumulated value is
+// a lower bound, and since (Pᵀ)^l·e_q has unit total mass, every node's tail
+// is at most (1−c)^{t+1} — a uniform upper-bound slack. Iteration stops the
+// moment the k-th largest lower bound separates from the (k+1)-th largest
+// upper bound, which on real graphs happens long before GI's tolerance is
+// met (the paper reports 69–91% time cuts). The answer is exact.
+func Castanet(g graph.Graph, q graph.NodeID, p measure.Params, k int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("baseline: query node %d out of range", q)
+	}
+	n := g.NumNodes()
+	c := p.C
+
+	lower := make([]float64, n) // accumulated series: grows toward exact RWR
+	x := make([]float64, n)     // current term (Pᵀ)^l e_q, scaled by c(1−c)^l lazily
+	next := make([]float64, n)
+	x[q] = 1
+	scale := c // c·(1−c)^l for l = 0
+	tail := 1 - c
+
+	sweeps := 0
+	for iter := 0; iter < p.MaxIter; iter++ {
+		sweeps++
+		for v := 0; v < n; v++ {
+			lower[v] += scale * x[v]
+		}
+		// Termination: k-th largest lower vs (k+1)-th largest upper.
+		if sel := castanetSeparated(lower, q, k, tail); sel != nil {
+			return &Result{TopK: sel, Visited: n, Sweeps: sweeps, Exact: true}, nil
+		}
+		// Next term: x ← Pᵀ x (scatter along out-edges).
+		for v := range next {
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			if x[v] == 0 {
+				continue
+			}
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				next[v] += x[v] // dangling mass stays put
+				continue
+			}
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			s := x[v] / d
+			for i, u := range nbrs {
+				next[u] += s * ws[i]
+			}
+		}
+		x, next = next, x
+		scale *= 1 - c
+		tail *= 1 - c
+		if tail < p.Tau*1e-3 {
+			break // series numerically exhausted; bounds are as tight as GI's
+		}
+	}
+	return &Result{
+		TopK:    measure.TopK(lower, q, k, true),
+		Visited: n,
+		Sweeps:  sweeps,
+		Exact:   true,
+	}, nil
+}
+
+// castanetSeparated returns the top-k by lower bound when it provably
+// separates from every other node's upper bound (lower + tail), else nil.
+// It selects the k+1 largest values with one O(n·log k) scan so the check
+// stays far cheaper than a full sweep.
+func castanetSeparated(lower []float64, q graph.NodeID, k int, tail float64) []measure.Ranked {
+	type cand struct {
+		v graph.NodeID
+		s float64
+	}
+	// Min-heap of the k+1 best candidates seen so far, stored as a slice with
+	// manual sift (container/heap would force an interface allocation per
+	// node on this hot path).
+	h := make([]cand, 0, k+1)
+	less := func(a, b cand) bool { // heap order: weakest candidate on top
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		return a.v > b.v
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && less(h[l], h[smallest]) {
+				smallest = l
+			}
+			if r < len(h) && less(h[r], h[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+	}
+	for v, s := range lower {
+		if graph.NodeID(v) == q {
+			continue
+		}
+		c := cand{graph.NodeID(v), s}
+		if len(h) < k+1 {
+			h = append(h, c)
+			siftUp(len(h) - 1)
+		} else if less(h[0], c) {
+			h[0] = c
+			siftDown()
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[b], h[a]) })
+	if len(h) > k {
+		kth := h[k-1].s
+		if kth < h[k].s+tail-1e-15 {
+			return nil
+		}
+		h = h[:k]
+	}
+	out := make([]measure.Ranked, len(h))
+	for i, c := range h {
+		out[i] = measure.Ranked{Node: c.v, Score: c.s}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/linalg"
+	"flos/internal/measure"
+)
+
+// DNE is dynamic neighborhood expansion [21]: a best-first heuristic for
+// PHP that repeatedly expands the most promising visited boundary node and
+// re-estimates PHP on the visited subgraph, stopping at a fixed node budget
+// (the paper fixes it to 4,000). Because it never bounds what lies outside
+// the frontier it cannot certify its answer — it is the "fast but
+// approximate" contrast to FLoS in Figures 7 and 11.
+func DNE(g graph.Graph, q graph.NodeID, p measure.Params, k, budget int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("baseline: query node %d out of range", q)
+	}
+	if budget < 1 {
+		budget = 4000
+	}
+
+	var nodes []graph.NodeID
+	local := map[graph.NodeID]int32{}
+	var adjN [][]graph.NodeID
+	var adjW [][]float64
+	var deg []float64
+	t := linalg.NewRowMatrix(0)
+	var est []float64
+	var outCnt []int32
+	sweeps := 0
+
+	visit := func(v graph.NodeID) {
+		li := int32(len(nodes))
+		nodes = append(nodes, v)
+		local[v] = li
+		t.AddRow()
+		nbrs, ws := g.Neighbors(v)
+		cn := append([]graph.NodeID(nil), nbrs...)
+		cw := append([]float64(nil), ws...)
+		adjN = append(adjN, cn)
+		adjW = append(adjW, cw)
+		var d float64
+		var out int32
+		for i, u := range cn {
+			d += cw[i]
+			if _, ok := local[u]; !ok {
+				out++
+			}
+		}
+		deg = append(deg, d)
+		outCnt = append(outCnt, out)
+		est = append(est, 0)
+		for i, u := range cn {
+			lu, ok := local[u]
+			if !ok {
+				continue
+			}
+			if v != q && d > 0 {
+				t.Append(li, lu, cw[i]/d)
+			}
+			if u != q && deg[lu] > 0 {
+				t.Append(lu, li, cw[i]/deg[lu])
+			}
+			outCnt[lu]--
+		}
+	}
+	visit(q)
+	est[0] = 1 // PHP pins the query at 1
+
+	e := []float64{1}
+	for len(nodes) < budget {
+		// Best boundary node by current estimate.
+		best := int32(-1)
+		for i := int32(0); i < int32(len(nodes)); i++ {
+			if outCnt[i] > 0 && (best < 0 || est[i] > est[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // component exhausted
+		}
+		for _, v := range adjN[best] {
+			if _, ok := local[v]; !ok {
+				visit(v)
+			}
+		}
+		for len(e) < len(nodes) {
+			e = append(e, 0)
+		}
+		for len(est) < len(nodes) {
+			est = append(est, 0)
+		}
+		sweeps += t.FixedPoint(p.C, e, est, p.Tau, p.MaxIter)
+	}
+
+	type cand struct {
+		v graph.NodeID
+		s float64
+	}
+	var all []cand
+	for i := 1; i < len(nodes); i++ {
+		all = append(all, cand{nodes[i], est[i]})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].s != all[b].s {
+			return all[a].s > all[b].s
+		}
+		return all[a].v < all[b].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	res := &Result{Visited: len(nodes), Sweeps: sweeps, Exact: false}
+	for _, c := range all[:k] {
+		res.TopK = append(res.TopK, measure.Ranked{Node: c.v, Score: c.s})
+	}
+	return res, nil
+}

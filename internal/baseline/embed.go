@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Embedding is the graph-embedding baseline of Zhao et al. [22] (GE_RWR):
+// an expensive offline pass embeds every node into a low-dimensional
+// geometric space in which random-walk proximity is approximately
+// preserved; a query then ranks nodes by embedded distance in time
+// independent of the graph's edge count. The answers are approximate — the
+// embedding cannot represent the proximities exactly — which is the paper's
+// point when contrasting it with FLoS (Figure 8).
+//
+// The offline pass here: pick m landmarks (highest-degree nodes, which the
+// embedding literature favors for coverage), compute each landmark's exact
+// RWR vector, and give node i the coordinate vector
+// x_i[l] = −log(RWR_l(i) + ε). Walk-proximal nodes receive similar
+// coordinates, so small Euclidean distance tracks large proximity.
+type Embedding struct {
+	coords    [][]float64 // n × m
+	landmarks []graph.NodeID
+	n         int
+}
+
+// PrecomputeEmbedding runs the offline embedding with m landmark
+// dimensions. Cost: m full-graph RWR solves — the "very time consuming"
+// step the paper describes.
+func PrecomputeEmbedding(g graph.Graph, p measure.Params, m int) (*Embedding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if m < 1 {
+		m = 8
+	}
+	if m > n {
+		m = n
+	}
+	top := g.TopDegrees(m)
+	emb := &Embedding{coords: make([][]float64, n), n: n}
+	for i := range emb.coords {
+		emb.coords[i] = make([]float64, len(top))
+	}
+	const eps = 1e-12
+	for dim, de := range top {
+		emb.landmarks = append(emb.landmarks, de.Node)
+		scores, _, err := measure.Exact(g, de.Node, measure.RWR, p)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			emb.coords[v][dim] = -math.Log(scores[v] + eps)
+		}
+	}
+	return emb, nil
+}
+
+// Dimensions returns the embedding width.
+func (e *Embedding) Dimensions() int { return len(e.landmarks) }
+
+// Query returns the k nodes whose embedded coordinates are closest to the
+// query's (Euclidean), scored by negative distance so higher is closer.
+func (e *Embedding) Query(q graph.NodeID, k int) (*Result, error) {
+	if q < 0 || int(q) >= e.n {
+		return nil, fmt.Errorf("baseline: query node %d out of range", q)
+	}
+	xq := e.coords[q]
+	scores := make([]float64, e.n)
+	for v := 0; v < e.n; v++ {
+		var d2 float64
+		for dim, c := range e.coords[v] {
+			diff := c - xq[dim]
+			d2 += diff * diff
+		}
+		scores[v] = -math.Sqrt(d2)
+	}
+	return &Result{
+		TopK:    measure.TopK(scores, q, k, true),
+		Visited: e.n,
+		Sweeps:  1,
+		Exact:   false,
+	}, nil
+}

@@ -1,0 +1,23 @@
+package baseline
+
+import (
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// GlobalIteration is the GI family [16]: run Algorithm 7 over the entire
+// graph until the tolerance is met, then sort. It is exact for every
+// measure and is the reference cost every local method is compared against
+// (Figures 7, 8, 10–12).
+func GlobalIteration(g graph.Graph, q graph.NodeID, kind measure.Kind, p measure.Params, k int) (*Result, error) {
+	scores, iters, err := measure.Exact(g, q, kind, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		TopK:    measure.TopK(scores, q, k, kind.HigherIsCloser()),
+		Visited: g.NumNodes(),
+		Sweeps:  iters,
+		Exact:   true,
+	}, nil
+}

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// LSTHT is the approximate local search for truncated hitting time of
+// Sarkar & Moore [17] (GRANCH-style): expand the neighborhood of the query
+// hop by hop, compute optimistic and pessimistic truncated hitting times on
+// the expanded subgraph (boundary-crossing mass contributes 0 in the
+// optimistic pass and the horizon L in the pessimistic pass), and stop when
+// the top-k interval widths fall below epsilon·L or the node budget is hit.
+// Unlike FLoS it expands whole hops (not best-first) and accepts an
+// approximation slack, so it returns faster but without an exactness
+// guarantee.
+func LSTHT(g graph.Graph, q graph.NodeID, p measure.Params, k, budget int, epsilon float64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("baseline: query node %d out of range", q)
+	}
+	if budget < 2 {
+		budget = 4000
+	}
+	if epsilon <= 0 {
+		epsilon = 0.05
+	}
+	L := float64(p.L)
+
+	nodes := []graph.NodeID{q}
+	local := map[graph.NodeID]int32{q: 0}
+	frontier := []graph.NodeID{q}
+	sweeps := 0
+
+	for hop := 0; ; hop++ {
+		// Compute THT bounds on the current subgraph.
+		lb, ub := thtSubgraphBounds(g, nodes, local, p.L)
+		sweeps += 2 * p.L
+
+		// Rank interior candidates by upper bound (safe side).
+		type cand struct {
+			v      graph.NodeID
+			lo, hi float64
+		}
+		var all []cand
+		for i, v := range nodes {
+			if v != q {
+				all = append(all, cand{v, lb[i], ub[i]})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].hi != all[b].hi {
+				return all[a].hi < all[b].hi
+			}
+			return all[a].v < all[b].v
+		})
+		converged := len(all) >= k
+		for i := 0; i < k && i < len(all); i++ {
+			if all[i].hi-all[i].lo > epsilon*L {
+				converged = false
+				break
+			}
+		}
+		exhausted := len(frontier) == 0
+		if converged || exhausted || len(nodes) >= budget {
+			kk := k
+			if kk > len(all) {
+				kk = len(all)
+			}
+			res := &Result{Visited: len(nodes), Sweeps: sweeps, Exact: false}
+			for _, c := range all[:kk] {
+				res.TopK = append(res.TopK, measure.Ranked{Node: c.v, Score: (c.lo + c.hi) / 2})
+			}
+			return res, nil
+		}
+
+		// Expand one full hop.
+		var next []graph.NodeID
+		for _, v := range frontier {
+			nbrs, _ := g.Neighbors(v)
+			for _, u := range nbrs {
+				if _, ok := local[u]; !ok {
+					local[u] = int32(len(nodes))
+					nodes = append(nodes, u)
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// thtSubgraphBounds runs the L-sweep THT recursion twice on the induced
+// subgraph: once with boundary-crossing mass treated as hitting value 0
+// (optimistic lower bound) and once as the horizon L (pessimistic upper
+// bound, capped sweep-wise at l).
+func thtSubgraphBounds(g graph.Graph, nodes []graph.NodeID, local map[graph.NodeID]int32, L int) (lb, ub []float64) {
+	n := len(nodes)
+	type entry struct {
+		col int32
+		p   float64
+	}
+	rows := make([][]entry, n)
+	outMass := make([]float64, n)
+	for i, v := range nodes {
+		if v == nodes[0] {
+			continue // query row zeroed
+		}
+		nbrs, ws := g.Neighbors(v)
+		var d float64
+		for j := range nbrs {
+			d += ws[j]
+		}
+		if d == 0 {
+			outMass[i] = 1
+			continue
+		}
+		var in float64
+		for j, u := range nbrs {
+			if lu, ok := local[u]; ok {
+				rows[i] = append(rows[i], entry{lu, ws[j] / d})
+				in += ws[j]
+			}
+		}
+		outMass[i] = (d - in) / d
+	}
+	lb = make([]float64, n)
+	ub = make([]float64, n)
+	nlb := make([]float64, n)
+	nub := make([]float64, n)
+	for l := 1; l <= L; l++ {
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				nlb[0], nub[0] = 0, 0
+				continue
+			}
+			var sLo, sHi float64
+			for _, en := range rows[i] {
+				sLo += en.p * lb[en.col]
+				sHi += en.p * ub[en.col]
+			}
+			nlb[i] = 1 + sLo
+			u := 1 + sHi + outMass[i]*float64(L)
+			if cap := float64(l); u > cap {
+				u = cap
+			}
+			nub[i] = u
+		}
+		lb, nlb = nlb, lb
+		ub, nub = nub, ub
+	}
+	return lb, ub
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// MCTHT estimates truncated hitting times by Monte Carlo sampling — the
+// other half of Sarkar & Moore's toolkit [17]: from each candidate node run
+// `walks` independent random walks of up to L steps and average the
+// (truncated) first-hit times. Candidates are restricted to the query's
+// L-hop neighborhood (anything farther has THT exactly L). The estimate
+// concentrates as O(1/√walks); the method is embarrassingly simple and
+// never exact, which is precisely its role as a contrast to FLoS_THT.
+func MCTHT(g graph.Graph, q graph.NodeID, p measure.Params, k, walks int, seed uint64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("baseline: query node %d out of range", q)
+	}
+	if walks < 1 {
+		walks = 256
+	}
+	candidates := graph.KHopNeighborhood(g, q, p.L)
+	state := seed
+	if state == 0 {
+		state = 0x9e3779b97f4a7c15
+	}
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	// Weighted step: pick an incident edge with probability ∝ weight.
+	step := func(v graph.NodeID) graph.NodeID {
+		nbrs, ws := g.Neighbors(v)
+		if len(nbrs) == 0 {
+			return v
+		}
+		var total float64
+		for _, w := range ws {
+			total += w
+		}
+		x := float64(next()>>11) / (1 << 53) * total
+		for i, w := range ws {
+			x -= w
+			if x <= 0 {
+				return nbrs[i]
+			}
+		}
+		return nbrs[len(nbrs)-1]
+	}
+
+	type cand struct {
+		v   graph.NodeID
+		est float64
+	}
+	ests := make([]cand, 0, len(candidates))
+	steps := 0
+	for _, v := range candidates {
+		if v == q {
+			continue
+		}
+		var sum float64
+		for w := 0; w < walks; w++ {
+			cur := v
+			hit := p.L
+			for s := 1; s <= p.L; s++ {
+				steps++
+				cur = step(cur)
+				if cur == q {
+					hit = s
+					break
+				}
+			}
+			sum += float64(hit)
+		}
+		ests = append(ests, cand{v, sum / float64(walks)})
+	}
+	sort.Slice(ests, func(a, b int) bool {
+		if ests[a].est != ests[b].est {
+			return ests[a].est < ests[b].est
+		}
+		return ests[a].v < ests[b].v
+	})
+	if k > len(ests) {
+		k = len(ests)
+	}
+	res := &Result{Visited: len(candidates), Sweeps: steps, Exact: false}
+	for _, c := range ests[:k] {
+		res.TopK = append(res.TopK, measure.Ranked{Node: c.v, Score: c.est})
+	}
+	return res, nil
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Certify checks a query result against the global-iteration oracle: it
+// recomputes the exact proximity vector over the whole graph and verifies
+// the returned set is a legal top-k (accepting either side of score ties
+// within eps). It costs a full GI solve and exists for auditing and tests,
+// not for production queries — the entire point of FLoS is not needing it.
+func Certify(g graph.Graph, q graph.NodeID, res *Result, kind measure.Kind, p measure.Params, eps float64) error {
+	if res == nil {
+		return fmt.Errorf("core: nil result")
+	}
+	oracle, _, err := measure.Exact(g, q, kind, p)
+	if err != nil {
+		return err
+	}
+	k := len(res.TopK)
+	got := measure.Nodes(res.TopK)
+	if !measure.SameSetModuloTies(got, oracle, q, k, kind.HigherIsCloser(), eps) {
+		want := measure.Nodes(measure.TopK(oracle, q, k, kind.HigherIsCloser()))
+		return fmt.Errorf("core: result %v is not an exact top-%d (oracle %v)", got, k, want)
+	}
+	return nil
+}

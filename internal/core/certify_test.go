@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+func TestCertifyAcceptsFLoSResults(t *testing.T) {
+	g := randomConnected(t, 60, 100, 5)
+	for _, kind := range []measure.Kind{measure.PHP, measure.RWR, measure.THT} {
+		opt := testOptions(kind, 5)
+		res, err := TopK(g, 3, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := opt.Params
+		p.Tau = 1e-12
+		if err := Certify(g, 3, res, kind, p, 1e-7); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestCertifyRejectsWrongSet(t *testing.T) {
+	g := randomConnected(t, 40, 60, 6)
+	opt := testOptions(measure.PHP, 3)
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the result with the query's farthest node.
+	oracle := exactScores(t, g, 0, measure.PHP, opt.Params)
+	worst := graph.NodeID(-1)
+	for v := 1; v < len(oracle); v++ {
+		if worst < 0 || oracle[v] < oracle[worst] {
+			worst = graph.NodeID(v)
+		}
+	}
+	bad := &Result{TopK: append([]measure.Ranked(nil), res.TopK...)}
+	bad.TopK[0] = measure.Ranked{Node: worst}
+	if err := Certify(g, 0, bad, measure.PHP, opt.Params, 1e-9); err == nil {
+		t.Error("corrupted result certified")
+	}
+	if err := Certify(g, 0, nil, measure.PHP, opt.Params, 1e-9); err == nil {
+		t.Error("nil result certified")
+	}
+}

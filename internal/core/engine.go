@@ -1,0 +1,538 @@
+package core
+
+import (
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/linalg"
+)
+
+// phpEngine is the native FLoS bound engine for PHP-shaped systems
+// (r = c·T·r + e_q with the query row zeroed). It maintains, over the
+// visited set S:
+//
+//   - the lower-bound system: every transition probability touching an
+//     unvisited node deleted (Theorem 3 / Section 4.2);
+//   - the upper-bound system: every boundary-crossing transition redirected
+//     into a dummy node d of constant value rd (Theorem 5 / Section 4.3);
+//   - optionally the self-loop tightening of Section 5.3.
+//
+// All node bookkeeping is in local indices 0..len(nodes)-1; local index 0 is
+// always the query.
+type phpEngine struct {
+	g       graph.Graph
+	q       graph.NodeID
+	c       float64
+	tau     float64
+	maxIter int
+	tighten bool
+
+	nodes []graph.NodeID         // local -> global
+	local map[graph.NodeID]int32 // global -> local
+
+	adjN [][]graph.NodeID // cached global adjacency of visited nodes
+	adjW [][]float64
+
+	deg    []float64 // full-graph weighted degree
+	inW    []float64 // Σ weights of incident edges whose far end is in S
+	outCnt []int32   // # neighbors outside S; >0 ⇔ boundary
+
+	t    *linalg.RowMatrix // off-diagonal local transition entries (row q empty)
+	ladj [][]int32         // local undirected adjacency (dependency graph for relaxation)
+
+	lb, ub []float64
+	rd     float64 // dummy-node value
+
+	// Worklist state for the residual-driven bound solver: one queue per
+	// bound side, with membership bitmaps and per-node accumulated input
+	// drift (pend). A node re-relaxes once its inputs have cumulatively
+	// moved enough to shift it by more than τ — individual sub-τ changes
+	// accumulate instead of being dropped, so the solved bounds track the
+	// Jacobi-to-τ solution.
+	queueLB, queueUB []int32
+	inQLB, inQUB     []bool
+	pendLB, pendUB   []float64
+
+	// Tightening state, valid only for boundary nodes and refreshed lazily.
+	selfLoop   []float64 // diagonal entry c·Σ_{j∉S} p_ij·p_ji
+	dummyTight []float64 // tightened dummy entry c·Σ_{j∉S} p_ij·(1−p_ji)
+	dirty      []bool    // outside-neighborhood changed since last refresh
+	degCache   map[graph.NodeID]float64
+
+	sweeps       int // node relaxations performed by the bound solver
+	degreeProbes int
+}
+
+func newPHPEngine(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten bool) *phpEngine {
+	e := &phpEngine{
+		g:        g,
+		q:        q,
+		c:        c,
+		tau:      tau,
+		maxIter:  maxIter,
+		tighten:  tighten,
+		local:    make(map[graph.NodeID]int32),
+		t:        linalg.NewRowMatrix(0),
+		rd:       1,
+		degCache: make(map[graph.NodeID]float64),
+	}
+	e.visit(q)
+	e.lb[0] = 1
+	e.ub[0] = 1
+	return e
+}
+
+// visit pulls node v into S: queries its adjacency, wires up the local
+// transition entries in both directions, and maintains the boundary
+// bookkeeping. Precondition: v not yet visited.
+func (e *phpEngine) visit(v graph.NodeID) int32 {
+	li := int32(len(e.nodes))
+	e.nodes = append(e.nodes, v)
+	e.local[v] = li
+	e.t.AddRow()
+
+	nbrs, ws := e.g.Neighbors(v)
+	// Copy: disk-backed graphs reuse the returned slices.
+	cn := append([]graph.NodeID(nil), nbrs...)
+	cw := append([]float64(nil), ws...)
+	e.adjN = append(e.adjN, cn)
+	e.adjW = append(e.adjW, cw)
+
+	// First pass: the full degree (needed to normalize v's own transition
+	// probabilities) and the in/out split.
+	var d, in float64
+	var out int32
+	for i, u := range cn {
+		d += cw[i]
+		if _, ok := e.local[u]; ok {
+			in += cw[i]
+		} else {
+			out++
+		}
+	}
+	e.deg = append(e.deg, d)
+	e.inW = append(e.inW, in)
+	e.outCnt = append(e.outCnt, out)
+	e.lb = append(e.lb, 0)
+	e.ub = append(e.ub, 1)
+	e.selfLoop = append(e.selfLoop, 0)
+	e.dummyTight = append(e.dummyTight, 0)
+	e.dirty = append(e.dirty, true)
+	e.ladj = append(e.ladj, nil)
+	e.inQLB = append(e.inQLB, false)
+	e.inQUB = append(e.inQUB, false)
+	e.pendLB = append(e.pendLB, 0)
+	e.pendUB = append(e.pendUB, 0)
+	e.enqueue(li)
+
+	// Second pass: wire transition entries to/from already-visited neighbors
+	// and update their boundary bookkeeping. Touched neighbors join the
+	// relaxation worklists: their rows gained an entry.
+	for i, u := range cn {
+		lu, ok := e.local[u]
+		if !ok {
+			continue
+		}
+		if v != e.q && d > 0 {
+			e.t.Append(li, lu, cw[i]/d)
+		}
+		// Reverse direction u -> v, unless u is the query (zeroed row).
+		if u != e.q && e.deg[lu] > 0 {
+			e.t.Append(lu, li, cw[i]/e.deg[lu])
+		}
+		e.ladj[li] = append(e.ladj[li], lu)
+		e.ladj[lu] = append(e.ladj[lu], li)
+		e.inW[lu] += cw[i]
+		e.outCnt[lu]--
+		e.dirty[lu] = true
+		e.enqueue(lu)
+	}
+	return li
+}
+
+// enqueue adds a node to both bound worklists.
+func (e *phpEngine) enqueue(i int32) {
+	if !e.inQLB[i] {
+		e.inQLB[i] = true
+		e.queueLB = append(e.queueLB, i)
+	}
+	if !e.inQUB[i] {
+		e.inQUB[i] = true
+		e.queueUB = append(e.queueUB, i)
+	}
+}
+
+// size returns |S|.
+func (e *phpEngine) size() int { return len(e.nodes) }
+
+// isBoundary reports whether local node i has unvisited neighbors.
+func (e *phpEngine) isBoundary(i int32) bool { return e.outCnt[i] > 0 }
+
+// outMass returns Σ_{j∉S} p_ij for local node i — the probability mass the
+// untightened upper bound redirects to the dummy node.
+func (e *phpEngine) outMass(i int32) float64 {
+	if e.deg[i] == 0 {
+		return 0
+	}
+	m := (e.deg[i] - e.inW[i]) / e.deg[i]
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// degreeOf fetches (and caches) the full degree of an unvisited node —
+// the only information Section 5.3's tightening needs from outside S.
+func (e *phpEngine) degreeOf(v graph.NodeID) float64 {
+	if d, ok := e.degCache[v]; ok {
+		return d
+	}
+	d := e.g.Degree(v)
+	e.degreeProbes++
+	e.degCache[v] = d
+	return d
+}
+
+// refreshTightening recomputes the self-loop and tightened-dummy entries of
+// Lemmas 3 and 4 for boundary nodes whose outside neighborhood changed:
+//
+//	selfLoop_i   = c·Σ_{j∈N_i∩S̄} p_ij·p_ji
+//	dummyTight_i = c·Σ_{j∈N_i∩S̄} p_ij·(1−p_ji)
+//
+// Both carry one factor of c inside the entry (the star-to-mesh edge stands
+// for a two-step walk); the solver applies the second factor.
+func (e *phpEngine) refreshTightening() {
+	if !e.tighten {
+		return
+	}
+	for i := int32(0); i < int32(e.size()); i++ {
+		if !e.dirty[i] {
+			continue
+		}
+		e.dirty[i] = false
+		e.selfLoop[i] = 0
+		e.dummyTight[i] = 0
+		if e.outCnt[i] == 0 || e.deg[i] == 0 || e.nodes[i] == e.q {
+			continue
+		}
+		var self, dum float64
+		for k, u := range e.adjN[i] {
+			if _, ok := e.local[u]; ok {
+				continue
+			}
+			pij := e.adjW[i][k] / e.deg[i]
+			dj := e.degreeOf(u)
+			var pji float64
+			if dj > 0 {
+				pji = e.adjW[i][k] / dj
+			}
+			self += pij * pji
+			dum += pij * (1 - pji)
+		}
+		e.selfLoop[i] = e.c * self
+		e.dummyTight[i] = e.c * dum
+	}
+}
+
+// dummyEntry returns local node i's transition entry into the dummy node for
+// the upper-bound system.
+func (e *phpEngine) dummyEntry(i int32) float64 {
+	if e.nodes[i] == e.q || e.outCnt[i] == 0 {
+		return 0
+	}
+	if e.tighten {
+		return e.dummyTight[i]
+	}
+	return e.outMass(i)
+}
+
+// selfEntry returns local node i's diagonal entry (0 unless tightening).
+func (e *phpEngine) selfEntry(i int32) float64 {
+	if !e.tighten || e.nodes[i] == e.q || e.outCnt[i] == 0 {
+		return 0
+	}
+	return e.selfLoop[i]
+}
+
+// solveLower re-solves the lower-bound system to tolerance, warm-started
+// from the previous lower bound (a sub-solution, so truncation keeps
+// validity).
+//
+// The solver is a residual-driven Gauss–Seidel relaxation over a worklist
+// rather than full Jacobi sweeps: expansion enqueues exactly the rows whose
+// equations changed, each relaxation applies the closed-form update
+//
+//	r_i ← (c·(Σ_j T_ij·r_j + dummy_i·r_d) + e_i) / (1 − c·self_i)
+//
+// and re-enqueues i's local neighbors when r_i moved by more than τ. It
+// reaches the same fixpoint as Algorithm 7's iteration and keeps the same
+// one-sided monotonicity (a single-coordinate relaxation of a sub-solution
+// stays below the fixpoint, of a super-solution above), so bound validity
+// under truncation is untouched — but its cost tracks the changed region,
+// not |S|, which matters because FLoS re-solves after every expansion.
+func (e *phpEngine) solveLower() {
+	e.relax(e.lb, e.inQLB, e.pendLB, &e.queueLB, false)
+}
+
+// solveUpper re-solves the upper-bound system; see solveLower.
+func (e *phpEngine) solveUpper() {
+	e.relax(e.ub, e.inQUB, e.pendUB, &e.queueUB, true)
+}
+
+func (e *phpEngine) relax(r []float64, inQ []bool, pend []float64, queue *[]int32, withDummy bool) {
+	q := *queue
+	budget := int64(e.maxIter) * int64(e.size())
+	var processed int64
+	for len(q) > 0 && processed < budget {
+		i := q[0]
+		q = q[1:]
+		inQ[i] = false
+		pend[i] = 0
+		processed++
+		e.sweeps++
+		if e.nodes[i] == e.q {
+			r[i] = 1
+			continue
+		}
+		var s float64
+		for _, en := range e.t.Rows[i] {
+			s += en.Val * r[en.Col]
+		}
+		if withDummy {
+			s += e.dummyEntry(i) * e.rd
+		}
+		v := e.c * s
+		if self := e.selfEntry(i); self > 0 {
+			v /= 1 - e.c*self
+		}
+		d := abs(v - r[i])
+		r[i] = v
+		if d == 0 {
+			continue
+		}
+		// Charge the change to every dependent row; a row re-relaxes once
+		// its accumulated potential shift exceeds the propagation threshold.
+		// (c bounds the entry value times decay, so c·d overestimates the
+		// per-row effect.) The threshold sits a factor 16 below τ so the
+		// relaxed bounds are at least as tight as a Jacobi-to-τ solve — the
+		// RWR termination guard compares quantities near the τ scale, where
+		// any extra slack inflates the visited set.
+		theta := e.tau / 16
+		for _, j := range e.ladj[i] {
+			if e.nodes[j] == e.q {
+				continue
+			}
+			pend[j] += e.c * d
+			if !inQ[j] && pend[j] > theta {
+				inQ[j] = true
+				q = append(q, j)
+			}
+		}
+	}
+	// Drained (len 0) or budget hit: keep whatever is pending so the inQ
+	// flags stay consistent with the queue contents.
+	*queue = q
+}
+
+// updateDummy lowers rd to max_{i∈δS} ub_i (Algorithm 5 line 7). It must run
+// BEFORE the expansion that moves from S^{t-1} to S^t, because the bound
+// r_d ≥ r_j (∀ j unvisited) is proved against the previous boundary.
+//
+// A decrease smaller than τ is skipped: a stale, larger r_d keeps every
+// upper bound valid (it only loosens them), and skipping avoids re-relaxing
+// the whole boundary for negligible gain.
+func (e *phpEngine) updateDummy() {
+	maxUB := 0.0
+	found := false
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) {
+			found = true
+			if e.ub[i] > maxUB {
+				maxUB = e.ub[i]
+			}
+		}
+	}
+	if found && e.rd-maxUB <= e.tau/16 {
+		return
+	}
+	if !found {
+		maxUB = 0 // component exhausted: no mass flows to the dummy anyway
+	}
+	if maxUB >= e.rd {
+		return
+	}
+	e.rd = maxUB
+	// Every boundary equation references r_d; re-relax them.
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) && !e.inQUB[i] {
+			e.inQUB[i] = true
+			e.queueUB = append(e.queueUB, i)
+		}
+	}
+}
+
+// pickExpansion returns up to batch boundary nodes with the largest
+// expansion priority ½(lb+ub), degree-weighted in RWR mode (Section 5.6),
+// best first, ties toward the smaller global identifier. Returns nil when
+// the boundary is empty (component exhausted).
+//
+// Algorithm 3 expands a single node per iteration; the batch size is an
+// engineering knob (the caller grows it with |S|) that only affects the
+// expansion schedule, never the exactness argument — every expansion is
+// still a legal S^{t-1} → S^t step.
+func (e *phpEngine) pickExpansion(rwrMode bool, batch int) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	// Bounded selection: keep the `batch` best seen so far in a small
+	// insertion-sorted slice (batch ≪ |S|).
+	best := make([]cand, 0, batch)
+	for i := int32(0); i < int32(e.size()); i++ {
+		if !e.isBoundary(i) {
+			continue
+		}
+		key := (e.lb[i] + e.ub[i]) / 2
+		if rwrMode {
+			key *= e.deg[i]
+		}
+		if len(best) == batch && key <= best[len(best)-1].key {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && (best[pos-1].key < key ||
+			(best[pos-1].key == key && e.nodes[best[pos-1].i] > e.nodes[i])) {
+			pos--
+		}
+		if len(best) < batch {
+			best = append(best, cand{})
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = cand{i, key}
+	}
+	out := make([]int32, len(best))
+	for i, c := range best {
+		out[i] = c.i
+	}
+	return out
+}
+
+// expand visits every unvisited neighbor of local node u and returns the
+// newly visited global identifiers (Algorithm 3 line 2).
+func (e *phpEngine) expand(u int32) []graph.NodeID {
+	var added []graph.NodeID
+	for _, v := range e.adjN[u] {
+		if _, ok := e.local[v]; !ok {
+			e.visit(v)
+			added = append(added, v)
+		}
+	}
+	return added
+}
+
+// interiorCount returns |S \ δS \ {q}|.
+func (e *phpEngine) interiorCount() int {
+	cnt := 0
+	for i := int32(0); i < int32(e.size()); i++ {
+		if !e.isBoundary(i) && e.nodes[i] != e.q {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// checkTermination implements Algorithm 6 (and its RWR variant from
+// Section 5.6). key(lb_i) and key(ub_i) are lb/ub themselves for PHP-family
+// queries, and deg_i·lb_i / deg_i·ub_i for RWR. wSbarUB is the w(S̄) guard
+// value (0 when not in RWR mode). It returns the selected top-k local
+// indices when the bounds separate, or nil.
+func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps float64) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	exhausted := true
+	var interior []cand
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] == e.q {
+			continue
+		}
+		if e.isBoundary(i) {
+			exhausted = false
+			continue
+		}
+		key := e.lb[i]
+		if rwrMode {
+			key *= e.deg[i]
+		}
+		interior = append(interior, cand{i, key})
+	}
+	if len(interior) < k && !exhausted {
+		return nil
+	}
+	sort.Slice(interior, func(a, b int) bool {
+		if interior[a].key != interior[b].key {
+			return interior[a].key > interior[b].key
+		}
+		return e.nodes[interior[a].i] < e.nodes[interior[b].i]
+	})
+	if k > len(interior) {
+		if !exhausted {
+			return nil
+		}
+		k = len(interior) // component smaller than k+1: return what exists
+	}
+	if k == 0 {
+		return []int32{}
+	}
+	sel := interior[:k]
+	inK := make(map[int32]bool, k)
+	minK := sel[0].key
+	for _, c := range sel {
+		inK[c.i] = true
+		if c.key < minK {
+			minK = c.key
+		}
+	}
+	// max over S \ K \ {q} of the upper-bound key.
+	maxRest := 0.0
+	maxBoundaryUB := 0.0
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] == e.q || inK[i] {
+			continue
+		}
+		key := e.ub[i]
+		if rwrMode {
+			key *= e.deg[i]
+		}
+		if key > maxRest {
+			maxRest = key
+		}
+		if e.isBoundary(i) && e.ub[i] > maxBoundaryUB {
+			maxBoundaryUB = e.ub[i]
+		}
+	}
+	if minK < maxRest-tieEps {
+		return nil
+	}
+	if rwrMode && !exhausted {
+		// Second condition of Section 5.6: the best unvisited node scores at
+		// most w(S̄)·max_{i∈δS} ub_i. (K is interior-only, so the first loop
+		// saw every boundary node.)
+		if minK < wSbar*maxBoundaryUB-tieEps {
+			return nil
+		}
+	}
+	out := make([]int32, k)
+	for i, c := range sel {
+		out[i] = c.i
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

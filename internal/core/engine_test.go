@@ -1,0 +1,336 @@
+package core
+
+// White-box tests of the bound-engine internals: visited-set bookkeeping,
+// transition wiring, tightening terms, dummy-node management, the worklist
+// solver, and the THT engine's distance maintenance.
+
+import (
+	"math"
+	"testing"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/linalg"
+)
+
+func newTestEngine(t *testing.T, g graph.Graph, q graph.NodeID, c float64, tighten bool) *phpEngine {
+	t.Helper()
+	return newPHPEngine(g, q, c, 1e-12, 100000, tighten)
+}
+
+func TestEngineVisitBookkeeping(t *testing.T) {
+	g := gen.PaperExample()
+	e := newTestEngine(t, g, 0, 0.8, false)
+	// After construction S = {q}.
+	if e.size() != 1 || e.nodes[0] != 0 {
+		t.Fatalf("initial S wrong: %v", e.nodes)
+	}
+	if !e.isBoundary(0) {
+		t.Fatal("query with neighbors must start as boundary")
+	}
+	if e.outCnt[0] != 2 {
+		t.Fatalf("outCnt(q) = %d, want 2 (nodes 2,3 unvisited)", e.outCnt[0])
+	}
+	added := e.expand(0)
+	if len(added) != 2 {
+		t.Fatalf("expanding q added %v", added)
+	}
+	if e.isBoundary(0) {
+		t.Fatal("q still boundary after expanding both neighbors")
+	}
+	// Node 1 (paper 2) has neighbors {0, 3}: one unvisited.
+	li := e.local[1]
+	if e.outCnt[li] != 1 {
+		t.Fatalf("outCnt(node 2) = %d, want 1", e.outCnt[li])
+	}
+	if got := e.outMass(li); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("outMass(node 2) = %g, want 0.5", got)
+	}
+	// Transition rows: node 1's row must hold p(2→1) = 1/2 toward q.
+	if got := e.t.At(li, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("T[2→1] = %g, want 0.5", got)
+	}
+	// The query's row stays empty.
+	if len(e.t.Rows[0]) != 0 {
+		t.Fatalf("query row non-empty: %v", e.t.Rows[0])
+	}
+}
+
+// TestEngineLowerBoundMatchesDeletedSystem: after a couple of expansions the
+// solved lower bound equals a direct dense solve of the deletion system
+// (all transition probabilities touching S̄ removed).
+func TestEngineLowerBoundMatchesDeletedSystem(t *testing.T) {
+	g := gen.PaperExample()
+	c := 0.8
+	e := newTestEngine(t, g, 0, c, false)
+	e.expand(0)          // S = {1,2,3} (paper numbering)
+	e.expand(e.local[1]) // + node 4
+	e.solveLower()
+
+	// Dense solve on the same local system.
+	n := e.size()
+	a := linalg.Identity(n)
+	for i := 0; i < n; i++ {
+		for _, en := range e.t.Rows[i] {
+			a.Add(i, int(en.Col), -c*en.Val)
+		}
+	}
+	rhs := make([]float64, n)
+	rhs[0] = 1
+	want, err := linalg.SolveDense(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(e.lb[i]-want[i]) > 1e-9 {
+			t.Fatalf("lb[%d] = %g, dense = %g", i, e.lb[i], want[i])
+		}
+	}
+}
+
+// TestEngineUpperBoundMatchesDummySystem: the solved upper bound equals a
+// dense solve of the dummy-node system with the current rd.
+func TestEngineUpperBoundMatchesDummySystem(t *testing.T) {
+	g := gen.PaperExample()
+	c := 0.8
+	e := newTestEngine(t, g, 0, c, false)
+	e.updateDummy()
+	e.expand(0)
+	e.solveLower()
+	e.solveUpper()
+
+	n := e.size()
+	a := linalg.Identity(n)
+	rhs := make([]float64, n)
+	rhs[0] = 1
+	for i := 0; i < n; i++ {
+		li := int32(i)
+		for _, en := range e.t.Rows[li] {
+			a.Add(i, int(en.Col), -c*en.Val)
+		}
+		rhs[i] += c * e.dummyEntry(li) * e.rd
+	}
+	want, err := linalg.SolveDense(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(e.ub[i]-want[i]) > 1e-9 {
+			t.Fatalf("ub[%d] = %g, dense = %g", i, e.ub[i], want[i])
+		}
+	}
+}
+
+// TestEngineTighteningTerms checks the §5.3 self-loop and dummy entries on
+// the paper's Figure 3/6 configuration: S = {1,2,3,4}, boundary {3,4}.
+func TestEngineTighteningTerms(t *testing.T) {
+	g := gen.PaperExample()
+	c := 0.8
+	e := newTestEngine(t, g, 0, c, true)
+	e.expand(0)          // adds 2,3 (paper)
+	e.expand(e.local[1]) // expanding paper-2 adds paper-4
+	e.refreshTightening()
+
+	// Paper node 3 (local of id 2): one outside neighbor, node 5 (degree 2).
+	// selfLoop = c·p(3→5)·p(5→3) = c·(1/3)·(1/2); dummy = c·(1/3)·(1/2).
+	l3 := e.local[2]
+	wantSelf := c * (1.0 / 3) * 0.5
+	if got := e.selfEntry(l3); math.Abs(got-wantSelf) > 1e-12 {
+		t.Fatalf("selfLoop(3) = %g, want %g", got, wantSelf)
+	}
+	if got := e.dummyEntry(l3); math.Abs(got-wantSelf) > 1e-12 {
+		t.Fatalf("dummyTight(3) = %g, want %g", got, wantSelf)
+	}
+	// Paper node 4 (id 3): outside neighbors 6 (deg 2) and 7 (deg 2), each
+	// p(4→·) = 1/4: selfLoop = c·2·(1/4)(1/2) = c/4, dummy = c·2·(1/4)(1/2).
+	l4 := e.local[3]
+	want4 := c * 2 * 0.25 * 0.5
+	if got := e.selfEntry(l4); math.Abs(got-want4) > 1e-12 {
+		t.Fatalf("selfLoop(4) = %g, want %g", got, want4)
+	}
+	// Interior nodes carry no tightening terms.
+	if e.selfEntry(e.local[1]) != 0 || e.dummyEntry(e.local[1]) != 0 {
+		t.Fatal("interior node has tightening terms")
+	}
+	// The query never carries them either.
+	if e.selfEntry(0) != 0 || e.dummyEntry(0) != 0 {
+		t.Fatal("query has tightening terms")
+	}
+}
+
+// TestEngineDummyMonotone: rd never increases, and committing requires a
+// drop beyond τ/16.
+func TestEngineDummyMonotone(t *testing.T) {
+	g := gen.PaperExample()
+	e := newTestEngine(t, g, 0, 0.8, false)
+	if e.rd != 1 {
+		t.Fatalf("initial rd = %g", e.rd)
+	}
+	prev := e.rd
+	for i := 0; i < 6; i++ {
+		e.updateDummy()
+		if e.rd > prev {
+			t.Fatalf("rd rose %g -> %g", prev, e.rd)
+		}
+		prev = e.rd
+		us := e.pickExpansion(false, 1)
+		if len(us) == 0 {
+			break
+		}
+		e.expand(us[0])
+		e.solveLower()
+		e.solveUpper()
+	}
+	// Exhausted: rd drops to 0.
+	e.updateDummy()
+	if e.rd != 0 {
+		t.Fatalf("exhausted rd = %g, want 0", e.rd)
+	}
+}
+
+// TestEnginePickExpansionBatch: the batch selection returns the boundary
+// nodes in priority order without duplicates.
+func TestEnginePickExpansionBatch(t *testing.T) {
+	g := gen.Star(8)
+	e := newTestEngine(t, g, 1, 0.5, false) // query = a leaf
+	e.expand(0)                             // visit the center, exposing 7 leaves... via expansion of q
+	// Expand q (local 0) first: adds center.
+	// (constructor already visited q; local 0 = q)
+	e.solveLower()
+	e.solveUpper()
+	us := e.pickExpansion(false, 3)
+	if len(us) == 0 {
+		t.Fatal("no expansion candidates")
+	}
+	seen := map[int32]bool{}
+	for _, u := range us {
+		if seen[u] {
+			t.Fatal("duplicate in batch")
+		}
+		seen[u] = true
+		if !e.isBoundary(u) {
+			t.Fatal("non-boundary node picked")
+		}
+	}
+	// Priorities must be non-increasing.
+	key := func(i int32) float64 { return (e.lb[i] + e.ub[i]) / 2 }
+	for i := 1; i < len(us); i++ {
+		if key(us[i]) > key(us[i-1])+1e-15 {
+			t.Fatalf("batch out of order at %d", i)
+		}
+	}
+}
+
+// TestTHTEngineDistances: within-S shortest-path distances stay correct as
+// the search expands, including shortcut relaxation.
+func TestTHTEngineDistances(t *testing.T) {
+	// Ring of 8: expanding around the ring gives distances; a visit closing
+	// the ring must relax the far side.
+	g := gen.Ring(8)
+	e := newTHTEngine(g, 0, 10)
+	for e.size() < 8 {
+		us := e.pickExpansion(1)
+		if len(us) == 0 {
+			break
+		}
+		e.expand(us[0])
+		e.solveBounds()
+	}
+	want := []int32{0, 1, 2, 3, 4, 3, 2, 1}
+	for v := 0; v < 8; v++ {
+		li := e.local[graph.NodeID(v)]
+		if e.dist[li] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, e.dist[li], want[v])
+		}
+	}
+}
+
+// TestTHTEngineFloorGrows: on a path, closing hops advances the floor.
+func TestTHTEngineFloorGrows(t *testing.T) {
+	g := gen.Path(30)
+	e := newTHTEngine(g, 0, 10)
+	prevFloor := int32(0)
+	for it := 0; it < 12; it++ {
+		us := e.pickExpansion(1)
+		if len(us) == 0 {
+			break
+		}
+		for _, u := range us {
+			e.expand(u)
+		}
+		e.solveBounds()
+		f := e.unvisitedFloor()
+		if f < prevFloor {
+			t.Fatalf("floor regressed %d -> %d", prevFloor, f)
+		}
+		prevFloor = f
+	}
+	if prevFloor < 3 {
+		t.Fatalf("floor only reached %d after 12 path expansions", prevFloor)
+	}
+}
+
+// TestTHTEngineBoundsMatchScratch: the incremental level recursion equals a
+// from-scratch recomputation of the same system.
+func TestTHTEngineBoundsMatchScratch(t *testing.T) {
+	g := gen.PaperExample()
+	L := 6
+	e := newTHTEngine(g, 0, L)
+	for it := 0; it < 4; it++ {
+		us := e.pickExpansion(1)
+		if len(us) == 0 {
+			break
+		}
+		e.expand(us[0])
+		e.solveBounds()
+
+		// From-scratch recomputation.
+		n := e.size()
+		floor := e.unvisitedFloor()
+		lb := make([]float64, n)
+		ub := make([]float64, n)
+		nlb := make([]float64, n)
+		nub := make([]float64, n)
+		for l := 1; l <= L; l++ {
+			fl := float64(l - 1)
+			if ff := float64(floor); ff < fl {
+				fl = ff
+			}
+			for i := 0; i < n; i++ {
+				li := int32(i)
+				if e.nodes[li] == e.q {
+					nlb[i], nub[i] = 0, 0
+					continue
+				}
+				var sLo, sHi float64
+				for _, en := range e.tRows[li] {
+					sLo += en.p * lb[en.col]
+					sHi += en.p * ub[en.col]
+				}
+				om := 0.0
+				if e.outCnt[li] > 0 || e.deg[li] == 0 {
+					om = e.outMass(li)
+				}
+				nlb[i] = 1 + sLo + om*fl
+				h := 1 + sHi + om*float64(L)
+				if cap := float64(l); h > cap {
+					h = cap
+				}
+				if nlb[i] > h {
+					nlb[i] = h
+				}
+				nub[i] = h
+			}
+			lb, nlb = nlb, lb
+			ub, nub = nub, ub
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(e.lb(int32(i))-lb[i]) > 1e-12 {
+				t.Fatalf("iter %d: incremental lb[%d]=%g scratch=%g", it, i, e.lb(int32(i)), lb[i])
+			}
+			if math.Abs(e.ub(int32(i))-ub[i]) > 1e-12 {
+				t.Fatalf("iter %d: incremental ub[%d]=%g scratch=%g", it, i, e.ub(int32(i)), ub[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// TopK answers an exact k-nearest-neighbor proximity query with FLoS
+// (Algorithm 2). It only touches the graph through Neighbors/Degree/
+// TopDegrees, so it runs identically on in-memory and disk-resident graphs.
+//
+// PHP is bounded natively; EI, DHT and RWR ride on the PHP engine through
+// Theorems 2 and 6; THT uses the finite-horizon engine. The returned set is
+// exact (up to Options.TieEps at score ties) unless MaxVisited fired.
+func TopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
+	}
+	if opt.Measure == measure.THT {
+		return thtTopK(g, q, opt)
+	}
+	return phpFamilyTopK(g, q, opt)
+}
+
+func phpFamilyTopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+	phpParams, err := measure.EquivalentPHPParams(opt.Measure, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	rwrMode := opt.Measure == measure.RWR
+	e := newPHPEngine(g, q, phpParams.C, phpParams.Tau, phpParams.MaxIter, opt.Tighten)
+	maxVisited := opt.MaxVisited
+	if maxVisited == 0 {
+		maxVisited = g.NumNodes()
+	}
+
+	// w(S̄) guard for RWR: the largest degree among unvisited nodes, served
+	// by the graph's degree index. Falling back to the global maximum when
+	// the whole cached prefix is visited keeps the bound valid, just looser.
+	topDeg := g.TopDegrees(4096)
+	wSbar := func() float64 {
+		for _, de := range topDeg {
+			if _, visited := e.local[de.Node]; !visited {
+				return de.Degree
+			}
+		}
+		if len(topDeg) > 0 {
+			return topDeg[0].Degree
+		}
+		return 0
+	}
+
+	for t := 1; ; t++ {
+		// Algorithm 5 line 7 evaluates r_d against δS^{t-1} and ub^{t-1};
+		// capture it before the expansion mutates the boundary.
+		e.updateDummy()
+
+		// Single-node expansion while the search is small (and whenever
+		// tracing, so traces match Algorithm 3 exactly); grow the batch with
+		// |S| so the expansion schedule stays a vanishing fraction per step.
+		batch := e.size() / 256
+		if batch < 1 || opt.Trace != nil {
+			batch = 1
+		}
+		us := e.pickExpansion(rwrMode, batch)
+		var added []graph.NodeID
+		var expanded graph.NodeID = -1
+		exhausted := len(us) == 0
+		if !exhausted {
+			expanded = e.nodes[us[0]]
+			for _, u := range us {
+				added = append(added, e.expand(u)...)
+			}
+		}
+
+		e.refreshTightening()
+		e.solveLower()
+		e.solveUpper()
+
+		// The batched expansion keeps the iteration count logarithmic in
+		// |S|, so the O(|S| log |S|) termination test can run every
+		// iteration without dominating.
+		guard := 0.0
+		if rwrMode {
+			guard = wSbar()
+			e.degreeProbes++ // the index scan stands in for one metadata probe
+		}
+		sel := e.checkTermination(opt.K, rwrMode, guard, opt.TieEps)
+
+		if opt.Trace != nil {
+			opt.Trace(traceSnapshot(e, t, expanded, added))
+		}
+
+		switch {
+		case sel != nil:
+			return buildResult(e, sel, opt, t, true)
+		case exhausted:
+			// Component exhausted without bound separation (ties beyond
+			// TieEps, or k larger than the component). The local system now
+			// IS the component with no dummy mass, so lb≈ub≈exact: return
+			// the top-k by lower bound.
+			return buildResult(e, forceSelect(e, opt.K, rwrMode), opt, t, true)
+		case e.size() >= maxVisited && opt.MaxVisited > 0:
+			return buildResult(e, forceSelect(e, opt.K, rwrMode), opt, t, false)
+		}
+	}
+}
+
+// forceSelect picks the best-k visited nodes by lower bound regardless of
+// separation — used at exhaustion and at the MaxVisited safety valve.
+func forceSelect(e *phpEngine, k int, rwrMode bool) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	var all []cand
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] == e.q {
+			continue
+		}
+		key := e.lb[i]
+		if rwrMode {
+			key *= e.deg[i]
+		}
+		all = append(all, cand{i, key})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].key != all[b].key {
+			return all[a].key > all[b].key
+		}
+		return e.nodes[all[a].i] < e.nodes[all[b].i]
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].i
+	}
+	return out
+}
+
+// buildResult converts selected local indices into measure-scale scores.
+func buildResult(e *phpEngine, sel []int32, opt Options, iters int, exact bool) (*Result, error) {
+	res := &Result{
+		Visited:      e.size(),
+		Iterations:   iters,
+		Sweeps:       e.sweeps,
+		DegreeProbes: e.degreeProbes,
+		Exact:        exact,
+	}
+	for _, i := range sel {
+		php := (e.lb[i] + e.ub[i]) / 2
+		score, err := measure.ScoreFromPHP(opt.Measure, opt.Params, php, e.deg[i])
+		if err != nil {
+			return nil, err
+		}
+		res.TopK = append(res.TopK, measure.Ranked{Node: e.nodes[i], Score: score})
+	}
+	// Selection ordered by certified lower bounds, but the reported scores
+	// are bound midpoints — adjacent near-ties can invert between the two.
+	// Present the list ordered by what it shows. The SET is unchanged.
+	higher := opt.Measure.HigherIsCloser()
+	sort.SliceStable(res.TopK, func(a, b int) bool {
+		if res.TopK[a].Score != res.TopK[b].Score {
+			if higher {
+				return res.TopK[a].Score > res.TopK[b].Score
+			}
+			return res.TopK[a].Score < res.TopK[b].Score
+		}
+		return res.TopK[a].Node < res.TopK[b].Node
+	})
+	return res, nil
+}
+
+func traceSnapshot(e *phpEngine, t int, expanded graph.NodeID, added []graph.NodeID) TraceEvent {
+	ev := TraceEvent{
+		Iteration:  t,
+		Expanded:   expanded,
+		NewNodes:   append([]graph.NodeID(nil), added...),
+		Nodes:      append([]graph.NodeID(nil), e.nodes...),
+		Lower:      append([]float64(nil), e.lb...),
+		Upper:      append([]float64(nil), e.ub...),
+		DummyValue: e.rd,
+	}
+	return ev
+}
+
+// BasicTopK is Algorithm 1: the oracle-assisted local search that assumes
+// the exact proximity vector r is already known. It exists to demonstrate
+// the no-local-optimum machinery (Theorem 1 / Corollary 1) in isolation and
+// as the reference expansion order in tests: it visits exactly k nodes
+// beyond the query, pulling the closest remaining node from δS̄ at each
+// step.
+func BasicTopK(g graph.Graph, q graph.NodeID, r []float64, k int, higherIsCloser bool) []graph.NodeID {
+	inS := map[graph.NodeID]bool{q: true}
+	frontier := map[graph.NodeID]bool{}
+	addFrontier := func(v graph.NodeID) {
+		nbrs, _ := g.Neighbors(v)
+		for _, u := range nbrs {
+			if !inS[u] {
+				frontier[u] = true
+			}
+		}
+	}
+	addFrontier(q)
+	var out []graph.NodeID
+	for len(out) < k && len(frontier) > 0 {
+		best := graph.NodeID(-1)
+		for v := range frontier {
+			if best < 0 {
+				best = v
+				continue
+			}
+			better := r[v] > r[best] || (r[v] == r[best] && v < best)
+			if !higherIsCloser {
+				better = r[v] < r[best] || (r[v] == r[best] && v < best)
+			}
+			if better {
+				best = v
+			}
+		}
+		delete(frontier, best)
+		inS[best] = true
+		out = append(out, best)
+		addFrontier(best)
+	}
+	return out
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// testOptions returns options tightened for oracle comparisons: tolerance
+// well below the score gaps random weighted graphs produce.
+func testOptions(kind measure.Kind, k int) Options {
+	opt := DefaultOptions(kind, k)
+	opt.Params.Tau = 1e-10
+	opt.Params.MaxIter = 200000
+	opt.TieEps = 1e-9
+	return opt
+}
+
+// randomConnected builds a connected random weighted graph.
+func randomConnected(t testing.TB, n, extra int, seed int64) *graph.MemGraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(int32(v), int32(rng.Intn(v)), 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			if err := b.AddEdge(u, v, 0.5+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// exactScores computes the oracle score vector for a measure with a tight
+// tolerance.
+func exactScores(t testing.TB, g graph.Graph, q graph.NodeID, kind measure.Kind, p measure.Params) []float64 {
+	t.Helper()
+	p.Tau = 1e-12
+	p.MaxIter = 500000
+	r, _, err := measure.Exact(g, q, kind, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFLoSMatchesOracleAllMeasures is the central exactness test: on random
+// weighted graphs, FLoS must return the same top-k set as global iteration,
+// for every measure and several k.
+func TestFLoSMatchesOracleAllMeasures(t *testing.T) {
+	for _, kind := range measure.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				g := randomConnected(t, 80, 150, seed)
+				q := graph.NodeID(int(seed*13) % 80)
+				for _, k := range []int{1, 3, 10} {
+					opt := testOptions(kind, k)
+					res, err := TopK(g, q, opt)
+					if err != nil {
+						t.Fatalf("seed %d k %d: %v", seed, k, err)
+					}
+					if !res.Exact {
+						t.Fatalf("seed %d k %d: result not exact", seed, k)
+					}
+					if len(res.TopK) != k {
+						t.Fatalf("seed %d k %d: got %d nodes", seed, k, len(res.TopK))
+					}
+					oracle := exactScores(t, g, q, kind, opt.Params)
+					got := measure.Nodes(res.TopK)
+					if !measure.SameSetModuloTies(got, oracle, q, k, kind.HigherIsCloser(), 1e-7) {
+						want := measure.Nodes(measure.TopK(oracle, q, k, kind.HigherIsCloser()))
+						t.Errorf("seed %d k %d: FLoS %v != oracle %v", seed, k, got, want)
+					}
+					if res.Visited > g.NumNodes() {
+						t.Errorf("visited %d > n", res.Visited)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFLoSLocality: on a large sparse graph, FLoS must answer a small-k
+// query while visiting a small fraction of the nodes — the paper's central
+// efficiency claim (Figure 9).
+func TestFLoSLocality(t *testing.T) {
+	g, err := gen.RMAT(20000, 80000, gen.DefaultRMAT(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := graph.LargestComponentNodes(g)
+	q := lc[len(lc)/2]
+	opt := DefaultOptions(measure.PHP, 10)
+	res, err := TopK(g, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("not exact")
+	}
+	ratio := float64(res.Visited) / float64(g.NumNodes())
+	if ratio > 0.25 {
+		t.Errorf("visited ratio %.3f — not local", ratio)
+	}
+	t.Logf("visited %d/%d (%.4f) in %d iterations, %d sweeps",
+		res.Visited, g.NumNodes(), ratio, res.Iterations, res.Sweeps)
+}
+
+// TestPaperExampleTable3 replays the paper's running example: Figure 1(a),
+// PHP with c = 0.8, q = 1, k = 2, plain (untightened) bounds. The expansion
+// must visit exactly the nodes of Table 3 per iteration, and nodes {2,3}
+// must be certified as the top-2 after iteration 4, with node 8 unvisited.
+func TestPaperExampleTable3(t *testing.T) {
+	g := gen.PaperExample()
+	var events []TraceEvent
+	opt := Options{
+		K:       2,
+		Measure: measure.PHP,
+		Params:  measure.Params{C: 0.8, L: 10, Tau: 1e-10, MaxIter: 100000},
+		Tighten: false,
+		TieEps:  1e-9,
+		Trace:   func(ev TraceEvent) { events = append(events, ev) },
+	}
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3, 0-indexed: iterations visit {2,3}→{1,2}, {4}→{3}, {5}→{4},
+	// {6,7}→{5,6}, so termination after iteration 4 leaves node 7 unvisited.
+	want := [][]graph.NodeID{{1, 2}, {3}, {4}, {5, 6}}
+	if res.Iterations != len(want) {
+		t.Fatalf("terminated after %d iterations, want %d (events: %d)",
+			res.Iterations, len(want), len(events))
+	}
+	for i, ev := range events {
+		if !reflect.DeepEqual(ev.NewNodes, want[i]) {
+			t.Errorf("iteration %d visited %v, want %v", i+1, ev.NewNodes, want[i])
+		}
+	}
+	got := measure.Nodes(res.TopK)
+	if !measure.SameSet(got, []graph.NodeID{1, 2}) {
+		t.Fatalf("top-2 = %v, want {1,2} (paper nodes 2,3)", got)
+	}
+	if res.Visited != 7 {
+		t.Errorf("visited %d nodes, want 7 (node 8 stays unvisited)", res.Visited)
+	}
+}
+
+// TestBoundsMonotoneAndValid asserts the Section 5.2 monotonicity and the
+// bound validity lb ≤ r ≤ ub on every trace snapshot.
+func TestBoundsMonotoneAndValid(t *testing.T) {
+	for _, tighten := range []bool{false, true} {
+		g := randomConnected(t, 60, 90, 11)
+		q := graph.NodeID(5)
+		exact := exactScores(t, g, q, measure.PHP, measure.DefaultParams())
+		var events []TraceEvent
+		opt := testOptions(measure.PHP, 5)
+		opt.Tighten = tighten
+		opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+		if _, err := TopK(g, q, opt); err != nil {
+			t.Fatal(err)
+		}
+		prevLB := map[graph.NodeID]float64{}
+		prevUB := map[graph.NodeID]float64{}
+		prevRD := 1.0
+		for _, ev := range events {
+			if ev.DummyValue > prevRD+1e-12 {
+				t.Fatalf("tighten=%v iter %d: rd rose %g -> %g", tighten, ev.Iteration, prevRD, ev.DummyValue)
+			}
+			prevRD = ev.DummyValue
+			for i, v := range ev.Nodes {
+				lb, ub := ev.Lower[i], ev.Upper[i]
+				if lb > ub+1e-9 {
+					t.Fatalf("tighten=%v iter %d node %d: lb %g > ub %g", tighten, ev.Iteration, v, lb, ub)
+				}
+				if lb > exact[v]+1e-7 {
+					t.Fatalf("tighten=%v iter %d node %d: lb %g > exact %g", tighten, ev.Iteration, v, lb, exact[v])
+				}
+				if ub < exact[v]-1e-7 {
+					t.Fatalf("tighten=%v iter %d node %d: ub %g < exact %g", tighten, ev.Iteration, v, ub, exact[v])
+				}
+				if p, ok := prevLB[v]; ok && lb < p-1e-9 {
+					t.Fatalf("tighten=%v iter %d node %d: lb regressed %g -> %g", tighten, ev.Iteration, v, p, lb)
+				}
+				if p, ok := prevUB[v]; ok && ub > p+1e-9 {
+					t.Fatalf("tighten=%v iter %d node %d: ub regressed %g -> %g", tighten, ev.Iteration, v, p, ub)
+				}
+				prevLB[v], prevUB[v] = lb, ub
+			}
+		}
+		if len(events) == 0 {
+			t.Fatal("no trace events")
+		}
+	}
+}
+
+// TestTighteningNarrowsGap compares the total bound gap after the first
+// iteration with and without Section 5.3's self-loops: the visited set is
+// identical at t=1 (always q ∪ N_q), so the gaps are directly comparable
+// and the tightened one must not be larger.
+func TestTighteningNarrowsGap(t *testing.T) {
+	g := randomConnected(t, 60, 120, 3)
+	q := graph.NodeID(0)
+	gap := func(tighten bool) float64 {
+		var first *TraceEvent
+		opt := testOptions(measure.PHP, 3)
+		opt.Tighten = tighten
+		opt.Trace = func(ev TraceEvent) {
+			if first == nil {
+				e := ev
+				first = &e
+			}
+		}
+		if _, err := TopK(g, q, opt); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range first.Nodes {
+			sum += first.Upper[i] - first.Lower[i]
+		}
+		return sum
+	}
+	plain, tight := gap(false), gap(true)
+	if tight > plain+1e-9 {
+		t.Fatalf("tightened gap %g > plain gap %g", tight, plain)
+	}
+	if tight >= plain {
+		t.Logf("warning: tightening did not strictly narrow (%g vs %g)", tight, plain)
+	}
+}
+
+// TestTighteningStillExact: both variants return the oracle set.
+func TestTighteningStillExact(t *testing.T) {
+	g := randomConnected(t, 100, 200, 21)
+	q := graph.NodeID(17)
+	oracle := exactScores(t, g, q, measure.PHP, measure.DefaultParams())
+	for _, tighten := range []bool{false, true} {
+		opt := testOptions(measure.PHP, 8)
+		opt.Tighten = tighten
+		res, err := TopK(g, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := measure.Nodes(res.TopK)
+		if !measure.SameSetModuloTies(got, oracle, q, 8, true, 1e-7) {
+			t.Fatalf("tighten=%v: wrong set %v", tighten, got)
+		}
+	}
+}
+
+// TestRWRExactOnHubGraph: the graph where RWR has a genuine local maximum
+// (hub of leaves) — the case plain local search cannot handle and
+// Section 5.6's machinery exists for.
+func TestRWRExactOnHubGraph(t *testing.T) {
+	b := graph.NewBuilder(13)
+	add := func(u, v int32) {
+		if err := b.AddUnitEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 1)
+	add(1, 2)
+	for leaf := int32(3); leaf < 13; leaf++ {
+		add(2, leaf)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions(measure.RWR, 3)
+	opt.Params.C = 0.1 // low restart keeps the hub a local max
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exactScores(t, g, 0, measure.RWR, opt.Params)
+	got := measure.Nodes(res.TopK)
+	if !measure.SameSetModuloTies(got, oracle, 0, 3, true, 1e-9) {
+		want := measure.Nodes(measure.TopK(oracle, 0, 3, true))
+		t.Fatalf("RWR top-3 = %v, want %v", got, want)
+	}
+}
+
+// TestTHTBeyondHorizon: on a long path with horizon L, all nodes past L hops
+// tie at L. A path is adversarial for the appendix's deletion-based THT
+// lower bound — boundary nodes' lower bounds sit near 1 + L/2, so only
+// queries whose k-th upper bound is below that can stop early. k = 1
+// (r_1 ≈ 2.6 < 4) must terminate locally with the right answer; k = 5
+// (r_5 ≈ 6⁻, inseparable from the horizon crowd) must still be *correct*
+// after exhausting the component.
+func TestTHTBeyondHorizon(t *testing.T) {
+	g := gen.Path(40)
+	opt := testOptions(measure.THT, 1)
+	opt.Params.L = 6
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := measure.Nodes(res.TopK); !measure.SameSet(got, []graph.NodeID{1}) {
+		t.Fatalf("THT top-1 on path = %v, want {1}", got)
+	}
+	if res.Visited >= 25 {
+		t.Errorf("k=1 visited %d nodes — expected early termination", res.Visited)
+	}
+
+	opt = testOptions(measure.THT, 5)
+	opt.Params.L = 6
+	res, err = TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exactScores(t, g, 0, measure.THT, opt.Params)
+	if got := measure.Nodes(res.TopK); !measure.SameSetModuloTies(got, oracle, 0, 5, false, 1e-9) {
+		t.Fatalf("THT top-5 on path = %v", got)
+	}
+}
+
+// TestMaxVisitedCap: the safety valve returns a best-effort inexact result.
+func TestMaxVisitedCap(t *testing.T) {
+	g := randomConnected(t, 500, 1000, 2)
+	opt := testOptions(measure.PHP, 20)
+	opt.MaxVisited = 30
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("capped result claims exactness")
+	}
+	if res.Visited > 30+60 { // one expansion may overshoot by a neighborhood
+		t.Errorf("visited %d far beyond cap", res.Visited)
+	}
+	if len(res.TopK) != 20 {
+		t.Errorf("got %d results", len(res.TopK))
+	}
+}
+
+// TestSmallComponent: query in a component smaller than k+1 returns the
+// whole component, exactly.
+func TestSmallComponent(t *testing.T) {
+	// Component {0,1,2} plus a separate clique.
+	b := graph.NewBuilder(8)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {3, 7}} {
+		if err := b.AddUnitEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []measure.Kind{measure.PHP, measure.THT, measure.RWR} {
+		res, err := TopK(g, 0, testOptions(kind, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := measure.Nodes(res.TopK)
+		if !measure.SameSet(got, []graph.NodeID{1, 2}) {
+			t.Errorf("%v: component query returned %v, want {1,2}", kind, got)
+		}
+		if !res.Exact {
+			t.Errorf("%v: exhausted component not marked exact", kind)
+		}
+	}
+}
+
+// TestSingletonQuery: an isolated query node has no neighbors at all.
+func TestSingletonQuery(t *testing.T) {
+	g := graph.MustFromEdges(3, 1, 2) // node 0 isolated
+	res, err := TopK(g, 0, testOptions(measure.PHP, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 0 {
+		t.Fatalf("isolated query returned %v", res.TopK)
+	}
+}
+
+func TestTopKInputValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := TopK(g, 99, testOptions(measure.PHP, 1)); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+	bad := testOptions(measure.PHP, 0)
+	if _, err := TopK(g, 0, bad); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad = testOptions(measure.PHP, 1)
+	bad.Params.C = 2
+	if _, err := TopK(g, 0, bad); err == nil {
+		t.Error("C=2 accepted")
+	}
+	bad = testOptions(measure.PHP, 1)
+	bad.TieEps = -1
+	if _, err := TopK(g, 0, bad); err == nil {
+		t.Error("negative TieEps accepted")
+	}
+	bad = testOptions(measure.PHP, 1)
+	bad.MaxVisited = -3
+	if _, err := TopK(g, 0, bad); err == nil {
+		t.Error("negative MaxVisited accepted")
+	}
+}
+
+// TestBasicTopKOracle: Algorithm 1 with the exact vector returns the true
+// top-k for every no-local-optimum measure.
+func TestBasicTopKOracle(t *testing.T) {
+	g := randomConnected(t, 70, 120, 4)
+	q := graph.NodeID(9)
+	for _, kind := range []measure.Kind{measure.PHP, measure.EI, measure.DHT, measure.THT} {
+		r := exactScores(t, g, q, kind, measure.DefaultParams())
+		for _, k := range []int{1, 5, 15} {
+			got := BasicTopK(g, q, r, k, kind.HigherIsCloser())
+			if !measure.SameSetModuloTies(got, r, q, k, kind.HigherIsCloser(), 1e-9) {
+				want := measure.Nodes(measure.TopK(r, q, k, kind.HigherIsCloser()))
+				t.Errorf("%v k=%d: basic %v, want %v", kind, k, got, want)
+			}
+		}
+	}
+}
+
+// TestBasicTopKSmallComponent: Algorithm 1 stops gracefully when the
+// frontier empties.
+func TestBasicTopKSmallComponent(t *testing.T) {
+	g := graph.MustFromEdges(5, 0, 1, 1, 2, 3, 4)
+	r := []float64{1, 0.5, 0.25, 0, 0}
+	got := BasicTopK(g, 0, r, 10, true)
+	if !measure.SameSet(got, []graph.NodeID{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestPropertyFLoSMatchesOracle: randomized cross-check over seeds and
+// query nodes for PHP and RWR.
+func TestPropertyFLoSMatchesOracle(t *testing.T) {
+	f := func(seed int64, qRaw uint8) bool {
+		n := 50
+		g := randomConnected(t, n, 80, seed)
+		q := graph.NodeID(int(qRaw) % n)
+		for _, kind := range []measure.Kind{measure.PHP, measure.RWR} {
+			opt := testOptions(kind, 5)
+			res, err := TopK(g, q, opt)
+			if err != nil || !res.Exact {
+				return false
+			}
+			oracle := exactScores(t, g, q, kind, opt.Params)
+			if !measure.SameSetModuloTies(measure.Nodes(res.TopK), oracle, q, 5, true, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDHTScoresMatchExact: the DHT scores reported through the PHP engine's
+// affine map approximate the direct DHT solver. FLoS certifies the SET
+// exactly but reports scores as bound midpoints, so they carry the residual
+// bound gap at termination — hence the loose tolerance.
+func TestDHTScoresMatchExact(t *testing.T) {
+	g := randomConnected(t, 50, 80, 8)
+	q := graph.NodeID(3)
+	opt := testOptions(measure.DHT, 5)
+	res, err := TopK(g, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exactScores(t, g, q, measure.DHT, opt.Params)
+	for _, rk := range res.TopK {
+		if math.Abs(rk.Score-oracle[rk.Node]) > 0.05 {
+			t.Errorf("node %d: FLoS DHT score %g, exact %g", rk.Node, rk.Score, oracle[rk.Node])
+		}
+	}
+	// Scores must come back closest-first, i.e. non-decreasing for DHT.
+	for i := 1; i < len(res.TopK); i++ {
+		if res.TopK[i].Score < res.TopK[i-1].Score-1e-9 {
+			t.Errorf("DHT scores not ascending: %v", res.TopK)
+		}
+	}
+}
+
+// TestTHTTraceBoundsValid: THT trace bounds must bracket the exact truncated
+// hitting times and respect the lower-is-closer direction.
+func TestTHTTraceBoundsValid(t *testing.T) {
+	g := randomConnected(t, 50, 70, 13)
+	q := graph.NodeID(1)
+	p := measure.DefaultParams()
+	exact := exactScores(t, g, q, measure.THT, p)
+	var events []TraceEvent
+	opt := testOptions(measure.THT, 5)
+	opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	if _, err := TopK(g, q, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		for i, v := range ev.Nodes {
+			if ev.Lower[i] > exact[v]+1e-7 {
+				t.Fatalf("iter %d node %d: THT lb %g > exact %g", ev.Iteration, v, ev.Lower[i], exact[v])
+			}
+			if ev.Upper[i] < exact[v]-1e-7 {
+				t.Fatalf("iter %d node %d: THT ub %g < exact %g", ev.Iteration, v, ev.Upper[i], exact[v])
+			}
+		}
+	}
+}
+
+// TestVisitedCountsExpansionOnly: Visited equals the number of distinct
+// nodes pulled into S, and Iterations matches the trace length.
+func TestVisitedCountsExpansionOnly(t *testing.T) {
+	g := randomConnected(t, 60, 100, 17)
+	var events []TraceEvent
+	opt := testOptions(measure.PHP, 4)
+	opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	res, err := TopK(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != len(events) {
+		t.Errorf("iterations %d != trace %d", res.Iterations, len(events))
+	}
+	distinct := map[graph.NodeID]bool{0: true}
+	for _, ev := range events {
+		for _, v := range ev.NewNodes {
+			distinct[v] = true
+		}
+	}
+	if res.Visited != len(distinct) {
+		t.Errorf("visited %d != distinct %d", res.Visited, len(distinct))
+	}
+}

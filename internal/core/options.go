@@ -1,0 +1,111 @@
+// Package core implements FLoS — Fast Local Search — the paper's
+// contribution (Algorithms 1–6): exact top-k proximity queries answered by
+// expanding a visited set S around the query node while maintaining lower
+// and upper proximity bounds whose validity rests on the no-local-optimum
+// property.
+//
+// The native engine bounds PHP (Sections 4–5). EI, DHT and RWR are served
+// through the ranking-equivalence maps of Theorems 2 and 6; THT has its own
+// finite-horizon engine mirroring the same structure (appendix 10.4).
+package core
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Options configures a FLoS query.
+type Options struct {
+	// K is the number of nearest neighbors to return.
+	K int
+	// Measure selects the proximity measure.
+	Measure measure.Kind
+	// Params carries decay/restart, THT horizon, and the Algorithm 7
+	// tolerance.
+	Params measure.Params
+	// Tighten enables the self-loop bound tightening of Section 5.3
+	// (star-to-mesh transformation). It spends one Degree lookup per
+	// boundary-crossing edge to shrink the gap between the bounds.
+	Tighten bool
+	// MaxVisited caps |S| as a safety valve; 0 means no cap. When the cap
+	// fires the result carries Exact=false.
+	MaxVisited int
+	// TieEps relaxes the termination inequality: a separating gap below
+	// TieEps is treated as an exact tie, either side of which is a valid
+	// top-k answer. Zero keeps the paper's strict (and, under exact ties,
+	// non-terminating) criterion; DefaultOptions uses 1e-9.
+	TieEps float64
+	// Trace, when non-nil, receives a per-iteration snapshot of the search —
+	// used to regenerate the paper's Figure 4 and Table 3.
+	Trace func(TraceEvent)
+}
+
+// DefaultOptions mirrors the paper's experimental configuration for the
+// given measure: c = 0.5, τ = 1e-5, L = 10, tightening on.
+func DefaultOptions(kind measure.Kind, k int) Options {
+	return Options{
+		K:       k,
+		Measure: kind,
+		Params:  measure.DefaultParams(),
+		Tighten: true,
+		TieEps:  1e-9,
+	}
+}
+
+// Validate rejects malformed options.
+func (o Options) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("core: K=%d must be positive", o.K)
+	}
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	if o.MaxVisited < 0 {
+		return fmt.Errorf("core: MaxVisited=%d must be non-negative", o.MaxVisited)
+	}
+	if o.TieEps < 0 {
+		return fmt.Errorf("core: TieEps=%g must be non-negative", o.TieEps)
+	}
+	return nil
+}
+
+// TraceEvent is one iteration's snapshot for tracing/visualization.
+type TraceEvent struct {
+	// Iteration is the 1-based local-expansion count (paper's t).
+	Iteration int
+	// Expanded is the boundary node whose neighborhood was just pulled in.
+	Expanded graph.NodeID
+	// NewNodes lists the nodes first visited this iteration (Table 3).
+	NewNodes []graph.NodeID
+	// Nodes, Lower, Upper are parallel: the current visited set with its
+	// bound values in the engine's PHP scale (Figure 4).
+	Nodes []graph.NodeID
+	Lower []float64
+	Upper []float64
+	// DummyValue is r_d after this iteration's update.
+	DummyValue float64
+}
+
+// Result reports a completed query.
+type Result struct {
+	// TopK lists the k nearest nodes, closest first, with scores in the
+	// requested measure's natural direction. For PHP and DHT the scores are
+	// exact up to the solver tolerance; for EI and RWR they are exact up to
+	// the query-dependent positive constant Theorems 2/6 leave free (the
+	// ranking is unaffected).
+	TopK []measure.Ranked
+	// Visited is |S|: how many nodes were expanded into, the paper's
+	// locality metric (Figures 9 and 13(b)).
+	Visited int
+	// Iterations counts local expansions (paper's t).
+	Iterations int
+	// Sweeps counts Jacobi sweeps across all bound updates (paper's α·β).
+	Sweeps int
+	// DegreeProbes counts Degree() metadata lookups on unvisited nodes
+	// (spent by tightening and by the RWR w(S̄) guard).
+	DegreeProbes int
+	// Exact is false only if MaxVisited aborted the search early.
+	Exact bool
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"sort"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// thtEngine is the finite-horizon FLoS variant for L-truncated hitting time
+// (appendix 10.4). The same visited-set machinery applies, with the bound
+// roles mirrored because lower values mean closer:
+//
+//   - lower bound: boundary-crossing mass is sent to a level-aware floor.
+//     The appendix's plain deletion corresponds to floor 0; this engine
+//     uses the sound hop-distance floor min(l−1, D+1), where D is the
+//     minimum within-S hop distance of any boundary node: every unvisited
+//     node is at least D+1 hops from q, and a walk of horizon m from a node
+//     at distance d has truncated hitting time at least min(m, d). This is
+//     the distance floor the GRANCH line of work [17] pioneered, and it is
+//     what lets the search stop without draining expander-like graphs.
+//   - upper bound: boundary-crossing mass is redirected into a dummy pinned
+//     at the horizon L (the largest possible value), with each sweep-l
+//     value additionally capped at l (r^l ≤ l always holds).
+//
+// The L-level recursion is maintained incrementally: level l of a node is
+// recomputed only when level l−1 of a neighbor (or its own boundary terms)
+// changed, so per-iteration cost tracks the changed region rather than
+// |S|·L.
+type thtEngine struct {
+	g graph.Graph
+	q graph.NodeID
+	L int
+
+	nodes  []graph.NodeID
+	local  map[graph.NodeID]int32
+	adjN   [][]graph.NodeID
+	adjW   [][]float64
+	deg    []float64
+	inW    []float64
+	outCnt []int32
+	ladj   [][]int32
+
+	// tRows[i] holds (local col, p_ij) for j ∈ N_i ∩ S; the query row is
+	// zeroed (walks stop at q).
+	tRows [][]thtEntry
+
+	// dist is the within-S shortest hop distance from q, maintained to
+	// fixpoint as S grows. For any unvisited node the true distance is
+	// at least min_{i∈δS} dist[i] + 1 (see the lower-bound note above).
+	dist []int32
+
+	// lbL[l][i] / ubL[l][i] are the level-l bound values, l = 0..L; level 0
+	// is identically zero. The external bounds are level L.
+	lbL, ubL [][]float64
+
+	// Dirty tracking per level: queue[l] holds rows whose level-l equation
+	// must be re-evaluated.
+	inQ   [][]bool
+	queue [][]int32
+
+	lastFloor int32 // D+1 used in the last solve; change re-dirties the boundary
+	sweeps    int
+}
+
+type thtEntry struct {
+	col int32
+	p   float64
+}
+
+const distInf = int32(1 << 30)
+
+func newTHTEngine(g graph.Graph, q graph.NodeID, L int) *thtEngine {
+	e := &thtEngine{
+		g:         g,
+		q:         q,
+		L:         L,
+		local:     make(map[graph.NodeID]int32),
+		lbL:       make([][]float64, L+1),
+		ubL:       make([][]float64, L+1),
+		inQ:       make([][]bool, L+1),
+		queue:     make([][]int32, L+1),
+		lastFloor: -1,
+	}
+	e.visit(q)
+	return e
+}
+
+func (e *thtEngine) visit(v graph.NodeID) {
+	li := int32(len(e.nodes))
+	e.nodes = append(e.nodes, v)
+	e.local[v] = li
+	nbrs, ws := e.g.Neighbors(v)
+	cn := append([]graph.NodeID(nil), nbrs...)
+	cw := append([]float64(nil), ws...)
+	e.adjN = append(e.adjN, cn)
+	e.adjW = append(e.adjW, cw)
+
+	var d, in float64
+	var out int32
+	for i, u := range cn {
+		d += cw[i]
+		if _, ok := e.local[u]; ok {
+			in += cw[i]
+		} else {
+			out++
+		}
+	}
+	e.deg = append(e.deg, d)
+	e.inW = append(e.inW, in)
+	e.outCnt = append(e.outCnt, out)
+	e.tRows = append(e.tRows, nil)
+	e.ladj = append(e.ladj, nil)
+	for l := 0; l <= e.L; l++ {
+		e.lbL[l] = append(e.lbL[l], 0)
+		// Initial upper value min(l, L) = l is always valid: r^l ≤ l.
+		init := float64(l)
+		if v == e.q {
+			init = 0
+		}
+		e.ubL[l] = append(e.ubL[l], init)
+		e.inQ[l] = append(e.inQ[l], false)
+	}
+
+	// Within-S distance of the new node, then propagate any shortcuts it
+	// creates.
+	nd := distInf
+	if v == e.q {
+		nd = 0
+	}
+	e.dist = append(e.dist, nd)
+
+	for i, u := range cn {
+		lu, ok := e.local[u]
+		if !ok {
+			continue
+		}
+		if v != e.q && d > 0 {
+			e.tRows[li] = append(e.tRows[li], thtEntry{col: lu, p: cw[i] / d})
+		}
+		if u != e.q && e.deg[lu] > 0 {
+			e.tRows[lu] = append(e.tRows[lu], thtEntry{col: li, p: cw[i] / e.deg[lu]})
+		}
+		e.ladj[li] = append(e.ladj[li], lu)
+		e.ladj[lu] = append(e.ladj[lu], li)
+		e.inW[lu] += cw[i]
+		e.outCnt[lu]--
+		// lu's equations changed (new entry and smaller outside mass).
+		e.markAllLevels(lu)
+		if e.dist[lu]+1 < e.dist[li] {
+			e.dist[li] = e.dist[lu] + 1
+		}
+	}
+	e.markAllLevels(li)
+	e.relaxDistFrom(li)
+}
+
+// relaxDistFrom propagates shortest-path improvements created by a new or
+// shortened node (unit hops, BFS-style worklist).
+func (e *thtEngine) relaxDistFrom(start int32) {
+	queue := []int32{start}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		di := e.dist[i]
+		if di == distInf {
+			continue
+		}
+		for _, j := range e.ladj[i] {
+			if e.dist[j] > di+1 {
+				e.dist[j] = di + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+}
+
+// markAllLevels dirties every level of one row.
+func (e *thtEngine) markAllLevels(i int32) {
+	if e.nodes[i] == e.q {
+		return
+	}
+	for l := 1; l <= e.L; l++ {
+		if !e.inQ[l][i] {
+			e.inQ[l][i] = true
+			e.queue[l] = append(e.queue[l], i)
+		}
+	}
+}
+
+func (e *thtEngine) size() int               { return len(e.nodes) }
+func (e *thtEngine) isBoundary(i int32) bool { return e.outCnt[i] > 0 }
+
+func (e *thtEngine) outMass(i int32) float64 {
+	if e.deg[i] == 0 {
+		return 1 // a degree-0 node's walk goes nowhere: full mass "outside"
+	}
+	m := (e.deg[i] - e.inW[i]) / e.deg[i]
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// unvisitedFloor returns D+1: a sound hop-distance lower bound on every
+// unvisited node's distance from q.
+func (e *thtEngine) unvisitedFloor() int32 {
+	minD := distInf
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) && e.dist[i] < minD {
+			minD = e.dist[i]
+		}
+	}
+	if minD == distInf {
+		return distInf // exhausted: no unvisited mass exists at all
+	}
+	return minD + 1
+}
+
+// solveBounds drains the per-level dirty queues in level order, recomputing
+// both bounds for each dirty row and propagating changes to the dependents
+// one level up.
+func (e *thtEngine) solveBounds() {
+	floor := e.unvisitedFloor()
+	if floor != e.lastFloor {
+		e.lastFloor = floor
+		for i := int32(0); i < int32(e.size()); i++ {
+			if e.isBoundary(i) {
+				e.markAllLevels(i)
+			}
+		}
+	}
+	for l := 1; l <= e.L; l++ {
+		q := e.queue[l]
+		lbPrev, ubPrev := e.lbL[l-1], e.ubL[l-1]
+		lbCur, ubCur := e.lbL[l], e.ubL[l]
+		// Floor value for unvisited mass at this level: min(l−1, D+1).
+		fl := float64(l - 1)
+		if ff := float64(floor); ff < fl {
+			fl = ff
+		}
+		for len(q) > 0 {
+			i := q[len(q)-1]
+			q = q[:len(q)-1]
+			e.inQ[l][i] = false
+			e.sweeps++
+			var sLo, sHi float64
+			for _, en := range e.tRows[i] {
+				sLo += en.p * lbPrev[en.col]
+				sHi += en.p * ubPrev[en.col]
+			}
+			om := 0.0
+			if e.outCnt[i] > 0 || e.deg[i] == 0 {
+				om = e.outMass(i)
+			}
+			lo := 1 + sLo + om*fl
+			hi := 1 + sHi + om*float64(e.L)
+			if cap := float64(l); hi > cap {
+				hi = cap
+			}
+			if lo > hi {
+				lo = hi // both remain valid; keeps the interval well-formed
+			}
+			if lo == lbCur[i] && hi == ubCur[i] {
+				continue
+			}
+			lbCur[i] = lo
+			ubCur[i] = hi
+			if l < e.L {
+				nq := e.queue[l+1]
+				for _, j := range e.ladj[i] {
+					if !e.inQ[l+1][j] && e.nodes[j] != e.q {
+						e.inQ[l+1][j] = true
+						nq = append(nq, j)
+					}
+				}
+				e.queue[l+1] = nq
+			}
+		}
+		e.queue[l] = q[:0]
+	}
+}
+
+// lb and ub expose the horizon-L bounds.
+func (e *thtEngine) lb(i int32) float64 { return e.lbL[e.L][i] }
+func (e *thtEngine) ub(i int32) float64 { return e.ubL[e.L][i] }
+
+// pickExpansion returns up to batch boundary nodes with the smallest
+// ½(lb+ub) (closest-first for a lower-is-closer measure), best first.
+func (e *thtEngine) pickExpansion(batch int) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	best := make([]cand, 0, batch)
+	for i := int32(0); i < int32(e.size()); i++ {
+		if !e.isBoundary(i) {
+			continue
+		}
+		key := (e.lb(i) + e.ub(i)) / 2
+		if len(best) == batch && key >= best[len(best)-1].key {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && (best[pos-1].key > key ||
+			(best[pos-1].key == key && e.nodes[best[pos-1].i] > e.nodes[i])) {
+			pos--
+		}
+		if len(best) < batch {
+			best = append(best, cand{})
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = cand{i, key}
+	}
+	out := make([]int32, len(best))
+	for i, c := range best {
+		out[i] = c.i
+	}
+	return out
+}
+
+// pickFloorClosers returns every boundary node sitting at the minimum hop
+// distance. Expanding them is what advances the distance floor D: the
+// lower-bound contribution of unvisited mass is min(l−1, D+1), and D only
+// grows when no boundary node remains at the old minimum. Pure best-first
+// expansion chases small hitting-time values and can leave a low-hop hub
+// unexpanded forever, pinning D (and with it every far lower bound); mixing
+// in this hop-closure step is the THT analogue of GRANCH's hop-by-hop
+// schedule.
+func (e *thtEngine) pickFloorClosers() []int32 {
+	minD := distInf
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) && e.dist[i] < minD {
+			minD = e.dist[i]
+		}
+	}
+	if minD == distInf {
+		return nil
+	}
+	var out []int32
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) && e.dist[i] == minD {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (e *thtEngine) expand(u int32) []graph.NodeID {
+	var added []graph.NodeID
+	for _, v := range e.adjN[u] {
+		if _, ok := e.local[v]; !ok {
+			e.visit(v)
+			added = append(added, v)
+		}
+	}
+	return added
+}
+
+// checkTermination mirrors Algorithm 6 for a lower-is-closer measure: pick
+// the k interior nodes with smallest upper bounds; they are the exact top-k
+// once max_K ub ≤ min over every other candidate of lb (the unvisited
+// region is covered because min_{δS} lb lower-bounds it by the
+// no-local-minimum property). Returns the selected local indices or nil.
+func (e *thtEngine) checkTermination(k int, tieEps float64) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	exhausted := true
+	var interior []cand
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] == e.q {
+			continue
+		}
+		if e.isBoundary(i) {
+			exhausted = false
+			continue
+		}
+		interior = append(interior, cand{i, e.ub(i)})
+	}
+	if len(interior) < k && !exhausted {
+		return nil
+	}
+	sort.Slice(interior, func(a, b int) bool {
+		if interior[a].key != interior[b].key {
+			return interior[a].key < interior[b].key
+		}
+		return e.nodes[interior[a].i] < e.nodes[interior[b].i]
+	})
+	if k > len(interior) {
+		k = len(interior)
+	}
+	if k == 0 {
+		return []int32{}
+	}
+	sel := interior[:k]
+	inK := make(map[int32]bool, k)
+	maxK := 0.0
+	for _, c := range sel {
+		inK[c.i] = true
+		if c.key > maxK {
+			maxK = c.key
+		}
+	}
+	minRest := float64(e.L) + 1
+	restSeen := false
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] == e.q || inK[i] {
+			continue
+		}
+		restSeen = true
+		if e.lb(i) < minRest {
+			minRest = e.lb(i)
+		}
+	}
+	if (restSeen || !exhausted) && maxK > minRest+tieEps {
+		return nil
+	}
+	out := make([]int32, len(sel))
+	for i, c := range sel {
+		out[i] = c.i
+	}
+	return out
+}
+
+// thtTopK is the FLoS main loop specialized to THT.
+func thtTopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+	e := newTHTEngine(g, q, opt.Params.L)
+	maxVisited := opt.MaxVisited
+	if maxVisited == 0 {
+		maxVisited = g.NumNodes()
+	}
+	for t := 1; ; t++ {
+		batch := e.size() / 256
+		if batch < 1 || opt.Trace != nil {
+			batch = 1
+		}
+		us := e.pickExpansion(batch)
+		if opt.Trace == nil {
+			// Hop closure: keep the distance floor advancing (see
+			// pickFloorClosers). Disabled under tracing so traces show the
+			// plain Algorithm 3 schedule.
+			seen := make(map[int32]bool, len(us))
+			for _, u := range us {
+				seen[u] = true
+			}
+			for _, u := range e.pickFloorClosers() {
+				if !seen[u] {
+					us = append(us, u)
+				}
+			}
+		}
+		var added []graph.NodeID
+		var expanded graph.NodeID = -1
+		if len(us) > 0 {
+			expanded = e.nodes[us[0]]
+			for _, u := range us {
+				added = append(added, e.expand(u)...)
+			}
+		}
+		e.solveBounds()
+		sel := e.checkTermination(opt.K, opt.TieEps)
+		if opt.Trace != nil {
+			lbs := make([]float64, e.size())
+			ubs := make([]float64, e.size())
+			for i := range lbs {
+				lbs[i] = e.lb(int32(i))
+				ubs[i] = e.ub(int32(i))
+			}
+			opt.Trace(TraceEvent{
+				Iteration:  t,
+				Expanded:   expanded,
+				NewNodes:   append([]graph.NodeID(nil), added...),
+				Nodes:      append([]graph.NodeID(nil), e.nodes...),
+				Lower:      lbs,
+				Upper:      ubs,
+				DummyValue: float64(e.L),
+			})
+		}
+		done := sel != nil
+		exact := true
+		if !done && len(us) == 0 {
+			sel = e.forceSelect(opt.K)
+			done = true
+		}
+		if !done && e.size() >= maxVisited && opt.MaxVisited > 0 {
+			sel = e.forceSelect(opt.K)
+			done, exact = true, false
+		}
+		if done {
+			res := &Result{
+				Visited:    e.size(),
+				Iterations: t,
+				Sweeps:     e.sweeps,
+				Exact:      exact,
+			}
+			for _, i := range sel {
+				res.TopK = append(res.TopK, measure.Ranked{
+					Node:  e.nodes[i],
+					Score: (e.lb(i) + e.ub(i)) / 2,
+				})
+			}
+			return res, nil
+		}
+	}
+}
+
+// forceSelect picks the k best visited nodes by upper bound (the safe side
+// for a lower-is-closer measure).
+func (e *thtEngine) forceSelect(k int) []int32 {
+	type cand struct {
+		i   int32
+		key float64
+	}
+	var all []cand
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.nodes[i] != e.q {
+			all = append(all, cand{i, e.ub(i)})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].key != all[b].key {
+			return all[a].key < all[b].key
+		}
+		return e.nodes[all[a].i] < e.nodes[all[b].i]
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].i
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// UnifiedResult is the answer to a multi-measure query: one local search,
+// two certified rankings.
+type UnifiedResult struct {
+	// PHPFamily is the exact top-k under PHP — and, by Theorem 2, under EI
+	// and DHT as well (identical node sets; scores are in the PHP scale).
+	PHPFamily []measure.Ranked
+	// RWR is the exact top-k under random walk with restart (scores are the
+	// unnormalized w_i·PHP(i) of Theorem 6).
+	RWR []measure.Ranked
+	// Work counters, as in Result.
+	Visited      int
+	Iterations   int
+	Sweeps       int
+	DegreeProbes int
+	Exact        bool
+}
+
+// UnifiedTopK answers both ranking families — PHP/EI/DHT and RWR — with a
+// single expanding search and one pair of bound systems. This is the payoff
+// of the paper's unification: because every measure rides on the same PHP
+// bounds (Theorems 2 and 6), certifying two rankings costs one search whose
+// visited set is the union of what the two separate searches would touch,
+// with all bound computation shared.
+//
+// opt.Measure is ignored; opt.Params.C is the PHP decay factor (equivalently
+// 1 − restart probability for EI/RWR). Expansion alternates between the
+// PHP-family and RWR priorities so neither criterion starves.
+func UnifiedTopK(g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
+	}
+	e := newPHPEngine(g, q, opt.Params.C, opt.Params.Tau, opt.Params.MaxIter, opt.Tighten)
+	maxVisited := opt.MaxVisited
+	if maxVisited == 0 {
+		maxVisited = g.NumNodes()
+	}
+	topDeg := g.TopDegrees(4096)
+	wSbar := func() float64 {
+		for _, de := range topDeg {
+			if _, visited := e.local[de.Node]; !visited {
+				return de.Degree
+			}
+		}
+		if len(topDeg) > 0 {
+			return topDeg[0].Degree
+		}
+		return 0
+	}
+
+	var selPHP, selRWR []int32
+	for t := 1; ; t++ {
+		e.updateDummy()
+
+		batch := e.size() / 256
+		if batch < 1 {
+			batch = 1
+		}
+		// Alternate priorities; once one family is certified, drive the
+		// other exclusively.
+		rwrPriority := t%2 == 0
+		if selPHP != nil {
+			rwrPriority = true
+		}
+		if selRWR != nil {
+			rwrPriority = false
+		}
+		us := e.pickExpansion(rwrPriority, batch)
+		exhausted := len(us) == 0
+		for _, u := range us {
+			e.expand(u)
+		}
+
+		e.refreshTightening()
+		e.solveLower()
+		e.solveUpper()
+
+		if selPHP == nil {
+			selPHP = e.checkTermination(opt.K, false, 0, opt.TieEps)
+		}
+		if selRWR == nil {
+			guard := wSbar()
+			e.degreeProbes++
+			selRWR = e.checkTermination(opt.K, true, guard, opt.TieEps)
+		}
+
+		done := selPHP != nil && selRWR != nil
+		exact := true
+		if !done && exhausted {
+			if selPHP == nil {
+				selPHP = forceSelect(e, opt.K, false)
+			}
+			if selRWR == nil {
+				selRWR = forceSelect(e, opt.K, true)
+			}
+			done = true
+		}
+		if !done && e.size() >= maxVisited && opt.MaxVisited > 0 {
+			if selPHP == nil {
+				selPHP = forceSelect(e, opt.K, false)
+			}
+			if selRWR == nil {
+				selRWR = forceSelect(e, opt.K, true)
+			}
+			done, exact = true, false
+		}
+		if done {
+			out := &UnifiedResult{
+				Visited:      e.size(),
+				Iterations:   t,
+				Sweeps:       e.sweeps,
+				DegreeProbes: e.degreeProbes,
+				Exact:        exact,
+			}
+			for _, i := range selPHP {
+				out.PHPFamily = append(out.PHPFamily, measure.Ranked{
+					Node:  e.nodes[i],
+					Score: (e.lb[i] + e.ub[i]) / 2,
+				})
+			}
+			for _, i := range selRWR {
+				out.RWR = append(out.RWR, measure.Ranked{
+					Node:  e.nodes[i],
+					Score: e.deg[i] * (e.lb[i] + e.ub[i]) / 2,
+				})
+			}
+			return out, nil
+		}
+	}
+}

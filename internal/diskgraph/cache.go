@@ -1,0 +1,143 @@
+package diskgraph
+
+import (
+	"io"
+)
+
+// pageCache is an LRU cache of fixed-size file pages under a byte budget.
+// It is the module's stand-in for the buffer management a graph database
+// performs; CacheStats expose hit/miss counts so the disk-resident
+// experiments can report locality.
+type pageCache struct {
+	src      io.ReaderAt
+	pageSize int64
+	budget   int64 // max resident bytes
+	fileSize int64
+
+	pages map[int64]*page
+	head  *page // most recently used
+	tail  *page // least recently used
+	bytes int64
+
+	hits   int64
+	misses int64
+}
+
+type page struct {
+	idx        int64
+	data       []byte
+	prev, next *page
+}
+
+func newPageCache(src io.ReaderAt, pageSize, budget, fileSize int64) *pageCache {
+	if budget < pageSize {
+		budget = pageSize // at least one resident page
+	}
+	return &pageCache{
+		src:      src,
+		pageSize: pageSize,
+		budget:   budget,
+		fileSize: fileSize,
+		pages:    make(map[int64]*page),
+	}
+}
+
+// get returns the page with the given index, loading and possibly evicting.
+func (c *pageCache) get(idx int64) (*page, error) {
+	if p, ok := c.pages[idx]; ok {
+		c.hits++
+		c.touch(p)
+		return p, nil
+	}
+	c.misses++
+	off := idx * c.pageSize
+	size := c.pageSize
+	if off+size > c.fileSize {
+		size = c.fileSize - off
+	}
+	if size <= 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, size)
+	if _, err := c.src.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	p := &page{idx: idx, data: buf}
+	c.pages[idx] = p
+	c.bytes += size
+	c.pushFront(p)
+	for c.bytes > c.budget && c.tail != nil && c.tail != p {
+		c.evict(c.tail)
+	}
+	return p, nil
+}
+
+// readAt fills dst from the cached file content starting at off.
+func (c *pageCache) readAt(dst []byte, off int64) error {
+	for len(dst) > 0 {
+		idx := off / c.pageSize
+		p, err := c.get(idx)
+		if err != nil {
+			return err
+		}
+		inPage := off - idx*c.pageSize
+		n := copy(dst, p.data[inPage:])
+		if n == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		dst = dst[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+func (c *pageCache) touch(p *page) {
+	if c.head == p {
+		return
+	}
+	c.unlink(p)
+	c.pushFront(p)
+}
+
+func (c *pageCache) pushFront(p *page) {
+	p.prev = nil
+	p.next = c.head
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+}
+
+func (c *pageCache) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else if c.head == p {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else if c.tail == p {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *pageCache) evict(p *page) {
+	c.unlink(p)
+	delete(c.pages, p.idx)
+	c.bytes -= int64(len(p.data))
+}
+
+// Stats summarizes cache behavior.
+type Stats struct {
+	Hits, Misses  int64
+	ResidentBytes int64
+	ResidentPages int
+}
+
+func (c *pageCache) stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, ResidentBytes: c.bytes, ResidentPages: len(c.pages)}
+}

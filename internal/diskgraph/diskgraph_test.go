@@ -1,0 +1,239 @@
+package diskgraph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+func writeStore(t *testing.T, g *graph.MemGraph, pageSize int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.flos")
+	if err := Create(path, g, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	g := gen.PaperExample()
+	path := writeStore(t, g, 4096)
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: (%d,%d) vs (%d,%d)", s.NumNodes(), s.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if s.Degree(id) != g.Degree(id) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		wantN, wantW := g.Neighbors(id)
+		gotN, gotW := s.Neighbors(id)
+		if !reflect.DeepEqual(append([]graph.NodeID{}, gotN...), append([]graph.NodeID{}, wantN...)) {
+			t.Fatalf("node %d neighbors: %v vs %v", v, gotN, wantN)
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("node %d weight %d: %g vs %g", v, i, gotW[i], wantW[i])
+			}
+		}
+	}
+	if s.FileSize() <= 0 {
+		t.Error("zero file size")
+	}
+}
+
+func TestRoundTripLargerWithTinyCache(t *testing.T) {
+	g, err := gen.RMAT(3000, 12000, gen.DefaultRMAT(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeStore(t, g, 1024)
+	// Budget of 4 pages: constant eviction pressure.
+	s, err := Open(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for v := 0; v < g.NumNodes(); v += 37 {
+		id := graph.NodeID(v)
+		wantN, _ := g.Neighbors(id)
+		gotN, _ := s.Neighbors(id)
+		if len(gotN) != len(wantN) {
+			t.Fatalf("node %d: %d neighbors vs %d", v, len(gotN), len(wantN))
+		}
+		for i := range wantN {
+			if gotN[i] != wantN[i] {
+				t.Fatalf("node %d neighbor %d: %d vs %d", v, i, gotN[i], wantN[i])
+			}
+		}
+		if s.Degree(id) != g.Degree(id) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses == 0 {
+		t.Error("tiny cache never missed?")
+	}
+	if st.ResidentBytes > 4096+1024 {
+		t.Errorf("resident %d bytes over budget", st.ResidentBytes)
+	}
+}
+
+func TestTopDegreesMatch(t *testing.T) {
+	g, err := gen.RMAT(2000, 8000, gen.DefaultRMAT(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeStore(t, g, 0)
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := g.TopDegrees(100)
+	got := s.TopDegrees(100)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("top degrees differ:\n%v\n%v", got[:5], want[:5])
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.flos")
+	if err := os.WriteFile(path, []byte("this is not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0}, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 0); err == nil {
+		t.Fatal("zeros accepted")
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	g := gen.PaperExample()
+	path := writeStore(t, g, 4096)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 0); err == nil {
+		t.Fatal("truncated store accepted")
+	}
+}
+
+// TestFLoSOnDiskStore is the Section 6.4 scenario: the full FLoS stack
+// answering exact queries against the disk store through the graph.Graph
+// interface, with results identical to the in-memory run.
+func TestFLoSOnDiskStore(t *testing.T) {
+	g, err := gen.RMAT(5000, 25000, gen.DefaultRMAT(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeStore(t, g, 8192)
+	s, err := Open(path, 64<<10) // 64 KiB: heavy eviction, real paging
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	lc := graph.LargestComponentNodes(g)
+	for _, kind := range []measure.Kind{measure.PHP, measure.RWR} {
+		for i := 0; i < 3; i++ {
+			q := lc[(i*997)%len(lc)]
+			opt := core.DefaultOptions(kind, 10)
+			memRes, err := core.TopK(g, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diskRes, err := core.TopK(s, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !measure.SameSet(measure.Nodes(memRes.TopK), measure.Nodes(diskRes.TopK)) {
+				t.Fatalf("%v q=%d: disk %v != mem %v", kind, q,
+					measure.Nodes(diskRes.TopK), measure.Nodes(memRes.TopK))
+			}
+			if diskRes.Visited != memRes.Visited {
+				t.Errorf("%v q=%d: visited %d (disk) vs %d (mem)", kind, q, diskRes.Visited, memRes.Visited)
+			}
+		}
+	}
+	st := s.CacheStats()
+	t.Logf("cache: %d hits, %d misses, %d resident bytes", st.Hits, st.Misses, st.ResidentBytes)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct cache exercise: 10-byte pages over a 100-byte reader, 30-byte
+	// budget → at most 3 resident pages.
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c := newPageCache(bytes.NewReader(data), 10, 30, 100)
+	for i := 0; i < 10; i++ {
+		var b [10]byte
+		if err := c.readAt(b[:], int64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i*10) {
+			t.Fatalf("page %d content wrong", i)
+		}
+	}
+	st := c.stats()
+	if st.ResidentPages > 3 {
+		t.Fatalf("%d resident pages with 3-page budget", st.ResidentPages)
+	}
+	if st.Misses != 10 {
+		t.Fatalf("misses = %d, want 10 cold loads", st.Misses)
+	}
+	// Re-read last three pages: all hits.
+	for i := 7; i < 10; i++ {
+		var b [10]byte
+		if err := c.readAt(b[:], int64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.stats().Hits; got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+}
+
+func TestCacheSpanningRead(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c := newPageCache(bytes.NewReader(data), 16, 64, 64)
+	got := make([]byte, 40)
+	if err := c.readAt(got, 12); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(12+i) {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], 12+i)
+		}
+	}
+	if err := c.readAt(make([]byte, 8), 60); err == nil {
+		t.Fatal("read past EOF accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Package diskgraph is the disk-resident graph substrate standing in for
+// the Neo4j 2.0 store the paper uses in Section 6.4. It keeps the entire
+// graph — degrees, CSR offsets, adjacency targets and weights — in a single
+// file and serves reads through an LRU page cache with a hard byte budget,
+// mirroring the paper's "memory usage restricted to 2 GB" setup.
+//
+// The Store satisfies graph.Graph, so FLoS runs on it unmodified: exactly
+// the paper's observation that FLoS "only calls some basic query functions
+// provided by Neo4j, such as querying the neighbors of one node".
+package diskgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Layout of the store file (little endian):
+//
+//	magic   "FLOSDSK1"                                  8 B
+//	n       uint64                                      8 B
+//	m2      uint64  (half-edge count = 2m)              8 B
+//	pageSz  uint32                                      4 B
+//	topN    uint32                                      4 B
+//	top     topN × {node uint32, degree float64}        topN × 12 B
+//	-- sections, each 8-byte aligned --
+//	degrees n × float64
+//	offsets (n+1) × int64
+//	targets m2 × uint32
+//	weights m2 × float64
+
+const (
+	magic       = "FLOSDSK1"
+	headerFixed = 8 + 8 + 8 + 4 + 4
+	topEntrySz  = 12
+	// DefaultPageSize is the cache page granularity. 64 KiB approximates a
+	// disk-friendly read unit while keeping small-neighborhood reads cheap.
+	DefaultPageSize = 64 << 10
+	// maxTopDegrees caps the degree index stored in the header (used by the
+	// RWR w(S̄) guard).
+	maxTopDegrees = 4096
+)
+
+// layout precomputes the absolute byte offsets of every section.
+type layout struct {
+	n      int64
+	m2     int64
+	pageSz int64
+	topN   int64
+
+	degreesOff int64
+	offsetsOff int64
+	targetsOff int64
+	weightsOff int64
+	totalSize  int64
+}
+
+func newLayout(n, m2, pageSz, topN int64) layout {
+	l := layout{n: n, m2: m2, pageSz: pageSz, topN: topN}
+	pos := int64(headerFixed) + topN*topEntrySz
+	pos = align8(pos)
+	l.degreesOff = pos
+	pos += n * 8
+	l.offsetsOff = pos
+	pos += (n + 1) * 8
+	l.targetsOff = pos
+	pos += m2 * 4
+	pos = align8(pos)
+	l.weightsOff = pos
+	pos += m2 * 8
+	l.totalSize = pos
+	return l
+}
+
+func align8(x int64) int64 { return (x + 7) &^ 7 }
+
+func (l layout) validate() error {
+	if l.n <= 0 || l.n > 1<<31 {
+		return fmt.Errorf("diskgraph: implausible node count %d", l.n)
+	}
+	if l.m2 < 0 || l.m2 > 1<<40 {
+		return fmt.Errorf("diskgraph: implausible half-edge count %d", l.m2)
+	}
+	if l.pageSz < 512 || l.pageSz > 1<<26 {
+		return fmt.Errorf("diskgraph: page size %d outside [512, 64Mi]", l.pageSz)
+	}
+	if l.topN < 0 || l.topN > maxTopDegrees {
+		return fmt.Errorf("diskgraph: top-degree count %d outside [0,%d]", l.topN, maxTopDegrees)
+	}
+	return nil
+}
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }

@@ -1,0 +1,167 @@
+package diskgraph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"flos/internal/graph"
+)
+
+// Store is a read-only disk-resident graph served through a byte-budgeted
+// page cache. It implements graph.Graph. Neighbors returns scratch slices
+// that are overwritten by the next Neighbors call — the same contract the
+// interface documents — and the Store is not safe for concurrent use (one
+// query at a time, as in the paper's experiments).
+type Store struct {
+	f     *os.File
+	l     layout
+	cache *pageCache
+	top   []graph.DegreeEntry
+
+	scratchN []graph.NodeID
+	scratchW []float64
+	buf      []byte
+}
+
+var _ graph.Graph = (*Store)(nil)
+
+// Open maps the store at path with the given cache budget in bytes
+// (0 selects 64 MiB). The header — including the top-degree index — is read
+// eagerly; everything else is paged on demand.
+func Open(path string, cacheBytes int64) (*Store, error) {
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerFixed)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: %s: bad magic", path)
+	}
+	n := int64(getU64(hdr[8:16]))
+	m2 := int64(getU64(hdr[16:24]))
+	pageSz := int64(getU32(hdr[24:28]))
+	topN := int64(getU32(hdr[28:32]))
+	l := newLayout(n, m2, pageSz, topN)
+	if err := l.validate(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() != l.totalSize {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: %s: size %d, layout wants %d", path, fi.Size(), l.totalSize)
+	}
+	topBuf := make([]byte, topN*topEntrySz)
+	if _, err := io.ReadFull(f, topBuf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	top := make([]graph.DegreeEntry, topN)
+	for i := int64(0); i < topN; i++ {
+		b := topBuf[i*topEntrySz:]
+		top[i] = graph.DegreeEntry{
+			Node:   graph.NodeID(getU32(b[0:4])),
+			Degree: math.Float64frombits(getU64(b[4:12])),
+		}
+	}
+	return &Store{
+		f:     f,
+		l:     l,
+		cache: newPageCache(f, pageSz, cacheBytes, l.totalSize),
+		top:   top,
+	}, nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// NumNodes returns the node count.
+func (s *Store) NumNodes() int { return int(s.l.n) }
+
+// NumEdges returns the undirected edge count.
+func (s *Store) NumEdges() int64 { return s.l.m2 / 2 }
+
+// TopDegrees serves the header's degree index.
+func (s *Store) TopDegrees(k int) []graph.DegreeEntry {
+	if k > len(s.top) {
+		k = len(s.top)
+	}
+	return s.top[:k]
+}
+
+// Degree reads one float64 from the degrees section via the cache.
+func (s *Store) Degree(v graph.NodeID) float64 {
+	var b [8]byte
+	if err := s.cache.readAt(b[:], s.l.degreesOff+int64(v)*8); err != nil {
+		panic(fmt.Sprintf("diskgraph: degree read: %v", err))
+	}
+	return math.Float64frombits(getU64(b[:]))
+}
+
+// Neighbors reads the CSR row of v. The returned slices are valid until the
+// next Neighbors call on this Store.
+func (s *Store) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	var ob [16]byte
+	if err := s.cache.readAt(ob[:], s.l.offsetsOff+int64(v)*8); err != nil {
+		panic(fmt.Sprintf("diskgraph: offset read: %v", err))
+	}
+	lo := int64(getU64(ob[0:8]))
+	hi := int64(getU64(ob[8:16]))
+	cnt := hi - lo
+	if cnt < 0 || cnt > s.l.m2 {
+		panic(fmt.Sprintf("diskgraph: corrupt offsets for node %d: [%d,%d)", v, lo, hi))
+	}
+	if int64(cap(s.scratchN)) < cnt {
+		s.scratchN = make([]graph.NodeID, cnt, 2*cnt)
+		s.scratchW = make([]float64, cnt, 2*cnt)
+	}
+	nbrs := s.scratchN[:cnt]
+	ws := s.scratchW[:cnt]
+
+	// Targets.
+	need := cnt * 4
+	if int64(cap(s.buf)) < need {
+		s.buf = make([]byte, need, 2*need)
+	}
+	tb := s.buf[:need]
+	if err := s.cache.readAt(tb, s.l.targetsOff+lo*4); err != nil {
+		panic(fmt.Sprintf("diskgraph: targets read: %v", err))
+	}
+	for i := int64(0); i < cnt; i++ {
+		nbrs[i] = graph.NodeID(getU32(tb[i*4:]))
+	}
+	// Weights.
+	need = cnt * 8
+	if int64(cap(s.buf)) < need {
+		s.buf = make([]byte, need, 2*need)
+	}
+	wb := s.buf[:need]
+	if err := s.cache.readAt(wb, s.l.weightsOff+lo*8); err != nil {
+		panic(fmt.Sprintf("diskgraph: weights read: %v", err))
+	}
+	for i := int64(0); i < cnt; i++ {
+		ws[i] = math.Float64frombits(getU64(wb[i*8:]))
+	}
+	return nbrs, ws
+}
+
+// CacheStats reports page-cache behavior since Open.
+func (s *Store) CacheStats() Stats { return s.cache.stats() }
+
+// FileSize returns the store's on-disk size in bytes (the paper's Table 7
+// "disk size" column).
+func (s *Store) FileSize() int64 { return s.l.totalSize }

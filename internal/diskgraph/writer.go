@@ -1,0 +1,134 @@
+package diskgraph
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+
+	"flos/internal/graph"
+)
+
+// Create serializes g into a store file at path. pageSize 0 selects
+// DefaultPageSize. The writer streams sequentially — it never needs the
+// page cache — so graphs larger than memory can be produced by first
+// building them in chunks elsewhere; for this module's experiments the
+// in-memory generator output is written directly.
+func Create(path string, g *graph.MemGraph, pageSize int) error {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	n := int64(g.NumNodes())
+	targets := g.Targets()
+	weights := g.Weights()
+	offsets := g.Offsets()
+	m2 := int64(len(targets))
+
+	top := g.TopDegrees(maxTopDegrees)
+	l := newLayout(n, m2, int64(pageSize), int64(len(top)))
+	if err := l.validate(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	written := int64(0)
+	emit := func(b []byte) error {
+		nn, err := w.Write(b)
+		written += int64(nn)
+		return err
+	}
+
+	var b8 [8]byte
+	var b4 [4]byte
+
+	// Header.
+	if err := emit([]byte(magic)); err != nil {
+		return fail(f, err)
+	}
+	putU64(b8[:], uint64(n))
+	if err := emit(b8[:]); err != nil {
+		return fail(f, err)
+	}
+	putU64(b8[:], uint64(m2))
+	if err := emit(b8[:]); err != nil {
+		return fail(f, err)
+	}
+	putU32(b4[:], uint32(pageSize))
+	if err := emit(b4[:]); err != nil {
+		return fail(f, err)
+	}
+	putU32(b4[:], uint32(len(top)))
+	if err := emit(b4[:]); err != nil {
+		return fail(f, err)
+	}
+	for _, de := range top {
+		putU32(b4[:], uint32(de.Node))
+		if err := emit(b4[:]); err != nil {
+			return fail(f, err)
+		}
+		putU64(b8[:], math.Float64bits(de.Degree))
+		if err := emit(b8[:]); err != nil {
+			return fail(f, err)
+		}
+	}
+	if err := pad(emit, l.degreesOff-written); err != nil {
+		return fail(f, err)
+	}
+
+	// Degrees.
+	for v := int64(0); v < n; v++ {
+		putU64(b8[:], math.Float64bits(g.Degree(graph.NodeID(v))))
+		if err := emit(b8[:]); err != nil {
+			return fail(f, err)
+		}
+	}
+	// Offsets.
+	for _, o := range offsets {
+		putU64(b8[:], uint64(o))
+		if err := emit(b8[:]); err != nil {
+			return fail(f, err)
+		}
+	}
+	// Targets.
+	for _, t := range targets {
+		putU32(b4[:], uint32(t))
+		if err := emit(b4[:]); err != nil {
+			return fail(f, err)
+		}
+	}
+	if err := pad(emit, l.weightsOff-written); err != nil {
+		return fail(f, err)
+	}
+	// Weights.
+	for _, wt := range weights {
+		putU64(b8[:], math.Float64bits(wt))
+		if err := emit(b8[:]); err != nil {
+			return fail(f, err)
+		}
+	}
+	if written != l.totalSize {
+		f.Close()
+		return fmt.Errorf("diskgraph: wrote %d bytes, layout says %d", written, l.totalSize)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(f, err)
+	}
+	return f.Close()
+}
+
+func fail(f *os.File, err error) error {
+	f.Close()
+	return err
+}
+
+func pad(emit func([]byte) error, count int64) error {
+	if count < 0 {
+		return fmt.Errorf("diskgraph: negative padding %d", count)
+	}
+	zeros := make([]byte, count)
+	return emit(zeros)
+}

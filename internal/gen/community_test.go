@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"testing"
+
+	"flos/internal/graph"
+)
+
+func TestCommunityShape(t *testing.T) {
+	g, err := Community(5000, 13500, DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5000 || g.NumEdges() != 13500 {
+		t.Fatalf("got (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// The hub-ring backbone keeps all communities connected; a few members
+	// can remain isolated (real SNAP graphs have stray components too), but
+	// the giant component must dominate.
+	if float64(s.LargestComp) < 0.95*float64(s.Nodes) {
+		t.Errorf("largest component %d of %d — backbone failed", s.LargestComp, s.Nodes)
+	}
+}
+
+func TestCommunityDeterministic(t *testing.T) {
+	a, err := Community(1000, 2700, DefaultCommunityParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Community(1000, 2700, DefaultCommunityParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 1000; v++ {
+		if a.Degree(int32(v)) != b.Degree(int32(v)) {
+			t.Fatalf("same seed diverged at node %d", v)
+		}
+	}
+}
+
+// TestCommunityIsClustered: most edges must connect nodes of the same or
+// ring-adjacent communities — the locality fingerprint that distinguishes
+// this model from R-MAT.
+func TestCommunityIsClustered(t *testing.T) {
+	p := DefaultCommunityParams()
+	g, err := Community(10000, 27000, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numComm := (10000 + p.CommunitySize - 1) / p.CommunitySize
+	localEdges := 0
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		nbrs, _ := g.Neighbors(int32(v))
+		cv := v / p.CommunitySize
+		for _, u := range nbrs {
+			if u <= int32(v) {
+				continue
+			}
+			total++
+			cu := int(u) / p.CommunitySize
+			d := cu - cv
+			if d < 0 {
+				d = -d
+			}
+			if d > numComm/2 {
+				d = numComm - d
+			}
+			if d <= p.NearSpan {
+				localEdges++
+			}
+		}
+	}
+	frac := float64(localEdges) / float64(total)
+	if frac < 0.9 {
+		t.Errorf("only %.2f of edges are community-local, want >= 0.9", frac)
+	}
+}
+
+// TestCommunityHighDiameter: long-range edges are rare, so the graph keeps a
+// large diameter — the property THT locality depends on (Amazon's true
+// diameter is ~44).
+func TestCommunityHighDiameter(t *testing.T) {
+	g, err := Community(20000, 54000, DefaultCommunityParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := graph.BFSDistances(g, 0, -1)
+	maxD := int32(0)
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD < 10 {
+		t.Errorf("eccentricity of node 0 = %d, want >= 10 (high-diameter stand-in)", maxD)
+	}
+}
+
+func TestCommunityParamsForDensity(t *testing.T) {
+	if p := CommunityParamsForDensity(5); p.CommunitySize != 10 {
+		t.Errorf("low density: size %d, want default 10", p.CommunitySize)
+	}
+	if p := CommunityParamsForDensity(19); p.CommunitySize < 25 {
+		t.Errorf("high density: size %d, want >= 25", p.CommunitySize)
+	}
+	// High-density params must actually generate (enough intra capacity).
+	g, err := Community(4000, 38000, CommunityParamsForDensity(19), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 38000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestCommunityRejectsBadInput(t *testing.T) {
+	if _, err := Community(1, 0, DefaultCommunityParams(), 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	p := DefaultCommunityParams()
+	p.CommunitySize = 1
+	if _, err := Community(100, 200, p, 1); err == nil {
+		t.Error("community size 1 accepted")
+	}
+	p = DefaultCommunityParams()
+	p.PIntra = 0.9 // fractions no longer sum to 1
+	if _, err := Community(100, 200, p, 1); err == nil {
+		t.Error("bad fractions accepted")
+	}
+	if _, err := Community(100, 2, DefaultCommunityParams(), 1); err == nil {
+		t.Error("budget below backbone accepted")
+	}
+}

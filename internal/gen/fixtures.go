@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"flos/internal/graph"
+)
+
+// PaperExample returns the 8-node unit-weight graph of the paper's
+// Figure 1(a), 0-indexed (paper node i is node i-1 here; the paper's query
+// node 1 is node 0). Edges (paper numbering): 1-2, 1-3, 2-4, 3-4, 3-5, 4-6,
+// 4-7, 5-6, 7-8 — the unique structure consistent with the paper's worked
+// quantities: w_3 = 3 with p_{3,4} = p_{3,5} = 1/3, w_4 = 4 with
+// p_{4,6} = p_{4,7} = 1/4, δS = {3,4} and δS̄ = {5,6,7} for S = {1,2,3,4},
+// and Table 3's per-iteration expansion {2,3},{4},{5},{6,7},{8}.
+func PaperExample() *graph.MemGraph {
+	return graph.MustFromEdges(8,
+		0, 1, 0, 2, 1, 3, 2, 3, 2, 4, 3, 5, 3, 6, 4, 5, 6, 7)
+}
+
+// Path returns a path graph 0-1-2-…-(n-1) with unit weights.
+func Path(n int) *graph.MemGraph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		if err := b.AddUnitEdge(int32(v), int32(v+1)); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Ring returns a cycle graph with unit weights.
+func Ring(n int) *graph.MemGraph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if err := b.AddUnitEdge(int32(v), int32((v+1)%n)); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star returns a star graph: node 0 is the center, nodes 1..n-1 are leaves.
+func Star(n int) *graph.MemGraph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddUnitEdge(0, int32(v)); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *graph.MemGraph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := b.AddUnitEdge(int32(u), int32(v)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Grid returns an r×c 4-neighbor grid with unit weights; node (i,j) has
+// identifier i*c+j.
+func Grid(r, c int) *graph.MemGraph {
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				if err := b.AddUnitEdge(id(i, j), id(i, j+1)); err != nil {
+					panic(err)
+				}
+			}
+			if i+1 < r {
+				if err := b.AddUnitEdge(id(i, j), id(i+1, j)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Barbell returns two K_s cliques joined by a path of b bridge nodes. With
+// the query in one clique it stresses the boundary bounds: the far clique is
+// provably prunable once the bridge is crossed. Total nodes: 2s+b.
+func Barbell(s, b int) *graph.MemGraph {
+	n := 2*s + b
+	bd := graph.NewBuilder(n)
+	add := func(u, v int32) {
+		if err := bd.AddUnitEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			add(int32(u), int32(v))
+		}
+	}
+	for u := s + b; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			add(int32(u), int32(v))
+		}
+	}
+	prev := int32(s - 1)
+	for i := 0; i < b; i++ {
+		add(prev, int32(s+i))
+		prev = int32(s + i)
+	}
+	add(prev, int32(s+b))
+	g, err := bd.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Lollipop returns a K_s clique with a tail path of t nodes hanging off node
+// 0. Hitting-time measures behave very differently on the tail than on the
+// clique, making it a good adversarial fixture.
+func Lollipop(s, t int) *graph.MemGraph {
+	n := s + t
+	b := graph.NewBuilder(n)
+	add := func(u, v int32) {
+		if err := b.AddUnitEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			add(int32(u), int32(v))
+		}
+	}
+	prev := int32(0)
+	for i := 0; i < t; i++ {
+		add(prev, int32(s+i))
+		prev = int32(s + i)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// WeightedTriangle returns the 3-node graph of the paper's Figure 2 examples:
+// edges 1-2 and 2-3 (0-indexed: 0-1, 1-2) with unit weights. With query node
+// 0 and decay c=0.5 the exact PHP vector is [1, 2/7, 1/7], the worked example
+// under Theorems 3 and 5.
+func WeightedTriangle() *graph.MemGraph {
+	return graph.MustFromEdges(3, 0, 1, 1, 2)
+}

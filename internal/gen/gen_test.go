@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flos/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	a = newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := newRNG(0)
+	if r.next() == 0 && r.next() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := newRNG(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := newRNG(5)
+	p := r.perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in permutation", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestErdosShape(t *testing.T) {
+	g, err := Erdos(1000, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 || g.NumEdges() != 5000 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosDeterministic(t *testing.T) {
+	a, _ := Erdos(200, 800, 9)
+	b, _ := Erdos(200, 800, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed gave different edge counts")
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Degree(int32(v)) != b.Degree(int32(v)) {
+			t.Fatalf("same seed gave different degree at %d", v)
+		}
+	}
+	c, _ := Erdos(200, 800, 10)
+	diff := false
+	for v := 0; v < a.NumNodes() && !diff; v++ {
+		if a.Degree(int32(v)) != c.Degree(int32(v)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestErdosRejectsImpossible(t *testing.T) {
+	if _, err := Erdos(1, 0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Erdos(4, 100, 1); err == nil {
+		t.Error("m > n(n-1)/2 accepted")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g, err := RMAT(1000, 5000, DefaultRMAT(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 || g.NumEdges() != 5000 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRMATSkew checks that R-MAT produces a heavier-tailed degree
+// distribution than Erdős–Rényi at the same size — the property the paper's
+// Section 6.3 discussion (hub nodes) relies on.
+func TestRMATSkew(t *testing.T) {
+	er, err := Erdos(4096, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RMAT(4096, 20000, DefaultRMAT(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *graph.MemGraph) float64 { return g.TopDegrees(1)[0].Degree }
+	if maxDeg(rm) < 2*maxDeg(er) {
+		t.Errorf("R-MAT max degree %g not clearly above ER max degree %g",
+			maxDeg(rm), maxDeg(er))
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(100, 200, RMATParams{A: 0.9, B: 0.2, C: 0.2, D: 0.2}, 1); err == nil {
+		t.Error("params summing to 1.5 accepted")
+	}
+	if _, err := RMAT(100, 200, RMATParams{A: 1, B: 0, C: 0, D: 0}, 1); err == nil {
+		t.Error("zero quadrant accepted")
+	}
+	if _, err := RMAT(1, 0, DefaultRMAT(), 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	g := PaperExample()
+	if g.NumNodes() != 8 || g.NumEdges() != 9 {
+		t.Fatalf("paper example: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Paper: node 3 (0-indexed 2) has weighted degree 3 and p(3→4) = 1/3.
+	if d := g.Degree(2); d != 3 {
+		t.Fatalf("degree of paper node 3 = %g, want 3", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.MemGraph
+		nodes int
+		edges int64
+	}{
+		{"path", Path(5), 5, 4},
+		{"ring", Ring(6), 6, 6},
+		{"star", Star(7), 7, 6},
+		{"complete", Complete(5), 5, 10},
+		{"grid", Grid(3, 4), 12, 17},
+		{"barbell", Barbell(4, 2), 10, 15},
+		{"lollipop", Lollipop(4, 3), 7, 9},
+		{"triangle", WeightedTriangle(), 3, 2},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() != c.nodes || c.g.NumEdges() != c.edges {
+			t.Errorf("%s: got (%d,%d), want (%d,%d)",
+				c.name, c.g.NumNodes(), c.g.NumEdges(), c.nodes, c.edges)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		s := graph.ComputeStats(c.g)
+		if s.Components != 1 {
+			t.Errorf("%s: %d components, want connected", c.name, s.Components)
+		}
+	}
+}
+
+// TestPropertyGeneratorsProduceValidGraphs: both generators yield
+// structurally valid graphs for arbitrary seeds.
+func TestPropertyGeneratorsProduceValidGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		er, err := Erdos(100, 300, seed)
+		if err != nil || er.Validate() != nil || er.NumEdges() != 300 {
+			return false
+		}
+		rm, err := RMAT(100, 300, DefaultRMAT(), seed)
+		if err != nil || rm.Validate() != nil || rm.NumEdges() != 300 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+)
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// node connects to its k/2 nearest neighbors on each side, with each edge
+// rewired to a uniform endpoint with probability beta. Low beta keeps the
+// lattice's high clustering and high diameter; beta → 1 approaches a random
+// graph. It is the classic knob for studying how FLoS's locality degrades
+// as shortcuts are added.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*graph.MemGraph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n >= 4, got %d", n)
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even 2 <= k < n, got %d", k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: rewiring probability %g outside [0,1]", beta)
+	}
+	r := newRNG(seed)
+	type ek struct{ a, b int32 }
+	key := func(u, v int32) ek {
+		if u > v {
+			u, v = v, u
+		}
+		return ek{u, v}
+	}
+	edges := make(map[ek]struct{}, n*k/2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := int32(v)
+			w := int32((v + j) % n)
+			if beta > 0 && r.float64() < beta {
+				// Rewire the far endpoint; retry on self loops/duplicates,
+				// keeping the edge in place if the lattice is too saturated.
+				done := false
+				for attempt := 0; attempt < 32; attempt++ {
+					cand := int32(r.intn(n))
+					if cand == u {
+						continue
+					}
+					if _, dup := edges[key(u, cand)]; dup {
+						continue
+					}
+					w = cand
+					done = true
+					break
+				}
+				_ = done
+			}
+			if _, dup := edges[key(u, w)]; !dup {
+				edges[key(u, w)] = struct{}{}
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for e := range edges {
+		if err := b.AddUnitEdge(e.a, e.b); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates a preferential-attachment scale-free graph: each
+// new node attaches m edges to existing nodes with probability proportional
+// to their current degree. Degrees follow a power law with exponent ≈ 3 —
+// heavier-tailed than R-MAT's — making it the adversarial fixture for the
+// w(S̄) hub guard of FLoS_RWR.
+func BarabasiAlbert(n, m int, seed uint64) (*graph.MemGraph, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs 1 <= m < n, got m=%d n=%d", m, n)
+	}
+	r := newRNG(seed)
+	b := graph.NewBuilder(n)
+	// Repeated-endpoints trick: each edge endpoint appears once in `targets`
+	// per incident edge, so uniform sampling from it is degree-proportional.
+	targets := make([]int32, 0, 2*m*n)
+	// Seed clique on the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := b.AddUnitEdge(int32(u), int32(v)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		// Keep insertion order deterministic: map iteration order would
+		// reshuffle `targets` and break seed reproducibility.
+		chosen := make([]int32, 0, m)
+		seen := map[int32]bool{}
+		for len(chosen) < m {
+			t := targets[r.intn(len(targets))]
+			if t != int32(v) && !seen[t] {
+				seen[t] = true
+				chosen = append(chosen, t)
+			}
+		}
+		for _, u := range chosen {
+			if err := b.AddUnitEdge(int32(v), u); err != nil {
+				return nil, err
+			}
+			targets = append(targets, int32(v), u)
+		}
+	}
+	return b.Build()
+}

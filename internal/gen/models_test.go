@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"testing"
+
+	"flos/internal/graph"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: exact ring lattice, every node has degree k.
+	g, err := WattsStrogatz(100, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 || g.NumEdges() != 200 {
+		t.Fatalf("lattice shape (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < 100; v++ {
+		if d := g.Degree(int32(v)); d != 4 {
+			t.Fatalf("lattice degree(%d) = %g", v, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// High clustering, high diameter — the small-world starting point.
+	if c := graph.ClusteringCoefficient(g, 0, 1); c < 0.4 {
+		t.Errorf("lattice clustering = %g, want >= 0.4", c)
+	}
+}
+
+func TestWattsStrogatzRewiringShrinksDiameter(t *testing.T) {
+	lattice, err := WattsStrogatz(400, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := WattsStrogatz(400, 4, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := graph.EffectiveDiameter(lattice, 8, 1)
+	dr := graph.EffectiveDiameter(rewired, 8, 1)
+	if dr >= dl {
+		t.Errorf("rewiring did not shrink diameter: %d -> %d", dl, dr)
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	if _, err := WattsStrogatz(3, 2, 0, 1); err == nil {
+		t.Error("n=3 accepted")
+	}
+	if _, err := WattsStrogatz(10, 3, 0, 1); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 10, 0, 1); err == nil {
+		t.Error("k >= n accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Seed clique C(4,2)=6 edges plus 3 per subsequent node.
+	want := int64(6 + 3*(2000-4))
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.Components != 1 {
+		t.Errorf("BA graph disconnected: %d components", s.Components)
+	}
+	// Preferential attachment produces a pronounced hub.
+	if s.MaxDegree < 10*s.MedianDegree {
+		t.Errorf("max degree %g not hub-like vs median %g", s.MaxDegree, s.MedianDegree)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(5, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Error("n <= m accepted")
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	a, _ := WattsStrogatz(200, 6, 0.1, 9)
+	b, _ := WattsStrogatz(200, 6, 0.1, 9)
+	for v := 0; v < 200; v++ {
+		if a.Degree(int32(v)) != b.Degree(int32(v)) {
+			t.Fatal("WS same seed diverged")
+		}
+	}
+	c, _ := BarabasiAlbert(300, 2, 9)
+	d, _ := BarabasiAlbert(300, 2, 9)
+	for v := 0; v < 300; v++ {
+		if c.Degree(int32(v)) != d.Degree(int32(v)) {
+			t.Fatal("BA same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+)
+
+// Erdos generates an Erdős–Rényi G(n, M) random graph — the paper's "RAND"
+// model — with exactly m distinct undirected unit-weight edges (no self
+// loops, no duplicates). A Hamiltonian-path backbone is NOT added: like
+// GTgraph's random generator, isolated nodes may occur at low density, and
+// the workload generator samples query nodes from the largest component.
+func Erdos(n int, m int64, seed uint64) (*graph.MemGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Erdos needs n >= 2, got %d", n)
+	}
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		return nil, fmt.Errorf("gen: Erdos m=%d exceeds max %d for n=%d", m, maxEdges, n)
+	}
+	r := newRNG(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	for int64(len(seen)) < m {
+		u := int32(r.intn(n))
+		v := int32(r.intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := b.AddUnitEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// RMATParams are the quadrant probabilities of the recursive matrix model.
+// They must be positive and sum to 1. GTgraph's defaults are
+// a=0.45, b=0.15, c=0.15, d=0.25.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMAT matches the GTgraph R-MAT defaults the paper uses.
+func DefaultRMAT() RMATParams { return RMATParams{A: 0.45, B: 0.15, C: 0.15, D: 0.25} }
+
+// RMAT generates an R-MAT scale-free graph [4] with n nodes (rounded up to a
+// power of two internally, then relabeled back into 0..n-1) and m distinct
+// undirected unit-weight edges. Node identifiers are randomly permuted so
+// that identifier locality does not leak the recursive structure — matching
+// GTgraph's permute option and preventing accidental cache-friendliness in
+// benchmarks.
+func RMAT(n int, m int64, p RMATParams, seed uint64) (*graph.MemGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: RMAT needs n >= 2, got %d", n)
+	}
+	if s := p.A + p.B + p.C + p.D; s < 0.999 || s > 1.001 || p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 {
+		return nil, fmt.Errorf("gen: RMAT params %+v must be positive and sum to 1", p)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	r := newRNG(seed)
+	perm := r.perm(n)
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	attempts := int64(0)
+	maxAttempts := 100*m + 1000 // duplicate-heavy corners of the model can stall
+	for int64(len(seen)) < m {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: RMAT stalled after %d attempts at %d/%d edges (graph too dense for the skew?)",
+				attempts, len(seen), m)
+		}
+		var u, v int
+		for l := 0; l < levels; l++ {
+			// Noise on the quadrant probabilities, as in the original R-MAT
+			// paper, prevents exact ties from producing degenerate structure.
+			x := r.float64()
+			a := p.A * (0.95 + 0.1*r.float64())
+			bq := p.B * (0.95 + 0.1*r.float64())
+			cq := p.C * (0.95 + 0.1*r.float64())
+			dq := p.D * (0.95 + 0.1*r.float64())
+			norm := a + bq + cq + dq
+			x *= norm
+			switch {
+			case x < a:
+				// upper-left: nothing to add
+			case x < a+bq:
+				v |= 1 << l
+			case x < a+bq+cq:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u >= n || v >= n || u == v {
+			continue
+		}
+		pu, pv := perm[u], perm[v]
+		if pu > pv {
+			pu, pv = pv, pu
+		}
+		key := uint64(pu)<<32 | uint64(uint32(pv))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := b.AddUnitEdge(pu, pv); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,78 @@
+// Package gen generates the synthetic graphs the paper evaluates on:
+// Erdős–Rényi random graphs ("RAND", [7]) and R-MAT scale-free graphs [4],
+// matching its use of the GTgraph generator, plus the small fixture graphs
+// used in the paper's running examples and in tests.
+//
+// All generators are deterministic given a seed, so every figure can be
+// regenerated bit-identically.
+package gen
+
+// rng is a splitmix64 pseudo-random generator. It is tiny, fast, has
+// full-period 64-bit state, and — unlike math/rand's global state — gives the
+// generators reproducibility independent of call order elsewhere in the
+// program.
+type rng struct{ state uint64 }
+
+// newRNG seeds a generator. Seed 0 is remapped so the stream is never the
+// all-zero fixed point of a lazily-seeded generator.
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64 uniform bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("gen: intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method keeps the distribution exact.
+	bound := uint64(n)
+	for {
+		x := r.next()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// perm returns a uniformly random permutation of 0..n-1 (Fisher–Yates).
+func (r *rng) perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

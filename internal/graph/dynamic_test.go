@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func dynBase(t *testing.T) *MemGraph {
+	t.Helper()
+	return MustFromEdges(6, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5)
+}
+
+func TestDynamicPassThrough(t *testing.T) {
+	base := dynBase(t)
+	d := NewDynamicGraph(base)
+	if d.NumNodes() != 6 || d.NumEdges() != 5 {
+		t.Fatalf("shape (%d,%d)", d.NumNodes(), d.NumEdges())
+	}
+	for v := 0; v < 6; v++ {
+		bn, _ := base.Neighbors(NodeID(v))
+		dn, _ := d.Neighbors(NodeID(v))
+		if len(bn) != len(dn) {
+			t.Fatalf("node %d adjacency differs", v)
+		}
+		if base.Degree(NodeID(v)) != d.Degree(NodeID(v)) {
+			t.Fatalf("node %d degree differs", v)
+		}
+	}
+}
+
+func TestDynamicAddRemove(t *testing.T) {
+	d := NewDynamicGraph(dynBase(t))
+	if err := d.AddEdge(0, 5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasEdge(0, 5) || !d.HasEdge(5, 0) {
+		t.Fatal("added edge missing")
+	}
+	if d.NumEdges() != 6 {
+		t.Fatalf("edges = %d", d.NumEdges())
+	}
+	if got := d.Degree(0); got != 3.5 {
+		t.Fatalf("degree(0) = %g, want 3.5", got)
+	}
+	nbrs, ws := d.Neighbors(0)
+	if len(nbrs) != 2 {
+		t.Fatalf("neighbors(0) = %v", nbrs)
+	}
+	found := false
+	for i, u := range nbrs {
+		if u == 5 && ws[i] == 2.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("edge 0-5 not served: %v %v", nbrs, ws)
+	}
+
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasEdge(1, 2) || d.NumEdges() != 5 {
+		t.Fatal("base edge not removed")
+	}
+	if got := d.Degree(1); got != 1 {
+		t.Fatalf("degree(1) = %g, want 1", got)
+	}
+	nbrs, _ = d.Neighbors(1)
+	if len(nbrs) != 1 || nbrs[0] != 0 {
+		t.Fatalf("neighbors(1) = %v", nbrs)
+	}
+
+	// Remove the overlay edge again.
+	if err := d.RemoveEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasEdge(0, 5) || d.NumEdges() != 4 {
+		t.Fatal("overlay edge not removed")
+	}
+}
+
+func TestDynamicReAddRemovedEdge(t *testing.T) {
+	d := NewDynamicGraph(dynBase(t))
+	if err := d.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Same weight: unmasks the base copy.
+	if err := d.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasEdge(2, 3) || d.NumEdges() != 5 {
+		t.Fatal("re-add same weight failed")
+	}
+	if d.Degree(2) != 2 {
+		t.Fatalf("degree(2) = %g", d.Degree(2))
+	}
+	// Different weight: masked base + overlay copy.
+	if err := d.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(2, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	nbrs, ws := d.Neighbors(2)
+	sum := 0.0
+	cnt := 0
+	for i, u := range nbrs {
+		if u == 3 {
+			cnt++
+			sum += ws[i]
+		}
+	}
+	if cnt != 1 || sum != 7 {
+		t.Fatalf("re-add new weight: count %d weight %g", cnt, sum)
+	}
+	if d.Degree(2) != 8 {
+		t.Fatalf("degree(2) = %g, want 8", d.Degree(2))
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	d := NewDynamicGraph(dynBase(t))
+	if err := d.AddEdge(0, 0, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := d.AddEdge(0, 9, 1); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := d.AddEdge(0, 1, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := d.AddEdge(0, 3, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := d.RemoveEdge(0, 3); err == nil {
+		t.Error("removing non-edge accepted")
+	}
+}
+
+func TestDynamicTopDegreesRefresh(t *testing.T) {
+	d := NewDynamicGraph(dynBase(t))
+	top := d.TopDegrees(1)
+	if top[0].Degree != 2 {
+		t.Fatalf("initial top degree %g", top[0].Degree)
+	}
+	for _, v := range []NodeID{2, 3, 4, 5} {
+		if !d.HasEdge(0, v) {
+			if err := d.AddEdge(0, v, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	top = d.TopDegrees(1)
+	if top[0].Node != 0 || top[0].Degree != 5 {
+		t.Fatalf("top after adds = %+v, want node 0 degree 5", top[0])
+	}
+}
+
+func TestDynamicFreezeMatchesView(t *testing.T) {
+	d := NewDynamicGraph(dynBase(t))
+	if err := d.AddEdge(0, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.NumEdges() != d.NumEdges() {
+		t.Fatalf("frozen edges %d vs %d", frozen.NumEdges(), d.NumEdges())
+	}
+	for v := 0; v < d.NumNodes(); v++ {
+		if frozen.Degree(NodeID(v)) != d.Degree(NodeID(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	if err := frozen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDynamicMatchesRebuild: a random mutation sequence applied to a
+// DynamicGraph gives the same view as rebuilding from scratch.
+func TestPropertyDynamicMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomGraph(t, 20, 30, seed)
+		d := NewDynamicGraph(base)
+		// Shadow edge set.
+		type ek struct{ a, b NodeID }
+		shadow := map[ek]float64{}
+		for v := 0; v < base.NumNodes(); v++ {
+			nbrs, ws := base.Neighbors(NodeID(v))
+			for i, u := range nbrs {
+				if u > NodeID(v) {
+					shadow[ek{NodeID(v), u}] = ws[i]
+				}
+			}
+		}
+		for step := 0; step < 30; step++ {
+			u := NodeID(rng.Intn(20))
+			v := NodeID(rng.Intn(20))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if _, ok := shadow[ek{u, v}]; ok {
+				if rng.Intn(2) == 0 {
+					if err := d.RemoveEdge(u, v); err != nil {
+						return false
+					}
+					delete(shadow, ek{u, v})
+				}
+			} else {
+				w := 0.5 + rng.Float64()
+				if err := d.AddEdge(u, v, w); err != nil {
+					return false
+				}
+				shadow[ek{u, v}] = w
+			}
+		}
+		// Compare view against shadow.
+		var count int64
+		for v := 0; v < d.NumNodes(); v++ {
+			nbrs, ws := d.Neighbors(NodeID(v))
+			var deg float64
+			for i, u := range nbrs {
+				a, b := NodeID(v), u
+				if a > b {
+					a, b = b, a
+				}
+				w, ok := shadow[ek{a, b}]
+				if !ok || w != ws[i] {
+					return false
+				}
+				deg += ws[i]
+				if u > NodeID(v) {
+					count++
+				}
+			}
+			if diff := deg - d.Degree(NodeID(v)); diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return count == int64(len(shadow)) && d.NumEdges() == int64(len(shadow))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

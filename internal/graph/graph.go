@@ -1,0 +1,216 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every other package in this module.
+//
+// Two implementations of the Graph interface exist: the in-memory CSR graph
+// defined here (MemGraph) and the disk-resident paged store in
+// internal/diskgraph. Algorithms such as FLoS only consume the interface, so
+// they run unmodified on either backend — exactly the property the paper
+// exploits when it moves from in-memory graphs to Neo4j-backed ones
+// (Section 6.4).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Node identifiers are dense: a graph with n nodes
+// uses identifiers 0..n-1. 32 bits comfortably covers the paper's largest
+// graph (64 * 2^20 nodes).
+type NodeID = int32
+
+// DegreeEntry pairs a node with its weighted degree. Slices of DegreeEntry
+// returned by TopDegrees are sorted by non-increasing degree.
+type DegreeEntry struct {
+	Node   NodeID
+	Degree float64
+}
+
+// Graph is the read interface every proximity algorithm consumes.
+//
+// Neighbors returns the full adjacency of v: parallel slices of neighbor
+// identifiers and edge weights. Implementations may reuse the returned
+// slices on the next Neighbors call (the disk store serves them from a page
+// cache); callers that need the data beyond the next call must copy it.
+//
+// Degree returns the weighted degree w_v = Σ_{u∈N_v} w_vu. It is a cheap
+// metadata lookup on every implementation, mirroring the degree statistic a
+// graph database maintains.
+//
+// TopDegrees returns up to k nodes with the largest weighted degrees, in
+// non-increasing order. FLoS_RWR uses it to maintain w(S̄), the maximum
+// degree among unvisited nodes (Section 5.6). Implementations may return
+// fewer than k entries; the first entry, if any, carries the global maximum
+// degree.
+type Graph interface {
+	// NumNodes returns the number of nodes n; valid identifiers are 0..n-1.
+	NumNodes() int
+	// NumEdges returns the number of undirected edges.
+	NumEdges() int64
+	// Neighbors returns the adjacency list of v.
+	Neighbors(v NodeID) (nbrs []NodeID, weights []float64)
+	// Degree returns the weighted degree of v.
+	Degree(v NodeID) float64
+	// TopDegrees returns up to k largest-degree nodes, non-increasing.
+	TopDegrees(k int) []DegreeEntry
+}
+
+// MemGraph is an immutable in-memory undirected graph in compressed sparse
+// row (CSR) form. Both directions of every undirected edge are stored, so
+// Neighbors(v) is a contiguous slice lookup.
+type MemGraph struct {
+	offsets []int64   // len n+1; adjacency of v is targets[offsets[v]:offsets[v+1]]
+	targets []NodeID  // len 2m
+	weights []float64 // len 2m, parallel to targets
+	degrees []float64 // len n; cached weighted degrees
+	top     []DegreeEntry
+	nEdges  int64
+}
+
+var _ Graph = (*MemGraph)(nil)
+
+// topDegreeCache is how many of the largest-degree nodes a MemGraph keeps
+// pre-sorted for TopDegrees. FLoS_RWR only ever needs the first unvisited
+// entry, and the visited set is tiny, so a short prefix suffices; if it is
+// ever exhausted the global maximum (entry 0) is still a valid bound.
+const topDegreeCache = 4096
+
+// NumNodes returns the number of nodes.
+func (g *MemGraph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *MemGraph) NumEdges() int64 { return g.nEdges }
+
+// Neighbors returns the adjacency of v as subslices of the CSR arrays. The
+// slices are immutable views; they stay valid for the life of the graph.
+func (g *MemGraph) Neighbors(v NodeID) ([]NodeID, []float64) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.targets[lo:hi], g.weights[lo:hi]
+}
+
+// Degree returns the weighted degree of v.
+func (g *MemGraph) Degree(v NodeID) float64 { return g.degrees[v] }
+
+// NumNeighbors returns the unweighted degree (adjacency length) of v.
+func (g *MemGraph) NumNeighbors(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// TopDegrees returns up to k largest-degree nodes in non-increasing order.
+func (g *MemGraph) TopDegrees(k int) []DegreeEntry {
+	if k > len(g.top) {
+		k = len(g.top)
+	}
+	return g.top[:k]
+}
+
+// Offsets exposes the raw CSR offset array. It is used by the disk-store
+// writer to serialize a MemGraph without an extra copy.
+func (g *MemGraph) Offsets() []int64 { return g.offsets }
+
+// Targets exposes the raw CSR target array; see Offsets.
+func (g *MemGraph) Targets() []NodeID { return g.targets }
+
+// Weights exposes the raw CSR weight array; see Offsets.
+func (g *MemGraph) Weights() []float64 { return g.weights }
+
+// buildTopDegrees computes the cached degree prefix.
+func (g *MemGraph) buildTopDegrees() {
+	n := g.NumNodes()
+	k := topDegreeCache
+	if k > n {
+		k = n
+	}
+	// Partial selection: collect all entries, sort, keep prefix. n is at most
+	// tens of millions and this runs once at construction.
+	entries := make([]DegreeEntry, n)
+	for v := 0; v < n; v++ {
+		entries[v] = DegreeEntry{Node: NodeID(v), Degree: g.degrees[v]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Degree != entries[j].Degree {
+			return entries[i].Degree > entries[j].Degree
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	g.top = append([]DegreeEntry(nil), entries[:k]...)
+}
+
+// Validate checks structural invariants: sorted offsets, in-range targets,
+// positive weights, symmetric adjacency, no self loops. It is O(m log m) and
+// intended for tests and data loading, not hot paths.
+func (g *MemGraph) Validate() error {
+	n := g.NumNodes()
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return errors.New("graph: offsets must start at 0")
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", v)
+		}
+	}
+	if g.offsets[n] != int64(len(g.targets)) {
+		return fmt.Errorf("graph: offsets[n]=%d != len(targets)=%d", g.offsets[n], len(g.targets))
+	}
+	type half struct {
+		u, v NodeID
+		w    float64
+	}
+	halves := make([]half, 0, len(g.targets))
+	for v := 0; v < n; v++ {
+		nbrs, ws := g.Neighbors(NodeID(v))
+		var sum float64
+		for i, u := range nbrs {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
+			}
+			if u == NodeID(v) {
+				return fmt.Errorf("graph: self loop at node %d", v)
+			}
+			if ws[i] <= 0 {
+				return fmt.Errorf("graph: non-positive weight %g on edge (%d,%d)", ws[i], v, u)
+			}
+			sum += ws[i]
+			halves = append(halves, half{NodeID(v), u, ws[i]})
+		}
+		if d := g.degrees[v]; !almostEqual(d, sum) {
+			return fmt.Errorf("graph: cached degree %g != recomputed %g at node %d", d, sum, v)
+		}
+	}
+	sort.Slice(halves, func(i, j int) bool {
+		if halves[i].u != halves[j].u {
+			return halves[i].u < halves[j].u
+		}
+		return halves[i].v < halves[j].v
+	})
+	for _, h := range halves {
+		j := sort.Search(len(halves), func(i int) bool {
+			if halves[i].u != h.v {
+				return halves[i].u >= h.v
+			}
+			return halves[i].v >= h.u
+		})
+		if j >= len(halves) || halves[j].u != h.v || halves[j].v != h.u || !almostEqual(halves[j].w, h.w) {
+			return fmt.Errorf("graph: edge (%d,%d) has no symmetric counterpart", h.u, h.v)
+		}
+	}
+	return nil
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if b > scale {
+		scale = b
+	} else if -b > scale {
+		scale = -b
+	}
+	return d <= 1e-9*(1+scale)
+}

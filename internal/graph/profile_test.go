@@ -1,0 +1,146 @@
+package graph
+
+import "testing"
+
+func TestClusteringCoefficientExtremes(t *testing.T) {
+	// Complete graph: clustering 1.
+	k5 := MustFromEdges(5,
+		0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4)
+	if c := ClusteringCoefficient(k5, 0, 1); c < 0.999 {
+		t.Errorf("K5 clustering = %g, want 1", c)
+	}
+	// Star: no neighbor pairs connected, clustering 0.
+	star := MustFromEdges(6, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5)
+	if c := ClusteringCoefficient(star, 0, 1); c != 0 {
+		t.Errorf("star clustering = %g, want 0", c)
+	}
+	// Triangle with a tail: triangle nodes cluster, tail doesn't.
+	tri := MustFromEdges(4, 0, 1, 1, 2, 0, 2, 2, 3)
+	c := ClusteringCoefficient(tri, 0, 1)
+	if c <= 0 || c > 1 {
+		t.Errorf("triangle+tail clustering = %g", c)
+	}
+}
+
+func TestClusteringSampledDeterministic(t *testing.T) {
+	g := MustFromEdges(6, 0, 1, 1, 2, 0, 2, 2, 3, 3, 4, 4, 5, 3, 5)
+	a := ClusteringCoefficient(g, 4, 7)
+	b := ClusteringCoefficient(g, 4, 7)
+	if a != b {
+		t.Error("same seed, different estimates")
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// Path of 21: farthest pairs at 20 hops; 90th percentile from any
+	// source is large.
+	path := func() *MemGraph {
+		b := NewBuilder(21)
+		for v := 0; v < 20; v++ {
+			if err := b.AddUnitEdge(NodeID(v), NodeID(v+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}()
+	if d := EffectiveDiameter(path, 0, 1); d < 8 {
+		t.Errorf("path effective diameter = %d, want >= 8", d)
+	}
+	// Star: everything within 2 hops.
+	star := MustFromEdges(8, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7)
+	if d := EffectiveDiameter(star, 0, 1); d > 2 {
+		t.Errorf("star effective diameter = %d, want <= 2", d)
+	}
+}
+
+func TestComputeProfile(t *testing.T) {
+	g := MustFromEdges(5, 0, 1, 1, 2, 0, 2, 2, 3, 3, 4)
+	p := ComputeProfile(g, 5, 3)
+	if p.Nodes != 5 || p.Edges != 5 {
+		t.Fatalf("profile stats: %+v", p.Stats)
+	}
+	if p.Clustering < 0 || p.Clustering > 1 {
+		t.Errorf("clustering = %g", p.Clustering)
+	}
+	if p.EffectiveDiameter <= 0 {
+		t.Errorf("effective diameter = %d", p.EffectiveDiameter)
+	}
+}
+
+func TestRelabelBFSPreservesStructure(t *testing.T) {
+	g := MustFromEdges(7, 0, 3, 3, 6, 6, 1, 1, 4, 2, 5) // two components
+	rg, order, err := RelabelBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumNodes() != 7 || rg.NumEdges() != 5 {
+		t.Fatalf("shape (%d,%d)", rg.NumNodes(), rg.NumEdges())
+	}
+	if order[0] != 0 {
+		t.Fatalf("start not first: %v", order)
+	}
+	// Degrees preserved under the mapping.
+	for newV, oldV := range order {
+		if rg.Degree(NodeID(newV)) != g.Degree(oldV) {
+			t.Fatalf("degree mismatch at new %d / old %d", newV, oldV)
+		}
+	}
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// BFS order: identifiers along the 0-3-6-1-4 chain must ascend.
+	pos := make(map[NodeID]int)
+	for newV, oldV := range order {
+		pos[oldV] = newV
+	}
+	chain := []NodeID{0, 3, 6, 1, 4}
+	for i := 1; i < len(chain); i++ {
+		if pos[chain[i]] <= pos[chain[i-1]] {
+			t.Fatalf("BFS order violated: %v -> positions %v", chain, pos)
+		}
+	}
+}
+
+func TestRelabelBFSImprovesLocality(t *testing.T) {
+	// A scrambled ring: after relabeling, neighbor identifier distance
+	// should collapse to ~1.
+	b := NewBuilder(256)
+	for v := 0; v < 256; v++ {
+		u := NodeID((v * 171) % 256) // 171 is coprime to 256: a permuted ring
+		w := NodeID(((v + 1) * 171) % 256)
+		if err := b.AddUnitEdge(u, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := func(gr Graph) float64 {
+		var sum float64
+		var cnt int
+		for v := 0; v < gr.NumNodes(); v++ {
+			nbrs, _ := gr.Neighbors(NodeID(v))
+			for _, u := range nbrs {
+				d := int(u) - v
+				if d < 0 {
+					d = -d
+				}
+				sum += float64(d)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	rg, _, err := RelabelBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before, after := gap(g), gap(rg); after > before/4 {
+		t.Errorf("relabeling barely helped: avg id gap %.1f -> %.1f", before, after)
+	}
+}

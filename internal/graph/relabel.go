@@ -1,0 +1,64 @@
+package graph
+
+// RelabelBFS renumbers nodes in breadth-first order from the given start,
+// unvisited components appended in identifier order. Neighborhood-local
+// identifiers turn a FLoS expansion into nearly sequential CSR reads, which
+// is exactly what the paged disk store wants: the disk experiments show a
+// large page-miss reduction on relabeled stores (see the Relabel benchmark).
+//
+// Returns the relabeled graph and the mapping newID → oldID.
+func RelabelBFS(g Graph, start NodeID) (*MemGraph, []NodeID, error) {
+	n := g.NumNodes()
+	order := make([]NodeID, 0, n)
+	newID := make([]NodeID, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	assign := func(v NodeID) {
+		newID[v] = NodeID(len(order))
+		order = append(order, v)
+	}
+	var queue []NodeID
+	bfsFrom := func(src NodeID) {
+		if newID[src] >= 0 {
+			return
+		}
+		assign(src)
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nbrs, _ := g.Neighbors(v)
+			for _, u := range nbrs {
+				if newID[u] < 0 {
+					assign(u)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	if start >= 0 && int(start) < n {
+		bfsFrom(start)
+	}
+	for v := 0; v < n; v++ {
+		bfsFrom(NodeID(v))
+	}
+
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		nbrs, ws := g.Neighbors(NodeID(v))
+		nv := newID[v]
+		for i, u := range nbrs {
+			if nu := newID[u]; nu > nv {
+				if err := b.AddEdge(nv, nu, ws[i]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, order, nil
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits rows as machine-readable CSV, one line per (dataset,
+// method, k) cell, for downstream plotting. Durations are in microseconds;
+// a precision of -1 means "not scored".
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dataset", "method", "k", "queries", "exact",
+		"avg_time_us", "min_time_us", "max_time_us",
+		"avg_visited", "visited_ratio", "min_ratio", "max_ratio",
+		"precision", "error",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset,
+			r.Method,
+			strconv.Itoa(r.K),
+			strconv.Itoa(r.Queries),
+			strconv.FormatBool(r.Exact),
+			strconv.FormatInt(r.AvgTime.Microseconds(), 10),
+			strconv.FormatInt(r.MinTime.Microseconds(), 10),
+			strconv.FormatInt(r.MaxTime.Microseconds(), 10),
+			strconv.FormatFloat(r.AvgVisited, 'g', -1, 64),
+			strconv.FormatFloat(r.VisitedRatio, 'g', -1, 64),
+			strconv.FormatFloat(r.MinRatio, 'g', -1, 64),
+			strconv.FormatFloat(r.MaxRatio, 'g', -1, 64),
+			strconv.FormatFloat(r.Precision, 'g', -1, 64),
+			r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,358 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// miniConfig shrinks every figure to seconds for CI; the same code paths run
+// at full scale from cmd/flosbench.
+func miniConfig(t *testing.T) FigureConfig {
+	t.Helper()
+	cfg := DefaultFigureConfig()
+	cfg.Scale = 0.004
+	cfg.SynthScale = 0.0008
+	cfg.DiskScale = 0.0002
+	cfg.NumQueries = 2
+	cfg.Ks = []int{1, 5}
+	cfg.KFixed = 5
+	cfg.TmpDir = t.TempDir()
+	cfg.Config.DNEBudget = 300
+	cfg.Config.ClusterSize = 200
+	cfg.Config.EmbedDims = 4
+	cfg.Config.KDashMaxNodes = 900 // keep K-dash on the smallest minis only
+	return cfg
+}
+
+func TestDatasetBuild(t *testing.T) {
+	for _, ds := range RealStandIns(0.003) {
+		g, err := ds.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if g.NumNodes() != ds.Nodes || g.NumEdges() != ds.Edges {
+			t.Errorf("%s: got (%d,%d), want (%d,%d)", ds.Name, g.NumNodes(), g.NumEdges(), ds.Nodes, ds.Edges)
+		}
+	}
+	if _, err := (Dataset{Model: "nope", Nodes: 10, Edges: 5}).Build(); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestDatasetGrids(t *testing.T) {
+	vs := VaryingSize("rand", 0.01)
+	if len(vs) != 4 {
+		t.Fatalf("varying size: %d entries", len(vs))
+	}
+	// Constant density across the size series.
+	d0 := vs[0].Density()
+	for _, ds := range vs[1:] {
+		if diff := ds.Density() - d0; diff > 1 || diff < -1 {
+			t.Errorf("density drifts across size series: %g vs %g", ds.Density(), d0)
+		}
+	}
+	vd := VaryingDensity("rmat", 0.01)
+	for i := 1; i < len(vd); i++ {
+		if vd[i].Density() <= vd[i-1].Density() {
+			t.Errorf("density series not increasing: %g then %g", vd[i-1].Density(), vd[i].Density())
+		}
+		if vd[i].Nodes != vd[0].Nodes {
+			t.Errorf("node count varies in density series")
+		}
+	}
+	if len(DiskResident(0.001)) != 4 {
+		t.Error("disk series wrong length")
+	}
+}
+
+func TestQueriesDeterministicAndValid(t *testing.T) {
+	ds := RealStandIns(0.003)[0]
+	g, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Queries(g, 10, 7)
+	b := Queries(g, 10, 7)
+	if len(a) != 10 {
+		t.Fatalf("got %d queries", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different workload")
+		}
+	}
+	c := Queries(g, 10, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, q := range a {
+		if seen[q] {
+			t.Error("duplicate query node")
+		}
+		seen[q] = true
+		if g.Degree(q) == 0 {
+			t.Error("isolated query node sampled")
+		}
+	}
+}
+
+func TestQueriesByDegree(t *testing.T) {
+	g := graph.MustFromEdges(10, 0, 1, 1, 2, 2, 3) // nodes 4..9 isolated
+	qs := QueriesByDegree(g, 4, 3)
+	for _, q := range qs {
+		if g.Degree(q) == 0 {
+			t.Errorf("isolated node %d sampled", q)
+		}
+	}
+	if len(qs) != 4 {
+		t.Errorf("got %d queries, want 4", len(qs))
+	}
+}
+
+func TestRunSweepWithOracle(t *testing.T) {
+	ds := Dataset{Name: "tiny", Model: "rmat", Nodes: 300, Edges: 900, Seed: 5}
+	g, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMethodConfig()
+	methods := PHPMethods(g, cfg)
+	queries := Queries(g, 4, 2)
+	oracle := func(q graph.NodeID) ([]float64, bool, error) {
+		s, _, err := measure.Exact(g, q, measure.PHP, cfg.Params)
+		return s, true, err
+	}
+	rows := RunSweep("tiny", g, methods, SweepConfig{Ks: []int{3}, Queries: queries, Oracle: oracle})
+	if len(rows) != len(methods) {
+		t.Fatalf("%d rows for %d methods", len(rows), len(methods))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Method, r.Err)
+		}
+		if r.Queries != 4 {
+			t.Errorf("%s: %d queries", r.Method, r.Queries)
+		}
+		if r.Precision < 0 || r.Precision > 1 {
+			t.Errorf("%s: precision %g", r.Method, r.Precision)
+		}
+		// Exact methods must score perfect precision.
+		if r.Exact && r.Precision < 0.999 {
+			t.Errorf("exact method %s scored precision %g", r.Method, r.Precision)
+		}
+		if r.AvgVisited <= 0 {
+			t.Errorf("%s: no visits recorded", r.Method)
+		}
+	}
+}
+
+func TestFigTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FigTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"newly visited [2 3]",
+		"newly visited [4]",
+		"newly visited [5]",
+		"newly visited [6 7]",
+		"top-2 certified after 4 iterations, 7/8 nodes visited: [2 3]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	cfg.WithPrecision = true
+	var buf bytes.Buffer
+	if err := Fig7(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FLoS_PHP", "GI_PHP", "DNE", "NN_EI", "LS_EI", "dataset AZ", "dataset LJ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Errorf("Fig7 reported an error:\n%s", out)
+	}
+}
+
+func TestFig8Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	var buf bytes.Buffer
+	if err := Fig8(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FLoS_RWR", "GI_RWR", "Castanet", "LS_RWR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig8 output missing %q", want)
+		}
+	}
+}
+
+func TestFig9Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	var buf bytes.Buffer
+	if err := Fig9(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "avg-ratio") {
+		t.Error("Fig9 output missing ratio table")
+	}
+}
+
+func TestFig10Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	var buf bytes.Buffer
+	if err := Fig10(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FLoS_THT", "GI_THT", "LS_THT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig10 output missing %q", want)
+		}
+	}
+}
+
+func TestFig11And12Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	var buf bytes.Buffer
+	if err := Fig11(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig12(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"varying size, RAND", "varying density, R-MAT", "rand-size-1x", "rmat-dens-20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig11/12 output missing %q", want)
+		}
+	}
+}
+
+func TestFig13Mini(t *testing.T) {
+	cfg := miniConfig(t)
+	var buf bytes.Buffer
+	if err := Fig13(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"disk-16M", "disk-64M", "page hits", "Figure 13(b)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig13 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Errorf("Fig13 reported an error:\n%s", out)
+	}
+}
+
+func TestDatasetsPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Datasets(&buf, miniConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 4", "Table 6", "Table 7", "density"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Datasets output missing %q", want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	got := Sparkline([]time.Duration{time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond})
+	if len([]rune(got)) != 3 {
+		t.Errorf("sparkline length %d, want 3", len([]rune(got)))
+	}
+	flat := Sparkline([]time.Duration{time.Second, time.Second})
+	if flat != "▁▁" {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{
+		{Dataset: "AZ", Method: "FLoS_PHP", K: 10, Queries: 5, Exact: true,
+			AvgTime: 1500 * time.Microsecond, MinTime: time.Millisecond,
+			MaxTime: 2 * time.Millisecond, AvgVisited: 42, VisitedRatio: 0.001,
+			MinRatio: 0.0005, MaxRatio: 0.002, Precision: 1},
+		{Dataset: "AZ", Method: "DNE", K: 10, Precision: -1, Err: "boom"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "dataset,method,k,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "FLoS_PHP,10,5,true,1500,1000,2000,42,0.001") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "boom") {
+		t.Errorf("error row = %q", lines[2])
+	}
+}
+
+func TestProfilesPrinter(t *testing.T) {
+	cfg := miniConfig(t)
+	cfg.Scale = 0.001
+	var buf bytes.Buffer
+	if err := Profiles(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"clustering", "AZ", "AZ-rmat", "LJ-rmat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Profiles output missing %q", want)
+		}
+	}
+}
+
+func TestFigureCSVExport(t *testing.T) {
+	cfg := miniConfig(t)
+	cfg.Scale = 0.001
+	cfg.CSVDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := Fig9(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.CSVDir + "/fig9.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "dataset,method,k") || !strings.Contains(out, "FLoS_RWR") {
+		t.Errorf("csv content:\n%s", out)
+	}
+}

@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"flos/internal/baseline"
+	"flos/internal/core"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Method is one competitor in a figure: a named query runner plus metadata.
+type Method struct {
+	Name  string
+	Exact bool
+	// PrecomputeTime is the offline cost paid at registry construction
+	// (clustering, factorization, embedding); zero for methods without one.
+	PrecomputeTime time.Duration
+	// Run answers one query, returning the node set and how many nodes the
+	// method touched.
+	Run func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error)
+}
+
+// MethodConfig tunes the registries.
+type MethodConfig struct {
+	Params measure.Params
+	// DNEBudget is DNE's fixed visited-node budget (paper: 4000).
+	DNEBudget int
+	// ClusterSize is the LS_* cluster target size (paper's clusters hold a
+	// few thousand nodes).
+	ClusterSize int
+	// KDashMaxNodes gates the K-dash precompute: beyond this size the paper
+	// itself could not run it; 0 disables the gate.
+	KDashMaxNodes int
+	// EmbedDims / EmbedMaxNodes gate the GE embedding likewise.
+	EmbedDims     int
+	EmbedMaxNodes int
+}
+
+// DefaultMethodConfig mirrors the paper's settings.
+func DefaultMethodConfig() MethodConfig {
+	return MethodConfig{
+		Params:        measure.DefaultParams(),
+		DNEBudget:     4000,
+		ClusterSize:   4000,
+		KDashMaxNodes: 30000,
+		EmbedDims:     16,
+		EmbedMaxNodes: 400000,
+	}
+}
+
+func flosMethod(kind measure.Kind, cfg MethodConfig, name string) Method {
+	return Method{
+		Name:  name,
+		Exact: true,
+		Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+			opt := core.Options{K: k, Measure: kind, Params: cfg.Params, Tighten: true, TieEps: 1e-9}
+			res, err := core.TopK(g, q, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return measure.Nodes(res.TopK), res.Visited, nil
+		},
+	}
+}
+
+func giMethod(kind measure.Kind, cfg MethodConfig, name string) Method {
+	return Method{
+		Name:  name,
+		Exact: true,
+		Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+			res, err := baseline.GlobalIteration(g, q, kind, cfg.Params, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return measure.Nodes(res.TopK), res.Visited, nil
+		},
+	}
+}
+
+// PHPMethods builds the Figure 7 / Figure 11 registry: FLoS_PHP, GI_PHP,
+// DNE, NN_EI, LS_EI. The LS_EI clustering precompute runs here and its cost
+// is recorded on the method.
+func PHPMethods(g graph.Graph, cfg MethodConfig) []Method {
+	methods := []Method{
+		flosMethod(measure.PHP, cfg, "FLoS_PHP"),
+		giMethod(measure.PHP, cfg, "GI_PHP"),
+		{
+			Name: "DNE",
+			Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+				res, err := baseline.DNE(g, q, cfg.Params, k, cfg.DNEBudget)
+				if err != nil {
+					return nil, 0, err
+				}
+				return measure.Nodes(res.TopK), res.Visited, nil
+			},
+		},
+		{
+			Name:  "NN_EI",
+			Exact: true,
+			Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+				res, err := baseline.NNEI(g, q, cfg.Params, k)
+				if err != nil {
+					return nil, 0, err
+				}
+				return measure.Nodes(res.TopK), res.Visited, nil
+			},
+		},
+	}
+	start := time.Now()
+	cl := baseline.PrecomputeClusters(g, cfg.ClusterSize)
+	methods = append(methods, Method{
+		Name:           "LS_EI",
+		PrecomputeTime: time.Since(start),
+		Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+			res, err := cl.Query(g, q, measure.PHP, cfg.Params, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return measure.Nodes(res.TopK), res.Visited, nil
+		},
+	})
+	return methods
+}
+
+// RWRMethods builds the Figure 8 / Figure 12 registry: FLoS_RWR, GI_RWR,
+// Castanet, LS_RWR, plus K-dash and GE_RWR where their precomputes are
+// feasible at this graph size (the paper could only run those two on its
+// medium graphs).
+func RWRMethods(g graph.Graph, cfg MethodConfig) []Method {
+	methods := []Method{
+		flosMethod(measure.RWR, cfg, "FLoS_RWR"),
+		giMethod(measure.RWR, cfg, "GI_RWR"),
+		{
+			Name:  "Castanet",
+			Exact: true,
+			Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+				res, err := baseline.Castanet(g, q, cfg.Params, k)
+				if err != nil {
+					return nil, 0, err
+				}
+				return measure.Nodes(res.TopK), res.Visited, nil
+			},
+		},
+	}
+	start := time.Now()
+	cl := baseline.PrecomputeClusters(g, cfg.ClusterSize)
+	methods = append(methods, Method{
+		Name:           "LS_RWR",
+		PrecomputeTime: time.Since(start),
+		Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+			res, err := cl.Query(g, q, measure.RWR, cfg.Params, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return measure.Nodes(res.TopK), res.Visited, nil
+		},
+	})
+	if cfg.KDashMaxNodes == 0 || g.NumNodes() <= cfg.KDashMaxNodes {
+		start = time.Now()
+		kd, err := baseline.PrecomputeKDash(g, cfg.Params.C, 0)
+		if err == nil {
+			methods = append(methods, Method{
+				Name:           "K-dash",
+				Exact:          true,
+				PrecomputeTime: time.Since(start),
+				Run: func(_ graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+					res, err := kd.Query(q, k)
+					if err != nil {
+						return nil, 0, err
+					}
+					return measure.Nodes(res.TopK), res.Visited, nil
+				},
+			})
+		} else if !errors.Is(err, baseline.ErrPrecomputeInfeasible) {
+			// Structural failures should surface; infeasibility is expected
+			// and simply drops the method, as in the paper.
+			methods = append(methods, Method{
+				Name: "K-dash",
+				Run: func(graph.Graph, graph.NodeID, int) ([]graph.NodeID, int, error) {
+					return nil, 0, err
+				},
+			})
+		}
+	}
+	if cfg.EmbedMaxNodes == 0 || g.NumNodes() <= cfg.EmbedMaxNodes {
+		start = time.Now()
+		emb, err := baseline.PrecomputeEmbedding(g, cfg.Params, cfg.EmbedDims)
+		if err == nil {
+			methods = append(methods, Method{
+				Name:           "GE_RWR",
+				PrecomputeTime: time.Since(start),
+				Run: func(_ graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+					res, err := emb.Query(q, k)
+					if err != nil {
+						return nil, 0, err
+					}
+					return measure.Nodes(res.TopK), res.Visited, nil
+				},
+			})
+		}
+	}
+	return methods
+}
+
+// THTMethods builds the Figure 10 registry: FLoS_THT, GI_THT, LS_THT, plus
+// the Monte Carlo sampler (the other estimator of [17], not in the paper's
+// Table 5 but the natural third contrast).
+func THTMethods(_ graph.Graph, cfg MethodConfig) []Method {
+	return []Method{
+		flosMethod(measure.THT, cfg, "FLoS_THT"),
+		giMethod(measure.THT, cfg, "GI_THT"),
+		{
+			Name: "LS_THT",
+			Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+				res, err := baseline.LSTHT(g, q, cfg.Params, k, cfg.DNEBudget, 0.05)
+				if err != nil {
+					return nil, 0, err
+				}
+				return measure.Nodes(res.TopK), res.Visited, nil
+			},
+		},
+		{
+			Name: "MC_THT",
+			Run: func(g graph.Graph, q graph.NodeID, k int) ([]graph.NodeID, int, error) {
+				res, err := baseline.MCTHT(g, q, cfg.Params, k, 128, 7)
+				if err != nil {
+					return nil, 0, err
+				}
+				return measure.Nodes(res.TopK), res.Visited, nil
+			},
+		},
+	}
+}

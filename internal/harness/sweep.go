@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"time"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Row is one measured cell of a figure: a (method, k) pair averaged over the
+// query workload.
+type Row struct {
+	Dataset      string
+	Method       string
+	K            int
+	AvgTime      time.Duration
+	MinTime      time.Duration
+	MaxTime      time.Duration
+	AvgVisited   float64
+	VisitedRatio float64 // AvgVisited / |V|
+	MinRatio     float64
+	MaxRatio     float64
+	Precision    float64 // vs the exact set; 1.0 for exact methods
+	Exact        bool
+	Queries      int
+	Err          string
+}
+
+// SweepConfig controls a measurement run.
+type SweepConfig struct {
+	Ks      []int
+	Queries []graph.NodeID
+	// Oracle, when non-nil, scores precision of approximate methods: it maps
+	// a query to its exact proximity vector. Leave nil to skip (precision is
+	// then reported as NaN via -1).
+	Oracle func(q graph.NodeID) ([]float64, bool, error) // scores, higherIsCloser, err
+}
+
+// RunSweep measures every (method, k) cell on one dataset.
+func RunSweep(name string, g graph.Graph, methods []Method, cfg SweepConfig) []Row {
+	var rows []Row
+	n := float64(g.NumNodes())
+	for _, m := range methods {
+		for _, k := range cfg.Ks {
+			row := Row{Dataset: name, Method: m.Name, K: k, Exact: m.Exact, Precision: -1}
+			var totalTime time.Duration
+			var minT, maxT time.Duration
+			var totalVisited float64
+			minRatio, maxRatio := 2.0, -1.0
+			var precSum float64
+			precCount := 0
+			for _, q := range cfg.Queries {
+				start := time.Now()
+				got, visited, err := m.Run(g, q, k)
+				elapsed := time.Since(start)
+				if err != nil {
+					row.Err = err.Error()
+					break
+				}
+				totalTime += elapsed
+				if row.Queries == 0 || elapsed < minT {
+					minT = elapsed
+				}
+				if elapsed > maxT {
+					maxT = elapsed
+				}
+				totalVisited += float64(visited)
+				ratio := float64(visited) / n
+				if ratio < minRatio {
+					minRatio = ratio
+				}
+				if ratio > maxRatio {
+					maxRatio = ratio
+				}
+				row.Queries++
+				if cfg.Oracle != nil {
+					scores, higher, err := cfg.Oracle(q)
+					if err == nil {
+						want := measure.Nodes(measure.TopK(scores, q, k, higher))
+						precSum += measure.Precision(got, want)
+						precCount++
+					}
+				}
+			}
+			if row.Queries > 0 {
+				row.AvgTime = totalTime / time.Duration(row.Queries)
+				row.MinTime = minT
+				row.MaxTime = maxT
+				row.AvgVisited = totalVisited / float64(row.Queries)
+				row.VisitedRatio = row.AvgVisited / n
+				row.MinRatio = minRatio
+				row.MaxRatio = maxRatio
+			}
+			if precCount > 0 {
+				row.Precision = precSum / float64(precCount)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a small dense matrix in row-major order. It backs the K-dash
+// baseline on small graphs (exact matrix factorization) and the test oracles
+// that solve proximity systems directly.
+type Dense struct {
+	N    int
+	Data []float64 // len N*N, row major
+}
+
+// NewDense returns an N×N zero matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// Identity returns the N×N identity.
+func Identity(n int) *Dense {
+	d := NewDense(n)
+	for i := 0; i < n; i++ {
+		d.Data[i*n+i] = 1
+	}
+	return d
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.N+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.N+j] = v }
+
+// Add increments element (i, j).
+func (d *Dense) Add(i, j int, v float64) { d.Data[i*d.N+j] += v }
+
+// Clone deep-copies the matrix.
+func (d *Dense) Clone() *Dense {
+	return &Dense{N: d.N, Data: append([]float64(nil), d.Data...)}
+}
+
+// LU holds a dense LU factorization with partial pivoting: PA = LU.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	perm []int
+}
+
+// Factor computes the LU factorization of a. a is not modified.
+func Factor(a *Dense) (*LU, error) {
+	n := a.N
+	f := &LU{n: n, lu: append([]float64(nil), a.Data...), perm: make([]int, n)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivRow, pivVal := col, math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+col]); v > pivVal {
+				pivRow, pivVal = r, v
+			}
+		}
+		if pivVal < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if pivRow != col {
+			f.perm[col], f.perm[pivRow] = f.perm[pivRow], f.perm[col]
+			for j := 0; j < n; j++ {
+				f.lu[col*n+j], f.lu[pivRow*n+j] = f.lu[pivRow*n+j], f.lu[col*n+j]
+			}
+		}
+		piv := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := f.lu[r*n+col] / piv
+			f.lu[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with Ax = b.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.n
+	if len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch in Solve")
+	}
+	x := make([]float64, n)
+	// Forward substitution on permuted b.
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x, nil
+}
+
+// Invert returns A^{-1} by solving against the identity columns.
+func (f *LU) Invert() (*Dense, error) {
+	n := f.n
+	inv := NewDense(n)
+	e := make([]float64, n)
+	for col := 0; col < n; col++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[col] = 1
+		x, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < n; row++ {
+			inv.Set(row, col, x[row])
+		}
+	}
+	return inv, nil
+}
+
+// SolveDense is a convenience wrapper: factor a and solve for b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

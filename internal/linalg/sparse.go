@@ -1,0 +1,180 @@
+// Package linalg provides the small linear-algebra kernel the proximity
+// algorithms are built on: a dynamic sparse row matrix, the Jacobi-style
+// fixed-point solver of the paper's Algorithm 7, finite-horizon sweeps for
+// truncated hitting time, dense LU for small systems, and an RCM-ordered
+// sparse LU used by the K-dash baseline's precompute step.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Entry is one non-zero of a sparse row: value Val in column Col.
+type Entry struct {
+	Col int32
+	Val float64
+}
+
+// RowMatrix is a growable sparse matrix stored as one slice of entries per
+// row. FLoS uses it for the |S|×|S| local transition matrix that grows as
+// the search expands (paper Algorithms 4 and 5): appending rows and entries
+// is O(1), exactly the two mutations local expansion performs.
+type RowMatrix struct {
+	Rows [][]Entry
+}
+
+// NewRowMatrix returns a matrix with n empty rows.
+func NewRowMatrix(n int) *RowMatrix {
+	return &RowMatrix{Rows: make([][]Entry, n)}
+}
+
+// NumRows returns the current row count.
+func (m *RowMatrix) NumRows() int { return len(m.Rows) }
+
+// AddRow appends an empty row and returns its index.
+func (m *RowMatrix) AddRow() int32 {
+	m.Rows = append(m.Rows, nil)
+	return int32(len(m.Rows) - 1)
+}
+
+// Append adds entry (row, col, val) without checking for duplicates. The
+// caller owns dedup; FLoS's expansion never inserts the same coordinate
+// twice.
+func (m *RowMatrix) Append(row, col int32, val float64) {
+	m.Rows[row] = append(m.Rows[row], Entry{Col: col, Val: val})
+}
+
+// Set replaces the value at (row, col) if present, else appends it.
+func (m *RowMatrix) Set(row, col int32, val float64) {
+	for i := range m.Rows[row] {
+		if m.Rows[row][i].Col == col {
+			m.Rows[row][i].Val = val
+			return
+		}
+	}
+	m.Append(row, col, val)
+}
+
+// At returns the value at (row, col), zero if absent.
+func (m *RowMatrix) At(row, col int32) float64 {
+	for _, e := range m.Rows[row] {
+		if e.Col == col {
+			return e.Val
+		}
+	}
+	return 0
+}
+
+// RowSum returns the sum of the entries of a row — for transition matrices,
+// the retained probability mass.
+func (m *RowMatrix) RowSum(row int32) float64 {
+	var s float64
+	for _, e := range m.Rows[row] {
+		s += e.Val
+	}
+	return s
+}
+
+// NumNonZero returns the total entry count.
+func (m *RowMatrix) NumNonZero() int {
+	var n int
+	for _, r := range m.Rows {
+		n += len(r)
+	}
+	return n
+}
+
+// MulVecAdd computes out = c*M*x + e for the leading len(out) rows.
+// Columns beyond len(x) are an error in debug builds; here they panic via
+// bounds check, which tests exercise deliberately.
+func (m *RowMatrix) MulVecAdd(c float64, x, e, out []float64) {
+	for i := range out {
+		var s float64
+		for _, en := range m.Rows[i] {
+			s += en.Val * x[en.Col]
+		}
+		out[i] = c*s + e[i]
+	}
+}
+
+// FixedPoint solves r = c·M·r + e by Jacobi iteration — the paper's
+// Algorithm 7 ("IterativeMethod"). r holds the initial guess on entry and
+// the solution on exit. Iteration stops when the max-norm step falls below
+// tau or after maxIter sweeps; the sweep count is returned.
+//
+// For c·||M||∞ < 1 the map is a contraction, so the fixpoint is unique and
+// the iteration converges from any start. Two properties FLoS relies on
+// (Section 5 of DESIGN.md) follow from the map's monotonicity when M ≥ 0:
+// starting from a sub-solution every iterate stays ≤ the fixpoint, and from
+// a super-solution every iterate stays ≥ it — so truncating at tau never
+// invalidates a bound.
+func (m *RowMatrix) FixedPoint(c float64, e, r []float64, tau float64, maxIter int) int {
+	n := len(r)
+	next := make([]float64, n)
+	for iter := 1; iter <= maxIter; iter++ {
+		m.MulVecAdd(c, r, e, next)
+		var delta float64
+		for i := range next {
+			d := math.Abs(next[i] - r[i])
+			if d > delta {
+				delta = d
+			}
+		}
+		copy(r, next)
+		if delta < tau {
+			return iter
+		}
+	}
+	return maxIter
+}
+
+// Sweeps applies r ← c·M·r + e exactly l times — the finite-horizon
+// recursion of truncated hitting time (L sweeps from zero yield exactly the
+// L-truncated values).
+func (m *RowMatrix) Sweeps(c float64, e, r []float64, l int) {
+	next := make([]float64, len(r))
+	for s := 0; s < l; s++ {
+		m.MulVecAdd(c, r, e, next)
+		copy(r, next)
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *RowMatrix) Clone() *RowMatrix {
+	out := NewRowMatrix(len(m.Rows))
+	for i, row := range m.Rows {
+		out.Rows[i] = append([]Entry(nil), row...)
+	}
+	return out
+}
+
+// CheckSubStochastic verifies every row sums to at most 1+eps and entries
+// are non-negative — the invariant of all transition matrices here.
+func (m *RowMatrix) CheckSubStochastic(eps float64) error {
+	for i := range m.Rows {
+		var s float64
+		for _, e := range m.Rows[i] {
+			if e.Val < 0 {
+				return fmt.Errorf("linalg: negative entry %g at (%d,%d)", e.Val, i, e.Col)
+			}
+			s += e.Val
+		}
+		if s > 1+eps {
+			return fmt.Errorf("linalg: row %d sums to %g > 1", i, s)
+		}
+	}
+	return nil
+}
+
+// InfNorm returns max_i |a_i - b_i|.
+func InfNorm(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+package measure
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+)
+
+// This file carries the measure-equivalence machinery of the paper's
+// Theorems 2 and 6. FLoS natively bounds PHP; every other measure is served
+// by translating its parameters to the ranking-equivalent PHP instance and,
+// where needed (RWR), rescaling scores by node degree.
+
+// EquivalentPHPParams maps a measure's parameters to the PHP parameters that
+// produce the same ranking:
+//
+//   - PHP: unchanged.
+//   - EI (restart c):  PHP decay 1−c; EI(i) = EI(q)·PHP(i)   (Theorem 2).
+//   - DHT (our C, transition decay 1−C): PHP decay 1−C;
+//     PHP(i) = 1 − C·DHT(i), an order-reversing affine map    (Theorem 2).
+//   - RWR (restart c): PHP decay 1−c; RWR(i) ∝ w_i·PHP(i)     (Theorem 6).
+//   - THT has no PHP equivalent (finite horizon); translating it is an error.
+func EquivalentPHPParams(kind Kind, p Params) (Params, error) {
+	switch kind {
+	case PHP:
+		return p, nil
+	case EI, RWR, DHT:
+		q := p
+		q.C = 1 - p.C
+		return q, nil
+	case THT:
+		return Params{}, fmt.Errorf("measure: THT has no PHP-equivalent parameters")
+	}
+	return Params{}, fmt.Errorf("measure: unknown kind %v", kind)
+}
+
+// ScoreFromPHP converts a PHP proximity (computed with the parameters from
+// EquivalentPHPParams) into the requested measure's score, up to the
+// query-dependent positive constant that the theorems leave free. Because
+// the constant is shared by all nodes of one query, rankings are exact; the
+// absolute scale is recovered by callers that need it (see CalibrateRWR).
+func ScoreFromPHP(kind Kind, p Params, php float64, degree float64) (float64, error) {
+	switch kind {
+	case PHP, EI:
+		// EI(i) = EI(q)·PHP(i): proportional, return PHP itself.
+		return php, nil
+	case DHT:
+		// PHP = 1 − C·DHT ⇒ DHT = (1 − PHP)/C, with C the DHT parameter.
+		return (1 - php) / p.C, nil
+	case RWR:
+		// RWR(i) ∝ w_i·PHP(i).
+		return degree * php, nil
+	case THT:
+		return 0, fmt.Errorf("measure: THT score cannot be derived from PHP")
+	}
+	return 0, fmt.Errorf("measure: unknown kind %v", kind)
+}
+
+// CalibrateRWR returns the constant κ = RWR(q)/w_q such that
+// RWR(i) = κ·w_i·PHP(i) (Theorem 6), given the exact PHP vector for decay
+// 1−c. It follows from Σ_i RWR(i) = 1: κ = 1 / Σ_i w_i·PHP(i). Degree-zero
+// nodes carry no RWR mass and are skipped.
+func CalibrateRWR(g graph.Graph, php []float64) float64 {
+	var z float64
+	for v := range php {
+		if d := g.Degree(graph.NodeID(v)); d > 0 {
+			z += d * php[v]
+		}
+	}
+	if z == 0 {
+		return 0
+	}
+	return 1 / z
+}
+
+// VerifyNoLocalOptimum checks the paper's Definition 1/2 on a concrete
+// proximity vector: every non-query node in the same component as q must
+// have a strictly closer neighbor. It returns the first violating node, or
+// -1 if the property holds. Nodes at the exact value of one of their
+// neighbors within eps are not counted as violations (numerical ties).
+//
+// Tests use it to confirm Table 2: PHP/EI have no local maximum, DHT/THT no
+// local minimum, while RWR exhibits violations on hub-heavy graphs.
+func VerifyNoLocalOptimum(g graph.Graph, q graph.NodeID, scores []float64, higherIsCloser bool, eps float64) graph.NodeID {
+	reach := graph.BFSDistances(g, q, -1)
+	for v := 0; v < g.NumNodes(); v++ {
+		if graph.NodeID(v) == q || reach[v] < 0 {
+			continue
+		}
+		nbrs, _ := g.Neighbors(graph.NodeID(v))
+		ok := false
+		for _, u := range nbrs {
+			if higherIsCloser {
+				if scores[u] > scores[v]-eps {
+					ok = true
+					break
+				}
+			} else {
+				if scores[u] < scores[v]+eps {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return graph.NodeID(v)
+		}
+	}
+	return -1
+}

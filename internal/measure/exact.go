@@ -1,0 +1,249 @@
+package measure
+
+import (
+	"fmt"
+
+	"flos/internal/graph"
+)
+
+// Exact computes the full proximity vector of the given measure by global
+// iteration over the entire graph — the paper's GI baseline family [16] and
+// the correctness oracle for every local method. The returned iteration
+// count is what the GI baselines report as work.
+func Exact(g graph.Graph, q graph.NodeID, kind Kind, p Params) ([]float64, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, 0, fmt.Errorf("measure: query node %d outside [0,%d)", q, g.NumNodes())
+	}
+	switch kind {
+	case PHP:
+		r, it := exactPHP(g, q, p)
+		return r, it, nil
+	case EI:
+		r, it := exactEI(g, q, p)
+		return r, it, nil
+	case DHT:
+		r, it := exactDHT(g, q, p)
+		return r, it, nil
+	case THT:
+		r := exactTHT(g, q, p)
+		return r, p.L, nil
+	case RWR:
+		r, it := exactRWR(g, q, p)
+		return r, it, nil
+	}
+	return nil, 0, fmt.Errorf("measure: unknown kind %v", kind)
+}
+
+// exactPHP iterates r_i ← c·Σ_j p_ij·r_j with r_q pinned to 1.
+// Degree-zero nodes keep proximity 0 (they can never reach q).
+func exactPHP(g graph.Graph, q graph.NodeID, p Params) ([]float64, int) {
+	n := g.NumNodes()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	r[q] = 1
+	iters := 0
+	for ; iters < p.MaxIter; iters++ {
+		var delta float64
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == q {
+				next[v] = 1
+				continue
+			}
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				next[v] = 0
+				continue
+			}
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			var s float64
+			for i, u := range nbrs {
+				s += ws[i] * r[u]
+			}
+			nv := p.C * s / d
+			next[v] = nv
+			if diff := abs(nv - r[v]); diff > delta {
+				delta = diff
+			}
+		}
+		r, next = next, r
+		if delta < p.Tau {
+			iters++
+			break
+		}
+	}
+	return r, iters
+}
+
+// exactEI iterates the effective-importance recursion. The restart
+// probability is p.C; the decay on transitions is (1−C).
+func exactEI(g graph.Graph, q graph.NodeID, p Params) ([]float64, int) {
+	n := g.NumNodes()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	wq := g.Degree(q)
+	iters := 0
+	for ; iters < p.MaxIter; iters++ {
+		var delta float64
+		for v := 0; v < n; v++ {
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				if graph.NodeID(v) == q {
+					// An isolated query has all restart mass and no spread;
+					// by convention its EI is c (the recursion's limit as
+					// w_q → 0 is ill-defined, and no algorithm queries it).
+					next[v] = p.C
+				} else {
+					next[v] = 0
+				}
+				continue
+			}
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			var s float64
+			for i, u := range nbrs {
+				s += ws[i] * r[u]
+			}
+			nv := (1 - p.C) * s / d
+			if graph.NodeID(v) == q {
+				nv += p.C / wq
+			}
+			next[v] = nv
+			if diff := abs(nv - r[v]); diff > delta {
+				delta = diff
+			}
+		}
+		r, next = next, r
+		if delta < p.Tau {
+			iters++
+			break
+		}
+	}
+	return r, iters
+}
+
+// exactDHT iterates r_i ← 1 + (1−c)·Σ_j p_ij·r_j with r_q pinned to 0.
+// Degree-zero non-query nodes get the never-hitting value 1/c.
+func exactDHT(g graph.Graph, q graph.NodeID, p Params) ([]float64, int) {
+	n := g.NumNodes()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	iters := 0
+	for ; iters < p.MaxIter; iters++ {
+		var delta float64
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == q {
+				next[v] = 0
+				continue
+			}
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				next[v] = 1 / p.C
+				continue
+			}
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			var s float64
+			for i, u := range nbrs {
+				s += ws[i] * r[u]
+			}
+			nv := 1 + (1-p.C)*s/d
+			next[v] = nv
+			if diff := abs(nv - r[v]); diff > delta {
+				delta = diff
+			}
+		}
+		r, next = next, r
+		if delta < p.Tau {
+			iters++
+			break
+		}
+	}
+	return r, iters
+}
+
+// exactTHT applies exactly L sweeps of r_i ← 1 + Σ_j p_ij·r_j from the zero
+// vector with r_q pinned to 0; the result is the L-truncated hitting time,
+// with unreachable-within-L nodes sitting at exactly L. Degree-zero nodes
+// get L.
+func exactTHT(g graph.Graph, q graph.NodeID, p Params) []float64 {
+	n := g.NumNodes()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for sweep := 0; sweep < p.L; sweep++ {
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == q {
+				next[v] = 0
+				continue
+			}
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				next[v] = float64(sweep + 1) // grows to exactly L
+				continue
+			}
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			var s float64
+			for i, u := range nbrs {
+				s += ws[i] * r[u]
+			}
+			next[v] = 1 + s/d
+		}
+		r, next = next, r
+	}
+	return r
+}
+
+// exactRWR iterates the personalized-PageRank recursion
+// r ← (1−c)·Pᵀ·r + c·e_q. On undirected graphs Pᵀ's column v spreads
+// r_v/w_v along incident edges; the sweep below does exactly that via the
+// scatter form. Degree-zero nodes hold no stationary mass (except an
+// isolated query, which keeps everything).
+func exactRWR(g graph.Graph, q graph.NodeID, p Params) ([]float64, int) {
+	n := g.NumNodes()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	r[q] = 1
+	iters := 0
+	for ; iters < p.MaxIter; iters++ {
+		for v := range next {
+			next[v] = 0
+		}
+		next[q] = p.C
+		for v := 0; v < n; v++ {
+			if r[v] == 0 {
+				continue
+			}
+			d := g.Degree(graph.NodeID(v))
+			if d == 0 {
+				if graph.NodeID(v) == q {
+					next[v] += (1 - p.C) * r[v] // isolated query keeps its mass
+				}
+				continue
+			}
+			scale := (1 - p.C) * r[v] / d
+			nbrs, ws := g.Neighbors(graph.NodeID(v))
+			for i, u := range nbrs {
+				next[u] += scale * ws[i]
+			}
+		}
+		var delta float64
+		for v := range next {
+			if diff := abs(next[v] - r[v]); diff > delta {
+				delta = diff
+			}
+		}
+		r, next = next, r
+		if delta < p.Tau {
+			iters++
+			break
+		}
+	}
+	return r, iters
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,125 @@
+package measure
+
+import (
+	"sort"
+
+	"flos/internal/graph"
+)
+
+// Ranked pairs a node with its proximity score.
+type Ranked struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// TopK returns the k closest nodes to q under the given direction, excluding
+// q itself, sorted closest-first. Ties break toward the smaller node
+// identifier so results are deterministic and comparable across algorithms.
+func TopK(scores []float64, q graph.NodeID, k int, higherIsCloser bool) []Ranked {
+	out := make([]Ranked, 0, len(scores)-1)
+	for v, s := range scores {
+		if graph.NodeID(v) == q {
+			continue
+		}
+		out = append(out, Ranked{Node: graph.NodeID(v), Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			if higherIsCloser {
+				return out[i].Score > out[j].Score
+			}
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// Nodes projects a ranking onto its node identifiers.
+func Nodes(r []Ranked) []graph.NodeID {
+	out := make([]graph.NodeID, len(r))
+	for i, e := range r {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// Precision returns |got ∩ want| / |want| — the precision@k used to score
+// the approximate baselines against the exact ranking.
+func Precision(got, want []graph.NodeID) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[graph.NodeID]bool, len(want))
+	for _, v := range want {
+		set[v] = true
+	}
+	hit := 0
+	for _, v := range got {
+		if set[v] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// SameSet reports whether two rankings contain the same node set (order
+// ignored — exact methods may legitimately order true ties differently).
+func SameSet(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[graph.NodeID]int, len(a))
+	for _, v := range a {
+		set[v]++
+	}
+	for _, v := range b {
+		set[v]--
+		if set[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSetModuloTies reports whether ranking `got` is a valid exact top-k for
+// `scores`: every node of `got` must score at least as well as the true k-th
+// score (within eps). This accepts either side of an exact tie at the
+// boundary, which distinct exact algorithms may break differently.
+func SameSetModuloTies(got []graph.NodeID, scores []float64, q graph.NodeID, k int, higherIsCloser bool, eps float64) bool {
+	if len(got) != min(k, len(scores)-1) {
+		return false
+	}
+	want := TopK(scores, q, k, higherIsCloser)
+	if len(want) == 0 {
+		return len(got) == 0
+	}
+	kth := want[len(want)-1].Score
+	seen := make(map[graph.NodeID]bool, len(got))
+	for _, v := range got {
+		if v == q || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if higherIsCloser {
+			if scores[v] < kth-eps {
+				return false
+			}
+		} else {
+			if scores[v] > kth+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Measurement is one parsed CSV row from the harness export.
+type Measurement struct {
+	Dataset      string
+	Method       string
+	K            int
+	AvgTimeUS    float64
+	VisitedRatio float64
+}
+
+// ReadMeasurements parses a harness CSV export (harness.WriteCSV format).
+// Rows with errors are skipped.
+func ReadMeasurements(r io.Reader) ([]Measurement, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("plot: empty CSV")
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	for _, need := range []string{"dataset", "method", "k", "avg_time_us", "visited_ratio", "error"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("plot: CSV missing column %q", need)
+		}
+	}
+	var out []Measurement
+	for _, rec := range records[1:] {
+		if rec[col["error"]] != "" {
+			continue
+		}
+		k, err := strconv.Atoi(rec[col["k"]])
+		if err != nil {
+			return nil, fmt.Errorf("plot: bad k %q", rec[col["k"]])
+		}
+		t, err := strconv.ParseFloat(rec[col["avg_time_us"]], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: bad avg_time_us %q", rec[col["avg_time_us"]])
+		}
+		vr, err := strconv.ParseFloat(rec[col["visited_ratio"]], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: bad visited_ratio %q", rec[col["visited_ratio"]])
+		}
+		out = append(out, Measurement{
+			Dataset:      rec[col["dataset"]],
+			Method:       rec[col["method"]],
+			K:            k,
+			AvgTimeUS:    t,
+			VisitedRatio: vr,
+		})
+	}
+	return out, nil
+}
+
+// TimeVsK builds one chart per dataset: average query time (µs, log scale)
+// against k, one series per method — the shape of the paper's Figures 7, 8
+// and 10.
+func TimeVsK(ms []Measurement) []Chart {
+	byDataset := map[string]map[string][]Measurement{}
+	var order []string
+	for _, m := range ms {
+		if byDataset[m.Dataset] == nil {
+			byDataset[m.Dataset] = map[string][]Measurement{}
+			order = append(order, m.Dataset)
+		}
+		byDataset[m.Dataset][m.Method] = append(byDataset[m.Dataset][m.Method], m)
+	}
+	var charts []Chart
+	for _, ds := range order {
+		chart := Chart{
+			Title:  "query time vs k — " + ds,
+			XLabel: "k",
+			YLabel: "avg time (µs)",
+			LogY:   true,
+		}
+		methods := make([]string, 0, len(byDataset[ds]))
+		for m := range byDataset[ds] {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		for _, method := range methods {
+			pts := byDataset[ds][method]
+			sort.Slice(pts, func(a, b int) bool { return pts[a].K < pts[b].K })
+			s := Series{Name: method}
+			for _, p := range pts {
+				if p.AvgTimeUS <= 0 {
+					continue // log scale cannot show zero
+				}
+				s.Xs = append(s.Xs, float64(p.K))
+				s.Ys = append(s.Ys, p.AvgTimeUS)
+			}
+			if len(s.Xs) > 0 {
+				chart.Series = append(chart.Series, s)
+			}
+		}
+		if len(chart.Series) > 0 {
+			charts = append(charts, chart)
+		}
+	}
+	return charts
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "k",
+		YLabel: "time",
+		LogY:   true,
+		Series: []Series{
+			{Name: "FLoS", Xs: []float64{1, 10, 100}, Ys: []float64{5, 50, 5000}},
+			{Name: "GI", Xs: []float64{1, 10, 100}, Ys: []float64{1000, 1000, 1000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "test chart", "FLoS", "GI", "polyline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "ragged", Xs: []float64{1}, Ys: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+	neg := Chart{LogY: true, Series: []Series{{Name: "neg", Xs: []float64{1}, Ys: []float64{-1}}}}
+	if err := neg.WriteSVG(&buf); err == nil {
+		t.Error("negative log-scale value accepted")
+	}
+}
+
+func TestWriteSVGEscapesMarkup(t *testing.T) {
+	c := Chart{
+		Title:  `<script>"x"&y</script>`,
+		Series: []Series{{Name: "a<b", Xs: []float64{0, 1}, Ys: []float64{1, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<script>") {
+		t.Error("markup not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") || !strings.Contains(out, "a&lt;b") {
+		t.Error("escaped forms missing")
+	}
+}
+
+const sampleCSV = `dataset,method,k,queries,exact,avg_time_us,min_time_us,max_time_us,avg_visited,visited_ratio,min_ratio,max_ratio,precision,error
+AZ,FLoS_PHP,1,5,true,500,400,600,20,0.001,0.0005,0.002,1,
+AZ,FLoS_PHP,10,5,true,900,700,1200,40,0.002,0.001,0.004,1,
+AZ,GI_PHP,1,5,true,40000,38000,41000,41857,1,1,1,1,
+AZ,GI_PHP,10,5,true,40000,38000,42000,41857,1,1,1,1,
+DP,FLoS_PHP,1,5,true,300,200,400,25,0.001,0.0008,0.002,1,
+AZ,Broken,1,0,false,0,0,0,0,0,0,0,-1,exploded
+`
+
+func TestReadMeasurements(t *testing.T) {
+	ms, err := ReadMeasurements(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("parsed %d rows, want 5 (error row skipped)", len(ms))
+	}
+	if ms[0].Dataset != "AZ" || ms[0].Method != "FLoS_PHP" || ms[0].K != 1 || ms[0].AvgTimeUS != 500 {
+		t.Fatalf("row 0 = %+v", ms[0])
+	}
+}
+
+func TestReadMeasurementsErrors(t *testing.T) {
+	if _, err := ReadMeasurements(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadMeasurements(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("missing columns accepted")
+	}
+	bad := strings.Replace(sampleCSV, "AZ,FLoS_PHP,1,", "AZ,FLoS_PHP,notanumber,", 1)
+	if _, err := ReadMeasurements(strings.NewReader(bad)); err == nil {
+		t.Error("bad k accepted")
+	}
+}
+
+func TestTimeVsK(t *testing.T) {
+	ms, err := ReadMeasurements(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := TimeVsK(ms)
+	if len(charts) != 2 {
+		t.Fatalf("%d charts, want 2 datasets", len(charts))
+	}
+	az := charts[0]
+	if !strings.Contains(az.Title, "AZ") || len(az.Series) != 2 {
+		t.Fatalf("AZ chart = %+v", az)
+	}
+	// Series points sorted by k.
+	for _, s := range az.Series {
+		for i := 1; i < len(s.Xs); i++ {
+			if s.Xs[i] <= s.Xs[i-1] {
+				t.Errorf("series %s not sorted by k", s.Name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := az.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package plot renders the harness's measurements as standalone SVG line
+// charts — the textual tables' graphical twin, mirroring the paper's
+// log-scale figures. Only the stdlib is used; the output is deliberately
+// simple: one chart per dataset, series per method, log10 y-axis.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64 // must be positive for log scale
+}
+
+// Chart is a single figure panel.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []Series
+}
+
+// Palette cycles through distinguishable stroke colors.
+var Palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	width   = 640.0
+	height  = 420.0
+	marginL = 70.0
+	marginR = 160.0
+	marginT = 40.0
+	marginB = 50.0
+)
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Xs) != len(s.Ys) {
+			return fmt.Errorf("plot: series %q has ragged data", s.Name)
+		}
+		for i := range s.Xs {
+			y := s.Ys[i]
+			if c.LogY {
+				if y <= 0 {
+					return fmt.Errorf("plot: series %q has non-positive y for log scale", s.Name)
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, s.Xs[i])
+			maxX = math.Max(maxX, s.Xs[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	tx := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	ty := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + (maxY-y)/(maxY-minY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+
+	// Y gridlines: at integer log10 ticks (log) or quartiles (linear).
+	if c.LogY {
+		for e := math.Ceil(minY); e <= math.Floor(maxY); e++ {
+			yv := math.Pow(10, e)
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+				marginL, ty(yv), width-marginR, ty(yv))
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+				marginL-6, ty(yv)+4, fmtTick(yv))
+		}
+	} else {
+		for i := 0; i <= 4; i++ {
+			yv := minY + (maxY-minY)*float64(i)/4
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+				marginL, ty(yv), width-marginR, ty(yv))
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+				marginL-6, ty(yv)+4, fmtTick(yv))
+		}
+	}
+	// X ticks at each distinct x.
+	xs := distinctXs(c.Series)
+	for _, xv := range xs {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			tx(xv), height-marginB+16, fmtTick(xv))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := Palette[si%len(Palette)]
+		var pts []string
+		for i := range s.Xs {
+			pts = append(pts, fmt.Sprintf("%g,%g", tx(s.Xs[i]), ty(s.Ys[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.Xs {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n",
+				tx(s.Xs[i]), ty(s.Ys[i]), color)
+		}
+		// Legend.
+		ly := marginT + 16*float64(si)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+10, ly, width-marginR+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", width-marginR+36, ly+4, escape(s.Name))
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func distinctXs(series []Series) []float64 {
+	set := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.Xs {
+			set[x] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	if len(out) > 8 {
+		// Thin to at most 8 labels.
+		step := (len(out) + 7) / 8
+		thin := out[:0]
+		for i := 0; i < len(out); i += step {
+			thin = append(thin, out[i])
+		}
+		out = thin
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.0f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

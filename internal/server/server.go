@@ -1,0 +1,255 @@
+// Package server exposes FLoS queries over HTTP — the deployment shape a
+// downstream user actually wants: load the graph once, answer exact kNN
+// queries from many clients.
+//
+// Endpoints:
+//
+//	GET /healthz            liveness
+//	GET /stats              graph summary
+//	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0]
+//	GET /unified?q=42&k=10[&c=0.5]
+//
+// All responses are JSON. Queries against an in-memory graph run
+// concurrently (MemGraph reads are immutable); a disk-resident store
+// serializes queries because its page cache is single-reader.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Server wires a graph to HTTP handlers.
+type Server struct {
+	g graph.Graph
+	// serialize guards graphs whose Neighbors is not safe for concurrent
+	// use (the disk store). Nil for in-memory graphs.
+	mu *sync.Mutex
+
+	// Defaults applied when a request omits parameters.
+	defaults measure.Params
+	maxK     int
+}
+
+// Config tunes the server.
+type Config struct {
+	// Serialize forces one query at a time (required for disk stores).
+	Serialize bool
+	// Defaults for omitted query parameters; zero value = paper defaults.
+	Defaults measure.Params
+	// MaxK caps requested k (0 = 1000).
+	MaxK int
+}
+
+// New builds a Server for g.
+func New(g graph.Graph, cfg Config) *Server {
+	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK}
+	if s.defaults == (measure.Params{}) {
+		s.defaults = measure.DefaultParams()
+	}
+	if s.maxK == 0 {
+		s.maxK = 1000
+	}
+	if cfg.Serialize {
+		s.mu = &sync.Mutex{}
+	}
+	return s
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/unified", s.handleUnified)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsBody struct {
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsBody{Nodes: s.g.NumNodes(), Edges: s.g.NumEdges()})
+}
+
+// rankedBody is one result entry.
+type rankedBody struct {
+	Node  graph.NodeID `json:"node"`
+	Score float64      `json:"score"`
+}
+
+type topKBody struct {
+	Query     graph.NodeID `json:"query"`
+	Measure   string       `json:"measure"`
+	K         int          `json:"k"`
+	Exact     bool         `json:"exact"`
+	Visited   int          `json:"visited"`
+	ElapsedUS int64        `json:"elapsed_us"`
+	Results   []rankedBody `json:"results"`
+}
+
+func (s *Server) parseCommon(r *http.Request) (q graph.NodeID, k int, p measure.Params, tighten bool, err error) {
+	p = s.defaults
+	tighten = true
+	get := r.URL.Query().Get
+	qi, err := strconv.Atoi(get("q"))
+	if err != nil {
+		return 0, 0, p, false, fmt.Errorf("missing or bad q: %v", err)
+	}
+	if qi < 0 || qi >= s.g.NumNodes() {
+		return 0, 0, p, false, fmt.Errorf("q=%d outside [0,%d)", qi, s.g.NumNodes())
+	}
+	k = 10
+	if v := get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil {
+			return 0, 0, p, false, fmt.Errorf("bad k: %v", err)
+		}
+	}
+	if k < 1 || k > s.maxK {
+		return 0, 0, p, false, fmt.Errorf("k=%d outside [1,%d]", k, s.maxK)
+	}
+	if v := get("c"); v != "" {
+		if p.C, err = strconv.ParseFloat(v, 64); err != nil {
+			return 0, 0, p, false, fmt.Errorf("bad c: %v", err)
+		}
+	}
+	if v := get("L"); v != "" {
+		if p.L, err = strconv.Atoi(v); err != nil {
+			return 0, 0, p, false, fmt.Errorf("bad L: %v", err)
+		}
+	}
+	if v := get("tau"); v != "" {
+		if p.Tau, err = strconv.ParseFloat(v, 64); err != nil {
+			return 0, 0, p, false, fmt.Errorf("bad tau: %v", err)
+		}
+	}
+	if v := get("tighten"); v == "0" || strings.EqualFold(v, "false") {
+		tighten = false
+	}
+	return graph.NodeID(qi), k, p, tighten, nil
+}
+
+func parseMeasure(s string) (measure.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "php":
+		return measure.PHP, nil
+	case "ei":
+		return measure.EI, nil
+	case "dht":
+		return measure.DHT, nil
+	case "tht":
+		return measure.THT, nil
+	case "rwr", "ppr":
+		return measure.RWR, nil
+	}
+	return 0, fmt.Errorf("unknown measure %q", s)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q, k, p, tighten, err := s.parseCommon(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	kind, err := parseMeasure(r.URL.Query().Get("measure"))
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	opt := core.Options{K: k, Measure: kind, Params: p, Tighten: tighten, TieEps: 1e-9}
+	if s.mu != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	start := time.Now()
+	res, err := core.TopK(s.g, q, opt)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	body := topKBody{
+		Query:     q,
+		Measure:   kind.String(),
+		K:         k,
+		Exact:     res.Exact,
+		Visited:   res.Visited,
+		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	for _, rk := range res.TopK {
+		body.Results = append(body.Results, rankedBody{Node: rk.Node, Score: rk.Score})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type unifiedBody struct {
+	Query     graph.NodeID `json:"query"`
+	K         int          `json:"k"`
+	Exact     bool         `json:"exact"`
+	Visited   int          `json:"visited"`
+	ElapsedUS int64        `json:"elapsed_us"`
+	PHPFamily []rankedBody `json:"php_family"`
+	RWR       []rankedBody `json:"rwr"`
+}
+
+func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
+	q, k, p, tighten, err := s.parseCommon(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	opt := core.Options{K: k, Measure: measure.PHP, Params: p, Tighten: tighten, TieEps: 1e-9}
+	if s.mu != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	start := time.Now()
+	res, err := core.UnifiedTopK(s.g, q, opt)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	body := unifiedBody{
+		Query:     q,
+		K:         k,
+		Exact:     res.Exact,
+		Visited:   res.Visited,
+		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	for _, rk := range res.PHPFamily {
+		body.PHPFamily = append(body.PHPFamily, rankedBody{Node: rk.Node, Score: rk.Score})
+	}
+	for _, rk := range res.RWR {
+		body.RWR = append(body.RWR, rankedBody{Node: rk.Node, Score: rk.Score})
+	}
+	writeJSON(w, http.StatusOK, body)
+}

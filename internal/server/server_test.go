@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"flos/internal/gen"
+)
+
+func newTestServer(t *testing.T, serialize bool) *httptest.Server {
+	t.Helper()
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(g, Config{Serialize: serialize}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := newTestServer(t, false)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	var stats statsBody
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats code %d", code)
+	}
+	if stats.Nodes != 2000 || stats.Edges != 5400 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	for _, m := range []string{"php", "ei", "dht", "tht", "rwr"} {
+		var body topKBody
+		url := fmt.Sprintf("%s/topk?q=100&k=5&measure=%s", ts.URL, m)
+		if code := getJSON(t, url, &body); code != 200 {
+			t.Fatalf("%s: code %d", m, code)
+		}
+		if len(body.Results) != 5 || !body.Exact {
+			t.Fatalf("%s: %+v", m, body)
+		}
+		if body.Visited <= 0 || body.Visited > 2000 {
+			t.Fatalf("%s: visited %d", m, body.Visited)
+		}
+		for _, r := range body.Results {
+			if r.Node == 100 {
+				t.Fatalf("%s: query in its own results", m)
+			}
+		}
+	}
+}
+
+func TestTopKParameters(t *testing.T) {
+	ts := newTestServer(t, false)
+	var body topKBody
+	url := ts.URL + "/topk?q=100&k=3&measure=php&c=0.8&tau=1e-7&tighten=0"
+	if code := getJSON(t, url, &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if body.K != 3 || body.Measure != "PHP" {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestUnifiedEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	var body unifiedBody
+	if code := getJSON(t, ts.URL+"/unified?q=42&k=4", &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(body.PHPFamily) != 4 || len(body.RWR) != 4 || !body.Exact {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, false)
+	cases := []string{
+		"/topk",                  // missing q
+		"/topk?q=abc",            // bad q
+		"/topk?q=999999",         // out of range
+		"/topk?q=1&k=0",          // bad k
+		"/topk?q=1&k=99999",      // k over cap
+		"/topk?q=1&k=x",          // unparsable k
+		"/topk?q=1&measure=nope", // unknown measure
+		"/topk?q=1&c=2",          // invalid decay (caught by Validate)
+		"/topk?q=1&c=x",          // unparsable c
+		"/topk?q=1&L=x",          // unparsable L
+		"/topk?q=1&tau=x",        // unparsable tau
+		"/unified?q=zz",          // bad unified q
+	}
+	for _, c := range cases {
+		var e errorBody
+		if code := getJSON(t, ts.URL+c, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", c, code)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error body", c)
+		}
+	}
+}
+
+// TestConcurrentQueries hammers the in-memory server from many goroutines —
+// MemGraph reads must be race-free (run with -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	ts := newTestServer(t, false)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				q := (w*331 + i*17) % 2000
+				url := fmt.Sprintf("%s/topk?q=%d&k=5&measure=rwr", ts.URL, q)
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("q=%d: status %d", q, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializedMode(t *testing.T) {
+	ts := newTestServer(t, true)
+	var body topKBody
+	if code := getJSON(t, ts.URL+"/topk?q=5&k=3", &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(body.Results) != 3 {
+		t.Fatalf("results %d", len(body.Results))
+	}
+}
