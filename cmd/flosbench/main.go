@@ -12,6 +12,7 @@
 //	flosbench -fig trace        # Figure 4 / Table 3 worked example
 //	flosbench -fig all          # everything
 //	flosbench -datasets         # Table 4/6/7 dataset statistics
+//	flosbench -serving          # concurrent disk-resident serving throughput
 //
 // Scales default to laptop-bench sizes; pass -scale 1 -synthscale 1
 // -diskscale 1 -queries 1000 to run the paper's full configuration.
@@ -29,6 +30,7 @@ func main() {
 	var (
 		fig        = flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11, 12, 13, trace, all")
 		datasets   = flag.Bool("datasets", false, "print dataset statistics tables")
+		serving    = flag.Bool("serving", false, "benchmark concurrent vs serialized disk-resident query serving")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -60,6 +62,12 @@ func main() {
 	cfg.CSVDir = *csvDir
 
 	out := os.Stdout
+	if *serving {
+		if err := servingBench(out, *tmp); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *datasets {
 		if err := harness.Datasets(out, cfg); err != nil {
 			fatal(err)

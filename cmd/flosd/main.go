@@ -3,11 +3,18 @@
 // Usage:
 //
 //	flosd -bin graph.bin -addr :8080
-//	flosd -store big.flos -cache 256 -addr :8080
+//	flosd -store big.flos -pagecache 256 -addr :8080
+//	flosd -bin graph.bin -workers 16 -queue 128 -cache 4096 -timeout 2s
 //
 //	curl 'localhost:8080/topk?q=42&k=10&measure=rwr'
 //	curl 'localhost:8080/unified?q=42&k=10'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'
+//
+// Queries run on a bounded worker pool (internal/qserve): -workers sets its
+// size, -queue the admission queue that sheds overload with 429, -cache the
+// result-cache capacity, and -timeout the per-query deadline. Disk-resident
+// stores are served concurrently through the lock-striped page cache.
 package main
 
 import (
@@ -26,16 +33,17 @@ func main() {
 		graphPath = flag.String("graph", "", "text edge-list file")
 		binPath   = flag.String("bin", "", "binary CSR graph file")
 		storePath = flag.String("store", "", "disk-resident store file")
-		cacheMB   = flag.Int64("cache", 256, "page-cache budget for -store, MiB")
+		pageCache = flag.Int64("pagecache", 256, "page-cache budget for -store, MiB")
 		addr      = flag.String("addr", ":8080", "listen address")
 		maxK      = flag.Int("maxk", 1000, "largest accepted k")
+		workers   = flag.Int("workers", 0, "query worker count (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth; excess requests get 429 (0 = 4x workers)")
+		cache     = flag.Int("cache", 0, "result-cache entries (0 = 1024, negative disables)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms or 2s (0 = none)")
 	)
 	flag.Parse()
 
-	var (
-		g         flos.Graph
-		serialize bool
-	)
+	var g flos.Graph
 	start := time.Now()
 	switch {
 	case *graphPath != "":
@@ -51,20 +59,28 @@ func main() {
 		}
 		g = mg
 	case *storePath != "":
-		dg, err := flos.OpenDiskGraph(*storePath, *cacheMB<<20)
+		dg, err := flos.OpenDiskGraph(*storePath, *pageCache<<20)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dg.Close()
 		g = dg
-		serialize = true // the page cache is single-reader
 	default:
 		log.Fatal("flosd: one of -graph, -bin, -store is required")
 	}
 	log.Printf("loaded graph: %d nodes, %d edges in %s", g.NumNodes(), g.NumEdges(), time.Since(start))
 
-	srv := server.New(g, server.Config{Serialize: serialize, MaxK: *maxK})
-	log.Printf("serving on %s", *addr)
+	srv := server.New(g, server.Config{
+		MaxK:         *maxK,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+	})
+	defer srv.Close()
+	m := srv.Pool().Metrics()
+	log.Printf("serving on %s: %d workers, queue %d, result cache %d entries, timeout %s",
+		*addr, m.Workers, m.QueueCap, *cache, *timeout)
 	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
 		log.Fatal(err)
 	}

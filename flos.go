@@ -24,6 +24,8 @@
 package flos
 
 import (
+	"context"
+
 	"flos/internal/core"
 	"flos/internal/diskgraph"
 	"flos/internal/gen"
@@ -91,6 +93,24 @@ func DefaultParams() Params { return measure.DefaultParams() }
 // TopK answers an exact k-nearest-neighbor query with FLoS.
 func TopK(g Graph, q NodeID, opt Options) (*Result, error) { return core.TopK(g, q, opt) }
 
+// TopKCtx is TopK with cancellation: the search checks ctx at every local
+// expansion and returns promptly with an *Interrupted error (wrapping
+// ErrCanceled or ErrDeadline) once the context fires.
+func TopKCtx(ctx context.Context, g Graph, q NodeID, opt Options) (*Result, error) {
+	return core.TopKCtx(ctx, g, q, opt)
+}
+
+// ErrCanceled and ErrDeadline are the typed causes carried by *Interrupted
+// when a context ends a query early; test with errors.Is.
+var (
+	ErrCanceled = core.ErrCanceled
+	ErrDeadline = core.ErrDeadline
+)
+
+// Interrupted is the error a context-terminated query returns; it carries
+// the partial work counters (Visited, Iterations, Sweeps).
+type Interrupted = core.Interrupted
+
 // UnifiedResult carries both rankings of a UnifiedTopK query.
 type UnifiedResult = core.UnifiedResult
 
@@ -99,6 +119,17 @@ type UnifiedResult = core.UnifiedResult
 func UnifiedTopK(g Graph, q NodeID, opt Options) (*UnifiedResult, error) {
 	return core.UnifiedTopK(g, q, opt)
 }
+
+// UnifiedTopKCtx is UnifiedTopK with cancellation, on the TopKCtx contract.
+func UnifiedTopKCtx(ctx context.Context, g Graph, q NodeID, opt Options) (*UnifiedResult, error) {
+	return core.UnifiedTopKCtx(ctx, g, q, opt)
+}
+
+// DiskGraphReader is an independent concurrent-safe view of a DiskGraph:
+// readers share the store's lock-striped page cache but own the scratch
+// buffers Neighbors returns. Obtain one per goroutine with
+// (*DiskGraph).NewReader when querying a disk store concurrently.
+type DiskGraphReader = diskgraph.Reader
 
 // Exact computes the full proximity vector by global iteration — the
 // brute-force reference (and the paper's GI baseline). Returns the vector

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Sentinel errors for context-terminated queries. TopKCtx and
+// UnifiedTopKCtx wrap them in an *Interrupted carrying the partial work
+// counters; test with errors.Is.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = errors.New("core: query canceled")
+	// ErrDeadline reports that the query's context deadline expired.
+	ErrDeadline = errors.New("core: query deadline exceeded")
+)
+
+// Interrupted is the error returned when a query's context fires before the
+// bounds separate. It records how much work the search had done — the same
+// counters a completed Result carries — so callers can account for (and
+// meter) abandoned queries. Unwrap yields ErrCanceled or ErrDeadline.
+type Interrupted struct {
+	// Cause is ErrCanceled or ErrDeadline.
+	Cause error
+	// Visited is |S| at interruption.
+	Visited int
+	// Iterations counts completed local expansions.
+	Iterations int
+	// Sweeps counts bound-solver relaxations performed.
+	Sweeps int
+}
+
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("%v after %d iterations (%d visited, %d sweeps)",
+		e.Cause, e.Iterations, e.Visited, e.Sweeps)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *Interrupted) Unwrap() error { return e.Cause }
+
+// interrupted maps a context error onto the typed sentinels.
+func interrupted(ctxErr error, visited, iterations, sweeps int) error {
+	cause := ErrCanceled
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		cause = ErrDeadline
+	}
+	return &Interrupted{Cause: cause, Visited: visited, Iterations: iterations, Sweeps: sweeps}
+}
+
+// TopKCtx is TopK with cancellation: the search checks ctx at every local
+// expansion and returns an *Interrupted (wrapping ErrCanceled or
+// ErrDeadline) as soon as the context fires. Iterations are small — one
+// boundary-batch expansion plus an incremental bound re-solve — so the
+// response to cancellation is prompt even on large graphs.
+func TopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= g.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
+	}
+	if opt.Measure == measure.THT {
+		return thtTopK(ctx, g, q, opt)
+	}
+	return phpFamilyTopK(ctx, g, q, opt)
+}

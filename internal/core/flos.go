@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"flos/internal/graph"
@@ -15,20 +15,14 @@ import (
 // PHP is bounded natively; EI, DHT and RWR ride on the PHP engine through
 // Theorems 2 and 6; THT uses the finite-horizon engine. The returned set is
 // exact (up to Options.TieEps at score ties) unless MaxVisited fired.
+//
+// TopK is TopKCtx with a background context; use TopKCtx for cancellation
+// and deadlines.
 func TopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
-	if q < 0 || int(q) >= g.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
-	}
-	if opt.Measure == measure.THT {
-		return thtTopK(g, q, opt)
-	}
-	return phpFamilyTopK(g, q, opt)
+	return TopKCtx(context.Background(), g, q, opt)
 }
 
-func phpFamilyTopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
 	phpParams, err := measure.EquivalentPHPParams(opt.Measure, opt.Params)
 	if err != nil {
 		return nil, err
@@ -57,6 +51,9 @@ func phpFamilyTopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) 
 	}
 
 	for t := 1; ; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, interrupted(err, e.size(), t-1, e.sweeps)
+		}
 		// Algorithm 5 line 7 evaluates r_d against δS^{t-1} and ub^{t-1};
 		// capture it before the expansion mutates the boundary.
 		e.updateDummy()

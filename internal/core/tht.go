@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"flos/internal/graph"
@@ -425,13 +426,16 @@ func (e *thtEngine) checkTermination(k int, tieEps float64) []int32 {
 }
 
 // thtTopK is the FLoS main loop specialized to THT.
-func thtTopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
 	e := newTHTEngine(g, q, opt.Params.L)
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
 	}
 	for t := 1; ; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, interrupted(err, e.size(), t-1, e.sweeps)
+		}
 		batch := e.size() / 256
 		if batch < 1 || opt.Trace != nil {
 			batch = 1

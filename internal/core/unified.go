@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"flos/internal/graph"
@@ -34,7 +35,16 @@ type UnifiedResult struct {
 // opt.Measure is ignored; opt.Params.C is the PHP decay factor (equivalently
 // 1 − restart probability for EI/RWR). Expansion alternates between the
 // PHP-family and RWR priorities so neither criterion starves.
+//
+// UnifiedTopK is UnifiedTopKCtx with a background context.
 func UnifiedTopK(g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, error) {
+	return UnifiedTopKCtx(context.Background(), g, q, opt)
+}
+
+// UnifiedTopKCtx is UnifiedTopK with cancellation, on the same contract as
+// TopKCtx: ctx is checked every local expansion and an *Interrupted
+// (wrapping ErrCanceled or ErrDeadline) is returned as soon as it fires.
+func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,6 +71,9 @@ func UnifiedTopK(g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, er
 
 	var selPHP, selRWR []int32
 	for t := 1; ; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, interrupted(err, e.size(), t-1, e.sweeps)
+		}
 		e.updateDummy()
 
 		batch := e.size() / 256

@@ -2,25 +2,49 @@ package diskgraph
 
 import (
 	"io"
+	"sync"
 )
 
-// pageCache is an LRU cache of fixed-size file pages under a byte budget.
-// It is the module's stand-in for the buffer management a graph database
-// performs; CacheStats expose hit/miss counts so the disk-resident
-// experiments can report locality.
+// pageCache is an LRU cache of fixed-size file pages under a byte budget —
+// the module's stand-in for the buffer management a graph database performs.
+// It is safe for concurrent readers: the page space is striped across
+// independently locked shards (page index mod shard count), each shard runs
+// its own LRU under its own mutex, and concurrent faults on the same cold
+// page are deduplicated singleflight-style so one disk read serves every
+// waiter. Page buffers are immutable once loaded, so a reader may keep
+// copying from a page after another shard operation evicts it.
+//
+// The shard count adapts to the budget (one shard per resident page up to
+// maxCacheShards), which keeps the byte budget meaningful for the tiny
+// caches the eviction tests use while giving large caches enough stripes
+// that GOMAXPROCS readers rarely contend.
 type pageCache struct {
 	src      io.ReaderAt
 	pageSize int64
-	budget   int64 // max resident bytes
 	fileSize int64
+	shards   []cacheShard
+}
+
+// maxCacheShards bounds the stripe count; 64 comfortably exceeds the core
+// counts this serves while keeping per-shard budgets coarse.
+const maxCacheShards = 64
+
+type cacheShard struct {
+	mu     sync.Mutex
+	budget int64 // max resident bytes in this shard
 
 	pages map[int64]*page
 	head  *page // most recently used
 	tail  *page // least recently used
 	bytes int64
 
+	// flights tracks pages currently being read from disk; latecomers wait
+	// on the flight instead of issuing a duplicate read.
+	flights map[int64]*flight
+
 	hits   int64
 	misses int64
+	dedups int64
 }
 
 type page struct {
@@ -29,27 +53,78 @@ type page struct {
 	prev, next *page
 }
 
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
 func newPageCache(src io.ReaderAt, pageSize, budget, fileSize int64) *pageCache {
 	if budget < pageSize {
 		budget = pageSize // at least one resident page
 	}
-	return &pageCache{
+	n := budget / pageSize
+	if n < 1 {
+		n = 1
+	}
+	if n > maxCacheShards {
+		n = maxCacheShards
+	}
+	c := &pageCache{
 		src:      src,
 		pageSize: pageSize,
-		budget:   budget,
 		fileSize: fileSize,
-		pages:    make(map[int64]*page),
+		shards:   make([]cacheShard, n),
 	}
+	perShard := budget / n
+	if perShard < pageSize {
+		perShard = pageSize
+	}
+	for i := range c.shards {
+		c.shards[i].budget = perShard
+		c.shards[i].pages = make(map[int64]*page)
+		c.shards[i].flights = make(map[int64]*flight)
+	}
+	return c
 }
 
-// get returns the page with the given index, loading and possibly evicting.
-func (c *pageCache) get(idx int64) (*page, error) {
-	if p, ok := c.pages[idx]; ok {
-		c.hits++
-		c.touch(p)
-		return p, nil
+// get returns the content of the page with the given index, loading (and
+// possibly evicting within the page's shard) on a miss. The returned slice
+// is immutable and remains valid after eviction.
+func (c *pageCache) get(idx int64) ([]byte, error) {
+	sh := &c.shards[idx%int64(len(c.shards))]
+	sh.mu.Lock()
+	if p, ok := sh.pages[idx]; ok {
+		sh.hits++
+		sh.touch(p)
+		sh.mu.Unlock()
+		return p.data, nil
 	}
-	c.misses++
+	if f, ok := sh.flights[idx]; ok {
+		sh.dedups++
+		sh.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	sh.misses++
+	f := &flight{done: make(chan struct{})}
+	sh.flights[idx] = f
+	sh.mu.Unlock()
+
+	f.data, f.err = c.load(idx) // disk I/O outside every lock
+	close(f.done)
+
+	sh.mu.Lock()
+	delete(sh.flights, idx)
+	if f.err == nil {
+		sh.insert(&page{idx: idx, data: f.data})
+	}
+	sh.mu.Unlock()
+	return f.data, f.err
+}
+
+// load reads one page from the underlying file.
+func (c *pageCache) load(idx int64) ([]byte, error) {
 	off := idx * c.pageSize
 	size := c.pageSize
 	if off+size > c.fileSize {
@@ -62,82 +137,106 @@ func (c *pageCache) get(idx int64) (*page, error) {
 	if _, err := c.src.ReadAt(buf, off); err != nil && err != io.EOF {
 		return nil, err
 	}
-	p := &page{idx: idx, data: buf}
-	c.pages[idx] = p
-	c.bytes += size
-	c.pushFront(p)
-	for c.bytes > c.budget && c.tail != nil && c.tail != p {
-		c.evict(c.tail)
-	}
-	return p, nil
+	return buf, nil
 }
 
 // readAt fills dst from the cached file content starting at off.
 func (c *pageCache) readAt(dst []byte, off int64) error {
 	for len(dst) > 0 {
 		idx := off / c.pageSize
-		p, err := c.get(idx)
+		data, err := c.get(idx)
 		if err != nil {
 			return err
 		}
 		inPage := off - idx*c.pageSize
-		n := copy(dst, p.data[inPage:])
-		if n == 0 {
+		if inPage >= int64(len(data)) {
 			return io.ErrUnexpectedEOF
 		}
+		n := copy(dst, data[inPage:])
 		dst = dst[n:]
 		off += int64(n)
 	}
 	return nil
 }
 
-func (c *pageCache) touch(p *page) {
-	if c.head == p {
+// insert adds a freshly loaded page and evicts LRU pages over budget.
+// Caller holds sh.mu. A concurrent flight can race another get of the same
+// page only through the flights map, so p.idx is never already resident.
+func (sh *cacheShard) insert(p *page) {
+	sh.pages[p.idx] = p
+	sh.bytes += int64(len(p.data))
+	sh.pushFront(p)
+	for sh.bytes > sh.budget && sh.tail != nil && sh.tail != p {
+		sh.evict(sh.tail)
+	}
+}
+
+func (sh *cacheShard) touch(p *page) {
+	if sh.head == p {
 		return
 	}
-	c.unlink(p)
-	c.pushFront(p)
+	sh.unlink(p)
+	sh.pushFront(p)
 }
 
-func (c *pageCache) pushFront(p *page) {
+func (sh *cacheShard) pushFront(p *page) {
 	p.prev = nil
-	p.next = c.head
-	if c.head != nil {
-		c.head.prev = p
+	p.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = p
 	}
-	c.head = p
-	if c.tail == nil {
-		c.tail = p
+	sh.head = p
+	if sh.tail == nil {
+		sh.tail = p
 	}
 }
 
-func (c *pageCache) unlink(p *page) {
+func (sh *cacheShard) unlink(p *page) {
 	if p.prev != nil {
 		p.prev.next = p.next
-	} else if c.head == p {
-		c.head = p.next
+	} else if sh.head == p {
+		sh.head = p.next
 	}
 	if p.next != nil {
 		p.next.prev = p.prev
-	} else if c.tail == p {
-		c.tail = p.prev
+	} else if sh.tail == p {
+		sh.tail = p.prev
 	}
 	p.prev, p.next = nil, nil
 }
 
-func (c *pageCache) evict(p *page) {
-	c.unlink(p)
-	delete(c.pages, p.idx)
-	c.bytes -= int64(len(p.data))
+func (sh *cacheShard) evict(p *page) {
+	sh.unlink(p)
+	delete(sh.pages, p.idx)
+	sh.bytes -= int64(len(p.data))
 }
 
 // Stats summarizes cache behavior.
 type Stats struct {
-	Hits, Misses  int64
+	// Hits and Misses count page lookups; a miss is a disk read (a page
+	// fault in the paper's disk-resident experiments).
+	Hits, Misses int64
+	// FaultsDeduped counts lookups that piggybacked on a concurrent fault
+	// of the same page instead of issuing a duplicate disk read.
+	FaultsDeduped int64
+	// ResidentBytes / ResidentPages describe current occupancy.
 	ResidentBytes int64
 	ResidentPages int
+	// Shards is the lock-stripe count.
+	Shards int
 }
 
 func (c *pageCache) stats() Stats {
-	return Stats{Hits: c.hits, Misses: c.misses, ResidentBytes: c.bytes, ResidentPages: len(c.pages)}
+	st := Stats{Shards: len(c.shards)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.FaultsDeduped += sh.dedups
+		st.ResidentBytes += sh.bytes
+		st.ResidentPages += len(sh.pages)
+		sh.mu.Unlock()
+	}
+	return st
 }

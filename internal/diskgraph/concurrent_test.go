@@ -1,0 +1,71 @@
+package diskgraph
+
+import (
+	"sync"
+	"testing"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+)
+
+// TestConcurrentReaders drives many Reader views over one store at once —
+// with a cache budget small enough to force constant eviction and refault —
+// and checks every read against the in-memory truth. Run under -race this
+// exercises the sharded page cache's locking and the singleflight dedup.
+func TestConcurrentReaders(t *testing.T) {
+	g, err := gen.RMAT(3000, 12000, gen.DefaultRMAT(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeStore(t, g, 1024)
+	s, err := Open(path, 8<<10) // 8 pages across shards: heavy contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := s.NewReader()
+			// Stride differently per reader so shard access interleaves.
+			for off := 0; off < g.NumNodes(); off++ {
+				v := graph.NodeID((off*(w+1) + w*131) % g.NumNodes())
+				wantN, wantW := g.Neighbors(v)
+				gotN, gotW := r.Neighbors(v)
+				if len(gotN) != len(wantN) {
+					errs <- "wrong neighbor count"
+					return
+				}
+				for i := range wantN {
+					if gotN[i] != wantN[i] || gotW[i] != wantW[i] {
+						errs <- "neighbor data mismatch"
+						return
+					}
+				}
+				if r.Degree(v) != g.Degree(v) {
+					errs <- "degree mismatch"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	st := s.CacheStats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("cache recorded no traffic")
+	}
+	if st.ResidentBytes > int64(st.Shards)*1024+1024 {
+		t.Errorf("resident %d bytes over sharded budget", st.ResidentBytes)
+	}
+	t.Logf("cache: %d hits, %d misses, %d deduped, %d shards, %d resident",
+		st.Hits, st.Misses, st.FaultsDeduped, st.Shards, st.ResidentBytes)
+}

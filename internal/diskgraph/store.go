@@ -9,23 +9,41 @@ import (
 	"flos/internal/graph"
 )
 
-// Store is a read-only disk-resident graph served through a byte-budgeted
-// page cache. It implements graph.Graph. Neighbors returns scratch slices
-// that are overwritten by the next Neighbors call — the same contract the
-// interface documents — and the Store is not safe for concurrent use (one
-// query at a time, as in the paper's experiments).
+// Store is a read-only disk-resident graph served through a byte-budgeted,
+// lock-striped page cache. It implements graph.Graph. Neighbors returns
+// scratch slices that are overwritten by the next Neighbors call — the same
+// contract the interface documents — so the Store itself serves one reader
+// at a time; concurrent queries each take their own view via NewReader,
+// which shares the page cache (safe for any number of concurrent readers)
+// but owns private scratch buffers.
 type Store struct {
 	f     *os.File
 	l     layout
 	cache *pageCache
 	top   []graph.DegreeEntry
 
+	// def is the Store's own reader view, backing the graph.Graph methods
+	// for single-goroutine use.
+	def Reader
+}
+
+var _ graph.Graph = (*Store)(nil)
+
+// Reader is an independent view of a Store for one goroutine: it shares the
+// store's page cache and metadata but owns the scratch buffers Neighbors
+// returns. Concurrent queries against one Store should each hold their own
+// Reader; the Readers' combined page traffic shares one byte budget.
+type Reader struct {
+	s        *Store
 	scratchN []graph.NodeID
 	scratchW []float64
 	buf      []byte
 }
 
-var _ graph.Graph = (*Store)(nil)
+var _ graph.Graph = (*Reader)(nil)
+
+// NewReader returns a fresh concurrent-safe view of the store.
+func (s *Store) NewReader() *Reader { return &Reader{s: s} }
 
 // Open maps the store at path with the given cache budget in bytes
 // (0 selects 64 MiB). The header — including the top-degree index — is read
@@ -78,12 +96,14 @@ func Open(path string, cacheBytes int64) (*Store, error) {
 			Degree: math.Float64frombits(getU64(b[4:12])),
 		}
 	}
-	return &Store{
+	s := &Store{
 		f:     f,
 		l:     l,
 		cache: newPageCache(f, pageSz, cacheBytes, l.totalSize),
 		top:   top,
-	}, nil
+	}
+	s.def.s = s
+	return s, nil
 }
 
 // Close releases the underlying file.
@@ -103,7 +123,8 @@ func (s *Store) TopDegrees(k int) []graph.DegreeEntry {
 	return s.top[:k]
 }
 
-// Degree reads one float64 from the degrees section via the cache.
+// Degree reads one float64 from the degrees section via the cache. It uses
+// no scratch state and is safe for concurrent use.
 func (s *Store) Degree(v graph.NodeID) float64 {
 	var b [8]byte
 	if err := s.cache.readAt(b[:], s.l.degreesOff+int64(v)*8); err != nil {
@@ -112,9 +133,29 @@ func (s *Store) Degree(v graph.NodeID) float64 {
 	return math.Float64frombits(getU64(b[:]))
 }
 
-// Neighbors reads the CSR row of v. The returned slices are valid until the
-// next Neighbors call on this Store.
+// Neighbors reads the CSR row of v through the store's default reader. The
+// returned slices are valid until the next Neighbors call on this Store;
+// concurrent callers must use NewReader.
 func (s *Store) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	return s.def.Neighbors(v)
+}
+
+// NumNodes returns the node count.
+func (r *Reader) NumNodes() int { return r.s.NumNodes() }
+
+// NumEdges returns the undirected edge count.
+func (r *Reader) NumEdges() int64 { return r.s.NumEdges() }
+
+// Degree reads the weighted degree of v.
+func (r *Reader) Degree(v graph.NodeID) float64 { return r.s.Degree(v) }
+
+// TopDegrees serves the header's degree index.
+func (r *Reader) TopDegrees(k int) []graph.DegreeEntry { return r.s.TopDegrees(k) }
+
+// Neighbors reads the CSR row of v. The returned slices are valid until the
+// next Neighbors call on this Reader.
+func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	s := r.s
 	var ob [16]byte
 	if err := s.cache.readAt(ob[:], s.l.offsetsOff+int64(v)*8); err != nil {
 		panic(fmt.Sprintf("diskgraph: offset read: %v", err))
@@ -125,19 +166,19 @@ func (s *Store) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 	if cnt < 0 || cnt > s.l.m2 {
 		panic(fmt.Sprintf("diskgraph: corrupt offsets for node %d: [%d,%d)", v, lo, hi))
 	}
-	if int64(cap(s.scratchN)) < cnt {
-		s.scratchN = make([]graph.NodeID, cnt, 2*cnt)
-		s.scratchW = make([]float64, cnt, 2*cnt)
+	if int64(cap(r.scratchN)) < cnt {
+		r.scratchN = make([]graph.NodeID, cnt, 2*cnt)
+		r.scratchW = make([]float64, cnt, 2*cnt)
 	}
-	nbrs := s.scratchN[:cnt]
-	ws := s.scratchW[:cnt]
+	nbrs := r.scratchN[:cnt]
+	ws := r.scratchW[:cnt]
 
 	// Targets.
 	need := cnt * 4
-	if int64(cap(s.buf)) < need {
-		s.buf = make([]byte, need, 2*need)
+	if int64(cap(r.buf)) < need {
+		r.buf = make([]byte, need, 2*need)
 	}
-	tb := s.buf[:need]
+	tb := r.buf[:need]
 	if err := s.cache.readAt(tb, s.l.targetsOff+lo*4); err != nil {
 		panic(fmt.Sprintf("diskgraph: targets read: %v", err))
 	}
@@ -146,10 +187,10 @@ func (s *Store) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 	}
 	// Weights.
 	need = cnt * 8
-	if int64(cap(s.buf)) < need {
-		s.buf = make([]byte, need, 2*need)
+	if int64(cap(r.buf)) < need {
+		r.buf = make([]byte, need, 2*need)
 	}
-	wb := s.buf[:need]
+	wb := r.buf[:need]
 	if err := s.cache.readAt(wb, s.l.weightsOff+lo*8); err != nil {
 		panic(fmt.Sprintf("diskgraph: weights read: %v", err))
 	}

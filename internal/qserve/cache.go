@@ -1,0 +1,98 @@
+package qserve
+
+import (
+	"container/list"
+	"sync"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// cacheKey identifies one answer. Every option that can change the result
+// participates; the epoch ties the entry to a topology snapshot, so bumping
+// the pool's epoch orphans every earlier entry (they age out by LRU).
+type cacheKey struct {
+	epoch      uint64
+	q          graph.NodeID
+	unified    bool
+	kind       measure.Kind
+	params     measure.Params
+	k          int
+	tighten    bool
+	maxVisited int
+	tieEps     float64
+}
+
+func keyOf(epoch uint64, req Request) cacheKey {
+	return cacheKey{
+		epoch:      epoch,
+		q:          req.Query,
+		unified:    req.Unified,
+		kind:       req.Opt.Measure,
+		params:     req.Opt.Params,
+		k:          req.Opt.K,
+		tighten:    req.Opt.Tighten,
+		maxVisited: req.Opt.MaxVisited,
+		tieEps:     req.Opt.TieEps,
+	}
+}
+
+// resultCache is a mutex-guarded LRU of completed responses. Entries are
+// shared, never copied: a Response stored here must not be mutated.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp *Response
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max: max,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, max),
+	}
+}
+
+func (c *resultCache) get(k cacheKey) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *resultCache) put(k cacheKey, resp *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) counters() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

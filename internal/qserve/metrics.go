@@ -1,0 +1,93 @@
+package qserve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many recent query latencies the percentile estimator
+// keeps; old observations are overwritten ring-style, so P50/P99 describe
+// the recent window, not all time.
+const latWindow = 2048
+
+// metrics is the pool's internal counter set.
+type metrics struct {
+	served      atomic.Int64
+	shed        atomic.Int64
+	interrupted atomic.Int64
+
+	mu  sync.Mutex
+	lat [latWindow]int64 // microseconds
+	n   int64            // total observations ever
+}
+
+func (m *metrics) observe(d time.Duration) {
+	us := d.Microseconds()
+	m.mu.Lock()
+	m.lat[m.n%latWindow] = us
+	m.n++
+	m.mu.Unlock()
+}
+
+// percentiles returns (p50, p99) in microseconds over the recent window.
+func (m *metrics) percentiles() (int64, int64) {
+	m.mu.Lock()
+	n := m.n
+	if n > latWindow {
+		n = latWindow
+	}
+	sample := make([]int64, n)
+	copy(sample, m.lat[:n])
+	m.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	at := func(p float64) int64 {
+		i := int(p * float64(len(sample)-1))
+		return sample[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+func (m *metrics) snapshot() Metrics {
+	p50, p99 := m.percentiles()
+	return Metrics{
+		Served:      m.served.Load(),
+		Shed:        m.shed.Load(),
+		Interrupted: m.interrupted.Load(),
+		P50Micros:   p50,
+		P99Micros:   p99,
+	}
+}
+
+// Metrics is a point-in-time snapshot of pool behavior, the source for the
+// server's /metrics endpoint.
+type Metrics struct {
+	// Served counts queries answered (including cache hits and queries that
+	// ended in cancellation); Shed counts admissions refused with
+	// ErrOverloaded; Interrupted counts queries ended by context.
+	Served, Shed, Interrupted int64
+	// P50Micros / P99Micros are latency percentiles over the recent window
+	// of executed (non-cache-hit) queries.
+	P50Micros, P99Micros int64
+	// QueueDepth is the current number of admitted-but-waiting queries;
+	// QueueCap its bound; Workers the worker count.
+	QueueDepth, QueueCap, Workers int
+	// Cache counters; zero when the cache is disabled.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheEntries                           int
+	// Epoch is the current invalidation epoch.
+	Epoch uint64
+}
+
+// CacheHitRatio returns hits/(hits+misses), 0 when no lookups happened.
+func (m Metrics) CacheHitRatio() float64 {
+	tot := m.CacheHits + m.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(tot)
+}

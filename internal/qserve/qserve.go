@@ -1,0 +1,287 @@
+// Package qserve is the concurrent query-serving subsystem: it owns query
+// execution end to end, between the HTTP layer (internal/server) and the
+// search engine (internal/core).
+//
+// A Pool runs a bounded set of workers over a shared graph. Admission is a
+// bounded queue that sheds load (Do returns ErrOverloaded immediately when
+// the queue is full, so callers can answer 429 instead of stacking up
+// goroutines), every query runs under a context with an optional pool-wide
+// deadline, and completed answers populate an LRU result cache keyed by
+// (graph epoch, query node, measure, params, k). The cache is invalidated
+// wholesale by bumping the epoch — the contract dynamic graphs
+// (internal/graph.DynamicGraph) follow after mutating edges.
+//
+// Concurrency over the graph backend:
+//
+//   - *graph.MemGraph is immutable; all workers share it.
+//   - *diskgraph.Store gets one diskgraph.Reader per worker: the readers
+//     share the store's lock-striped page cache but own the scratch buffers
+//     Neighbors returns, so queries proceed fully in parallel.
+//   - any other Graph implementation is assumed non-concurrent-safe and the
+//     pool serializes query execution around it (admission, caching and
+//     shedding still apply).
+package qserve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/diskgraph"
+	"flos/internal/graph"
+)
+
+// Errors returned by Do without running the query.
+var (
+	// ErrOverloaded reports that the admission queue was full; the caller
+	// should shed the request (HTTP 429) and retry later.
+	ErrOverloaded = errors.New("qserve: admission queue full")
+	// ErrClosed reports that the pool has been shut down.
+	ErrClosed = errors.New("qserve: pool closed")
+)
+
+// Config tunes a Pool. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of query workers; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 selects 4×Workers. Requests
+	// beyond Workers running + QueueDepth waiting are shed.
+	QueueDepth int
+	// CacheEntries bounds the result cache; 0 selects 1024, negative
+	// disables caching.
+	CacheEntries int
+	// Timeout is the per-query wall-clock budget covering queue wait and
+	// execution; 0 means no pool-imposed deadline.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// Request names one query.
+type Request struct {
+	// Query is the query node.
+	Query graph.NodeID
+	// Opt configures the search. Opt.Trace must be nil for cached requests;
+	// a request with a trace callback bypasses the cache.
+	Opt core.Options
+	// Unified selects UnifiedTopK (both ranking families in one search)
+	// instead of single-measure TopK.
+	Unified bool
+}
+
+// Response is a completed query.
+type Response struct {
+	// TopK is set for single-measure requests.
+	TopK *core.Result
+	// Unified is set for unified requests.
+	Unified *core.UnifiedResult
+	// CacheHit reports that the answer came from the result cache.
+	CacheHit bool
+}
+
+// Pool executes queries on a bounded worker set.
+type Pool struct {
+	cfg   Config
+	jobs  chan *job
+	done  chan struct{}
+	wg    sync.WaitGroup
+	close sync.Once
+
+	cache *resultCache
+	epoch atomic.Uint64
+
+	// serialMu is non-nil when the graph backend is not concurrent-safe;
+	// workers hold it for the duration of each search.
+	serialMu *sync.Mutex
+
+	met metrics
+}
+
+type job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	req    Request
+	key    cacheKey
+	cached bool // key is valid and the answer should be cached
+	out    chan outcome
+}
+
+type outcome struct {
+	resp *Response
+	err  error
+}
+
+// New builds a Pool serving queries against g and starts its workers. Call
+// Close to release them.
+func New(g graph.Graph, cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:  cfg,
+		jobs: make(chan *job, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		p.cache = newResultCache(cfg.CacheEntries)
+	}
+
+	views := make([]graph.Graph, cfg.Workers)
+	switch t := g.(type) {
+	case *diskgraph.Store:
+		for i := range views {
+			views[i] = t.NewReader()
+		}
+	case *graph.MemGraph:
+		for i := range views {
+			views[i] = t
+		}
+	default:
+		p.serialMu = &sync.Mutex{}
+		for i := range views {
+			views[i] = g
+		}
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker(views[i])
+	}
+	return p
+}
+
+// Close stops the workers. In-flight queries finish; queued and future Do
+// calls return ErrClosed.
+func (p *Pool) Close() {
+	p.close.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// Epoch returns the current graph epoch the result cache is keyed by.
+func (p *Pool) Epoch() uint64 { return p.epoch.Load() }
+
+// BumpEpoch invalidates every cached result. Call it after mutating the
+// graph (e.g. DynamicGraph.AddEdge/RemoveEdge); queries admitted afterwards
+// read fresh topology and repopulate the cache under the new epoch.
+func (p *Pool) BumpEpoch() { p.epoch.Add(1) }
+
+// Do executes one query, waiting for a worker. It returns ErrOverloaded
+// when the admission queue is full, ErrClosed after Close, and passes
+// through core's typed errors (core.ErrCanceled / core.ErrDeadline wrapped
+// in *core.Interrupted) when ctx — or the pool's Timeout — fires first.
+func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
+	select {
+	case <-p.done:
+		return nil, ErrClosed
+	default:
+	}
+
+	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
+	if p.cache != nil && req.Opt.Trace == nil {
+		j.key = keyOf(p.epoch.Load(), req)
+		j.cached = true
+		if resp, ok := p.cache.get(j.key); ok {
+			p.met.served.Add(1)
+			hit := *resp
+			hit.CacheHit = true
+			return &hit, nil
+		}
+	}
+	if p.cfg.Timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+	}
+
+	select {
+	case p.jobs <- j:
+	default:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		p.met.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case o := <-j.out:
+		return o.resp, o.err
+	case <-p.done:
+		return nil, ErrClosed
+	}
+}
+
+// QueueDepth returns the number of admitted queries waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+func (p *Pool) worker(g graph.Graph) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case j := <-p.jobs:
+			p.run(g, j)
+		}
+	}
+}
+
+func (p *Pool) run(g graph.Graph, j *job) {
+	if j.cancel != nil {
+		defer j.cancel()
+	}
+	start := time.Now()
+	var (
+		resp = &Response{}
+		err  error
+	)
+	if p.serialMu != nil {
+		p.serialMu.Lock()
+	}
+	if j.req.Unified {
+		resp.Unified, err = core.UnifiedTopKCtx(j.ctx, g, j.req.Query, j.req.Opt)
+	} else {
+		resp.TopK, err = core.TopKCtx(j.ctx, g, j.req.Query, j.req.Opt)
+	}
+	if p.serialMu != nil {
+		p.serialMu.Unlock()
+	}
+	p.met.served.Add(1)
+	p.met.observe(time.Since(start))
+	if err != nil {
+		var in *core.Interrupted
+		if errors.As(err, &in) {
+			p.met.interrupted.Add(1)
+		}
+		j.out <- outcome{err: err}
+		return
+	}
+	if p.cache != nil && j.cached {
+		// Results are immutable once returned; the cache shares them.
+		p.cache.put(j.key, resp)
+	}
+	j.out <- outcome{resp: resp}
+}
+
+// Metrics returns a counters snapshot; see the Metrics type.
+func (p *Pool) Metrics() Metrics {
+	m := p.met.snapshot()
+	m.Workers = p.cfg.Workers
+	m.QueueCap = p.cfg.QueueDepth
+	m.QueueDepth = len(p.jobs)
+	m.Epoch = p.epoch.Load()
+	if p.cache != nil {
+		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries = p.cache.counters()
+	}
+	return m
+}

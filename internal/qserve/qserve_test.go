@@ -1,0 +1,291 @@
+package qserve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/diskgraph"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+func buildStore(t *testing.T, g *graph.MemGraph, pageSize int, cacheBytes int64) *diskgraph.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.flos")
+	if err := diskgraph.Create(path, g, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	s, err := diskgraph.Open(path, cacheBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestConcurrentDiskStressMatchesSerial fires 64 concurrent mixed-measure
+// queries at one disk-resident store through a multi-worker pool and
+// verifies every answer is byte-identical to the single-threaded reference
+// on the in-memory graph. Run under -race, this is the subsystem's central
+// exactness-under-concurrency guarantee: the sharded page cache, the
+// per-worker readers, and the deterministic engine must agree with the
+// serial path bit for bit.
+func TestConcurrentDiskStressMatchesSerial(t *testing.T) {
+	g, err := gen.RMAT(5000, 25000, gen.DefaultRMAT(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := buildStore(t, g, 4096, 64<<10) // 64 KiB budget: heavy eviction
+	lc := graph.LargestComponentNodes(g)
+	kinds := []measure.Kind{measure.PHP, measure.EI, measure.DHT, measure.THT, measure.RWR}
+
+	const n = 64
+	reqs := make([]Request, n)
+	want := make([]*core.Result, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Query: lc[(i*997)%len(lc)],
+			Opt:   core.DefaultOptions(kinds[i%len(kinds)], 10),
+		}
+		res, err := core.TopK(g, reqs[i].Query, reqs[i].Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	pool := New(store, Config{Workers: 8, QueueDepth: n, CacheEntries: -1})
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]*Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pool.Do(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(got[i].TopK.TopK, want[i].TopK) {
+			t.Errorf("query %d (%v q=%d): concurrent %v != serial %v",
+				i, reqs[i].Opt.Measure, reqs[i].Query, got[i].TopK.TopK, want[i].TopK)
+		}
+		if got[i].TopK.Visited != want[i].Visited {
+			t.Errorf("query %d: visited %d != serial %d", i, got[i].TopK.Visited, want[i].Visited)
+		}
+	}
+	st := store.CacheStats()
+	t.Logf("page cache after stress: %d hits, %d faults, %d deduped, %d shards",
+		st.Hits, st.Misses, st.FaultsDeduped, st.Shards)
+}
+
+// TestCancellationPrompt proves TopKCtx abandons work as soon as the
+// context is dead: with an already-expired deadline the query returns in
+// far less than the time a full search would take, with the typed sentinel
+// and partial counters.
+func TestCancellationPrompt(t *testing.T) {
+	g, err := gen.Community(20000, 80000, gen.DefaultCommunityParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, err = core.TopKCtx(ctx, g, 1, core.DefaultOptions(measure.RWR, 50))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	var in *core.Interrupted
+	if !errors.As(err, &in) {
+		t.Fatalf("err %T does not carry *core.Interrupted", err)
+	}
+	if in.Visited < 1 {
+		t.Errorf("interrupted with no work recorded: %+v", in)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("expired-context query took %s, want prompt return", elapsed)
+	}
+
+	// Same contract through the pool, via its Timeout knob.
+	pool := New(g, Config{Workers: 1, Timeout: time.Nanosecond})
+	defer pool.Close()
+	if _, err := pool.Do(context.Background(), Request{Query: 1, Opt: core.DefaultOptions(measure.PHP, 10)}); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("pool err = %v, want ErrDeadline", err)
+	}
+	if m := pool.Metrics(); m.Interrupted != 1 {
+		t.Errorf("Interrupted = %d, want 1", m.Interrupted)
+	}
+
+	// Plain cancellation maps to ErrCanceled.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := core.TopKCtx(cctx, g, 1, core.DefaultOptions(measure.THT, 10)); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if _, err := core.UnifiedTopKCtx(cctx, g, 1, core.DefaultOptions(measure.PHP, 10)); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("unified err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestResultCacheEpochInvalidation checks the cache contract: identical
+// requests hit, answers are identical to the cold run, and BumpEpoch
+// invalidates everything at once.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(g, Config{Workers: 2, CacheEntries: 16})
+	defer pool.Close()
+	req := Request{Query: 100, Opt: core.DefaultOptions(measure.RWR, 5)}
+
+	cold, err := pool.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	warm, err := pool.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second identical query missed the cache")
+	}
+	if !reflect.DeepEqual(warm.TopK.TopK, cold.TopK.TopK) {
+		t.Fatalf("cached answer differs: %v vs %v", warm.TopK.TopK, cold.TopK.TopK)
+	}
+
+	// A different k is a different key.
+	other := req
+	other.Opt.K = 7
+	if resp, err := pool.Do(context.Background(), other); err != nil || resp.CacheHit {
+		t.Fatalf("k=7 variant: err=%v hit=%v, want cold miss", err, resp.CacheHit)
+	}
+
+	pool.BumpEpoch()
+	fresh, err := pool.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.CacheHit {
+		t.Fatal("cache hit across an epoch bump")
+	}
+	m := pool.Metrics()
+	if m.CacheHits != 1 || m.Epoch != 1 {
+		t.Errorf("metrics = %+v, want 1 hit at epoch 1", m)
+	}
+
+	// Unified requests cache under their own key.
+	ureq := Request{Query: 100, Opt: core.DefaultOptions(measure.PHP, 5), Unified: true}
+	if resp, err := pool.Do(context.Background(), ureq); err != nil || resp.CacheHit {
+		t.Fatalf("unified cold: err=%v hit=%v", err, resp.CacheHit)
+	}
+	if resp, err := pool.Do(context.Background(), ureq); err != nil || !resp.CacheHit {
+		t.Fatalf("unified warm: err=%v hit=%v, want hit", err, resp.CacheHit)
+	}
+}
+
+// gateGraph blocks every Neighbors call until the gate opens, signalling
+// entry — a deterministic way to hold a worker busy.
+type gateGraph struct {
+	base    *graph.MemGraph
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gateGraph) NumNodes() int                        { return g.base.NumNodes() }
+func (g *gateGraph) NumEdges() int64                      { return g.base.NumEdges() }
+func (g *gateGraph) Degree(v graph.NodeID) float64        { return g.base.Degree(v) }
+func (g *gateGraph) TopDegrees(k int) []graph.DegreeEntry { return g.base.TopDegrees(k) }
+func (g *gateGraph) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.base.Neighbors(v)
+}
+
+// TestAdmissionShedding fills the one-worker pool and its one-slot queue,
+// then verifies the next request is shed immediately with ErrOverloaded and
+// counted, while the admitted requests still complete once unblocked.
+func TestAdmissionShedding(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := &gateGraph{base: mg, gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+	pool := New(gg, Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	defer pool.Close()
+
+	req := Request{Query: 0, Opt: core.DefaultOptions(measure.PHP, 1)}
+	results := make(chan error, 2)
+	go func() {
+		_, err := pool.Do(context.Background(), req)
+		results <- err
+	}()
+	<-gg.entered // worker is now blocked inside the first query
+
+	go func() {
+		_, err := pool.Do(context.Background(), req)
+		results <- err
+	}()
+	// The queued job occupies the single slot; poll until it is visible.
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := pool.Do(context.Background(), req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third request: err = %v, want ErrOverloaded", err)
+	}
+	if m := pool.Metrics(); m.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", m.Shed)
+	}
+
+	close(gg.gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted request %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestClosedPool verifies Do fails fast after Close.
+func TestClosedPool(t *testing.T) {
+	g, err := gen.Community(500, 1500, gen.DefaultCommunityParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(g, Config{Workers: 1})
+	pool.Close()
+	if _, err := pool.Do(context.Background(), Request{Query: 0, Opt: core.DefaultOptions(measure.PHP, 3)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

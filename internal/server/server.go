@@ -6,34 +6,42 @@
 //
 //	GET /healthz            liveness
 //	GET /stats              graph summary
+//	GET /metrics            serving metrics (JSON: throughput, latency
+//	                        percentiles, queue depth, shed count, cache hit
+//	                        ratio, disk page faults)
 //	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0]
 //	GET /unified?q=42&k=10[&c=0.5]
 //
-// All responses are JSON. Queries against an in-memory graph run
-// concurrently (MemGraph reads are immutable); a disk-resident store
-// serializes queries because its page cache is single-reader.
+// All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
+// status. Query execution is delegated to internal/qserve: a bounded worker
+// pool answers queries concurrently on every backend (disk-resident stores
+// included — their page cache is lock-striped and each worker holds its own
+// reader view), requests beyond the admission queue are shed with
+// 429 + Retry-After, and each query runs under the pool's deadline as well
+// as the client's connection context.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"flos/internal/core"
+	"flos/internal/diskgraph"
 	"flos/internal/graph"
 	"flos/internal/measure"
+	"flos/internal/qserve"
 )
 
-// Server wires a graph to HTTP handlers.
+// Server wires a graph to HTTP handlers through a query-serving pool.
 type Server struct {
-	g graph.Graph
-	// serialize guards graphs whose Neighbors is not safe for concurrent
-	// use (the disk store). Nil for in-memory graphs.
-	mu *sync.Mutex
+	g     graph.Graph
+	store *diskgraph.Store // non-nil for disk-resident graphs: /metrics reads page-fault counters
+	pool  *qserve.Pool
 
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
@@ -42,15 +50,27 @@ type Server struct {
 
 // Config tunes the server.
 type Config struct {
-	// Serialize forces one query at a time (required for disk stores).
+	// Workers is the query worker count (0 = GOMAXPROCS). Serialize is the
+	// legacy switch for one-query-at-a-time operation and is equivalent to
+	// Workers = 1; the sharded page cache made it unnecessary for disk
+	// stores.
+	Workers   int
 	Serialize bool
+	// QueueDepth bounds the admission queue (0 = 4×Workers); requests over
+	// the bound receive 429 with a Retry-After header.
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 = 1024, negative disables).
+	CacheEntries int
+	// Timeout is the per-query wall-clock budget (0 = none); queries over
+	// budget receive 504.
+	Timeout time.Duration
 	// Defaults for omitted query parameters; zero value = paper defaults.
 	Defaults measure.Params
 	// MaxK caps requested k (0 = 1000).
 	MaxK int
 }
 
-// New builds a Server for g.
+// New builds a Server for g and starts its worker pool; Close releases it.
 func New(g graph.Graph, cfg Config) *Server {
 	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK}
 	if s.defaults == (measure.Params{}) {
@@ -59,17 +79,34 @@ func New(g graph.Graph, cfg Config) *Server {
 	if s.maxK == 0 {
 		s.maxK = 1000
 	}
-	if cfg.Serialize {
-		s.mu = &sync.Mutex{}
+	if st, ok := g.(*diskgraph.Store); ok {
+		s.store = st
 	}
+	workers := cfg.Workers
+	if cfg.Serialize {
+		workers = 1
+	}
+	s.pool = qserve.New(g, qserve.Config{
+		Workers:      workers,
+		QueueDepth:   cfg.QueueDepth,
+		CacheEntries: cfg.CacheEntries,
+		Timeout:      cfg.Timeout,
+	})
 	return s
 }
+
+// Pool exposes the serving pool (epoch bumps, metrics).
+func (s *Server) Pool() *qserve.Pool { return s.pool }
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.pool.Close() }
 
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/unified", s.handleUnified)
 	return mux
@@ -89,6 +126,23 @@ func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeQueryError maps a pool/engine error onto an HTTP status. Parameters
+// were fully validated before submission, so remaining failures are
+// operational, not client mistakes.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, qserve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded, retry later"})
+	case errors.Is(err, core.ErrDeadline):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	case errors.Is(err, core.ErrCanceled), errors.Is(err, qserve.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -102,6 +156,68 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsBody{Nodes: s.g.NumNodes(), Edges: s.g.NumEdges()})
 }
 
+// metricsBody is the /metrics payload.
+type metricsBody struct {
+	QueriesServed  int64   `json:"queries_served"`
+	QueriesShed    int64   `json:"queries_shed"`
+	Interrupted    int64   `json:"queries_interrupted"`
+	P50Micros      int64   `json:"latency_p50_us"`
+	P99Micros      int64   `json:"latency_p99_us"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCap       int     `json:"queue_cap"`
+	Workers        int     `json:"workers"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	Epoch          uint64  `json:"epoch"`
+
+	// Disk page-cache counters; present only for disk-resident graphs.
+	Disk *diskMetricsBody `json:"disk,omitempty"`
+}
+
+type diskMetricsBody struct {
+	PageHits      int64 `json:"page_hits"`
+	PageFaults    int64 `json:"page_faults"`
+	FaultsDeduped int64 `json:"faults_deduped"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	ResidentPages int   `json:"resident_pages"`
+	Shards        int   `json:"shards"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.pool.Metrics()
+	body := metricsBody{
+		QueriesServed:  m.Served,
+		QueriesShed:    m.Shed,
+		Interrupted:    m.Interrupted,
+		P50Micros:      m.P50Micros,
+		P99Micros:      m.P99Micros,
+		QueueDepth:     m.QueueDepth,
+		QueueCap:       m.QueueCap,
+		Workers:        m.Workers,
+		CacheHits:      m.CacheHits,
+		CacheMisses:    m.CacheMisses,
+		CacheEvictions: m.CacheEvictions,
+		CacheEntries:   m.CacheEntries,
+		CacheHitRatio:  m.CacheHitRatio(),
+		Epoch:          m.Epoch,
+	}
+	if s.store != nil {
+		st := s.store.CacheStats()
+		body.Disk = &diskMetricsBody{
+			PageHits:      st.Hits,
+			PageFaults:    st.Misses,
+			FaultsDeduped: st.FaultsDeduped,
+			ResidentBytes: st.ResidentBytes,
+			ResidentPages: st.ResidentPages,
+			Shards:        st.Shards,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 // rankedBody is one result entry.
 type rankedBody struct {
 	Node  graph.NodeID `json:"node"`
@@ -113,11 +229,16 @@ type topKBody struct {
 	Measure   string       `json:"measure"`
 	K         int          `json:"k"`
 	Exact     bool         `json:"exact"`
+	Cached    bool         `json:"cached"`
 	Visited   int          `json:"visited"`
 	ElapsedUS int64        `json:"elapsed_us"`
 	Results   []rankedBody `json:"results"`
 }
 
+// parseCommon validates every parameter shared by the query endpoints — q,
+// k, c, L, tau, tighten — uniformly, so /topk and /unified reject malformed
+// input the same way with a structured 400. Range validation happens here
+// (not in the engine) so that errors surfacing later map to 5xx statuses.
 func (s *Server) parseCommon(r *http.Request) (q graph.NodeID, k int, p measure.Params, tighten bool, err error) {
 	p = s.defaults
 	tighten = true
@@ -153,6 +274,9 @@ func (s *Server) parseCommon(r *http.Request) (q graph.NodeID, k int, p measure.
 			return 0, 0, p, false, fmt.Errorf("bad tau: %v", err)
 		}
 	}
+	if err := p.Validate(); err != nil {
+		return 0, 0, p, false, err
+	}
 	if v := get("tighten"); v == "0" || strings.EqualFold(v, "false") {
 		tighten = false
 	}
@@ -187,21 +311,19 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt := core.Options{K: k, Measure: kind, Params: p, Tighten: tighten, TieEps: 1e-9}
-	if s.mu != nil {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	}
 	start := time.Now()
-	res, err := core.TopK(s.g, q, opt)
+	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt})
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeQueryError(w, err)
 		return
 	}
+	res := resp.TopK
 	body := topKBody{
 		Query:     q,
 		Measure:   kind.String(),
 		K:         k,
 		Exact:     res.Exact,
+		Cached:    resp.CacheHit,
 		Visited:   res.Visited,
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
@@ -215,6 +337,7 @@ type unifiedBody struct {
 	Query     graph.NodeID `json:"query"`
 	K         int          `json:"k"`
 	Exact     bool         `json:"exact"`
+	Cached    bool         `json:"cached"`
 	Visited   int          `json:"visited"`
 	ElapsedUS int64        `json:"elapsed_us"`
 	PHPFamily []rankedBody `json:"php_family"`
@@ -228,20 +351,18 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt := core.Options{K: k, Measure: measure.PHP, Params: p, Tighten: tighten, TieEps: 1e-9}
-	if s.mu != nil {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	}
 	start := time.Now()
-	res, err := core.UnifiedTopK(s.g, q, opt)
+	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt, Unified: true})
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeQueryError(w, err)
 		return
 	}
+	res := resp.Unified
 	body := unifiedBody{
 		Query:     q,
 		K:         k,
 		Exact:     res.Exact,
+		Cached:    resp.CacheHit,
 		Visited:   res.Visited,
 		ElapsedUS: time.Since(start).Microseconds(),
 	}

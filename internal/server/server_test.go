@@ -7,19 +7,28 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"flos/internal/gen"
 )
 
 func newTestServer(t *testing.T, serialize bool) *httptest.Server {
 	t.Helper()
+	ts, _ := newTestServerCfg(t, Config{Serialize: serialize})
+	return ts
+}
+
+func newTestServerCfg(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
 	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(g, Config{Serialize: serialize}).Handler())
+	srv := New(g, cfg)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 func getJSON(t *testing.T, url string, out interface{}) int {
@@ -111,7 +120,15 @@ func TestBadRequests(t *testing.T) {
 		"/topk?q=1&c=x",          // unparsable c
 		"/topk?q=1&L=x",          // unparsable L
 		"/topk?q=1&tau=x",        // unparsable tau
+		"/topk?q=1&tau=0",        // out-of-range tau
+		"/topk?q=1&L=-1",         // out-of-range L
 		"/unified?q=zz",          // bad unified q
+		// /unified must validate identically to /topk.
+		"/unified?q=1&k=0",
+		"/unified?q=1&k=99999",
+		"/unified?q=1&c=2",
+		"/unified?q=1&tau=0",
+		"/unified?q=999999",
 	}
 	for _, c := range cases {
 		var e errorBody
@@ -154,6 +171,65 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestCachedResponses checks the result cache surfaces through HTTP: a
+// repeated query is served from cache (cached:true, identical results).
+func TestCachedResponses(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{CacheEntries: 64})
+	var cold, warm topKBody
+	url := ts.URL + "/topk?q=77&k=5&measure=rwr"
+	if code := getJSON(t, url, &cold); code != 200 || cold.Cached {
+		t.Fatalf("cold: code %d cached %v", code, cold.Cached)
+	}
+	if code := getJSON(t, url, &warm); code != 200 || !warm.Cached {
+		t.Fatalf("warm: code %d cached %v, want cache hit", code, warm.Cached)
+	}
+	if fmt.Sprintf("%v", warm.Results) != fmt.Sprintf("%v", cold.Results) {
+		t.Fatalf("cached results differ: %v vs %v", warm.Results, cold.Results)
+	}
+}
+
+// TestMetricsEndpoint checks /metrics reports the qserve counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{CacheEntries: 64})
+	url := ts.URL + "/topk?q=12&k=5"
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, url, nil); code != 200 {
+			t.Fatalf("warmup query: code %d", code)
+		}
+	}
+	var m metricsBody
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: code %d", code)
+	}
+	if m.QueriesServed < 3 {
+		t.Errorf("queries_served = %d, want >= 3", m.QueriesServed)
+	}
+	if m.CacheHits < 2 || m.CacheHitRatio <= 0 {
+		t.Errorf("cache hits %d ratio %g, want repeat queries cached", m.CacheHits, m.CacheHitRatio)
+	}
+	if m.Workers < 1 || m.QueueCap < 1 {
+		t.Errorf("pool shape: %+v", m)
+	}
+	if m.P50Micros <= 0 {
+		t.Errorf("p50 = %d, want positive after executed queries", m.P50Micros)
+	}
+	if m.Disk != nil {
+		t.Errorf("disk metrics present for in-memory graph")
+	}
+}
+
+// TestQueryTimeout maps the pool deadline onto 504.
+func TestQueryTimeout(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{Timeout: time.Nanosecond, CacheEntries: -1})
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/topk?q=5&k=3", &e); code != http.StatusGatewayTimeout {
+		t.Fatalf("code %d, want 504", code)
+	}
+	if e.Error == "" {
+		t.Fatal("empty error body")
 	}
 }
 
