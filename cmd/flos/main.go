@@ -32,7 +32,7 @@ func main() {
 		horizon   = flag.Int("L", 10, "THT horizon")
 		tau       = flag.Float64("tau", 1e-5, "iteration tolerance")
 		tighten   = flag.Bool("tighten", true, "enable self-loop bound tightening")
-		trace     = flag.Bool("trace", false, "print per-iteration bound trace")
+		trace     = flag.Bool("trace", false, "print the per-iteration convergence table")
 		unified   = flag.Bool("unified", false, "answer both PHP-family and RWR rankings in one search")
 		certify   = flag.Bool("certify", false, "audit the result against a full global-iteration solve")
 	)
@@ -75,11 +75,10 @@ func main() {
 	opt.Params.L = *horizon
 	opt.Params.Tau = *tau
 	opt.Tighten = *tighten
+	var tc *flos.TraceCollector
 	if *trace {
-		opt.Trace = func(ev flos.TraceEvent) {
-			fmt.Printf("iter %d: expanded %d, +%d nodes, |S|=%d, r_d=%.5f\n",
-				ev.Iteration, ev.Expanded, len(ev.NewNodes), len(ev.Nodes), ev.DummyValue)
-		}
+		tc = &flos.TraceCollector{}
+		opt.Tracer = tc
 	}
 
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
@@ -99,6 +98,9 @@ func main() {
 		for i, r := range res.RWR {
 			fmt.Printf("%3d. node %-10d w·php-score %.6g\n", i+1, r.Node, r.Score)
 		}
+		if tc != nil {
+			printTrace(tc.Iters)
+		}
 		return
 	}
 
@@ -115,12 +117,42 @@ func main() {
 	for i, r := range res.TopK {
 		fmt.Printf("%3d. node %-10d score %.6g\n", i+1, r.Node, r.Score)
 	}
+	if tc != nil {
+		printTrace(tc.Iters)
+	}
 	if *certify {
 		start = time.Now()
 		if err := flos.Certify(g, flos.NodeID(*q), res, kind, opt.Params, 1e-7); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("certified exact against global iteration in %s\n", time.Since(start))
+	}
+}
+
+// printTrace renders the Tracer trajectory as a convergence table: one row
+// per iteration with the visited/boundary sizes, the expansion batch, the
+// two competing bound keys, and the certification gap that the stopping
+// rule drives through zero (gap >= 0 on the final, certified row).
+func printTrace(iters []flos.IterStats) {
+	fmt.Println("convergence trace:")
+	fmt.Printf("%5s %8s %8s %6s %5s %13s %13s %11s %5s %10s %9s %9s\n",
+		"iter", "|S|", "bndry", "batch", "new", "kth-bound", "rest-bound", "gap", "cert",
+		"expand-us", "solve-us", "cert-us")
+	for _, it := range iters {
+		kth, rest, gap := "-", "-", "-"
+		if it.GapValid {
+			kth = fmt.Sprintf("%.6g", it.KthBound)
+			rest = fmt.Sprintf("%.6g", it.RestBound)
+			gap = fmt.Sprintf("%+.4g", it.Gap)
+		}
+		cert := ""
+		if it.Certified {
+			cert = "yes"
+		}
+		fmt.Printf("%5d %8d %8d %6d %5d %13s %13s %11s %5s %10d %9d %9d\n",
+			it.Iteration, it.Visited, it.Boundary, it.Batch, it.NewNodes,
+			kth, rest, gap, cert,
+			it.ExpandNS/1000, it.SolveNS/1000, it.CertifyNS/1000)
 	}
 }
 

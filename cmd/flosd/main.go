@@ -5,26 +5,36 @@
 //	flosd -bin graph.bin -addr :8080
 //	flosd -store big.flos -pagecache 256 -addr :8080
 //	flosd -bin graph.bin -workers 16 -queue 128 -cache 4096 -timeout 2s
+//	flosd -bin graph.bin -log-level debug -pprof :6060
 //
 //	curl 'localhost:8080/topk?q=42&k=10&measure=rwr'
+//	curl 'localhost:8080/topk?q=42&k=10&measure=rwr&trace=1'
 //	curl 'localhost:8080/unified?q=42&k=10'
 //	curl 'localhost:8080/stats'
-//	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/metrics'              # Prometheus text
+//	curl 'localhost:8080/metrics?format=json'
 //
 // Queries run on a bounded worker pool (internal/qserve): -workers sets its
 // size, -queue the admission queue that sheds overload with 429, -cache the
 // result-cache capacity, and -timeout the per-query deadline. Disk-resident
 // stores are served concurrently through the lock-striped page cache.
+//
+// Logs are structured (log/slog, text to stderr): one access record per
+// request with its ID, status, and latency, plus per-query debug records at
+// -log-level debug. -pprof exposes net/http/pprof on a separate listener so
+// profiling never shares the query port.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
+	"os"
 	"time"
 
 	"flos"
+	"flos/internal/obs"
 	"flos/internal/server"
 )
 
@@ -40,8 +50,15 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission queue depth; excess requests get 429 (0 = 4x workers)")
 		cache     = flag.Int("cache", 0, "result-cache entries (0 = 1024, negative disables)")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms or 2s (0 = none)")
+		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: obs.ParseLogLevel(*logLevel),
+	}))
+	slog.SetDefault(logger)
 
 	var g flos.Graph
 	start := time.Now()
@@ -49,26 +66,39 @@ func main() {
 	case *graphPath != "":
 		mg, err := flos.LoadEdgeList(*graphPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "load edge list", err)
 		}
 		g = mg
 	case *binPath != "":
 		mg, err := flos.LoadBinary(*binPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "load binary graph", err)
 		}
 		g = mg
 	case *storePath != "":
 		dg, err := flos.OpenDiskGraph(*storePath, *pageCache<<20)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "open disk store", err)
 		}
 		defer dg.Close()
 		g = dg
 	default:
-		log.Fatal("flosd: one of -graph, -bin, -store is required")
+		logger.Error("one of -graph, -bin, -store is required")
+		os.Exit(1)
 	}
-	log.Printf("loaded graph: %d nodes, %d edges in %s", g.NumNodes(), g.NumEdges(), time.Since(start))
+	logger.Info("graph loaded",
+		"nodes", g.NumNodes(), "edges", g.NumEdges(), "elapsed", time.Since(start))
+
+	if *pprofAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serve that mux
+		// on its own listener so profiling stays off the query port.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	srv := server.New(g, server.Config{
 		MaxK:         *maxK,
@@ -76,20 +106,19 @@ func main() {
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		Timeout:      *timeout,
+		Logger:       logger,
 	})
 	defer srv.Close()
 	m := srv.Pool().Metrics()
-	log.Printf("serving on %s: %d workers, queue %d, result cache %d entries, timeout %s",
-		*addr, m.Workers, m.QueueCap, *cache, *timeout)
-	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
-		log.Fatal(err)
+	logger.Info("serving",
+		"addr", *addr, "workers", m.Workers, "queue_cap", m.QueueCap,
+		"cache_entries", *cache, "timeout", *timeout)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(logger, "listener failed", err)
 	}
 }
 
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Println(fmt.Sprintf("%s %s %s", r.Method, r.URL, time.Since(start)))
-	})
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }

@@ -83,6 +83,18 @@ type Ranked = measure.Ranked
 // TraceEvent is a per-iteration search snapshot (Options.Trace).
 type TraceEvent = core.TraceEvent
 
+// Tracer observes the search's convergence trajectory (Options.Tracer):
+// one IterStats per local-expansion iteration, including the certification
+// gap the stopping rule closes. Unlike Options.Trace it does not perturb
+// the expansion schedule, so traced runs do the same work as untraced ones.
+type Tracer = core.Tracer
+
+// IterStats is one iteration's observability record; see core.IterStats.
+type IterStats = core.IterStats
+
+// TraceCollector is a Tracer that appends every record to Iters.
+type TraceCollector = core.TraceCollector
+
 // DefaultOptions mirrors the paper's experimental configuration
 // (c = 0.5, τ = 1e−5, L = 10, self-loop tightening on).
 func DefaultOptions(m Measure, k int) Options { return core.DefaultOptions(m, k) }

@@ -441,12 +441,34 @@ func (e *phpEngine) interiorCount() int {
 	return cnt
 }
 
+// boundaryCount returns |δS|.
+func (e *phpEngine) boundaryCount() int {
+	cnt := 0
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// certGap records the observables of one termination test for tracing: the
+// k-th candidate's certified-side bound key and the best competing bound
+// key it must clear. Filled only when the caller passes a non-nil pointer,
+// and only once the test gets far enough to compare bounds (valid).
+type certGap struct {
+	valid bool
+	kth   float64 // certified-side bound key of the k-th selected candidate
+	rest  float64 // best competing bound key over everything else
+}
+
 // checkTermination implements Algorithm 6 (and its RWR variant from
 // Section 5.6). key(lb_i) and key(ub_i) are lb/ub themselves for PHP-family
 // queries, and deg_i·lb_i / deg_i·ub_i for RWR. wSbarUB is the w(S̄) guard
 // value (0 when not in RWR mode). It returns the selected top-k local
-// indices when the bounds separate, or nil.
-func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps float64) []int32 {
+// indices when the bounds separate, or nil. A non-nil gap receives the
+// certification-gap observables (tracing only).
+func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps float64, gap *certGap) []int32 {
 	type cand struct {
 		i   int32
 		key float64
@@ -512,16 +534,22 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 			maxBoundaryUB = e.ub[i]
 		}
 	}
-	if minK < maxRest-tieEps {
-		return nil
+	// In RWR mode the best unvisited node scores at most
+	// w(S̄)·max_{i∈δS} ub_i (second condition of Section 5.6; K is
+	// interior-only, so the first loop saw every boundary node). Folding it
+	// into rest makes the test one comparison and gives the trace the true
+	// competing bound.
+	rest := maxRest
+	if rwrMode && !exhausted && wSbar*maxBoundaryUB > rest {
+		rest = wSbar * maxBoundaryUB
 	}
-	if rwrMode && !exhausted {
-		// Second condition of Section 5.6: the best unvisited node scores at
-		// most w(S̄)·max_{i∈δS} ub_i. (K is interior-only, so the first loop
-		// saw every boundary node.)
-		if minK < wSbar*maxBoundaryUB-tieEps {
-			return nil
-		}
+	if gap != nil {
+		gap.valid = true
+		gap.kth = minK
+		gap.rest = rest
+	}
+	if minK < rest-tieEps {
+		return nil
 	}
 	out := make([]int32, k)
 	for i, c := range sel {

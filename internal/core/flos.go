@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"time"
 
 	"flos/internal/graph"
 	"flos/internal/measure"
@@ -50,6 +51,8 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 		return 0
 	}
 
+	tracing := opt.Tracer != nil
+	var phaseAt time.Time
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, interrupted(err, e.size(), t-1, e.sweeps)
@@ -59,11 +62,16 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 		e.updateDummy()
 
 		// Single-node expansion while the search is small (and whenever
-		// tracing, so traces match Algorithm 3 exactly); grow the batch with
-		// |S| so the expansion schedule stays a vanishing fraction per step.
+		// figure-tracing, so traces match Algorithm 3 exactly); grow the
+		// batch with |S| so the expansion schedule stays a vanishing
+		// fraction per step. Tracer keeps the real schedule.
 		batch := e.size() / 256
 		if batch < 1 || opt.Trace != nil {
 			batch = 1
+		}
+		var expandNS, solveNS, certifyNS int64
+		if tracing {
+			phaseAt = time.Now()
 		}
 		us := e.pickExpansion(rwrMode, batch)
 		var added []graph.NodeID
@@ -75,10 +83,18 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 				added = append(added, e.expand(u)...)
 			}
 		}
+		if tracing {
+			now := time.Now()
+			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
 
 		e.refreshTightening()
 		e.solveLower()
 		e.solveUpper()
+		if tracing {
+			now := time.Now()
+			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
 
 		// The batched expansion keeps the iteration count logarithmic in
 		// |S|, so the O(|S| log |S|) termination test can run every
@@ -88,10 +104,21 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			guard = wSbar()
 			e.degreeProbes++ // the index scan stands in for one metadata probe
 		}
-		sel := e.checkTermination(opt.K, rwrMode, guard, opt.TieEps)
+		var gap *certGap
+		if tracing {
+			gap = &certGap{}
+		}
+		sel := e.checkTermination(opt.K, rwrMode, guard, opt.TieEps, gap)
+		if tracing {
+			certifyNS = time.Since(phaseAt).Nanoseconds()
+		}
 
 		if opt.Trace != nil {
 			opt.Trace(traceSnapshot(e, t, expanded, added))
+		}
+		if tracing {
+			opt.Tracer.ObserveIteration(iterStats(e, t, len(us), len(added),
+				sel != nil, gap, expandNS, solveNS, certifyNS))
 		}
 
 		switch {
@@ -174,6 +201,33 @@ func buildResult(e *phpEngine, sel []int32, opt Options, iters int, exact bool) 
 		return res.TopK[a].Node < res.TopK[b].Node
 	})
 	return res, nil
+}
+
+// iterStats assembles one IterStats record from the engine state right
+// after an iteration's termination test. Gap orientation is
+// higher-is-closer: kth lower-bound key minus best competing upper-bound
+// key, non-negative (within TieEps) exactly when certified.
+func iterStats(e *phpEngine, t, batch, added int, certified bool, gap *certGap, expandNS, solveNS, certifyNS int64) IterStats {
+	s := IterStats{
+		Iteration:  t,
+		Visited:    e.size(),
+		Boundary:   e.boundaryCount(),
+		Interior:   e.interiorCount(),
+		Batch:      batch,
+		NewNodes:   added,
+		Certified:  certified,
+		DummyValue: e.rd,
+		ExpandNS:   expandNS,
+		SolveNS:    solveNS,
+		CertifyNS:  certifyNS,
+	}
+	if gap != nil && gap.valid {
+		s.GapValid = true
+		s.KthBound = gap.kth
+		s.RestBound = gap.rest
+		s.Gap = gap.kth - gap.rest
+	}
+	return s
 }
 
 func traceSnapshot(e *phpEngine, t int, expanded graph.NodeID, added []graph.NodeID) TraceEvent {

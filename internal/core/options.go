@@ -38,9 +38,73 @@ type Options struct {
 	// non-terminating) criterion; DefaultOptions uses 1e-9.
 	TieEps float64
 	// Trace, when non-nil, receives a per-iteration snapshot of the search —
-	// used to regenerate the paper's Figure 4 and Table 3.
+	// used to regenerate the paper's Figure 4 and Table 3. It forces
+	// single-node expansion so traces match Algorithm 3 exactly; for
+	// production observability use Tracer instead, which records the real
+	// (batched) schedule.
 	Trace func(TraceEvent)
+	// Tracer, when non-nil, receives one IterStats per search iteration:
+	// visited/boundary/candidate counts, the certification gap (k-th lower
+	// bound vs. best outsider upper bound), batch size, and per-phase wall
+	// times. The disabled cost is a nil check per iteration; the enabled
+	// cost is O(|S|) per iteration for the count scans plus the timestamp
+	// reads.
+	Tracer Tracer
 }
+
+// Tracer observes per-iteration search statistics (Options.Tracer).
+type Tracer interface {
+	ObserveIteration(IterStats)
+}
+
+// IterStats is one search iteration's instrumentation record. Bound values
+// are in the engine's native key scale: PHP-scale proximities for the PHP
+// family, degree-weighted PHP for RWR, hop counts for THT.
+type IterStats struct {
+	// Iteration is the 1-based expansion count (paper's t).
+	Iteration int `json:"iter"`
+	// Visited is |S|; Boundary is |δS|; Interior is the candidate count
+	// |S \ δS \ {q}| the top-k is selected from.
+	Visited  int `json:"visited"`
+	Boundary int `json:"boundary"`
+	Interior int `json:"interior"`
+	// Batch is the number of boundary nodes expanded this iteration;
+	// NewNodes how many nodes were first visited as a result.
+	Batch    int `json:"batch"`
+	NewNodes int `json:"new_nodes"`
+	// GapValid reports that the termination test got far enough to compare
+	// bounds (k candidates exist). KthBound is then the k-th best
+	// candidate's certified-side bound key (lower bound for higher-is-closer
+	// measures, upper bound for THT) and RestBound the best competing bound
+	// key over every other node, visited or not (upper bounds, including the
+	// w(S̄)-guarded unvisited mass in RWR mode; lower bounds for THT).
+	GapValid  bool    `json:"gap_valid"`
+	KthBound  float64 `json:"kth_bound"`
+	RestBound float64 `json:"rest_bound"`
+	// Gap is the certification margin, oriented so that Gap >= -TieEps iff
+	// the top-k set is certified: KthBound-RestBound for higher-is-closer
+	// measures, RestBound-KthBound for THT (Theorem 1's stopping rule).
+	Gap float64 `json:"gap"`
+	// Certified reports that this iteration's termination test passed — on
+	// a completed exact search it is true exactly once, in the final entry.
+	Certified bool `json:"certified"`
+	// DummyValue is r_d after this iteration (the upper-bound anchor).
+	DummyValue float64 `json:"dummy"`
+	// Per-phase wall times: graph expansion (I/O + wiring), the bound
+	// sweeps (tightening + both systems), and the certification test.
+	ExpandNS  int64 `json:"expand_ns"`
+	SolveNS   int64 `json:"solve_ns"`
+	CertifyNS int64 `json:"certify_ns"`
+}
+
+// TraceCollector is a Tracer that records the full trajectory in order.
+// It is not concurrency-safe; use one per query.
+type TraceCollector struct {
+	Iters []IterStats
+}
+
+// ObserveIteration appends the record.
+func (c *TraceCollector) ObserveIteration(s IterStats) { c.Iters = append(c.Iters, s) }
 
 // DefaultOptions mirrors the paper's experimental configuration for the
 // given measure: c = 0.5, τ = 1e-5, L = 10, tightening on.

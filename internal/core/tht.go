@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"time"
 
 	"flos/internal/graph"
 	"flos/internal/measure"
@@ -363,7 +364,10 @@ func (e *thtEngine) expand(u int32) []graph.NodeID {
 // once max_K ub ≤ min over every other candidate of lb (the unvisited
 // region is covered because min_{δS} lb lower-bounds it by the
 // no-local-minimum property). Returns the selected local indices or nil.
-func (e *thtEngine) checkTermination(k int, tieEps float64) []int32 {
+// A non-nil gap receives the certification-gap observables (tracing only):
+// kth is the k-th candidate's upper bound, rest the best outsider lower
+// bound — the roles mirror the PHP engine because lower is closer.
+func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int32 {
 	type cand struct {
 		i   int32
 		key float64
@@ -415,6 +419,11 @@ func (e *thtEngine) checkTermination(k int, tieEps float64) []int32 {
 			minRest = e.lb(i)
 		}
 	}
+	if gap != nil {
+		gap.valid = true
+		gap.kth = maxK
+		gap.rest = minRest
+	}
 	if (restSeen || !exhausted) && maxK > minRest+tieEps {
 		return nil
 	}
@@ -432,6 +441,8 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
 	}
+	tracing := opt.Tracer != nil
+	var phaseAt time.Time
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, interrupted(err, e.size(), t-1, e.sweeps)
@@ -440,11 +451,15 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 		if batch < 1 || opt.Trace != nil {
 			batch = 1
 		}
+		var expandNS, solveNS, certifyNS int64
+		if tracing {
+			phaseAt = time.Now()
+		}
 		us := e.pickExpansion(batch)
 		if opt.Trace == nil {
 			// Hop closure: keep the distance floor advancing (see
-			// pickFloorClosers). Disabled under tracing so traces show the
-			// plain Algorithm 3 schedule.
+			// pickFloorClosers). Disabled under figure-tracing so traces
+			// show the plain Algorithm 3 schedule.
 			seen := make(map[int32]bool, len(us))
 			for _, u := range us {
 				seen[u] = true
@@ -463,8 +478,25 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 				added = append(added, e.expand(u)...)
 			}
 		}
+		if tracing {
+			now := time.Now()
+			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
 		e.solveBounds()
-		sel := e.checkTermination(opt.K, opt.TieEps)
+		if tracing {
+			now := time.Now()
+			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
+		var gap *certGap
+		if tracing {
+			gap = &certGap{}
+		}
+		sel := e.checkTermination(opt.K, opt.TieEps, gap)
+		if tracing {
+			certifyNS = time.Since(phaseAt).Nanoseconds()
+			opt.Tracer.ObserveIteration(thtIterStats(e, t, len(us), len(added),
+				sel != nil, gap, expandNS, solveNS, certifyNS))
+		}
 		if opt.Trace != nil {
 			lbs := make([]float64, e.size())
 			ubs := make([]float64, e.size())
@@ -508,6 +540,39 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 			return res, nil
 		}
 	}
+}
+
+// thtIterStats assembles one IterStats record for the finite-horizon
+// engine. Gap orientation mirrors the PHP engine's because lower is closer:
+// best outsider lower bound minus kth upper bound, non-negative (within
+// TieEps) exactly when certified. DummyValue is the horizon L, the value the
+// upper-bound dummy is pinned at.
+func thtIterStats(e *thtEngine, t, batch, added int, certified bool, gap *certGap, expandNS, solveNS, certifyNS int64) IterStats {
+	s := IterStats{
+		Iteration:  t,
+		Visited:    e.size(),
+		Batch:      batch,
+		NewNodes:   added,
+		Certified:  certified,
+		DummyValue: float64(e.L),
+		ExpandNS:   expandNS,
+		SolveNS:    solveNS,
+		CertifyNS:  certifyNS,
+	}
+	for i := int32(0); i < int32(e.size()); i++ {
+		if e.isBoundary(i) {
+			s.Boundary++
+		} else if e.nodes[i] != e.q {
+			s.Interior++
+		}
+	}
+	if gap != nil && gap.valid {
+		s.GapValid = true
+		s.KthBound = gap.kth
+		s.RestBound = gap.rest
+		s.Gap = gap.rest - gap.kth
+	}
+	return s
 }
 
 // forceSelect picks the k best visited nodes by upper bound (the safe side

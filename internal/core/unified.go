@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"flos/internal/graph"
 	"flos/internal/measure"
@@ -69,6 +70,8 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 		return 0
 	}
 
+	tracing := opt.Tracer != nil
+	var phaseAt time.Time
 	var selPHP, selRWR []int32
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
@@ -89,26 +92,60 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 		if selRWR != nil {
 			rwrPriority = false
 		}
+		var expandNS, solveNS, certifyNS int64
+		if tracing {
+			phaseAt = time.Now()
+		}
+		sizeBefore := e.size()
 		us := e.pickExpansion(rwrPriority, batch)
 		exhausted := len(us) == 0
 		for _, u := range us {
 			e.expand(u)
 		}
+		if tracing {
+			now := time.Now()
+			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
 
 		e.refreshTightening()
 		e.solveLower()
 		e.solveUpper()
+		if tracing {
+			now := time.Now()
+			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
+		}
 
+		// The trace follows whichever family is still uncertified — PHP
+		// first, then RWR — so the gap trajectory always describes the
+		// binding stopping condition.
+		var gapPHP, gapRWR *certGap
 		if selPHP == nil {
-			selPHP = e.checkTermination(opt.K, false, 0, opt.TieEps)
+			if tracing {
+				gapPHP = &certGap{}
+			}
+			selPHP = e.checkTermination(opt.K, false, 0, opt.TieEps, gapPHP)
 		}
 		if selRWR == nil {
+			if tracing {
+				gapRWR = &certGap{}
+			}
 			guard := wSbar()
 			e.degreeProbes++
-			selRWR = e.checkTermination(opt.K, true, guard, opt.TieEps)
+			selRWR = e.checkTermination(opt.K, true, guard, opt.TieEps, gapRWR)
+		}
+		if tracing {
+			certifyNS = time.Since(phaseAt).Nanoseconds()
 		}
 
 		done := selPHP != nil && selRWR != nil
+		if tracing {
+			gap := gapPHP
+			if gap == nil {
+				gap = gapRWR
+			}
+			opt.Tracer.ObserveIteration(iterStats(e, t, len(us), e.size()-sizeBefore,
+				done, gap, expandNS, solveNS, certifyNS))
+		}
 		exact := true
 		if !done && exhausted {
 			if selPHP == nil {

@@ -228,15 +228,47 @@ type Stats struct {
 
 func (c *pageCache) stats() Stats {
 	st := Stats{Shards: len(c.shards)}
+	for _, ss := range c.shardStats() {
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.FaultsDeduped += ss.FaultsDeduped
+		st.ResidentBytes += ss.ResidentBytes
+		st.ResidentPages += ss.ResidentPages
+	}
+	return st
+}
+
+// ShardStat is one lock stripe's view of the page cache: its own
+// hit/miss/dedup counters and resident set. Uneven hit ratios across shards
+// expose skewed page access (hot adjacency regions) that the aggregate
+// Stats averages away.
+type ShardStat struct {
+	// Shard is the stripe index (page index mod shard count).
+	Shard int
+	// Hits, Misses, FaultsDeduped as in Stats, per stripe.
+	Hits, Misses, FaultsDeduped int64
+	// ResidentBytes / ResidentPages describe the stripe's occupancy.
+	ResidentBytes int64
+	ResidentPages int
+}
+
+// shardStats snapshots each stripe under its own lock. Stripes are read
+// sequentially, so the slice is per-shard consistent, not a global atomic
+// snapshot — the same contract concurrent readers already get from stats.
+func (c *pageCache) shardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		st.Hits += sh.hits
-		st.Misses += sh.misses
-		st.FaultsDeduped += sh.dedups
-		st.ResidentBytes += sh.bytes
-		st.ResidentPages += len(sh.pages)
+		out[i] = ShardStat{
+			Shard:         i,
+			Hits:          sh.hits,
+			Misses:        sh.misses,
+			FaultsDeduped: sh.dedups,
+			ResidentBytes: sh.bytes,
+			ResidentPages: len(sh.pages),
+		}
 		sh.mu.Unlock()
 	}
-	return st
+	return out
 }

@@ -200,8 +200,12 @@ func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 	return nbrs, ws
 }
 
-// CacheStats reports page-cache behavior since Open.
+// CacheStats reports aggregate page-cache behavior since Open.
 func (s *Store) CacheStats() Stats { return s.cache.stats() }
+
+// ShardStats reports per-stripe page-cache behavior since Open, one entry
+// per lock shard in stripe order.
+func (s *Store) ShardStats() []ShardStat { return s.cache.shardStats() }
 
 // FileSize returns the store's on-disk size in bytes (the paper's Table 7
 // "disk size" column).

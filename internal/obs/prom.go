@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter emits metrics in the Prometheus text exposition format
+// (version 0.0.4). It tracks which metric names already received their
+// HELP/TYPE header so a metric family can be written label-set by label-set
+// in any order.
+type PromWriter struct {
+	w      io.Writer
+	headed map[string]bool
+	err    error
+}
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewPromWriter wraps w. Write errors are sticky; check Err once at the end.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, headed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// head writes the HELP/TYPE comment pair once per metric family.
+func (p *PromWriter) head(name, help, typ string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelString renders a label map as {k="v",...} with deterministic order;
+// empty maps render as the empty string.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels returns base plus one extra pair without mutating base.
+func mergeLabels(base map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(base)+1)
+	for bk, bv := range base {
+		out[bk] = bv
+	}
+	out[k] = v
+	return out
+}
+
+// Counter writes one counter sample.
+func (p *PromWriter) Counter(name, help string, labels map[string]string, v int64) {
+	p.head(name, help, "counter")
+	p.printf("%s%s %d\n", name, labelString(labels), v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, labels map[string]string, v float64) {
+	p.head(name, help, "gauge")
+	p.printf("%s%s %g\n", name, labelString(labels), v)
+}
+
+// Histogram writes one histogram series (cumulative _bucket samples with an
+// explicit +Inf, then _sum and _count) from a Snapshot. Bucket bounds are
+// exposed in seconds, the Prometheus base unit for time.
+func (p *PromWriter) Histogram(name, help string, labels map[string]string, s Snapshot) {
+	p.head(name, help, "histogram")
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if i == numBuckets-1 {
+			break // the overflow bucket is the +Inf sample below
+		}
+		le := fmt.Sprintf("%g", float64(bucketBound(i))/1e6)
+		p.printf("%s_bucket%s %d\n", name, labelString(mergeLabels(labels, "le", le)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, labelString(mergeLabels(labels, "le", "+Inf")), s.Count)
+	p.printf("%s_sum%s %g\n", name, labelString(labels), float64(s.SumUS)/1e6)
+	p.printf("%s_count%s %d\n", name, labelString(labels), s.Count)
+}

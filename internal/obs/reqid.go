@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// reqSeq is the process-wide request sequence number.
+var reqSeq atomic.Uint64
+
+// reqEpoch distinguishes processes: request IDs embed the start-time epoch
+// so IDs from a restarted server don't collide in aggregated logs.
+var reqEpoch = uint32(time.Now().Unix())
+
+// NewRequestID returns a short unique request identifier, e.g.
+// "66b2f0a1-000003". It is cheap (one atomic add) and collision-free within
+// a process.
+func NewRequestID() string {
+	return fmt.Sprintf("%08x-%06x", reqEpoch, reqSeq.Add(1))
+}
+
+// ParseLogLevel maps a -log-level flag value onto a slog.Level; unknown
+// strings default to Info.
+func ParseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

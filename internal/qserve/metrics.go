@@ -1,78 +1,117 @@
 package qserve
 
 import (
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"flos/internal/obs"
 )
 
-// latWindow is how many recent query latencies the percentile estimator
-// keeps; old observations are overwritten ring-style, so P50/P99 describe
-// the recent window, not all time.
-const latWindow = 2048
+// measureLabels are the latency-histogram labels, indexed by measure.Kind
+// (PHP..RWR) with one extra slot for unified queries. Prometheus and the
+// JSON snapshot both key by these strings.
+var measureLabels = [...]string{"php", "ei", "dht", "tht", "rwr", "unified"}
 
-// metrics is the pool's internal counter set.
+// unifiedSlot is the histogram slot of unified (two-family) queries.
+const unifiedSlot = len(measureLabels) - 1
+
+// metricsSlot maps a request onto its per-measure histogram slot.
+func metricsSlot(req Request) int {
+	if req.Unified {
+		return unifiedSlot
+	}
+	if k := int(req.Opt.Measure); k >= 0 && k < unifiedSlot {
+		return k
+	}
+	return unifiedSlot // unknown kinds share the last slot rather than panic
+}
+
+// metrics is the pool's internal counter set. Counters are independent
+// atomics and the latency histograms are lock-free (obs.Histogram), so the
+// hot path never takes a lock — the old implementation sorted a 2048-entry
+// ring under a mutex on every snapshot and its truncating percentile index
+// under-reported p99 on small windows.
 type metrics struct {
 	served      atomic.Int64
 	shed        atomic.Int64
 	interrupted atomic.Int64
 
-	mu  sync.Mutex
-	lat [latWindow]int64 // microseconds
-	n   int64            // total observations ever
+	// Outcome split of executed queries: deadline + canceled = interrupted;
+	// failed counts non-context errors.
+	deadline atomic.Int64
+	canceled atomic.Int64
+	failed   atomic.Int64
+
+	// Work totals accumulated from completed and interrupted searches.
+	iterations atomic.Int64
+	visited    atomic.Int64
+	sweeps     atomic.Int64
+
+	lat          obs.Histogram // all executed (non-cache-hit) queries
+	latByMeasure [len(measureLabels)]obs.Histogram
 }
 
-func (m *metrics) observe(d time.Duration) {
-	us := d.Microseconds()
-	m.mu.Lock()
-	m.lat[m.n%latWindow] = us
-	m.n++
-	m.mu.Unlock()
+func (m *metrics) observe(slot int, d time.Duration) {
+	m.lat.Observe(d)
+	m.latByMeasure[slot].Observe(d)
 }
 
-// percentiles returns (p50, p99) in microseconds over the recent window.
-func (m *metrics) percentiles() (int64, int64) {
-	m.mu.Lock()
-	n := m.n
-	if n > latWindow {
-		n = latWindow
-	}
-	sample := make([]int64, n)
-	copy(sample, m.lat[:n])
-	m.mu.Unlock()
-	if len(sample) == 0 {
-		return 0, 0
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	at := func(p float64) int64 {
-		i := int(p * float64(len(sample)-1))
-		return sample[i]
-	}
-	return at(0.50), at(0.99)
+func (m *metrics) addWork(iterations, visited, sweeps int) {
+	m.iterations.Add(int64(iterations))
+	m.visited.Add(int64(visited))
+	m.sweeps.Add(int64(sweeps))
 }
 
 func (m *metrics) snapshot() Metrics {
-	p50, p99 := m.percentiles()
-	return Metrics{
-		Served:      m.served.Load(),
-		Shed:        m.shed.Load(),
-		Interrupted: m.interrupted.Load(),
-		P50Micros:   p50,
-		P99Micros:   p99,
+	lat := m.lat.Snapshot()
+	out := Metrics{
+		Served:           m.served.Load(),
+		Shed:             m.shed.Load(),
+		Interrupted:      m.interrupted.Load(),
+		Deadline:         m.deadline.Load(),
+		Canceled:         m.canceled.Load(),
+		Failed:           m.failed.Load(),
+		IterationsTotal:  m.iterations.Load(),
+		VisitedTotal:     m.visited.Load(),
+		SweepsTotal:      m.sweeps.Load(),
+		P50Micros:        lat.QuantileUS(0.50),
+		P99Micros:        lat.QuantileUS(0.99),
+		Latency:          lat,
+		LatencyByMeasure: make(map[string]obs.Snapshot),
 	}
+	for i := range m.latByMeasure {
+		if s := m.latByMeasure[i].Snapshot(); s.Count > 0 {
+			out.LatencyByMeasure[measureLabels[i]] = s
+		}
+	}
+	return out
 }
 
 // Metrics is a point-in-time snapshot of pool behavior, the source for the
-// server's /metrics endpoint.
+// server's /metrics endpoint (both the Prometheus and JSON forms).
 type Metrics struct {
 	// Served counts queries answered (including cache hits and queries that
 	// ended in cancellation); Shed counts admissions refused with
 	// ErrOverloaded; Interrupted counts queries ended by context.
 	Served, Shed, Interrupted int64
-	// P50Micros / P99Micros are latency percentiles over the recent window
-	// of executed (non-cache-hit) queries.
+	// Deadline and Canceled split Interrupted by cause; Failed counts
+	// queries that ended in a non-context error.
+	Deadline, Canceled, Failed int64
+	// IterationsTotal / VisitedTotal / SweepsTotal accumulate the engine
+	// work counters over every executed search, interrupted ones included —
+	// visited-per-query is the paper's locality metric, so the ratio
+	// VisitedTotal/Served tracks how local production traffic actually is.
+	IterationsTotal, VisitedTotal, SweepsTotal int64
+	// P50Micros / P99Micros are conservative (round-up) latency quantiles
+	// over all executed (non-cache-hit) queries, kept for compatibility
+	// with the pre-histogram snapshot. Unlike the old ring-buffer window
+	// they cover the pool's lifetime.
 	P50Micros, P99Micros int64
+	// Latency is the full log-bucketed latency histogram; LatencyByMeasure
+	// splits it per measure label ("php", "ei", "dht", "tht", "rwr",
+	// "unified"), omitting labels with no observations.
+	Latency          obs.Snapshot
+	LatencyByMeasure map[string]obs.Snapshot
 	// QueueDepth is the current number of admitted-but-waiting queries;
 	// QueueCap its bound; Workers the worker count.
 	QueueDepth, QueueCap, Workers int

@@ -25,6 +25,7 @@ package qserve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,10 @@ type Config struct {
 	// Timeout is the per-query wall-clock budget covering queue wait and
 	// execution; 0 means no pool-imposed deadline.
 	Timeout time.Duration
+	// Logger, when non-nil, receives per-query debug records (query node,
+	// measure, latency, outcome) and warn records for shed requests. Nil
+	// keeps the pool silent.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -76,8 +81,10 @@ func (c Config) withDefaults() Config {
 type Request struct {
 	// Query is the query node.
 	Query graph.NodeID
-	// Opt configures the search. Opt.Trace must be nil for cached requests;
-	// a request with a trace callback bypasses the cache.
+	// Opt configures the search. A request with a trace callback (Opt.Trace)
+	// or an iteration tracer (Opt.Tracer) bypasses the result cache in both
+	// directions: the caller wants the trajectory of a real execution, and
+	// per-query tracer state must not be shared through cached responses.
 	Opt core.Options
 	// Unified selects UnifiedTopK (both ranking families in one search)
 	// instead of single-measure TopK.
@@ -189,7 +196,7 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
-	if p.cache != nil && req.Opt.Trace == nil {
+	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
 		j.key = keyOf(p.epoch.Load(), req)
 		j.cached = true
 		if resp, ok := p.cache.get(j.key); ok {
@@ -210,6 +217,9 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 			j.cancel()
 		}
 		p.met.shed.Add(1)
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("query shed", "query", req.Query, "queue_cap", p.cfg.QueueDepth)
+		}
 		return nil, ErrOverloaded
 	}
 
@@ -256,13 +266,37 @@ func (p *Pool) run(g graph.Graph, j *job) {
 	if p.serialMu != nil {
 		p.serialMu.Unlock()
 	}
+	elapsed := time.Since(start)
 	p.met.served.Add(1)
-	p.met.observe(time.Since(start))
+	p.met.observe(metricsSlot(j.req), elapsed)
+	status := "ok"
 	if err != nil {
+		status = "error"
 		var in *core.Interrupted
 		if errors.As(err, &in) {
 			p.met.interrupted.Add(1)
+			p.met.addWork(in.Iterations, in.Visited, in.Sweeps)
+			if errors.Is(err, core.ErrDeadline) {
+				p.met.deadline.Add(1)
+				status = "deadline"
+			} else {
+				p.met.canceled.Add(1)
+				status = "canceled"
+			}
+		} else {
+			p.met.failed.Add(1)
 		}
+	} else if j.req.Unified {
+		p.met.addWork(resp.Unified.Iterations, resp.Unified.Visited, resp.Unified.Sweeps)
+	} else {
+		p.met.addWork(resp.TopK.Iterations, resp.TopK.Visited, resp.TopK.Sweeps)
+	}
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Debug("query executed",
+			"query", j.req.Query, "measure", measureLabels[metricsSlot(j.req)],
+			"k", j.req.Opt.K, "latency", elapsed, "outcome", status)
+	}
+	if err != nil {
 		j.out <- outcome{err: err}
 		return
 	}

@@ -289,3 +289,94 @@ func TestClosedPool(t *testing.T) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
+
+// TestMetricsHistogramsAndOutcomes exercises the histogram-based snapshot:
+// latency percentiles are populated, per-measure histograms carry the right
+// labels, outcome counters split interrupted queries by cause, and the work
+// totals accumulate engine counters.
+func TestMetricsHistogramsAndOutcomes(t *testing.T) {
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(g, Config{Workers: 2, CacheEntries: -1})
+	defer pool.Close()
+
+	for _, kind := range []measure.Kind{measure.PHP, measure.RWR} {
+		for i := 0; i < 3; i++ {
+			if _, err := pool.Do(context.Background(), Request{Query: graph.NodeID(100 + i), Opt: core.DefaultOptions(kind, 5)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := pool.Do(context.Background(), Request{Query: 50, Opt: core.DefaultOptions(measure.PHP, 5), Unified: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := pool.Metrics()
+	if m.Served != 7 {
+		t.Fatalf("served = %d, want 7", m.Served)
+	}
+	if m.P50Micros <= 0 || m.P99Micros < m.P50Micros {
+		t.Errorf("percentiles p50=%d p99=%d", m.P50Micros, m.P99Micros)
+	}
+	if m.Latency.Count != 7 {
+		t.Errorf("overall histogram count = %d, want 7", m.Latency.Count)
+	}
+	for _, label := range []string{"php", "rwr", "unified"} {
+		if m.LatencyByMeasure[label].Count == 0 {
+			t.Errorf("no observations under measure label %q: %v", label, m.LatencyByMeasure)
+		}
+	}
+	if _, ok := m.LatencyByMeasure["tht"]; ok {
+		t.Errorf("unused measure label present: %v", m.LatencyByMeasure)
+	}
+	if m.VisitedTotal <= 0 || m.IterationsTotal <= 0 || m.SweepsTotal <= 0 {
+		t.Errorf("work totals not accumulated: %+v", m)
+	}
+
+	// A pool-deadline query lands in the deadline outcome bucket.
+	dpool := New(g, Config{Workers: 1, Timeout: time.Nanosecond, CacheEntries: -1})
+	defer dpool.Close()
+	if _, err := dpool.Do(context.Background(), Request{Query: 1, Opt: core.DefaultOptions(measure.PHP, 5)}); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	dm := dpool.Metrics()
+	if dm.Deadline != 1 || dm.Interrupted != 1 || dm.Canceled != 0 {
+		t.Errorf("outcomes = deadline %d canceled %d interrupted %d, want 1/0/1",
+			dm.Deadline, dm.Canceled, dm.Interrupted)
+	}
+}
+
+// TestTracerBypassesCache: requests carrying an iteration tracer must not
+// be answered from (or populate) the result cache — the caller wants a real
+// execution's trajectory.
+func TestTracerBypassesCache(t *testing.T) {
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(g, Config{Workers: 1, CacheEntries: 64})
+	defer pool.Close()
+
+	req := Request{Query: 100, Opt: core.DefaultOptions(measure.RWR, 5)}
+	if _, err := pool.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	traced := req
+	tc := &core.TraceCollector{}
+	traced.Opt.Tracer = tc
+	resp, err := pool.Do(context.Background(), traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("traced request served from cache")
+	}
+	if len(tc.Iters) == 0 {
+		t.Fatal("tracer saw no iterations")
+	}
+	if !tc.Iters[len(tc.Iters)-1].Certified {
+		t.Fatalf("final trace entry not certified: %+v", tc.Iters[len(tc.Iters)-1])
+	}
+}

@@ -6,15 +6,22 @@
 //
 //	GET /healthz            liveness
 //	GET /stats              graph summary
-//	GET /metrics            serving metrics (JSON: throughput, latency
-//	                        percentiles, queue depth, shed count, cache hit
-//	                        ratio, disk page faults)
-//	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0]
-//	GET /unified?q=42&k=10[&c=0.5]
+//	GET /metrics            Prometheus text exposition (latency histograms
+//	                        per endpoint and per measure, query/outcome/
+//	                        cache/page-cache counters, runtime gauges);
+//	                        ?format=json returns the JSON snapshot
+//	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0][&trace=1]
+//	GET /unified?q=42&k=10[&c=0.5][&trace=1]
+//
+// trace=1 returns the per-iteration convergence trajectory (visited/
+// boundary/candidate counts, the certification gap, per-phase timings)
+// alongside the results; traced requests bypass the result cache.
 //
 // All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
-// status. Query execution is delegated to internal/qserve: a bounded worker
-// pool answers queries concurrently on every backend (disk-resident stores
+// status. Every response carries an X-Request-ID header, and each request
+// emits one structured (log/slog) access record with latency and outcome.
+// Query execution is delegated to internal/qserve: a bounded worker pool
+// answers queries concurrently on every backend (disk-resident stores
 // included — their page cache is lock-striped and each worker holds its own
 // reader view), requests beyond the admission queue are shed with
 // 429 + Retry-After, and each query runs under the pool's deadline as well
@@ -25,7 +32,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -34,6 +43,7 @@ import (
 	"flos/internal/diskgraph"
 	"flos/internal/graph"
 	"flos/internal/measure"
+	"flos/internal/obs"
 	"flos/internal/qserve"
 )
 
@@ -42,6 +52,11 @@ type Server struct {
 	g     graph.Graph
 	store *diskgraph.Store // non-nil for disk-resident graphs: /metrics reads page-fault counters
 	pool  *qserve.Pool
+	log   *slog.Logger
+
+	// httpLat holds one latency histogram per known endpoint path —
+	// bounded cardinality by construction.
+	httpLat map[string]*obs.Histogram
 
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
@@ -68,11 +83,17 @@ type Config struct {
 	Defaults measure.Params
 	// MaxK caps requested k (0 = 1000).
 	MaxK int
+	// Logger receives structured access and query records; nil selects
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // New builds a Server for g and starts its worker pool; Close releases it.
 func New(g graph.Graph, cfg Config) *Server {
-	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK}
+	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK, log: cfg.Logger}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	if s.defaults == (measure.Params{}) {
 		s.defaults = measure.DefaultParams()
 	}
@@ -81,6 +102,10 @@ func New(g graph.Graph, cfg Config) *Server {
 	}
 	if st, ok := g.(*diskgraph.Store); ok {
 		s.store = st
+	}
+	s.httpLat = make(map[string]*obs.Histogram)
+	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/unified"} {
+		s.httpLat[ep] = &obs.Histogram{}
 	}
 	workers := cfg.Workers
 	if cfg.Serialize {
@@ -91,6 +116,7 @@ func New(g graph.Graph, cfg Config) *Server {
 		QueueDepth:   cfg.QueueDepth,
 		CacheEntries: cfg.CacheEntries,
 		Timeout:      cfg.Timeout,
+		Logger:       s.log,
 	})
 	return s
 }
@@ -101,7 +127,8 @@ func (s *Server) Pool() *qserve.Pool { return s.pool }
 // Close stops the worker pool.
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table wrapped in the observability
+// middleware (request IDs, access logs, per-endpoint latency histograms).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -109,7 +136,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/unified", s.handleUnified)
-	return mux
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument assigns each request an ID (echoed in X-Request-ID), times it
+// into the per-endpoint histogram, and emits one structured access record.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if h, ok := s.httpLat[r.URL.Path]; ok {
+			h.Observe(elapsed)
+		}
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", sw.status,
+			"latency", elapsed,
+		)
+	})
 }
 
 type errorBody struct {
@@ -156,11 +221,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsBody{Nodes: s.g.NumNodes(), Edges: s.g.NumEdges()})
 }
 
-// metricsBody is the /metrics payload.
+// metricsBody is the /metrics?format=json payload.
 type metricsBody struct {
 	QueriesServed  int64   `json:"queries_served"`
 	QueriesShed    int64   `json:"queries_shed"`
 	Interrupted    int64   `json:"queries_interrupted"`
+	Deadline       int64   `json:"queries_deadline"`
+	Canceled       int64   `json:"queries_canceled"`
+	Failed         int64   `json:"queries_failed"`
+	Iterations     int64   `json:"engine_iterations"`
+	VisitedNodes   int64   `json:"engine_visited_nodes"`
+	Sweeps         int64   `json:"engine_sweeps"`
 	P50Micros      int64   `json:"latency_p50_us"`
 	P99Micros      int64   `json:"latency_p99_us"`
 	QueueDepth     int     `json:"queue_depth"`
@@ -173,8 +244,28 @@ type metricsBody struct {
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	Epoch          uint64  `json:"epoch"`
 
+	// Measures holds per-measure latency summaries for labels that saw
+	// traffic.
+	Measures map[string]measureLatencyBody `json:"measures,omitempty"`
+
+	// Runtime gauges.
+	Runtime runtimeBody `json:"runtime"`
+
 	// Disk page-cache counters; present only for disk-resident graphs.
 	Disk *diskMetricsBody `json:"disk,omitempty"`
+}
+
+type measureLatencyBody struct {
+	Count     int64 `json:"count"`
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+}
+
+type runtimeBody struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
 }
 
 type diskMetricsBody struct {
@@ -184,14 +275,51 @@ type diskMetricsBody struct {
 	ResidentBytes int64 `json:"resident_bytes"`
 	ResidentPages int   `json:"resident_pages"`
 	Shards        int   `json:"shards"`
+
+	// PerShard breaks the counters down by lock stripe.
+	PerShard []shardBody `json:"per_shard"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+type shardBody struct {
+	Shard         int   `json:"shard"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	FaultsDeduped int64 `json:"faults_deduped"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	ResidentPages int   `json:"resident_pages"`
+}
+
+func readRuntime() runtimeBody {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeBody{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.metricsJSON(w)
+		return
+	}
+	s.metricsProm(w)
+}
+
+func (s *Server) metricsJSON(w http.ResponseWriter) {
 	m := s.pool.Metrics()
 	body := metricsBody{
 		QueriesServed:  m.Served,
 		QueriesShed:    m.Shed,
 		Interrupted:    m.Interrupted,
+		Deadline:       m.Deadline,
+		Canceled:       m.Canceled,
+		Failed:         m.Failed,
+		Iterations:     m.IterationsTotal,
+		VisitedNodes:   m.VisitedTotal,
+		Sweeps:         m.SweepsTotal,
 		P50Micros:      m.P50Micros,
 		P99Micros:      m.P99Micros,
 		QueueDepth:     m.QueueDepth,
@@ -203,10 +331,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:   m.CacheEntries,
 		CacheHitRatio:  m.CacheHitRatio(),
 		Epoch:          m.Epoch,
+		Runtime:        readRuntime(),
+	}
+	if len(m.LatencyByMeasure) > 0 {
+		body.Measures = make(map[string]measureLatencyBody, len(m.LatencyByMeasure))
+		for label, snap := range m.LatencyByMeasure {
+			body.Measures[label] = measureLatencyBody{
+				Count:     snap.Count,
+				P50Micros: snap.QuantileUS(0.50),
+				P99Micros: snap.QuantileUS(0.99),
+			}
+		}
 	}
 	if s.store != nil {
 		st := s.store.CacheStats()
-		body.Disk = &diskMetricsBody{
+		disk := &diskMetricsBody{
 			PageHits:      st.Hits,
 			PageFaults:    st.Misses,
 			FaultsDeduped: st.FaultsDeduped,
@@ -214,8 +353,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ResidentPages: st.ResidentPages,
 			Shards:        st.Shards,
 		}
+		for _, ss := range s.store.ShardStats() {
+			disk.PerShard = append(disk.PerShard, shardBody{
+				Shard:         ss.Shard,
+				Hits:          ss.Hits,
+				Misses:        ss.Misses,
+				FaultsDeduped: ss.FaultsDeduped,
+				ResidentBytes: ss.ResidentBytes,
+				ResidentPages: ss.ResidentPages,
+			})
+		}
+		body.Disk = disk
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// metricsProm writes the Prometheus text exposition.
+func (s *Server) metricsProm(w http.ResponseWriter) {
+	m := s.pool.Metrics()
+	w.Header().Set("Content-Type", obs.ContentType)
+	p := obs.NewPromWriter(w)
+
+	p.Counter("flos_queries_served_total", "Queries answered, cache hits and interrupted queries included.", nil, m.Served)
+	p.Counter("flos_queries_shed_total", "Admissions refused with 429 because the queue was full.", nil, m.Shed)
+	p.Counter("flos_queries_interrupted_total", "Queries ended early by context deadline or cancellation.", nil, m.Interrupted)
+	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "deadline"}, m.Deadline)
+	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "canceled"}, m.Canceled)
+	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "failed"}, m.Failed)
+	p.Counter("flos_engine_iterations_total", "Local-expansion iterations across all searches.", nil, m.IterationsTotal)
+	p.Counter("flos_engine_visited_nodes_total", "Visited-set sizes summed across all searches (the paper's locality metric).", nil, m.VisitedTotal)
+	p.Counter("flos_engine_sweeps_total", "Bound-solver relaxations across all searches.", nil, m.SweepsTotal)
+
+	for _, label := range []string{"php", "ei", "dht", "tht", "rwr", "unified"} {
+		if snap, ok := m.LatencyByMeasure[label]; ok {
+			p.Histogram("flos_query_latency_seconds", "Executed query latency by proximity measure.",
+				map[string]string{"measure": label}, snap)
+		}
+	}
+	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/unified"} {
+		if h := s.httpLat[ep]; h != nil && h.Count() > 0 {
+			p.Histogram("flos_http_request_duration_seconds", "HTTP request latency by endpoint.",
+				map[string]string{"endpoint": ep}, h.Snapshot())
+		}
+	}
+
+	p.Gauge("flos_queue_depth", "Admitted queries waiting for a worker.", nil, float64(m.QueueDepth))
+	p.Gauge("flos_queue_capacity", "Admission queue bound.", nil, float64(m.QueueCap))
+	p.Gauge("flos_workers", "Query worker count.", nil, float64(m.Workers))
+	p.Counter("flos_result_cache_hits_total", "Result-cache hits.", nil, m.CacheHits)
+	p.Counter("flos_result_cache_misses_total", "Result-cache misses.", nil, m.CacheMisses)
+	p.Counter("flos_result_cache_evictions_total", "Result-cache evictions.", nil, m.CacheEvictions)
+	p.Gauge("flos_result_cache_entries", "Resident result-cache entries.", nil, float64(m.CacheEntries))
+	p.Gauge("flos_graph_epoch", "Result-cache invalidation epoch.", nil, float64(m.Epoch))
+	p.Gauge("flos_graph_nodes", "Nodes in the served graph.", nil, float64(s.g.NumNodes()))
+	p.Gauge("flos_graph_edges", "Edges in the served graph.", nil, float64(s.g.NumEdges()))
+
+	if s.store != nil {
+		for _, ss := range s.store.ShardStats() {
+			shard := map[string]string{"shard": strconv.Itoa(ss.Shard)}
+			p.Counter("flos_page_cache_hits_total", "Page-cache hits by lock shard.", shard, ss.Hits)
+			p.Counter("flos_page_cache_faults_total", "Page faults (disk reads) by lock shard.", shard, ss.Misses)
+			p.Counter("flos_page_cache_faults_deduped_total", "Faults deduplicated singleflight-style by lock shard.", shard, ss.FaultsDeduped)
+			p.Gauge("flos_page_cache_resident_bytes", "Resident page bytes by lock shard.", shard, float64(ss.ResidentBytes))
+			p.Gauge("flos_page_cache_resident_pages", "Resident pages by lock shard.", shard, float64(ss.ResidentPages))
+		}
+	}
+
+	rt := readRuntime()
+	p.Gauge("go_goroutines", "Number of goroutines.", nil, float64(rt.Goroutines))
+	p.Gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.", nil, float64(rt.HeapAllocBytes))
+	p.Gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", nil, float64(rt.HeapSysBytes))
+	p.Counter("go_gc_cycles_total", "Completed GC cycles.", nil, int64(rt.NumGC))
+	if err := p.Err(); err != nil {
+		s.log.Warn("metrics exposition write failed", "err", err)
+	}
 }
 
 // rankedBody is one result entry.
@@ -225,62 +436,67 @@ type rankedBody struct {
 }
 
 type topKBody struct {
-	Query     graph.NodeID `json:"query"`
-	Measure   string       `json:"measure"`
-	K         int          `json:"k"`
-	Exact     bool         `json:"exact"`
-	Cached    bool         `json:"cached"`
-	Visited   int          `json:"visited"`
-	ElapsedUS int64        `json:"elapsed_us"`
-	Results   []rankedBody `json:"results"`
+	Query     graph.NodeID     `json:"query"`
+	Measure   string           `json:"measure"`
+	K         int              `json:"k"`
+	Exact     bool             `json:"exact"`
+	Cached    bool             `json:"cached"`
+	Visited   int              `json:"visited"`
+	ElapsedUS int64            `json:"elapsed_us"`
+	Results   []rankedBody     `json:"results"`
+	Trace     []core.IterStats `json:"trace,omitempty"`
 }
 
 // parseCommon validates every parameter shared by the query endpoints — q,
-// k, c, L, tau, tighten — uniformly, so /topk and /unified reject malformed
-// input the same way with a structured 400. Range validation happens here
-// (not in the engine) so that errors surfacing later map to 5xx statuses.
-func (s *Server) parseCommon(r *http.Request) (q graph.NodeID, k int, p measure.Params, tighten bool, err error) {
+// k, c, L, tau, tighten, trace — uniformly, so /topk and /unified reject
+// malformed input the same way with a structured 400. Range validation
+// happens here (not in the engine) so that errors surfacing later map to
+// 5xx statuses.
+func (s *Server) parseCommon(r *http.Request) (q graph.NodeID, k int, p measure.Params, tighten, trace bool, err error) {
 	p = s.defaults
 	tighten = true
 	get := r.URL.Query().Get
 	qi, err := strconv.Atoi(get("q"))
 	if err != nil {
-		return 0, 0, p, false, fmt.Errorf("missing or bad q: %v", err)
+		return 0, 0, p, false, false, fmt.Errorf("missing or bad q: %v", err)
 	}
 	if qi < 0 || qi >= s.g.NumNodes() {
-		return 0, 0, p, false, fmt.Errorf("q=%d outside [0,%d)", qi, s.g.NumNodes())
+		return 0, 0, p, false, false, fmt.Errorf("q=%d outside [0,%d)", qi, s.g.NumNodes())
 	}
 	k = 10
 	if v := get("k"); v != "" {
 		if k, err = strconv.Atoi(v); err != nil {
-			return 0, 0, p, false, fmt.Errorf("bad k: %v", err)
+			return 0, 0, p, false, false, fmt.Errorf("bad k: %v", err)
 		}
 	}
 	if k < 1 || k > s.maxK {
-		return 0, 0, p, false, fmt.Errorf("k=%d outside [1,%d]", k, s.maxK)
+		return 0, 0, p, false, false, fmt.Errorf("k=%d outside [1,%d]", k, s.maxK)
 	}
 	if v := get("c"); v != "" {
 		if p.C, err = strconv.ParseFloat(v, 64); err != nil {
-			return 0, 0, p, false, fmt.Errorf("bad c: %v", err)
+			return 0, 0, p, false, false, fmt.Errorf("bad c: %v", err)
 		}
 	}
 	if v := get("L"); v != "" {
 		if p.L, err = strconv.Atoi(v); err != nil {
-			return 0, 0, p, false, fmt.Errorf("bad L: %v", err)
+			return 0, 0, p, false, false, fmt.Errorf("bad L: %v", err)
 		}
 	}
 	if v := get("tau"); v != "" {
 		if p.Tau, err = strconv.ParseFloat(v, 64); err != nil {
-			return 0, 0, p, false, fmt.Errorf("bad tau: %v", err)
+			return 0, 0, p, false, false, fmt.Errorf("bad tau: %v", err)
 		}
 	}
 	if err := p.Validate(); err != nil {
-		return 0, 0, p, false, err
+		return 0, 0, p, false, false, err
 	}
 	if v := get("tighten"); v == "0" || strings.EqualFold(v, "false") {
 		tighten = false
 	}
-	return graph.NodeID(qi), k, p, tighten, nil
+	if v := get("trace"); v == "1" || strings.EqualFold(v, "true") {
+		trace = true
+	}
+	return graph.NodeID(qi), k, p, tighten, trace, nil
 }
 
 func parseMeasure(s string) (measure.Kind, error) {
@@ -300,7 +516,7 @@ func parseMeasure(s string) (measure.Kind, error) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	q, k, p, tighten, err := s.parseCommon(r)
+	q, k, p, tighten, trace, err := s.parseCommon(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -311,6 +527,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt := core.Options{K: k, Measure: kind, Params: p, Tighten: tighten, TieEps: 1e-9}
+	var tc *core.TraceCollector
+	if trace {
+		tc = &core.TraceCollector{}
+		opt.Tracer = tc
+	}
 	start := time.Now()
 	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt})
 	if err != nil {
@@ -327,6 +548,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Visited:   res.Visited,
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
+	if tc != nil {
+		body.Trace = tc.Iters
+	}
 	for _, rk := range res.TopK {
 		body.Results = append(body.Results, rankedBody{Node: rk.Node, Score: rk.Score})
 	}
@@ -334,23 +558,29 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 type unifiedBody struct {
-	Query     graph.NodeID `json:"query"`
-	K         int          `json:"k"`
-	Exact     bool         `json:"exact"`
-	Cached    bool         `json:"cached"`
-	Visited   int          `json:"visited"`
-	ElapsedUS int64        `json:"elapsed_us"`
-	PHPFamily []rankedBody `json:"php_family"`
-	RWR       []rankedBody `json:"rwr"`
+	Query     graph.NodeID     `json:"query"`
+	K         int              `json:"k"`
+	Exact     bool             `json:"exact"`
+	Cached    bool             `json:"cached"`
+	Visited   int              `json:"visited"`
+	ElapsedUS int64            `json:"elapsed_us"`
+	PHPFamily []rankedBody     `json:"php_family"`
+	RWR       []rankedBody     `json:"rwr"`
+	Trace     []core.IterStats `json:"trace,omitempty"`
 }
 
 func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
-	q, k, p, tighten, err := s.parseCommon(r)
+	q, k, p, tighten, trace, err := s.parseCommon(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
 	opt := core.Options{K: k, Measure: measure.PHP, Params: p, Tighten: tighten, TieEps: 1e-9}
+	var tc *core.TraceCollector
+	if trace {
+		tc = &core.TraceCollector{}
+		opt.Tracer = tc
+	}
 	start := time.Now()
 	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt, Unified: true})
 	if err != nil {
@@ -365,6 +595,9 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		Cached:    resp.CacheHit,
 		Visited:   res.Visited,
 		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	if tc != nil {
+		body.Trace = tc.Iters
 	}
 	for _, rk := range res.PHPFamily {
 		body.PHPFamily = append(body.PHPFamily, rankedBody{Node: rk.Node, Score: rk.Score})

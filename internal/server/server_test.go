@@ -1,15 +1,22 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"flos/internal/core"
 	"flos/internal/gen"
+	"flos/internal/qserve"
 )
 
 func newTestServer(t *testing.T, serialize bool) *httptest.Server {
@@ -23,6 +30,9 @@ func newTestServerCfg(t *testing.T, cfg Config) (*httptest.Server, *Server) {
 	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	srv := New(g, cfg)
 	t.Cleanup(srv.Close)
@@ -142,9 +152,11 @@ func TestBadRequests(t *testing.T) {
 }
 
 // TestConcurrentQueries hammers the in-memory server from many goroutines —
-// MemGraph reads must be race-free (run with -race in CI).
+// MemGraph reads must be race-free (run with -race in CI). The queue is
+// sized above the offered load so a slow single-core run cannot shed
+// (shedding has its own tests in internal/qserve).
 func TestConcurrentQueries(t *testing.T) {
-	ts := newTestServer(t, false)
+	ts, _ := newTestServerCfg(t, Config{QueueDepth: 64})
 	var wg sync.WaitGroup
 	errs := make(chan error, 32)
 	for w := 0; w < 8; w++ {
@@ -191,7 +203,8 @@ func TestCachedResponses(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint checks /metrics reports the qserve counters.
+// TestMetricsEndpoint checks /metrics?format=json reports the qserve
+// counters (the bare endpoint now serves Prometheus text).
 func TestMetricsEndpoint(t *testing.T) {
 	ts, _ := newTestServerCfg(t, Config{CacheEntries: 64})
 	url := ts.URL + "/topk?q=12&k=5"
@@ -201,7 +214,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	var m metricsBody
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &m); code != 200 {
 		t.Fatalf("metrics: code %d", code)
 	}
 	if m.QueriesServed < 3 {
@@ -216,9 +229,274 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.P50Micros <= 0 {
 		t.Errorf("p50 = %d, want positive after executed queries", m.P50Micros)
 	}
+	if m.Iterations <= 0 || m.VisitedNodes <= 0 {
+		t.Errorf("work totals: iters %d visited %d, want positive", m.Iterations, m.VisitedNodes)
+	}
+	if lat, ok := m.Measures["php"]; !ok || lat.Count < 1 || lat.P99Micros < lat.P50Micros {
+		t.Errorf("measures[php] = %+v ok=%v, want count>=1 and p99>=p50", lat, ok)
+	}
+	if m.Runtime.Goroutines < 1 || m.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("runtime gauges missing: %+v", m.Runtime)
+	}
 	if m.Disk != nil {
 		t.Errorf("disk metrics present for in-memory graph")
 	}
+}
+
+// TestMetricsPrometheus checks the default /metrics response is valid
+// Prometheus text exposition: right content type, one HELP/TYPE pair per
+// family, cumulative histogram buckets ending in +Inf, and the counters the
+// warmup queries must have moved.
+func TestMetricsPrometheus(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{CacheEntries: 64})
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, ts.URL+"/topk?q=12&k=5&measure=rwr", nil); code != 200 {
+			t.Fatalf("warmup query: code %d", code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	for _, want := range []string{
+		"# TYPE flos_queries_served_total counter",
+		"# TYPE flos_query_latency_seconds histogram",
+		`flos_query_latency_seconds_bucket{le="+Inf",measure="rwr"}`,
+		`flos_query_latency_seconds_count{measure="rwr"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.Contains(text, `flos_http_request_duration_seconds_bucket{endpoint="/topk"`) {
+		t.Errorf("missing per-endpoint http histogram:\n%s", text)
+	}
+	if !strings.Contains(text, "go_goroutines") || !strings.Contains(text, "go_memstats_heap_alloc_bytes") {
+		t.Errorf("missing runtime gauges")
+	}
+
+	// Each family gets exactly one TYPE line; samples may interleave freely.
+	typeSeen := map[string]int{}
+	var servedVal int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typeSeen[f[2]]++
+		}
+		if strings.HasPrefix(line, "flos_queries_served_total ") {
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			servedVal = v
+		}
+	}
+	for name, n := range typeSeen {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE lines", name, n)
+		}
+	}
+	if servedVal < 3 {
+		t.Errorf("flos_queries_served_total = %d, want >= 3", servedVal)
+	}
+
+	// Histogram buckets must be cumulative (monotone non-decreasing in le
+	// order) and end at _count.
+	var prev int64 = -1
+	var bucketLines int
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, `flos_query_latency_seconds_bucket{le=`) || !strings.Contains(line, `measure="rwr"`) {
+			continue
+		}
+		bucketLines++
+		v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket sample %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("non-cumulative buckets: %d after %d in %q", v, prev, line)
+		}
+		prev = v
+	}
+	if bucketLines < 2 {
+		t.Fatalf("only %d rwr bucket samples", bucketLines)
+	}
+}
+
+// TestTraceEndpoint checks trace=1 returns the per-iteration convergence
+// trajectory and that its final entry certifies the stopping rule (the gap
+// between the k-th lower bound and the best outsider upper bound is
+// nonnegative up to ties) — the paper's Theorem 1 condition, observable.
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{CacheEntries: 64})
+
+	var plain topKBody
+	if code := getJSON(t, ts.URL+"/topk?q=100&k=5&measure=rwr", &plain); code != 200 {
+		t.Fatalf("plain: code %d", code)
+	}
+	if len(plain.Trace) != 0 {
+		t.Fatalf("trace present without trace=1")
+	}
+
+	var traced topKBody
+	if code := getJSON(t, ts.URL+"/topk?q=100&k=5&measure=rwr&trace=1", &traced); code != 200 {
+		t.Fatalf("traced: code %d", code)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("trace=1 returned no trajectory")
+	}
+	if traced.Cached {
+		t.Fatal("traced request served from cache")
+	}
+	last := traced.Trace[len(traced.Trace)-1]
+	if !last.Certified || !last.GapValid {
+		t.Fatalf("final entry not certified: %+v", last)
+	}
+	if last.Gap < -1e-9 {
+		t.Fatalf("final gap %g violates stopping rule", last.Gap)
+	}
+	prevVisited := 0
+	for i, it := range traced.Trace {
+		if it.Visited < prevVisited {
+			t.Fatalf("iter %d: visited shrank %d -> %d", i, prevVisited, it.Visited)
+		}
+		prevVisited = it.Visited
+	}
+	if last.Visited != traced.Visited {
+		t.Fatalf("trace visited %d != result visited %d", last.Visited, traced.Visited)
+	}
+	if fmt.Sprintf("%v", traced.Results) != fmt.Sprintf("%v", plain.Results) {
+		t.Fatalf("traced results differ from plain: %v vs %v", traced.Results, plain.Results)
+	}
+
+	var uni unifiedBody
+	if code := getJSON(t, ts.URL+"/unified?q=42&k=4&trace=1", &uni); code != 200 {
+		t.Fatalf("unified traced: code %d", code)
+	}
+	if len(uni.Trace) == 0 {
+		t.Fatal("unified trace=1 returned no trajectory")
+	}
+	ulast := uni.Trace[len(uni.Trace)-1]
+	if !ulast.Certified {
+		t.Fatalf("unified final entry not certified: %+v", ulast)
+	}
+}
+
+// TestWriteQueryError is the table-driven outcome map: every pool/engine
+// error class must land on its documented status and headers.
+func TestWriteQueryError(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		wantCode   int
+		wantHeader string // header that must be non-empty, "" for none
+	}{
+		{"overloaded", qserve.ErrOverloaded, http.StatusTooManyRequests, "Retry-After"},
+		{"deadline", &core.Interrupted{Cause: core.ErrDeadline}, http.StatusGatewayTimeout, ""},
+		{"canceled", &core.Interrupted{Cause: core.ErrCanceled}, http.StatusServiceUnavailable, ""},
+		{"closed", qserve.ErrClosed, http.StatusServiceUnavailable, ""},
+		{"other", fmt.Errorf("disk on fire"), http.StatusInternalServerError, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			writeQueryError(rec, tc.err)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("code %d, want %d", rec.Code, tc.wantCode)
+			}
+			if tc.wantHeader != "" && rec.Header().Get(tc.wantHeader) == "" {
+				t.Fatalf("missing %s header", tc.wantHeader)
+			}
+			var e errorBody
+			if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("body not a structured error: %v %q", err, e.Error)
+			}
+		})
+	}
+}
+
+// TestRequestIDAndAccessLog checks every response carries a request ID and
+// each request emits one structured access record with latency and status.
+func TestRequestIDAndAccessLog(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts, _ := newTestServerCfg(t, Config{Logger: logger})
+
+	resp1, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1.Body.Close()
+	id1 := resp1.Header.Get("X-Request-ID")
+	resp2, err := http.Get(ts.URL + "/topk?q=1&k=0") // 400 path must log too
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	id2 := resp2.Header.Get("X-Request-ID")
+	if id1 == "" || id2 == "" || id1 == id2 {
+		t.Fatalf("request IDs %q / %q, want distinct non-empty", id1, id2)
+	}
+
+	var sawHealth, sawBad bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] != "request" {
+			continue
+		}
+		switch rec["path"] {
+		case "/healthz":
+			sawHealth = rec["status"] == float64(200) && rec["id"] == id1
+		case "/topk":
+			sawBad = rec["status"] == float64(400) && rec["id"] == id2
+		}
+		if _, ok := rec["latency"]; !ok {
+			t.Fatalf("access record without latency: %v", rec)
+		}
+	}
+	if !sawHealth || !sawBad {
+		t.Fatalf("access records missing: healthz=%v topk400=%v in\n%s", sawHealth, sawBad, buf.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // TestQueryTimeout maps the pool deadline onto 504.
