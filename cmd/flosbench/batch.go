@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// batchBench prints the cold-vs-warm allocation table for the session API:
+// the same PHP top-20 workload answered by per-call core.TopK (every engine
+// structure rebuilt per query) and by one core.Querier (pooled warm
+// workspaces), plus the Querier.Batch fan-out at machine parallelism.
+// Allocation figures come from runtime.MemStats deltas around each run, so
+// the numbers line up with `go test -bench BenchmarkQuerierReuse -benchmem`
+// (recorded in results/batch.md).
+func batchBench(out io.Writer) error {
+	const (
+		nodes   = 50000
+		edges   = 250000
+		queries = 256
+	)
+	g, err := gen.Community(nodes, edges, gen.CommunityParamsForDensity(2*float64(edges)/float64(nodes)), 1)
+	if err != nil {
+		return err
+	}
+	workload := make([]graph.NodeID, queries)
+	for i := range workload {
+		workload[i] = graph.NodeID((i * 7919) % nodes)
+	}
+	opt := core.DefaultOptions(measure.PHP, 20)
+	ctx := context.Background()
+
+	measureRun := func(f func() error) (time.Duration, float64, float64, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, 0, 0, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		allocsPer := float64(after.Mallocs-before.Mallocs) / queries
+		bytesPer := float64(after.TotalAlloc-before.TotalAlloc) / queries
+		return elapsed, allocsPer, bytesPer, nil
+	}
+
+	qr, err := core.NewQuerier(g, opt)
+	if err != nil {
+		return err
+	}
+	// Prime the pooled workspace so the "warm" rows measure steady state.
+	for _, q := range workload[:8] {
+		if _, err := qr.TopK(ctx, q); err != nil {
+			return err
+		}
+	}
+
+	type row struct {
+		name string
+		run  func() error
+	}
+	rows := []row{
+		{"cold TopK (per-call state)", func() error {
+			for _, q := range workload {
+				if _, err := core.TopK(g, q, opt); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"warm Querier.TopK (pooled workspace)", func() error {
+			for _, q := range workload {
+				if _, err := qr.TopK(ctx, q); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{fmt.Sprintf("warm Querier.Batch (par=%d)", runtime.GOMAXPROCS(0)), func() error {
+			for _, item := range qr.Batch(ctx, workload) {
+				if item.Err != nil {
+					return item.Err
+				}
+			}
+			return nil
+		}},
+	}
+
+	fmt.Fprintf(out, "session API cold vs warm: PHP top-20, community graph %d nodes / %d edges,\n", nodes, edges)
+	fmt.Fprintf(out, "%d queries per row, GOMAXPROCS=%d\n", queries, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(out, "%-40s %12s %12s %14s\n", "configuration", "us/query", "allocs/query", "bytes/query")
+	var coldAllocs float64
+	for i, r := range rows {
+		elapsed, allocs, bytes, err := measureRun(r.run)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-40s %12.1f %12.1f %14.0f\n",
+			r.name, float64(elapsed.Microseconds())/queries, allocs, bytes)
+		if i == 0 {
+			coldAllocs = allocs
+		} else if i == 1 && allocs > 0 {
+			fmt.Fprintf(out, "%-40s %12s %11.1fx\n", "  allocation reduction", "", coldAllocs/allocs)
+		}
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ func main() {
 		fig        = flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11, 12, 13, trace, all")
 		datasets   = flag.Bool("datasets", false, "print dataset statistics tables")
 		serving    = flag.Bool("serving", false, "benchmark concurrent vs serialized disk-resident query serving")
+		batch      = flag.Bool("batch", false, "benchmark the session API: cold TopK vs warm Querier vs Batch (allocs/query)")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -64,6 +65,12 @@ func main() {
 	out := os.Stdout
 	if *serving {
 		if err := servingBench(out, *tmp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *batch {
+		if err := batchBench(out); err != nil {
 			fatal(err)
 		}
 		return

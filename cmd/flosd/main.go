@@ -46,6 +46,7 @@ func main() {
 		pageCache = flag.Int64("pagecache", 256, "page-cache budget for -store, MiB")
 		addr      = flag.String("addr", ":8080", "listen address")
 		maxK      = flag.Int("maxk", 1000, "largest accepted k")
+		maxBatch  = flag.Int("maxbatch", 0, "largest accepted /topk/batch query count (0 = 256)")
 		workers   = flag.Int("workers", 0, "query worker count (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 0, "admission queue depth; excess requests get 429 (0 = 4x workers)")
 		cache     = flag.Int("cache", 0, "result-cache entries (0 = 1024, negative disables)")
@@ -102,6 +103,7 @@ func main() {
 
 	srv := server.New(g, server.Config{
 		MaxK:         *maxK,
+		MaxBatch:     *maxBatch,
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,

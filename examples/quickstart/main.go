@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,9 +33,16 @@ func main() {
 	}
 	const query = flos.NodeID(0) // the paper's node 1
 
+	// One reusable Querier per measure: a session holds warm engine state,
+	// so issuing more queries through it costs almost no allocation. (For a
+	// single query, flos.TopK does the same work.)
 	fmt.Println("Top-3 nearest neighbors of node 1 under each measure:")
 	for _, m := range []flos.Measure{flos.PHP, flos.EI, flos.DHT, flos.THT, flos.RWR} {
-		res, err := flos.TopK(g, query, flos.DefaultOptions(m, 3))
+		qr, err := flos.NewQuerier(g, flos.DefaultOptions(m, 3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := qr.TopK(context.Background(), query)
 		if err != nil {
 			log.Fatal(err)
 		}

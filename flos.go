@@ -102,7 +102,9 @@ func DefaultOptions(m Measure, k int) Options { return core.DefaultOptions(m, k)
 // DefaultParams returns the paper's numeric defaults.
 func DefaultParams() Params { return measure.DefaultParams() }
 
-// TopK answers an exact k-nearest-neighbor query with FLoS.
+// TopK answers an exact k-nearest-neighbor query with FLoS. It is a thin
+// wrapper over TopKCtx with a background context, building all engine state
+// per call; callers issuing more than one query should hold a Querier.
 func TopK(g Graph, q NodeID, opt Options) (*Result, error) { return core.TopK(g, q, opt) }
 
 // TopKCtx is TopK with cancellation: the search checks ctx at every local
@@ -113,11 +115,38 @@ func TopKCtx(ctx context.Context, g Graph, q NodeID, opt Options) (*Result, erro
 }
 
 // ErrCanceled and ErrDeadline are the typed causes carried by *Interrupted
-// when a context ends a query early; test with errors.Is.
+// when a context ends a query early. ErrInvalidOptions and ErrInvalidQuery
+// classify rejected requests (malformed Options, query node out of range).
+// Test with errors.Is.
 var (
-	ErrCanceled = core.ErrCanceled
-	ErrDeadline = core.ErrDeadline
+	ErrCanceled       = core.ErrCanceled
+	ErrDeadline       = core.ErrDeadline
+	ErrInvalidOptions = core.ErrInvalidOptions
+	ErrInvalidQuery   = core.ErrInvalidQuery
 )
+
+// Querier is a reusable query session: one graph, one option set, a pool of
+// warm engine workspaces. It is the recommended entry point for any caller
+// issuing more than one query — repeated queries skip nearly all per-call
+// allocation, results are byte-identical to one-shot TopK, and the session
+// is safe for concurrent use (view-capable backends run queries in
+// parallel; others are serialized internally). See NewQuerier.
+type Querier = core.Querier
+
+// BatchItem is one query's slot in a Batch / TopKBatch result.
+type BatchItem = core.BatchItem
+
+// NewQuerier validates opt once and returns a reusable session over g.
+func NewQuerier(g Graph, opt Options) (*Querier, error) { return core.NewQuerier(g, opt) }
+
+// TopKBatch answers a batch of queries sharing one option set, fanning them
+// across a bounded worker pool. The returned slice is parallel to queries;
+// cancellation mid-batch fills the unfinished slots with *Interrupted
+// errors instead of hanging. Callers with recurring batches should hold a
+// Querier and use its Batch method so workspaces stay warm between batches.
+func TopKBatch(ctx context.Context, g Graph, queries []NodeID, opt Options) ([]BatchItem, error) {
+	return core.TopKBatch(ctx, g, queries, opt)
+}
 
 // Interrupted is the error a context-terminated query returns; it carries
 // the partial work counters (Visited, Iterations, Sweeps).

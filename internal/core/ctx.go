@@ -19,6 +19,16 @@ var (
 	ErrDeadline = errors.New("core: query deadline exceeded")
 )
 
+// Sentinel errors for rejected queries; test with errors.Is. They classify
+// the caller's mistake so servers can map them to 4xx without string
+// matching.
+var (
+	// ErrInvalidOptions reports malformed Options (Options.Validate).
+	ErrInvalidOptions = errors.New("core: invalid options")
+	// ErrInvalidQuery reports a query node outside the graph's node range.
+	ErrInvalidQuery = errors.New("core: invalid query node")
+)
+
 // Interrupted is the error returned when a query's context fires before the
 // bounds separate. It records how much work the search had done — the same
 // counters a completed Result carries — so callers can account for (and
@@ -56,15 +66,24 @@ func interrupted(ctxErr error, visited, iterations, sweeps int) error {
 // ErrDeadline) as soon as the context fires. Iterations are small — one
 // boundary-batch expansion plus an incremental bound re-solve — so the
 // response to cancellation is prompt even on large graphs.
+//
+// Each call builds engine state from scratch; hold a Querier to reuse it
+// across queries.
 func TopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+	return topKIn(ctx, g, q, opt, nil)
+}
+
+// topKIn validates and dispatches one query; ws supplies a reusable engine
+// workspace (nil runs cold).
+func topKIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if q < 0 || int(q) >= g.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
+		return nil, fmt.Errorf("%w: query node %d outside [0,%d)", ErrInvalidQuery, q, g.NumNodes())
 	}
 	if opt.Measure == measure.THT {
-		return thtTopK(ctx, g, q, opt)
+		return thtTopK(ctx, g, q, opt, ws)
 	}
-	return phpFamilyTopK(ctx, g, q, opt)
+	return phpFamilyTopK(ctx, g, q, opt, ws)
 }

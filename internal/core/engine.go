@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"flos/internal/graph"
 	"flos/internal/linalg"
 )
@@ -19,6 +17,12 @@ import (
 //
 // All node bookkeeping is in local indices 0..len(nodes)-1; local index 0 is
 // always the query.
+//
+// An engine is reusable: reset prepares it for a new query while keeping
+// every slice's backing storage and logically clearing the global→local
+// index and degree memo with a generation bump (see workspace.go). A cold
+// engine (newPHPEngine) uses maps for the two indexes; a warm one uses
+// dense stamped arrays sized to the graph.
 type phpEngine struct {
 	g       graph.Graph
 	q       graph.NodeID
@@ -27,8 +31,12 @@ type phpEngine struct {
 	maxIter int
 	tighten bool
 
-	nodes []graph.NodeID         // local -> global
-	local map[graph.NodeID]int32 // global -> local
+	// stable records that g advertises graph.StableNeighbors, so adjN/adjW
+	// below alias the graph's own slices instead of copying per visit.
+	stable bool
+
+	nodes []graph.NodeID // local -> global
+	local nodeIndex      // global -> local
 
 	adjN [][]graph.NodeID // cached global adjacency of visited nodes
 	adjW [][]float64
@@ -57,29 +65,78 @@ type phpEngine struct {
 	selfLoop   []float64 // diagonal entry c·Σ_{j∉S} p_ij·p_ji
 	dummyTight []float64 // tightened dummy entry c·Σ_{j∉S} p_ij·(1−p_ji)
 	dirty      []bool    // outside-neighborhood changed since last refresh
-	degCache   map[graph.NodeID]float64
+	degCache   degMemo
+
+	// Scratch reused across iterations (and, warm, across queries): the
+	// expansion/termination scans would otherwise allocate per iteration.
+	pickBuf  []scored
+	pickOut  []int32
+	candBuf  []scored
+	selOut   []int32
+	selOut2  []int32 // second selection buffer: unified search keeps two live
+	inSel    []bool  // local-index marks; always cleared after use
+	addedBuf []graph.NodeID
 
 	sweeps       int // node relaxations performed by the bound solver
 	degreeProbes int
 }
 
+// newPHPEngine builds a cold single-query engine (map-backed indexes).
 func newPHPEngine(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten bool) *phpEngine {
-	e := &phpEngine{
-		g:        g,
-		q:        q,
-		c:        c,
-		tau:      tau,
-		maxIter:  maxIter,
-		tighten:  tighten,
-		local:    make(map[graph.NodeID]int32),
-		t:        linalg.NewRowMatrix(0),
-		rd:       1,
-		degCache: make(map[graph.NodeID]float64),
+	e := &phpEngine{}
+	e.reset(g, q, c, tau, maxIter, tighten, false)
+	return e
+}
+
+// reset prepares the engine for a new query, reusing all retained storage.
+// dense selects the generation-stamped array indexes (warm workspaces);
+// cold engines pass false and get maps. A reset engine behaves identically
+// to a freshly constructed one — the expansion schedule, solver sweeps, and
+// results are byte-for-byte the same.
+func (e *phpEngine) reset(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten, dense bool) {
+	e.g, e.q, e.c, e.tau, e.maxIter, e.tighten = g, q, c, tau, maxIter, tighten
+
+	stable := graph.HasStableNeighbors(g)
+	if e.stable && !stable {
+		// The previous run aliased graph-owned adjacency rows; drop them so
+		// the copy path below never appends into another graph's storage.
+		e.adjN, e.adjW = nil, nil
 	}
+	e.stable = stable
+
+	e.local.init(g.NumNodes(), dense)
+	e.degCache.init(g.NumNodes(), dense)
+
+	e.nodes = e.nodes[:0]
+	e.adjN = e.adjN[:0]
+	e.adjW = e.adjW[:0]
+	e.deg = e.deg[:0]
+	e.inW = e.inW[:0]
+	e.outCnt = e.outCnt[:0]
+	e.ladj = e.ladj[:0]
+	e.lb = e.lb[:0]
+	e.ub = e.ub[:0]
+	e.queueLB = e.queueLB[:0]
+	e.queueUB = e.queueUB[:0]
+	e.inQLB = e.inQLB[:0]
+	e.inQUB = e.inQUB[:0]
+	e.pendLB = e.pendLB[:0]
+	e.pendUB = e.pendUB[:0]
+	e.selfLoop = e.selfLoop[:0]
+	e.dummyTight = e.dummyTight[:0]
+	e.dirty = e.dirty[:0]
+	if e.t == nil {
+		e.t = linalg.NewRowMatrix(0)
+	} else {
+		e.t.Reset()
+	}
+	e.rd = 1
+	e.sweeps = 0
+	e.degreeProbes = 0
+
 	e.visit(q)
 	e.lb[0] = 1
 	e.ub[0] = 1
-	return e
 }
 
 // visit pulls node v into S: queries its adjacency, wires up the local
@@ -88,15 +145,20 @@ func newPHPEngine(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, ti
 func (e *phpEngine) visit(v graph.NodeID) int32 {
 	li := int32(len(e.nodes))
 	e.nodes = append(e.nodes, v)
-	e.local[v] = li
+	e.local.put(v, li)
 	e.t.AddRow()
 
 	nbrs, ws := e.g.Neighbors(v)
-	// Copy: disk-backed graphs reuse the returned slices.
-	cn := append([]graph.NodeID(nil), nbrs...)
-	cw := append([]float64(nil), ws...)
-	e.adjN = append(e.adjN, cn)
-	e.adjW = append(e.adjW, cw)
+	if e.stable {
+		// The graph guarantees slice stability; alias instead of copying.
+		e.adjN = append(e.adjN, nbrs)
+		e.adjW = append(e.adjW, ws)
+	} else {
+		// Copy: disk-backed graphs reuse the returned slices.
+		e.adjN = appendRowCopy(e.adjN, nbrs)
+		e.adjW = appendRowCopy(e.adjW, ws)
+	}
+	cn, cw := e.adjN[li], e.adjW[li]
 
 	// First pass: the full degree (needed to normalize v's own transition
 	// probabilities) and the in/out split.
@@ -104,7 +166,7 @@ func (e *phpEngine) visit(v graph.NodeID) int32 {
 	var out int32
 	for i, u := range cn {
 		d += cw[i]
-		if _, ok := e.local[u]; ok {
+		if e.local.has(u) {
 			in += cw[i]
 		} else {
 			out++
@@ -118,7 +180,7 @@ func (e *phpEngine) visit(v graph.NodeID) int32 {
 	e.selfLoop = append(e.selfLoop, 0)
 	e.dummyTight = append(e.dummyTight, 0)
 	e.dirty = append(e.dirty, true)
-	e.ladj = append(e.ladj, nil)
+	e.ladj = appendRow(e.ladj)
 	e.inQLB = append(e.inQLB, false)
 	e.inQUB = append(e.inQUB, false)
 	e.pendLB = append(e.pendLB, 0)
@@ -129,7 +191,7 @@ func (e *phpEngine) visit(v graph.NodeID) int32 {
 	// and update their boundary bookkeeping. Touched neighbors join the
 	// relaxation worklists: their rows gained an entry.
 	for i, u := range cn {
-		lu, ok := e.local[u]
+		lu, ok := e.local.get(u)
 		if !ok {
 			continue
 		}
@@ -181,15 +243,15 @@ func (e *phpEngine) outMass(i int32) float64 {
 	return m
 }
 
-// degreeOf fetches (and caches) the full degree of an unvisited node —
+// degreeOf fetches (and memoizes) the full degree of an unvisited node —
 // the only information Section 5.3's tightening needs from outside S.
 func (e *phpEngine) degreeOf(v graph.NodeID) float64 {
-	if d, ok := e.degCache[v]; ok {
+	if d, ok := e.degCache.get(v); ok {
 		return d
 	}
 	d := e.g.Degree(v)
 	e.degreeProbes++
-	e.degCache[v] = d
+	e.degCache.put(v, d)
 	return d
 }
 
@@ -217,7 +279,7 @@ func (e *phpEngine) refreshTightening() {
 		}
 		var self, dum float64
 		for k, u := range e.adjN[i] {
-			if _, ok := e.local[u]; ok {
+			if e.local.has(u) {
 				continue
 			}
 			pij := e.adjW[i][k] / e.deg[i]
@@ -280,12 +342,17 @@ func (e *phpEngine) solveUpper() {
 }
 
 func (e *phpEngine) relax(r []float64, inQ []bool, pend []float64, queue *[]int32, withDummy bool) {
+	// Pop via a head index rather than q = q[1:]: reslicing the front off
+	// erodes the backing array's capacity one slot per pop, so the queue
+	// (which persists across queries in a warm workspace) would reallocate
+	// on nearly every append instead of amortizing to zero.
 	q := *queue
+	head := 0
 	budget := int64(e.maxIter) * int64(e.size())
 	var processed int64
-	for len(q) > 0 && processed < budget {
-		i := q[0]
-		q = q[1:]
+	for head < len(q) && processed < budget {
+		i := q[head]
+		head++
 		inQ[i] = false
 		pend[i] = 0
 		processed++
@@ -329,9 +396,11 @@ func (e *phpEngine) relax(r []float64, inQ []bool, pend []float64, queue *[]int3
 			}
 		}
 	}
-	// Drained (len 0) or budget hit: keep whatever is pending so the inQ
-	// flags stay consistent with the queue contents.
-	*queue = q
+	// Drained or budget hit: compact the unprocessed tail to the front so
+	// the inQ flags stay consistent with the queue contents and the full
+	// backing capacity survives for the next call.
+	n := copy(q, q[head:])
+	*queue = q[:n]
 }
 
 // updateDummy lowers rd to max_{i∈δS} ub_i (Algorithm 5 line 7). It must run
@@ -374,20 +443,17 @@ func (e *phpEngine) updateDummy() {
 // pickExpansion returns up to batch boundary nodes with the largest
 // expansion priority ½(lb+ub), degree-weighted in RWR mode (Section 5.6),
 // best first, ties toward the smaller global identifier. Returns nil when
-// the boundary is empty (component exhausted).
+// the boundary is empty (component exhausted). The returned slice is engine
+// scratch, valid until the next pickExpansion call.
 //
 // Algorithm 3 expands a single node per iteration; the batch size is an
 // engineering knob (the caller grows it with |S|) that only affects the
 // expansion schedule, never the exactness argument — every expansion is
 // still a legal S^{t-1} → S^t step.
 func (e *phpEngine) pickExpansion(rwrMode bool, batch int) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
 	// Bounded selection: keep the `batch` best seen so far in a small
 	// insertion-sorted slice (batch ≪ |S|).
-	best := make([]cand, 0, batch)
+	best := e.pickBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if !e.isBoundary(i) {
 			continue
@@ -405,24 +471,28 @@ func (e *phpEngine) pickExpansion(rwrMode bool, batch int) []int32 {
 			pos--
 		}
 		if len(best) < batch {
-			best = append(best, cand{})
+			best = append(best, scored{})
 		}
 		copy(best[pos+1:], best[pos:len(best)-1])
-		best[pos] = cand{i, key}
+		best[pos] = scored{i, key}
 	}
-	out := make([]int32, len(best))
-	for i, c := range best {
-		out[i] = c.i
+	e.pickBuf = best
+	if len(best) == 0 {
+		return nil
 	}
+	out := e.pickOut[:0]
+	for _, c := range best {
+		out = append(out, c.i)
+	}
+	e.pickOut = out
 	return out
 }
 
-// expand visits every unvisited neighbor of local node u and returns the
-// newly visited global identifiers (Algorithm 3 line 2).
-func (e *phpEngine) expand(u int32) []graph.NodeID {
-	var added []graph.NodeID
+// expand visits every unvisited neighbor of local node u, appending the
+// newly visited global identifiers to added (Algorithm 3 line 2).
+func (e *phpEngine) expand(u int32, added []graph.NodeID) []graph.NodeID {
 	for _, v := range e.adjN[u] {
-		if _, ok := e.local[v]; !ok {
+		if !e.local.has(v) {
 			e.visit(v)
 			added = append(added, v)
 		}
@@ -462,19 +532,36 @@ type certGap struct {
 	rest  float64 // best competing bound key over everything else
 }
 
+// markSel ensures the inSel scratch covers the current size and marks the
+// first k entries of sel; clearSel undoes the marks. The scratch is only
+// ever dirty between the two calls, so reuse across iterations and queries
+// needs no bulk clearing.
+func (e *phpEngine) markSel(sel []scored) {
+	if cap(e.inSel) < e.size() {
+		e.inSel = make([]bool, e.size())
+	}
+	e.inSel = e.inSel[:cap(e.inSel)]
+	for _, c := range sel {
+		e.inSel[c.i] = true
+	}
+}
+
+func (e *phpEngine) clearSel(sel []scored) {
+	for _, c := range sel {
+		e.inSel[c.i] = false
+	}
+}
+
 // checkTermination implements Algorithm 6 (and its RWR variant from
 // Section 5.6). key(lb_i) and key(ub_i) are lb/ub themselves for PHP-family
-// queries, and deg_i·lb_i / deg_i·ub_i for RWR. wSbarUB is the w(S̄) guard
-// value (0 when not in RWR mode). It returns the selected top-k local
-// indices when the bounds separate, or nil. A non-nil gap receives the
-// certification-gap observables (tracing only).
-func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps float64, gap *certGap) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
+// queries, and deg_i·lb_i / deg_i·ub_i for RWR. wSbar is the w(S̄) guard
+// value (0 when not in RWR mode). When the bounds separate it returns the
+// selected top-k local indices appended to dst (possibly empty but non-nil);
+// otherwise nil. A non-nil gap receives the certification-gap observables
+// (tracing only).
+func (e *phpEngine) checkTermination(dst []int32, k int, rwrMode bool, wSbar float64, tieEps float64, gap *certGap) []int32 {
 	exhausted := true
-	var interior []cand
+	interior := e.candBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if e.nodes[i] == e.q {
 			continue
@@ -487,17 +574,13 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 		if rwrMode {
 			key *= e.deg[i]
 		}
-		interior = append(interior, cand{i, key})
+		interior = append(interior, scored{i, key})
 	}
+	e.candBuf = interior
 	if len(interior) < k && !exhausted {
 		return nil
 	}
-	sort.Slice(interior, func(a, b int) bool {
-		if interior[a].key != interior[b].key {
-			return interior[a].key > interior[b].key
-		}
-		return e.nodes[interior[a].i] < e.nodes[interior[b].i]
-	})
+	sortScoredDesc(interior, e.nodes)
 	if k > len(interior) {
 		if !exhausted {
 			return nil
@@ -505,13 +588,15 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 		k = len(interior) // component smaller than k+1: return what exists
 	}
 	if k == 0 {
+		if dst != nil {
+			return dst[:0]
+		}
 		return []int32{}
 	}
 	sel := interior[:k]
-	inK := make(map[int32]bool, k)
+	e.markSel(sel)
 	minK := sel[0].key
 	for _, c := range sel {
-		inK[c.i] = true
 		if c.key < minK {
 			minK = c.key
 		}
@@ -520,7 +605,7 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 	maxRest := 0.0
 	maxBoundaryUB := 0.0
 	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q || inK[i] {
+		if e.nodes[i] == e.q || e.inSel[i] {
 			continue
 		}
 		key := e.ub[i]
@@ -534,6 +619,7 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 			maxBoundaryUB = e.ub[i]
 		}
 	}
+	e.clearSel(sel)
 	// In RWR mode the best unvisited node scores at most
 	// w(S̄)·max_{i∈δS} ub_i (second condition of Section 5.6; K is
 	// interior-only, so the first loop saw every boundary node). Folding it
@@ -551,9 +637,9 @@ func (e *phpEngine) checkTermination(k int, rwrMode bool, wSbar float64, tieEps 
 	if minK < rest-tieEps {
 		return nil
 	}
-	out := make([]int32, k)
-	for i, c := range sel {
-		out[i] = c.i
+	out := dst[:0]
+	for _, c := range sel {
+		out = append(out, c.i)
 	}
 	return out
 }

@@ -31,7 +31,7 @@ func TestEngineVisitBookkeeping(t *testing.T) {
 	if e.outCnt[0] != 2 {
 		t.Fatalf("outCnt(q) = %d, want 2 (nodes 2,3 unvisited)", e.outCnt[0])
 	}
-	added := e.expand(0)
+	added := e.expand(0, nil)
 	if len(added) != 2 {
 		t.Fatalf("expanding q added %v", added)
 	}
@@ -39,7 +39,7 @@ func TestEngineVisitBookkeeping(t *testing.T) {
 		t.Fatal("q still boundary after expanding both neighbors")
 	}
 	// Node 1 (paper 2) has neighbors {0, 3}: one unvisited.
-	li := e.local[1]
+	li, _ := e.local.get(1)
 	if e.outCnt[li] != 1 {
 		t.Fatalf("outCnt(node 2) = %d, want 1", e.outCnt[li])
 	}
@@ -63,8 +63,9 @@ func TestEngineLowerBoundMatchesDeletedSystem(t *testing.T) {
 	g := gen.PaperExample()
 	c := 0.8
 	e := newTestEngine(t, g, 0, c, false)
-	e.expand(0)          // S = {1,2,3} (paper numbering)
-	e.expand(e.local[1]) // + node 4
+	e.expand(0, nil) // S = {1,2,3} (paper numbering)
+	l1, _ := e.local.get(1)
+	e.expand(l1, nil) // + node 4
 	e.solveLower()
 
 	// Dense solve on the same local system.
@@ -95,7 +96,7 @@ func TestEngineUpperBoundMatchesDummySystem(t *testing.T) {
 	c := 0.8
 	e := newTestEngine(t, g, 0, c, false)
 	e.updateDummy()
-	e.expand(0)
+	e.expand(0, nil)
 	e.solveLower()
 	e.solveUpper()
 
@@ -127,13 +128,14 @@ func TestEngineTighteningTerms(t *testing.T) {
 	g := gen.PaperExample()
 	c := 0.8
 	e := newTestEngine(t, g, 0, c, true)
-	e.expand(0)          // adds 2,3 (paper)
-	e.expand(e.local[1]) // expanding paper-2 adds paper-4
+	e.expand(0, nil) // adds 2,3 (paper)
+	l1, _ := e.local.get(1)
+	e.expand(l1, nil) // expanding paper-2 adds paper-4
 	e.refreshTightening()
 
 	// Paper node 3 (local of id 2): one outside neighbor, node 5 (degree 2).
 	// selfLoop = c·p(3→5)·p(5→3) = c·(1/3)·(1/2); dummy = c·(1/3)·(1/2).
-	l3 := e.local[2]
+	l3, _ := e.local.get(2)
 	wantSelf := c * (1.0 / 3) * 0.5
 	if got := e.selfEntry(l3); math.Abs(got-wantSelf) > 1e-12 {
 		t.Fatalf("selfLoop(3) = %g, want %g", got, wantSelf)
@@ -143,13 +145,14 @@ func TestEngineTighteningTerms(t *testing.T) {
 	}
 	// Paper node 4 (id 3): outside neighbors 6 (deg 2) and 7 (deg 2), each
 	// p(4→·) = 1/4: selfLoop = c·2·(1/4)(1/2) = c/4, dummy = c·2·(1/4)(1/2).
-	l4 := e.local[3]
+	l4, _ := e.local.get(3)
 	want4 := c * 2 * 0.25 * 0.5
 	if got := e.selfEntry(l4); math.Abs(got-want4) > 1e-12 {
 		t.Fatalf("selfLoop(4) = %g, want %g", got, want4)
 	}
 	// Interior nodes carry no tightening terms.
-	if e.selfEntry(e.local[1]) != 0 || e.dummyEntry(e.local[1]) != 0 {
+	l1Post, _ := e.local.get(1)
+	if e.selfEntry(l1Post) != 0 || e.dummyEntry(l1Post) != 0 {
 		t.Fatal("interior node has tightening terms")
 	}
 	// The query never carries them either.
@@ -177,7 +180,7 @@ func TestEngineDummyMonotone(t *testing.T) {
 		if len(us) == 0 {
 			break
 		}
-		e.expand(us[0])
+		e.expand(us[0], nil)
 		e.solveLower()
 		e.solveUpper()
 	}
@@ -193,7 +196,7 @@ func TestEngineDummyMonotone(t *testing.T) {
 func TestEnginePickExpansionBatch(t *testing.T) {
 	g := gen.Star(8)
 	e := newTestEngine(t, g, 1, 0.5, false) // query = a leaf
-	e.expand(0)                             // visit the center, exposing 7 leaves... via expansion of q
+	e.expand(0, nil)                        // visit the center, exposing 7 leaves... via expansion of q
 	// Expand q (local 0) first: adds center.
 	// (constructor already visited q; local 0 = q)
 	e.solveLower()
@@ -233,12 +236,12 @@ func TestTHTEngineDistances(t *testing.T) {
 		if len(us) == 0 {
 			break
 		}
-		e.expand(us[0])
+		e.expand(us[0], nil)
 		e.solveBounds()
 	}
 	want := []int32{0, 1, 2, 3, 4, 3, 2, 1}
 	for v := 0; v < 8; v++ {
-		li := e.local[graph.NodeID(v)]
+		li, _ := e.local.get(graph.NodeID(v))
 		if e.dist[li] != want[v] {
 			t.Fatalf("dist[%d] = %d, want %d", v, e.dist[li], want[v])
 		}
@@ -256,7 +259,7 @@ func TestTHTEngineFloorGrows(t *testing.T) {
 			break
 		}
 		for _, u := range us {
-			e.expand(u)
+			e.expand(u, nil)
 		}
 		e.solveBounds()
 		f := e.unvisitedFloor()
@@ -281,7 +284,7 @@ func TestTHTEngineBoundsMatchScratch(t *testing.T) {
 		if len(us) == 0 {
 			break
 		}
-		e.expand(us[0])
+		e.expand(us[0], nil)
 		e.solveBounds()
 
 		// From-scratch recomputation.

@@ -17,19 +17,23 @@ import (
 // Theorems 2 and 6; THT uses the finite-horizon engine. The returned set is
 // exact (up to Options.TieEps at score ties) unless MaxVisited fired.
 //
-// TopK is TopKCtx with a background context; use TopKCtx for cancellation
-// and deadlines.
+// TopK is a thin wrapper over TopKCtx with a background context; it builds
+// all engine state from scratch per call. Callers issuing more than one
+// query should hold a Querier, whose pooled workspaces amortize that setup
+// and make the hot path allocation-light.
 func TopK(g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
 	return TopKCtx(context.Background(), g, q, opt)
 }
 
-func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
+// phpFamilyTopK is the FLoS main loop for the PHP-bounded measures
+// (PHP/EI/DHT/RWR). ws supplies a reusable engine workspace; nil runs cold.
+func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*Result, error) {
 	phpParams, err := measure.EquivalentPHPParams(opt.Measure, opt.Params)
 	if err != nil {
 		return nil, err
 	}
 	rwrMode := opt.Measure == measure.RWR
-	e := newPHPEngine(g, q, phpParams.C, phpParams.Tau, phpParams.MaxIter, opt.Tighten)
+	e := ws.phpFor(g, q, phpParams.C, phpParams.Tau, phpParams.MaxIter, opt.Tighten)
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -41,7 +45,7 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 	topDeg := g.TopDegrees(4096)
 	wSbar := func() float64 {
 		for _, de := range topDeg {
-			if _, visited := e.local[de.Node]; !visited {
+			if !e.local.has(de.Node) {
 				return de.Degree
 			}
 		}
@@ -61,12 +65,12 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 		// capture it before the expansion mutates the boundary.
 		e.updateDummy()
 
-		// Single-node expansion while the search is small (and whenever
-		// figure-tracing, so traces match Algorithm 3 exactly); grow the
-		// batch with |S| so the expansion schedule stays a vanishing
-		// fraction per step. Tracer keeps the real schedule.
+		// Single-node expansion while the search is small; grow the batch
+		// with |S| so the expansion schedule stays a vanishing fraction per
+		// step. Traced (Trace or Tracer) and untraced runs share this one
+		// schedule.
 		batch := e.size() / 256
-		if batch < 1 || opt.Trace != nil {
+		if batch < 1 {
 			batch = 1
 		}
 		var expandNS, solveNS, certifyNS int64
@@ -74,15 +78,16 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			phaseAt = time.Now()
 		}
 		us := e.pickExpansion(rwrMode, batch)
-		var added []graph.NodeID
+		added := e.addedBuf[:0]
 		var expanded graph.NodeID = -1
 		exhausted := len(us) == 0
 		if !exhausted {
 			expanded = e.nodes[us[0]]
 			for _, u := range us {
-				added = append(added, e.expand(u)...)
+				added = e.expand(u, added)
 			}
 		}
+		e.addedBuf = added
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
@@ -108,7 +113,10 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 		if tracing {
 			gap = &certGap{}
 		}
-		sel := e.checkTermination(opt.K, rwrMode, guard, opt.TieEps, gap)
+		sel := e.checkTermination(e.selOut, opt.K, rwrMode, guard, opt.TieEps, gap)
+		if sel != nil {
+			e.selOut = sel
+		}
 		if tracing {
 			certifyNS = time.Since(phaseAt).Nanoseconds()
 		}
@@ -129,21 +137,18 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			// TieEps, or k larger than the component). The local system now
 			// IS the component with no dummy mass, so lb≈ub≈exact: return
 			// the top-k by lower bound.
-			return buildResult(e, forceSelect(e, opt.K, rwrMode), opt, t, true)
+			return buildResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, true)
 		case e.size() >= maxVisited && opt.MaxVisited > 0:
-			return buildResult(e, forceSelect(e, opt.K, rwrMode), opt, t, false)
+			return buildResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, false)
 		}
 	}
 }
 
 // forceSelect picks the best-k visited nodes by lower bound regardless of
-// separation — used at exhaustion and at the MaxVisited safety valve.
-func forceSelect(e *phpEngine, k int, rwrMode bool) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
-	var all []cand
+// separation — used at exhaustion and at the MaxVisited safety valve. The
+// selection is appended to dst.
+func (e *phpEngine) forceSelect(dst []int32, k int, rwrMode bool) []int32 {
+	all := e.candBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if e.nodes[i] == e.q {
 			continue
@@ -152,20 +157,16 @@ func forceSelect(e *phpEngine, k int, rwrMode bool) []int32 {
 		if rwrMode {
 			key *= e.deg[i]
 		}
-		all = append(all, cand{i, key})
+		all = append(all, scored{i, key})
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].key != all[b].key {
-			return all[a].key > all[b].key
-		}
-		return e.nodes[all[a].i] < e.nodes[all[b].i]
-	})
+	e.candBuf = all
+	sortScoredDesc(all, e.nodes)
 	if k > len(all) {
 		k = len(all)
 	}
-	out := make([]int32, k)
+	out := dst[:0]
 	for i := 0; i < k; i++ {
-		out[i] = all[i].i
+		out = append(out, all[i].i)
 	}
 	return out
 }

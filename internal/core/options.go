@@ -38,10 +38,14 @@ type Options struct {
 	// non-terminating) criterion; DefaultOptions uses 1e-9.
 	TieEps float64
 	// Trace, when non-nil, receives a per-iteration snapshot of the search —
-	// used to regenerate the paper's Figure 4 and Table 3. It forces
-	// single-node expansion so traces match Algorithm 3 exactly; for
-	// production observability use Tracer instead, which records the real
-	// (batched) schedule.
+	// used to regenerate the paper's Figure 4 and Table 3. Each snapshot
+	// copies the full visited set and both bound vectors, so it is far more
+	// expensive than Tracer. Traced and untraced runs share one expansion
+	// schedule: enabling Trace never changes which nodes are visited.
+	//
+	// Deprecated: use Tracer, which records per-iteration statistics on the
+	// same schedule without the O(|S|) snapshot copies. Trace remains for
+	// the figure-regeneration tooling.
 	Trace func(TraceEvent)
 	// Tracer, when non-nil, receives one IterStats per search iteration:
 	// visited/boundary/candidate counts, the certification gap (k-th lower
@@ -118,19 +122,20 @@ func DefaultOptions(kind measure.Kind, k int) Options {
 	}
 }
 
-// Validate rejects malformed options.
+// Validate rejects malformed options. Every failure wraps
+// ErrInvalidOptions, so callers can classify with errors.Is.
 func (o Options) Validate() error {
 	if o.K <= 0 {
-		return fmt.Errorf("core: K=%d must be positive", o.K)
+		return fmt.Errorf("%w: K=%d must be positive", ErrInvalidOptions, o.K)
 	}
 	if err := o.Params.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
 	if o.MaxVisited < 0 {
-		return fmt.Errorf("core: MaxVisited=%d must be non-negative", o.MaxVisited)
+		return fmt.Errorf("%w: MaxVisited=%d must be non-negative", ErrInvalidOptions, o.MaxVisited)
 	}
 	if o.TieEps < 0 {
-		return fmt.Errorf("core: TieEps=%g must be non-negative", o.TieEps)
+		return fmt.Errorf("%w: TieEps=%g must be non-negative", ErrInvalidOptions, o.TieEps)
 	}
 	return nil
 }

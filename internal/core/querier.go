@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flos/internal/graph"
+)
+
+// Querier is a reusable query session over one graph and one option set:
+// the recommended entry point for any caller issuing more than one query.
+// It owns a pool of engine workspaces, so repeated queries skip nearly all
+// of the per-call allocation a bare TopK pays (the bookkeeping slices, the
+// global→local index, the degree memo), and it holds per-workspace graph
+// views, so concurrent queries against view-capable backends (MemGraph,
+// DiskGraph) run genuinely in parallel.
+//
+// A Querier is safe for concurrent use. Each in-flight query checks out one
+// workspace (plus its graph view) from an internal sync.Pool and returns it
+// when done; backends without the graph.Viewer capability are assumed
+// non-concurrent-safe and their queries are serialized internally.
+//
+// Results produced through a Querier are byte-for-byte identical to the
+// equivalent one-shot TopKCtx / UnifiedTopKCtx calls, including the work
+// counters; only the allocation profile differs.
+//
+// Options.Trace and Options.Tracer are shared by every query the Querier
+// runs; under concurrent use the callbacks will interleave. Use a dedicated
+// Querier (or one-shot TopKCtx) for traced runs.
+type Querier struct {
+	// Parallelism bounds the worker goroutines a Batch call uses; zero or
+	// negative selects GOMAXPROCS. Set it before the Querier is shared.
+	Parallelism int
+
+	g      graph.Graph
+	opt    Options
+	viewer bool
+	pool   sync.Pool // of *querierWS
+	mu     sync.Mutex
+}
+
+// querierWS pairs a workspace with the graph view it queries through.
+type querierWS struct {
+	ws *Workspace
+	g  graph.Graph
+}
+
+// NewQuerier validates opt once and returns a session bound to g.
+func NewQuerier(g graph.Graph, opt Options) (*Querier, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	_, viewer := g.(graph.Viewer)
+	qr := &Querier{g: g, opt: opt, viewer: viewer}
+	qr.pool.New = func() any {
+		gv := qr.g
+		if v, ok := gv.(graph.Viewer); ok {
+			gv = v.NewView()
+		}
+		return &querierWS{ws: NewWorkspace(), g: gv}
+	}
+	return qr, nil
+}
+
+// Options returns the option set every query of this session runs with.
+func (qr *Querier) Options() Options { return qr.opt }
+
+// TopK answers one query on the TopKCtx contract, reusing pooled engine
+// state.
+func (qr *Querier) TopK(ctx context.Context, q graph.NodeID) (*Result, error) {
+	w := qr.pool.Get().(*querierWS)
+	defer qr.pool.Put(w)
+	if !qr.viewer {
+		qr.mu.Lock()
+		defer qr.mu.Unlock()
+	}
+	return topKIn(ctx, w.g, q, qr.opt, w.ws)
+}
+
+// Unified answers one unified query on the UnifiedTopKCtx contract, reusing
+// pooled engine state.
+func (qr *Querier) Unified(ctx context.Context, q graph.NodeID) (*UnifiedResult, error) {
+	w := qr.pool.Get().(*querierWS)
+	defer qr.pool.Put(w)
+	if !qr.viewer {
+		qr.mu.Lock()
+		defer qr.mu.Unlock()
+	}
+	return unifiedIn(ctx, w.g, q, qr.opt, w.ws)
+}
+
+// BatchItem is one query's slot in a batch: exactly one of Result and Err
+// is set once the batch returns.
+type BatchItem struct {
+	// Query is the query node this slot answers for (queries[i] of the
+	// Batch call).
+	Query graph.NodeID
+	// Result is the completed answer, nil if the query failed.
+	Result *Result
+	// Err is the query's error: validation, or *Interrupted when the batch
+	// context fired before this query finished (or started).
+	Err error
+}
+
+// Batch answers many queries concurrently across the workspace pool,
+// bounded by Parallelism. The result slice is parallel to queries; every
+// slot is filled. Cancellation is per-query: when ctx fires mid-batch,
+// already-completed slots keep their results, the in-flight queries stop
+// promptly, and every unfinished slot gets an *Interrupted error — the call
+// itself always returns, it never hangs.
+func (qr *Querier) Batch(ctx context.Context, queries []graph.NodeID) []BatchItem {
+	out := make([]BatchItem, len(queries))
+	for i, q := range queries {
+		out[i].Query = q
+	}
+	if len(queries) == 0 {
+		return out
+	}
+	par := qr.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(queries) {
+		par = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := qr.pool.Get().(*querierWS)
+			defer qr.pool.Put(ws)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Not started: zero work counters.
+					out[i].Err = interrupted(err, 0, 0, 0)
+					continue
+				}
+				out[i].Result, out[i].Err = qr.runOne(ctx, ws, queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (qr *Querier) runOne(ctx context.Context, w *querierWS, q graph.NodeID) (*Result, error) {
+	if !qr.viewer {
+		qr.mu.Lock()
+		defer qr.mu.Unlock()
+	}
+	return topKIn(ctx, w.g, q, qr.opt, w.ws)
+}
+
+// TopKBatch answers a one-off batch of queries sharing one option set: it
+// builds a transient Querier and fans the queries across it. Callers with
+// recurring batches should hold their own Querier so the workspaces stay
+// warm between batches. The error is non-nil only for invalid options;
+// per-query failures land in the items.
+func TopKBatch(ctx context.Context, g graph.Graph, queries []graph.NodeID, opt Options) ([]BatchItem, error) {
+	qr, err := NewQuerier(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Batch(ctx, queries), nil
+}

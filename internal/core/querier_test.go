@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// copyGraph wraps a MemGraph but hides its StableNeighbors capability, so
+// the engine must take the defensive-copy path — the same mode disk-backed
+// graphs use. It lets the reuse tests exercise stable→copy→stable workspace
+// transitions without building a disk store.
+type copyGraph struct{ g *graph.MemGraph }
+
+func (c copyGraph) NumNodes() int   { return c.g.NumNodes() }
+func (c copyGraph) NumEdges() int64 { return c.g.NumEdges() }
+func (c copyGraph) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	return c.g.Neighbors(v)
+}
+func (c copyGraph) Degree(v graph.NodeID) float64        { return c.g.Degree(v) }
+func (c copyGraph) TopDegrees(k int) []graph.DegreeEntry { return c.g.TopDegrees(k) }
+
+// requireSameResult compares two results field by field, work counters
+// included — Querier reuse must be indistinguishable from a fresh call.
+func requireSameResult(t *testing.T, label string, fresh, reused *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("%s: reused workspace diverged from fresh call\nfresh:  %+v\nreused: %+v", label, fresh, reused)
+	}
+}
+
+// TestQuerierMatchesFreshTopK is the reuse-equivalence test: the same query
+// answered through one long-lived Querier — including warm repeats — must be
+// deep-equal to a fresh one-shot TopK, for every measure, on the paper graph
+// and a larger random community-like graph.
+func TestQuerierMatchesFreshTopK(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    graph.Graph
+	}{
+		{"paper", gen.PaperExample()},
+		{"random", randomConnected(t, 200, 420, 7)},
+		{"copy-mode", copyGraph{g: randomConnected(t, 120, 240, 11)}},
+	}
+	for _, tc := range graphs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.g.NumNodes()
+			for _, kind := range measure.Kinds() {
+				opt := testOptions(kind, 5)
+				qr, err := NewQuerier(tc.g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pass := 0; pass < 3; pass++ { // pass 0 cold, 1..2 warm
+					for _, q := range []graph.NodeID{0, graph.NodeID(n / 2), graph.NodeID(n - 1)} {
+						fresh, err := TopK(tc.g, q, opt)
+						if err != nil {
+							t.Fatalf("%v q=%d: fresh: %v", kind, q, err)
+						}
+						reused, err := qr.TopK(context.Background(), q)
+						if err != nil {
+							t.Fatalf("%v q=%d pass=%d: querier: %v", kind, q, pass, err)
+						}
+						requireSameResult(t, fmt.Sprintf("%v q=%d pass=%d", kind, q, pass), fresh, reused)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuerierUnifiedMatchesFresh checks the unified two-family path under
+// workspace reuse.
+func TestQuerierUnifiedMatchesFresh(t *testing.T) {
+	g := randomConnected(t, 150, 300, 3)
+	opt := testOptions(measure.PHP, 5)
+	qr, err := NewQuerier(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, q := range []graph.NodeID{1, 70, 149} {
+			fresh, err := UnifiedTopK(g, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := qr.Unified(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Fatalf("q=%d pass=%d: unified reuse diverged\nfresh:  %+v\nreused: %+v", q, pass, fresh, reused)
+			}
+		}
+	}
+}
+
+// TestWorkspaceStableCopyTransition drives one workspace back and forth
+// between a stable-slices graph (MemGraph, adjacency aliased) and a
+// copy-mode graph. If reset failed to drop the aliased rows, the copy path
+// would append into the previous graph's CSR arrays; the fresh-call
+// comparison (and -race) would catch the corruption.
+func TestWorkspaceStableCopyTransition(t *testing.T) {
+	mem := randomConnected(t, 100, 200, 5)
+	cp := copyGraph{g: randomConnected(t, 100, 200, 6)}
+	ws := NewWorkspace()
+	opt := testOptions(measure.RWR, 4)
+	for round := 0; round < 3; round++ {
+		for _, tc := range []struct {
+			name string
+			g    graph.Graph
+		}{{"stable", mem}, {"copy", cp}} {
+			q := graph.NodeID(13 * (round + 1) % 100)
+			fresh, err := TopK(tc.g, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := ws.TopK(context.Background(), tc.g, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, fmt.Sprintf("round=%d %s", round, tc.name), fresh, reused)
+		}
+	}
+	// The stable graph's CSR must be untouched after the copy-mode rounds.
+	check, err := TopK(mem, 13, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := ws.TopK(context.Background(), mem, 13, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "post-transition", check, reused)
+}
+
+// TestQuerierConcurrentStress hammers one Querier from many goroutines and
+// checks every answer against a fresh baseline. Run with -race this is the
+// workspace-isolation test: two queries must never share engine state.
+func TestQuerierConcurrentStress(t *testing.T) {
+	g := randomConnected(t, 150, 300, 9)
+	opt := testOptions(measure.PHP, 5)
+	baseline := make([]*Result, g.NumNodes())
+	for q := range baseline {
+		r, err := TopK(g, graph.NodeID(q), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[q] = r
+	}
+	qr, err := NewQuerier(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 60
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := graph.NodeID((w*31 + i*7) % g.NumNodes())
+				got, err := qr.TopK(context.Background(), q)
+				if err != nil {
+					errCh <- fmt.Errorf("q=%d: %w", q, err)
+					return
+				}
+				if !reflect.DeepEqual(baseline[q], got) {
+					errCh <- fmt.Errorf("q=%d: concurrent result diverged from baseline", q)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestBatchMatchesSequential checks that Batch fills every slot with the
+// same answer sequential calls produce, in query order.
+func TestBatchMatchesSequential(t *testing.T) {
+	g := randomConnected(t, 120, 240, 2)
+	opt := testOptions(measure.EI, 5)
+	queries := make([]graph.NodeID, 40)
+	for i := range queries {
+		queries[i] = graph.NodeID((i * 3) % g.NumNodes())
+	}
+	items, err := TopKBatch(context.Background(), g, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(queries) {
+		t.Fatalf("got %d items, want %d", len(items), len(queries))
+	}
+	for i, it := range items {
+		if it.Query != queries[i] {
+			t.Fatalf("slot %d: query %d, want %d", i, it.Query, queries[i])
+		}
+		if it.Err != nil {
+			t.Fatalf("slot %d: %v", i, it.Err)
+		}
+		fresh, err := TopK(g, queries[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, fmt.Sprintf("slot %d", i), fresh, it.Result)
+	}
+}
+
+// TestBatchPerQueryErrors: invalid query nodes fail their own slot without
+// poisoning the rest of the batch.
+func TestBatchPerQueryErrors(t *testing.T) {
+	g := gen.PaperExample()
+	opt := testOptions(measure.PHP, 3)
+	queries := []graph.NodeID{0, graph.NodeID(g.NumNodes()), 3, -1}
+	items, err := TopKBatch(context.Background(), g, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 3} {
+		if !errors.Is(items[i].Err, ErrInvalidQuery) {
+			t.Fatalf("slot %d: err = %v, want ErrInvalidQuery", i, items[i].Err)
+		}
+		if items[i].Result != nil {
+			t.Fatalf("slot %d: result set alongside error", i)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil || items[i].Result == nil {
+			t.Fatalf("slot %d: err=%v result=%v, want clean result", i, items[i].Err, items[i].Result)
+		}
+	}
+}
+
+// gateGraph wraps a graph and, after `fast` Neighbors calls have passed
+// through, blocks every further call until release is closed. It lets the
+// cancellation test freeze a batch mid-flight deterministically.
+type gateGraph struct {
+	g       graph.Graph
+	fast    int64
+	calls   atomic.Int64
+	blocked atomic.Int64
+	release chan struct{}
+}
+
+func (gg *gateGraph) NumNodes() int                        { return gg.g.NumNodes() }
+func (gg *gateGraph) NumEdges() int64                      { return gg.g.NumEdges() }
+func (gg *gateGraph) Degree(v graph.NodeID) float64        { return gg.g.Degree(v) }
+func (gg *gateGraph) TopDegrees(k int) []graph.DegreeEntry { return gg.g.TopDegrees(k) }
+func (gg *gateGraph) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if gg.calls.Add(1) > gg.fast {
+		gg.blocked.Add(1)
+		<-gg.release
+	}
+	return gg.g.Neighbors(v)
+}
+
+// TestBatchCancellationPartial cancels a batch while queries are in flight.
+// The call must return promptly with every slot filled: finished queries
+// keep their results, everything else carries *Interrupted wrapping
+// ErrCanceled.
+func TestBatchCancellationPartial(t *testing.T) {
+	base := randomConnected(t, 80, 150, 4)
+	// Let roughly two queries' worth of expansions through before gating.
+	gg := &gateGraph{g: base, fast: 200, release: make(chan struct{})}
+	opt := testOptions(measure.PHP, 5)
+	qr, err := NewQuerier(gg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr.Parallelism = 2
+	queries := make([]graph.NodeID, 30)
+	for i := range queries {
+		queries[i] = graph.NodeID(i % base.NumNodes())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	itemsCh := make(chan []BatchItem, 1)
+	go func() { itemsCh <- qr.Batch(ctx, queries) }()
+
+	// Wait until a worker is parked on the gate, then cancel and release.
+	deadline := time.After(10 * time.Second)
+	for gg.blocked.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no query ever reached the gate")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	close(gg.release)
+
+	var items []BatchItem
+	select {
+	case items = <-itemsCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Batch hung after cancellation")
+	}
+
+	var done, interruptedN int
+	for i, it := range items {
+		switch {
+		case it.Err == nil && it.Result != nil:
+			done++
+		case it.Err != nil:
+			var in *Interrupted
+			if !errors.As(it.Err, &in) {
+				t.Fatalf("slot %d: err %v is not *Interrupted", i, it.Err)
+			}
+			if !errors.Is(it.Err, ErrCanceled) {
+				t.Fatalf("slot %d: err %v does not wrap ErrCanceled", i, it.Err)
+			}
+			interruptedN++
+		default:
+			t.Fatalf("slot %d: neither result nor error", i)
+		}
+	}
+	if interruptedN == 0 {
+		t.Fatal("cancellation mid-flight produced no interrupted slots")
+	}
+	t.Logf("batch after cancel: %d done, %d interrupted", done, interruptedN)
+}
+
+// TestWarmPathAllocCeiling is the allocation-regression smoke: a warm
+// Querier answering a PHP top-20 query on the community graph must stay
+// under a committed allocs/op ceiling. A bare TopK on the same query pays
+// hundreds of allocations (index maps, bound slices, row matrix); the warm
+// path only pays for the Result it hands back.
+func TestWarmPathAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
+	g, err := gen.Community(5000, 25000, gen.CommunityParamsForDensity(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(measure.PHP, 20)
+	qr, err := NewQuerier(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const q = graph.NodeID(2500)
+	for i := 0; i < 3; i++ { // warm the pooled workspace
+		if _, err := qr.TopK(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := qr.TopK(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The warm path should allocate only the returned Result and its
+	// ranking slice (plus a couple of sort closures). The ceiling is set
+	// loosely above the observed cost so only a real regression — e.g. a
+	// per-query map or bound-slice rebuild sneaking back in — trips it.
+	const ceiling = 64
+	if allocs > ceiling {
+		t.Fatalf("warm Querier.TopK allocates %.0f objects/op, ceiling %d", allocs, ceiling)
+	}
+	t.Logf("warm Querier.TopK: %.1f allocs/op (ceiling %d)", allocs, ceiling)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are skipped because the race runtime adds its own allocations.
+const raceEnabled = true

@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"time"
 
 	"flos/internal/graph"
@@ -29,13 +29,18 @@ import (
 // recomputed only when level l−1 of a neighbor (or its own boundary terms)
 // changed, so per-iteration cost tracks the changed region rather than
 // |S|·L.
+//
+// Like phpEngine, a thtEngine is reusable via reset: slices truncate in
+// place and the global→local index clears by generation bump.
 type thtEngine struct {
 	g graph.Graph
 	q graph.NodeID
 	L int
 
+	stable bool // g advertises graph.StableNeighbors; adjN/adjW alias it
+
 	nodes  []graph.NodeID
-	local  map[graph.NodeID]int32
+	local  nodeIndex
 	adjN   [][]graph.NodeID
 	adjW   [][]float64
 	deg    []float64
@@ -63,6 +68,16 @@ type thtEngine struct {
 
 	lastFloor int32 // D+1 used in the last solve; change re-dirties the boundary
 	sweeps    int
+
+	// Scratch reused across iterations and queries.
+	pickBuf  []scored
+	pickOut  []int32
+	candBuf  []scored
+	selOut   []int32
+	inSel    []bool
+	floorBuf []int32
+	addedBuf []graph.NodeID
+	distQ    []int32
 }
 
 type thtEntry struct {
@@ -73,36 +88,77 @@ type thtEntry struct {
 const distInf = int32(1 << 30)
 
 func newTHTEngine(g graph.Graph, q graph.NodeID, L int) *thtEngine {
-	e := &thtEngine{
-		g:         g,
-		q:         q,
-		L:         L,
-		local:     make(map[graph.NodeID]int32),
-		lbL:       make([][]float64, L+1),
-		ubL:       make([][]float64, L+1),
-		inQ:       make([][]bool, L+1),
-		queue:     make([][]int32, L+1),
-		lastFloor: -1,
-	}
-	e.visit(q)
+	e := &thtEngine{}
+	e.reset(g, q, L, false)
 	return e
+}
+
+// reset prepares the engine for a new query (possibly a new horizon L and a
+// new graph), reusing retained storage; see phpEngine.reset.
+func (e *thtEngine) reset(g graph.Graph, q graph.NodeID, L int, dense bool) {
+	e.g, e.q, e.L = g, q, L
+
+	stable := graph.HasStableNeighbors(g)
+	if e.stable && !stable {
+		e.adjN, e.adjW = nil, nil
+	}
+	e.stable = stable
+
+	e.local.init(g.NumNodes(), dense)
+
+	e.nodes = e.nodes[:0]
+	e.adjN = e.adjN[:0]
+	e.adjW = e.adjW[:0]
+	e.deg = e.deg[:0]
+	e.inW = e.inW[:0]
+	e.outCnt = e.outCnt[:0]
+	e.ladj = e.ladj[:0]
+	e.tRows = e.tRows[:0]
+	e.dist = e.dist[:0]
+
+	if cap(e.lbL) < L+1 {
+		e.lbL = make([][]float64, L+1)
+		e.ubL = make([][]float64, L+1)
+		e.inQ = make([][]bool, L+1)
+		e.queue = make([][]int32, L+1)
+	} else {
+		e.lbL = e.lbL[:L+1]
+		e.ubL = e.ubL[:L+1]
+		e.inQ = e.inQ[:L+1]
+		e.queue = e.queue[:L+1]
+	}
+	for l := 0; l <= L; l++ {
+		e.lbL[l] = e.lbL[l][:0]
+		e.ubL[l] = e.ubL[l][:0]
+		e.inQ[l] = e.inQ[l][:0]
+		e.queue[l] = e.queue[l][:0]
+	}
+
+	e.lastFloor = -1
+	e.sweeps = 0
+
+	e.visit(q)
 }
 
 func (e *thtEngine) visit(v graph.NodeID) {
 	li := int32(len(e.nodes))
 	e.nodes = append(e.nodes, v)
-	e.local[v] = li
+	e.local.put(v, li)
 	nbrs, ws := e.g.Neighbors(v)
-	cn := append([]graph.NodeID(nil), nbrs...)
-	cw := append([]float64(nil), ws...)
-	e.adjN = append(e.adjN, cn)
-	e.adjW = append(e.adjW, cw)
+	if e.stable {
+		e.adjN = append(e.adjN, nbrs)
+		e.adjW = append(e.adjW, ws)
+	} else {
+		e.adjN = appendRowCopy(e.adjN, nbrs)
+		e.adjW = appendRowCopy(e.adjW, ws)
+	}
+	cn, cw := e.adjN[li], e.adjW[li]
 
 	var d, in float64
 	var out int32
 	for i, u := range cn {
 		d += cw[i]
-		if _, ok := e.local[u]; ok {
+		if e.local.has(u) {
 			in += cw[i]
 		} else {
 			out++
@@ -111,8 +167,8 @@ func (e *thtEngine) visit(v graph.NodeID) {
 	e.deg = append(e.deg, d)
 	e.inW = append(e.inW, in)
 	e.outCnt = append(e.outCnt, out)
-	e.tRows = append(e.tRows, nil)
-	e.ladj = append(e.ladj, nil)
+	e.tRows = appendRow(e.tRows)
+	e.ladj = appendRow(e.ladj)
 	for l := 0; l <= e.L; l++ {
 		e.lbL[l] = append(e.lbL[l], 0)
 		// Initial upper value min(l, L) = l is always valid: r^l ≤ l.
@@ -133,7 +189,7 @@ func (e *thtEngine) visit(v graph.NodeID) {
 	e.dist = append(e.dist, nd)
 
 	for i, u := range cn {
-		lu, ok := e.local[u]
+		lu, ok := e.local.get(u)
 		if !ok {
 			continue
 		}
@@ -160,7 +216,7 @@ func (e *thtEngine) visit(v graph.NodeID) {
 // relaxDistFrom propagates shortest-path improvements created by a new or
 // shortened node (unit hops, BFS-style worklist).
 func (e *thtEngine) relaxDistFrom(start int32) {
-	queue := []int32{start}
+	queue := append(e.distQ[:0], start)
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
@@ -175,6 +231,7 @@ func (e *thtEngine) relaxDistFrom(start int32) {
 			}
 		}
 	}
+	e.distQ = queue
 }
 
 // markAllLevels dirties every level of one row.
@@ -288,13 +345,10 @@ func (e *thtEngine) lb(i int32) float64 { return e.lbL[e.L][i] }
 func (e *thtEngine) ub(i int32) float64 { return e.ubL[e.L][i] }
 
 // pickExpansion returns up to batch boundary nodes with the smallest
-// ½(lb+ub) (closest-first for a lower-is-closer measure), best first.
+// ½(lb+ub) (closest-first for a lower-is-closer measure), best first. The
+// returned slice is engine scratch, valid until the next pick call.
 func (e *thtEngine) pickExpansion(batch int) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
-	best := make([]cand, 0, batch)
+	best := e.pickBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if !e.isBoundary(i) {
 			continue
@@ -309,26 +363,31 @@ func (e *thtEngine) pickExpansion(batch int) []int32 {
 			pos--
 		}
 		if len(best) < batch {
-			best = append(best, cand{})
+			best = append(best, scored{})
 		}
 		copy(best[pos+1:], best[pos:len(best)-1])
-		best[pos] = cand{i, key}
+		best[pos] = scored{i, key}
 	}
-	out := make([]int32, len(best))
-	for i, c := range best {
-		out[i] = c.i
+	e.pickBuf = best
+	out := e.pickOut[:0]
+	for _, c := range best {
+		out = append(out, c.i)
+	}
+	e.pickOut = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 // pickFloorClosers returns every boundary node sitting at the minimum hop
-// distance. Expanding them is what advances the distance floor D: the
-// lower-bound contribution of unvisited mass is min(l−1, D+1), and D only
-// grows when no boundary node remains at the old minimum. Pure best-first
-// expansion chases small hitting-time values and can leave a low-hop hub
-// unexpanded forever, pinning D (and with it every far lower bound); mixing
-// in this hop-closure step is the THT analogue of GRANCH's hop-by-hop
-// schedule.
+// distance, in engine scratch. Expanding them is what advances the distance
+// floor D: the lower-bound contribution of unvisited mass is min(l−1, D+1),
+// and D only grows when no boundary node remains at the old minimum. Pure
+// best-first expansion chases small hitting-time values and can leave a
+// low-hop hub unexpanded forever, pinning D (and with it every far lower
+// bound); mixing in this hop-closure step is the THT analogue of GRANCH's
+// hop-by-hop schedule.
 func (e *thtEngine) pickFloorClosers() []int32 {
 	minD := distInf
 	for i := int32(0); i < int32(e.size()); i++ {
@@ -339,19 +398,21 @@ func (e *thtEngine) pickFloorClosers() []int32 {
 	if minD == distInf {
 		return nil
 	}
-	var out []int32
+	out := e.floorBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if e.isBoundary(i) && e.dist[i] == minD {
 			out = append(out, i)
 		}
 	}
+	e.floorBuf = out
 	return out
 }
 
-func (e *thtEngine) expand(u int32) []graph.NodeID {
-	var added []graph.NodeID
+// expand visits every unvisited neighbor of local node u, appending the new
+// global identifiers to added.
+func (e *thtEngine) expand(u int32, added []graph.NodeID) []graph.NodeID {
 	for _, v := range e.adjN[u] {
-		if _, ok := e.local[v]; !ok {
+		if !e.local.has(v) {
 			e.visit(v)
 			added = append(added, v)
 		}
@@ -359,21 +420,34 @@ func (e *thtEngine) expand(u int32) []graph.NodeID {
 	return added
 }
 
+func (e *thtEngine) markSel(sel []scored) {
+	if cap(e.inSel) < e.size() {
+		e.inSel = make([]bool, e.size())
+	}
+	e.inSel = e.inSel[:cap(e.inSel)]
+	for _, c := range sel {
+		e.inSel[c.i] = true
+	}
+}
+
+func (e *thtEngine) clearSel(sel []scored) {
+	for _, c := range sel {
+		e.inSel[c.i] = false
+	}
+}
+
 // checkTermination mirrors Algorithm 6 for a lower-is-closer measure: pick
 // the k interior nodes with smallest upper bounds; they are the exact top-k
 // once max_K ub ≤ min over every other candidate of lb (the unvisited
 // region is covered because min_{δS} lb lower-bounds it by the
-// no-local-minimum property). Returns the selected local indices or nil.
-// A non-nil gap receives the certification-gap observables (tracing only):
-// kth is the k-th candidate's upper bound, rest the best outsider lower
-// bound — the roles mirror the PHP engine because lower is closer.
-func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
+// no-local-minimum property). Returns the selected local indices appended
+// to dst, or nil. A non-nil gap receives the certification-gap observables
+// (tracing only): kth is the k-th candidate's upper bound, rest the best
+// outsider lower bound — the roles mirror the PHP engine because lower is
+// closer.
+func (e *thtEngine) checkTermination(dst []int32, k int, tieEps float64, gap *certGap) []int32 {
 	exhausted := true
-	var interior []cand
+	interior := e.candBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if e.nodes[i] == e.q {
 			continue
@@ -382,28 +456,37 @@ func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int3
 			exhausted = false
 			continue
 		}
-		interior = append(interior, cand{i, e.ub(i)})
+		interior = append(interior, scored{i, e.ub(i)})
 	}
+	e.candBuf = interior
 	if len(interior) < k && !exhausted {
 		return nil
 	}
-	sort.Slice(interior, func(a, b int) bool {
-		if interior[a].key != interior[b].key {
-			return interior[a].key < interior[b].key
+	slices.SortFunc(interior, func(a, b scored) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
 		}
-		return e.nodes[interior[a].i] < e.nodes[interior[b].i]
+		if e.nodes[a.i] < e.nodes[b.i] {
+			return -1
+		}
+		return 1
 	})
 	if k > len(interior) {
 		k = len(interior)
 	}
 	if k == 0 {
+		if dst != nil {
+			return dst[:0]
+		}
 		return []int32{}
 	}
 	sel := interior[:k]
-	inK := make(map[int32]bool, k)
+	e.markSel(sel)
 	maxK := 0.0
 	for _, c := range sel {
-		inK[c.i] = true
 		if c.key > maxK {
 			maxK = c.key
 		}
@@ -411,7 +494,7 @@ func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int3
 	minRest := float64(e.L) + 1
 	restSeen := false
 	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q || inK[i] {
+		if e.nodes[i] == e.q || e.inSel[i] {
 			continue
 		}
 		restSeen = true
@@ -419,6 +502,7 @@ func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int3
 			minRest = e.lb(i)
 		}
 	}
+	e.clearSel(sel)
 	if gap != nil {
 		gap.valid = true
 		gap.kth = maxK
@@ -427,16 +511,17 @@ func (e *thtEngine) checkTermination(k int, tieEps float64, gap *certGap) []int3
 	if (restSeen || !exhausted) && maxK > minRest+tieEps {
 		return nil
 	}
-	out := make([]int32, len(sel))
-	for i, c := range sel {
-		out[i] = c.i
+	out := dst[:0]
+	for _, c := range sel {
+		out = append(out, c.i)
 	}
 	return out
 }
 
-// thtTopK is the FLoS main loop specialized to THT.
-func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*Result, error) {
-	e := newTHTEngine(g, q, opt.Params.L)
+// thtTopK is the FLoS main loop specialized to THT. ws supplies a reusable
+// engine (nil runs cold).
+func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*Result, error) {
+	e := ws.thtFor(g, q, opt.Params.L)
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -448,7 +533,7 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 			return nil, interrupted(err, e.size(), t-1, e.sweeps)
 		}
 		batch := e.size() / 256
-		if batch < 1 || opt.Trace != nil {
+		if batch < 1 {
 			batch = 1
 		}
 		var expandNS, solveNS, certifyNS int64
@@ -456,28 +541,22 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 			phaseAt = time.Now()
 		}
 		us := e.pickExpansion(batch)
-		if opt.Trace == nil {
-			// Hop closure: keep the distance floor advancing (see
-			// pickFloorClosers). Disabled under figure-tracing so traces
-			// show the plain Algorithm 3 schedule.
-			seen := make(map[int32]bool, len(us))
-			for _, u := range us {
-				seen[u] = true
-			}
-			for _, u := range e.pickFloorClosers() {
-				if !seen[u] {
-					us = append(us, u)
-				}
+		// Hop closure: keep the distance floor advancing (see
+		// pickFloorClosers). Traced and untraced runs share this schedule.
+		for _, u := range e.pickFloorClosers() {
+			if !slices.Contains(us, u) {
+				us = append(us, u)
 			}
 		}
-		var added []graph.NodeID
+		added := e.addedBuf[:0]
 		var expanded graph.NodeID = -1
 		if len(us) > 0 {
 			expanded = e.nodes[us[0]]
 			for _, u := range us {
-				added = append(added, e.expand(u)...)
+				added = e.expand(u, added)
 			}
 		}
+		e.addedBuf = added
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
@@ -491,7 +570,10 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 		if tracing {
 			gap = &certGap{}
 		}
-		sel := e.checkTermination(opt.K, opt.TieEps, gap)
+		sel := e.checkTermination(e.selOut, opt.K, opt.TieEps, gap)
+		if sel != nil {
+			e.selOut = sel
+		}
 		if tracing {
 			certifyNS = time.Since(phaseAt).Nanoseconds()
 			opt.Tracer.ObserveIteration(thtIterStats(e, t, len(us), len(added),
@@ -517,11 +599,13 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 		done := sel != nil
 		exact := true
 		if !done && len(us) == 0 {
-			sel = e.forceSelect(opt.K)
+			sel = e.forceSelect(e.selOut, opt.K)
+			e.selOut = sel
 			done = true
 		}
 		if !done && e.size() >= maxVisited && opt.MaxVisited > 0 {
-			sel = e.forceSelect(opt.K)
+			sel = e.forceSelect(e.selOut, opt.K)
+			e.selOut = sel
 			done, exact = true, false
 		}
 		if done {
@@ -576,30 +660,33 @@ func thtIterStats(e *thtEngine, t, batch, added int, certified bool, gap *certGa
 }
 
 // forceSelect picks the k best visited nodes by upper bound (the safe side
-// for a lower-is-closer measure).
-func (e *thtEngine) forceSelect(k int) []int32 {
-	type cand struct {
-		i   int32
-		key float64
-	}
-	var all []cand
+// for a lower-is-closer measure), appended to dst.
+func (e *thtEngine) forceSelect(dst []int32, k int) []int32 {
+	all := e.candBuf[:0]
 	for i := int32(0); i < int32(e.size()); i++ {
 		if e.nodes[i] != e.q {
-			all = append(all, cand{i, e.ub(i)})
+			all = append(all, scored{i, e.ub(i)})
 		}
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].key != all[b].key {
-			return all[a].key < all[b].key
+	e.candBuf = all
+	slices.SortFunc(all, func(a, b scored) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
 		}
-		return e.nodes[all[a].i] < e.nodes[all[b].i]
+		if e.nodes[a.i] < e.nodes[b.i] {
+			return -1
+		}
+		return 1
 	})
 	if k > len(all) {
 		k = len(all)
 	}
-	out := make([]int32, k)
+	out := dst[:0]
 	for i := 0; i < k; i++ {
-		out[i] = all[i].i
+		out = append(out, all[i].i)
 	}
 	return out
 }

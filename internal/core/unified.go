@@ -37,7 +37,8 @@ type UnifiedResult struct {
 // 1 − restart probability for EI/RWR). Expansion alternates between the
 // PHP-family and RWR priorities so neither criterion starves.
 //
-// UnifiedTopK is UnifiedTopKCtx with a background context.
+// UnifiedTopK is a thin wrapper over UnifiedTopKCtx with a background
+// context; repeated callers should hold a Querier and use Querier.Unified.
 func UnifiedTopK(g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, error) {
 	return UnifiedTopKCtx(context.Background(), g, q, opt)
 }
@@ -46,13 +47,19 @@ func UnifiedTopK(g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, er
 // TopKCtx: ctx is checked every local expansion and an *Interrupted
 // (wrapping ErrCanceled or ErrDeadline) is returned as soon as it fires.
 func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*UnifiedResult, error) {
+	return unifiedIn(ctx, g, q, opt, nil)
+}
+
+// unifiedIn is the unified main loop; ws supplies a reusable engine
+// workspace (nil runs cold).
+func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*UnifiedResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if q < 0 || int(q) >= g.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, g.NumNodes())
+		return nil, fmt.Errorf("%w: query node %d outside [0,%d)", ErrInvalidQuery, q, g.NumNodes())
 	}
-	e := newPHPEngine(g, q, opt.Params.C, opt.Params.Tau, opt.Params.MaxIter, opt.Tighten)
+	e := ws.phpFor(g, q, opt.Params.C, opt.Params.Tau, opt.Params.MaxIter, opt.Tighten)
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -60,7 +67,7 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 	topDeg := g.TopDegrees(4096)
 	wSbar := func() float64 {
 		for _, de := range topDeg {
-			if _, visited := e.local[de.Node]; !visited {
+			if !e.local.has(de.Node) {
 				return de.Degree
 			}
 		}
@@ -72,6 +79,8 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 
 	tracing := opt.Tracer != nil
 	var phaseAt time.Time
+	// The two selections stay live simultaneously across iterations, so
+	// each gets its own engine buffer.
 	var selPHP, selRWR []int32
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
@@ -99,9 +108,11 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 		sizeBefore := e.size()
 		us := e.pickExpansion(rwrPriority, batch)
 		exhausted := len(us) == 0
+		added := e.addedBuf[:0]
 		for _, u := range us {
-			e.expand(u)
+			added = e.expand(u, added)
 		}
+		e.addedBuf = added
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
@@ -123,7 +134,10 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 			if tracing {
 				gapPHP = &certGap{}
 			}
-			selPHP = e.checkTermination(opt.K, false, 0, opt.TieEps, gapPHP)
+			selPHP = e.checkTermination(e.selOut, opt.K, false, 0, opt.TieEps, gapPHP)
+			if selPHP != nil {
+				e.selOut = selPHP
+			}
 		}
 		if selRWR == nil {
 			if tracing {
@@ -131,7 +145,10 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 			}
 			guard := wSbar()
 			e.degreeProbes++
-			selRWR = e.checkTermination(opt.K, true, guard, opt.TieEps, gapRWR)
+			selRWR = e.checkTermination(e.selOut2, opt.K, true, guard, opt.TieEps, gapRWR)
+			if selRWR != nil {
+				e.selOut2 = selRWR
+			}
 		}
 		if tracing {
 			certifyNS = time.Since(phaseAt).Nanoseconds()
@@ -149,19 +166,23 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 		exact := true
 		if !done && exhausted {
 			if selPHP == nil {
-				selPHP = forceSelect(e, opt.K, false)
+				selPHP = e.forceSelect(e.selOut, opt.K, false)
+				e.selOut = selPHP
 			}
 			if selRWR == nil {
-				selRWR = forceSelect(e, opt.K, true)
+				selRWR = e.forceSelect(e.selOut2, opt.K, true)
+				e.selOut2 = selRWR
 			}
 			done = true
 		}
 		if !done && e.size() >= maxVisited && opt.MaxVisited > 0 {
 			if selPHP == nil {
-				selPHP = forceSelect(e, opt.K, false)
+				selPHP = e.forceSelect(e.selOut, opt.K, false)
+				e.selOut = selPHP
 			}
 			if selRWR == nil {
-				selRWR = forceSelect(e, opt.K, true)
+				selRWR = e.forceSelect(e.selOut2, opt.K, true)
+				e.selOut2 = selRWR
 			}
 			done, exact = true, false
 		}

@@ -45,6 +45,14 @@ var _ graph.Graph = (*Reader)(nil)
 // NewReader returns a fresh concurrent-safe view of the store.
 func (s *Store) NewReader() *Reader { return &Reader{s: s} }
 
+// NewView implements graph.Viewer: each view is an independent Reader, so
+// concurrent query executors can parallelize over one Store.
+func (s *Store) NewView() graph.Graph { return s.NewReader() }
+
+// NewView implements graph.Viewer by minting a sibling Reader over the same
+// store.
+func (r *Reader) NewView() graph.Graph { return r.s.NewReader() }
+
 // Open maps the store at path with the given cache budget in bytes
 // (0 selects 64 MiB). The header — including the top-degree index — is read
 // eagerly; everything else is paged on demand.

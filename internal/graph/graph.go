@@ -56,6 +56,37 @@ type Graph interface {
 	TopDegrees(k int) []DegreeEntry
 }
 
+// StableNeighbors is the optional capability of graphs whose Neighbors
+// slices stay valid (and immutable) for the life of the graph, rather than
+// being served from a reusable scratch buffer or page cache. Consumers that
+// would otherwise defensively copy adjacency — the FLoS engines copy two
+// slices per visited node — may alias the returned slices directly when
+// this capability reports true.
+type StableNeighbors interface {
+	// StableNeighbors reports that every slice returned by Neighbors
+	// remains valid and unchanged until the graph itself is released.
+	StableNeighbors() bool
+}
+
+// HasStableNeighbors reports whether g advertises the StableNeighbors
+// capability.
+func HasStableNeighbors(g Graph) bool {
+	s, ok := g.(StableNeighbors)
+	return ok && s.StableNeighbors()
+}
+
+// Viewer is the optional capability of graph backends that can hand out
+// independent concurrent-safe read views sharing the underlying storage.
+// A backend whose Graph handle is itself safe for concurrent readers (the
+// immutable MemGraph) returns itself; backends with per-handle scratch
+// state (the disk store) return a fresh handle. Concurrent query executors
+// (core.Querier, qserve.Pool) take one view per worker; a backend without
+// this capability is assumed non-concurrent-safe and gets serialized.
+type Viewer interface {
+	// NewView returns a read view safe for use by one more goroutine.
+	NewView() Graph
+}
+
 // MemGraph is an immutable in-memory undirected graph in compressed sparse
 // row (CSR) form. Both directions of every undirected edge are stored, so
 // Neighbors(v) is a contiguous slice lookup.
@@ -88,6 +119,14 @@ func (g *MemGraph) Neighbors(v NodeID) ([]NodeID, []float64) {
 	lo, hi := g.offsets[v], g.offsets[v+1]
 	return g.targets[lo:hi], g.weights[lo:hi]
 }
+
+// StableNeighbors reports that Neighbors returns immutable CSR subslices,
+// letting the search engines skip their defensive adjacency copies.
+func (g *MemGraph) StableNeighbors() bool { return true }
+
+// NewView returns g itself: an immutable MemGraph is safe for any number of
+// concurrent readers.
+func (g *MemGraph) NewView() Graph { return g }
 
 // Degree returns the weighted degree of v.
 func (g *MemGraph) Degree(v NodeID) float64 { return g.degrees[v] }

@@ -32,10 +32,25 @@ func NewRowMatrix(n int) *RowMatrix {
 // NumRows returns the current row count.
 func (m *RowMatrix) NumRows() int { return len(m.Rows) }
 
-// AddRow appends an empty row and returns its index.
+// AddRow appends an empty row and returns its index. Spare capacity left
+// behind by Reset is reused: the row slot and its entry slice come back
+// without allocating.
 func (m *RowMatrix) AddRow() int32 {
-	m.Rows = append(m.Rows, nil)
+	if len(m.Rows) < cap(m.Rows) {
+		m.Rows = m.Rows[:len(m.Rows)+1]
+		m.Rows[len(m.Rows)-1] = m.Rows[len(m.Rows)-1][:0]
+	} else {
+		m.Rows = append(m.Rows, nil)
+	}
 	return int32(len(m.Rows) - 1)
+}
+
+// Reset empties the matrix while keeping every row's backing storage, so a
+// reused matrix regrows without re-allocating. The entries beyond the new
+// length stay reachable from the backing array until overwritten; callers
+// must not rely on them.
+func (m *RowMatrix) Reset() {
+	m.Rows = m.Rows[:0]
 }
 
 // Append adds entry (row, col, val) without checking for duplicates. The

@@ -1,0 +1,166 @@
+package qserve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+func batchRequests(t *testing.T, g graph.Graph, n int) []Request {
+	t.Helper()
+	kinds := []measure.Kind{measure.PHP, measure.EI, measure.DHT, measure.THT, measure.RWR}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Query: graph.NodeID((i * 137) % g.NumNodes()),
+			Opt:   core.DefaultOptions(kinds[i%len(kinds)], 10),
+		}
+	}
+	return reqs
+}
+
+// TestDoBatchMatchesSerial: every batch slot must carry the same answer the
+// single-threaded reference produces, in request order.
+func TestDoBatchMatchesSerial(t *testing.T) {
+	g, err := gen.RMAT(2000, 10000, gen.DefaultRMAT(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := batchRequests(t, g, 32)
+	pool := New(g, Config{Workers: 4, QueueDepth: 8, CacheEntries: -1})
+	defer pool.Close()
+
+	out := pool.DoBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("got %d slots, want %d", len(out), len(reqs))
+	}
+	for i, slot := range out {
+		if slot.Err != nil {
+			t.Fatalf("slot %d: %v", i, slot.Err)
+		}
+		want, err := core.TopK(g, reqs[i].Query, reqs[i].Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(slot.Resp.TopK, want) {
+			t.Errorf("slot %d (%v q=%d): batch result diverged from serial",
+				i, reqs[i].Opt.Measure, reqs[i].Query)
+		}
+	}
+	if m := pool.Metrics(); m.Batches != 1 {
+		t.Fatalf("Batches metric = %d, want 1", m.Batches)
+	}
+}
+
+// TestDoBatchCacheHits: a repeated batch is answered from the result cache.
+func TestDoBatchCacheHits(t *testing.T) {
+	g := gen.PaperExample()
+	reqs := batchRequests(t, g, 8)
+	pool := New(g, Config{Workers: 2, QueueDepth: 4, CacheEntries: 64})
+	defer pool.Close()
+
+	first := pool.DoBatch(context.Background(), reqs)
+	for i, slot := range first {
+		if slot.Err != nil {
+			t.Fatalf("first pass slot %d: %v", i, slot.Err)
+		}
+		if slot.Resp.CacheHit {
+			t.Fatalf("first pass slot %d: unexpected cache hit", i)
+		}
+	}
+	second := pool.DoBatch(context.Background(), reqs)
+	for i, slot := range second {
+		if slot.Err != nil {
+			t.Fatalf("second pass slot %d: %v", i, slot.Err)
+		}
+		if !slot.Resp.CacheHit {
+			t.Errorf("second pass slot %d: not served from cache", i)
+		}
+		if !reflect.DeepEqual(slot.Resp.TopK, first[i].Resp.TopK) {
+			t.Errorf("slot %d: cached answer differs from computed one", i)
+		}
+	}
+}
+
+// TestDoBatchCanceledContext: a batch admitted under a dead context returns
+// immediately with every slot carrying *core.Interrupted(ErrCanceled) —
+// never a hang, never an empty slot.
+func TestDoBatchCanceledContext(t *testing.T) {
+	g := gen.PaperExample()
+	reqs := batchRequests(t, g, 10)
+	pool := New(g, Config{Workers: 2, QueueDepth: 2, CacheEntries: -1})
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan []BatchResult, 1)
+	go func() { done <- pool.DoBatch(ctx, reqs) }()
+	var out []BatchResult
+	select {
+	case out = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("DoBatch hung on a canceled context")
+	}
+	for i, slot := range out {
+		if slot.Resp != nil && slot.Err == nil {
+			// A worker may legitimately win the race for the first few
+			// submitted jobs; anything else must be interrupted.
+			continue
+		}
+		var in *core.Interrupted
+		if !errors.As(slot.Err, &in) || !errors.Is(slot.Err, core.ErrCanceled) {
+			t.Fatalf("slot %d: err = %v, want *Interrupted wrapping ErrCanceled", i, slot.Err)
+		}
+	}
+}
+
+// TestDoBatchDeadlineMidBatch: with a per-query pool timeout shorter than
+// the work, slots report ErrDeadline but the call still fills every slot.
+func TestDoBatchDeadlineMidBatch(t *testing.T) {
+	g, err := gen.Community(20000, 80000, gen.DefaultCommunityParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(measure.RWR, 50)
+	opt.Params.Tau = 1e-12 // force a long search
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Query: graph.NodeID(i * 1000), Opt: opt}
+	}
+	pool := New(g, Config{Workers: 2, QueueDepth: 4, CacheEntries: -1, Timeout: time.Millisecond})
+	defer pool.Close()
+
+	out := pool.DoBatch(context.Background(), reqs)
+	for i, slot := range out {
+		if slot.Err == nil {
+			continue // a tiny search can still beat the deadline
+		}
+		if !errors.Is(slot.Err, core.ErrDeadline) {
+			t.Fatalf("slot %d: err = %v, want ErrDeadline", i, slot.Err)
+		}
+	}
+	if m := pool.Metrics(); m.Deadline == 0 {
+		t.Fatal("no slot hit the 1ms per-query deadline")
+	}
+}
+
+// TestDoBatchClosedPool: a batch against a closed pool fails every slot
+// with ErrClosed instead of hanging.
+func TestDoBatchClosedPool(t *testing.T) {
+	g := gen.PaperExample()
+	pool := New(g, Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	pool.Close()
+	out := pool.DoBatch(context.Background(), batchRequests(t, g, 4))
+	for i, slot := range out {
+		if !errors.Is(slot.Err, ErrClosed) {
+			t.Fatalf("slot %d: err = %v, want ErrClosed", i, slot.Err)
+		}
+	}
+}

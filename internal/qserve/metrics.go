@@ -35,6 +35,7 @@ type metrics struct {
 	served      atomic.Int64
 	shed        atomic.Int64
 	interrupted atomic.Int64
+	batches     atomic.Int64
 
 	// Outcome split of executed queries: deadline + canceled = interrupted;
 	// failed counts non-context errors.
@@ -68,6 +69,7 @@ func (m *metrics) snapshot() Metrics {
 		Served:           m.served.Load(),
 		Shed:             m.shed.Load(),
 		Interrupted:      m.interrupted.Load(),
+		Batches:          m.batches.Load(),
 		Deadline:         m.deadline.Load(),
 		Canceled:         m.canceled.Load(),
 		Failed:           m.failed.Load(),
@@ -97,6 +99,9 @@ type Metrics struct {
 	// Deadline and Canceled split Interrupted by cause; Failed counts
 	// queries that ended in a non-context error.
 	Deadline, Canceled, Failed int64
+	// Batches counts DoBatch calls; their member queries are accounted in
+	// the per-query counters above.
+	Batches int64
 	// IterationsTotal / VisitedTotal / SweepsTotal accumulate the engine
 	// work counters over every executed search, interrupted ones included —
 	// visited-per-query is the paper's locality metric, so the ratio

@@ -11,15 +11,16 @@
 // wholesale by bumping the epoch — the contract dynamic graphs
 // (internal/graph.DynamicGraph) follow after mutating edges.
 //
-// Concurrency over the graph backend:
+// Concurrency over the graph backend rides on the graph.Viewer capability:
+// backends that can mint independent read views (the immutable MemGraph
+// returns itself; the disk store returns per-worker Readers sharing its
+// lock-striped page cache) get one view per worker and queries proceed
+// fully in parallel. Any other Graph implementation is assumed
+// non-concurrent-safe and the pool serializes query execution around it
+// (admission, caching and shedding still apply).
 //
-//   - *graph.MemGraph is immutable; all workers share it.
-//   - *diskgraph.Store gets one diskgraph.Reader per worker: the readers
-//     share the store's lock-striped page cache but own the scratch buffers
-//     Neighbors returns, so queries proceed fully in parallel.
-//   - any other Graph implementation is assumed non-concurrent-safe and the
-//     pool serializes query execution around it (admission, caching and
-//     shedding still apply).
+// Each worker owns one core engine workspace, so steady-state queries reuse
+// the engine's slices and indexes instead of rebuilding them per request.
 package qserve
 
 import (
@@ -32,7 +33,6 @@ import (
 	"time"
 
 	"flos/internal/core"
-	"flos/internal/diskgraph"
 	"flos/internal/graph"
 )
 
@@ -147,16 +147,11 @@ func New(g graph.Graph, cfg Config) *Pool {
 	}
 
 	views := make([]graph.Graph, cfg.Workers)
-	switch t := g.(type) {
-	case *diskgraph.Store:
+	if v, ok := g.(graph.Viewer); ok {
 		for i := range views {
-			views[i] = t.NewReader()
+			views[i] = v.NewView()
 		}
-	case *graph.MemGraph:
-		for i := range views {
-			views[i] = t
-		}
-	default:
+	} else {
 		p.serialMu = &sync.Mutex{}
 		for i := range views {
 			views[i] = g
@@ -234,19 +229,115 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 // QueueDepth returns the number of admitted queries waiting for a worker.
 func (p *Pool) QueueDepth() int { return len(p.jobs) }
 
+// BatchResult is one request's slot in a DoBatch answer: exactly one of
+// Resp and Err is set.
+type BatchResult struct {
+	Resp *Response
+	Err  error
+}
+
+// DoBatch executes a batch of queries as one admitted unit and returns a
+// slice parallel to reqs with every slot filled. Unlike Do, admission
+// blocks instead of shedding — a batch the caller already holds is cheaper
+// to queue than to retry — but it stays cancelable: when ctx (or the pool's
+// per-query Timeout) fires mid-batch, finished slots keep their results,
+// running queries stop promptly, and every unstarted slot gets a
+// *core.Interrupted error. The call never hangs; after Close every
+// remaining slot reports ErrClosed.
+func (p *Pool) DoBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	p.met.batches.Add(1)
+
+	jobs := make([]*job, len(reqs))
+	submitted := 0
+admit:
+	for i, req := range reqs {
+		select {
+		case <-p.done:
+			out[i].Err = ErrClosed
+			continue
+		default:
+		}
+		j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
+		if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
+			j.key = keyOf(p.epoch.Load(), req)
+			j.cached = true
+			if resp, ok := p.cache.get(j.key); ok {
+				p.met.served.Add(1)
+				hit := *resp
+				hit.CacheHit = true
+				out[i].Resp = &hit
+				continue
+			}
+		}
+		if p.cfg.Timeout > 0 {
+			j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+		}
+		select {
+		case p.jobs <- j:
+			jobs[i] = j
+			submitted++
+		case <-ctx.Done():
+			if j.cancel != nil {
+				j.cancel()
+			}
+			// Mark this and every remaining slot unstarted and stop
+			// admitting; slots already submitted still drain below.
+			for r := i; r < len(reqs); r++ {
+				if jobs[r] == nil && out[r].Resp == nil && out[r].Err == nil {
+					out[r].Err = interruptedZero(ctx.Err())
+				}
+			}
+			break admit
+		case <-p.done:
+			if j.cancel != nil {
+				j.cancel()
+			}
+			out[i].Err = ErrClosed
+		}
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case o := <-j.out:
+			out[i].Resp, out[i].Err = o.resp, o.err
+		case <-p.done:
+			out[i].Err = ErrClosed
+		}
+	}
+	return out
+}
+
+// interruptedZero wraps a context error for a query that never started.
+func interruptedZero(ctxErr error) error {
+	cause := core.ErrCanceled
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		cause = core.ErrDeadline
+	}
+	return &core.Interrupted{Cause: cause}
+}
+
 func (p *Pool) worker(g graph.Graph) {
 	defer p.wg.Done()
+	// One warm engine workspace per worker: consecutive queries on this
+	// worker reuse all engine state (reset per query, never shared).
+	ws := core.NewWorkspace()
 	for {
 		select {
 		case <-p.done:
 			return
 		case j := <-p.jobs:
-			p.run(g, j)
+			p.run(g, ws, j)
 		}
 	}
 }
 
-func (p *Pool) run(g graph.Graph, j *job) {
+func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job) {
 	if j.cancel != nil {
 		defer j.cancel()
 	}
@@ -259,9 +350,9 @@ func (p *Pool) run(g graph.Graph, j *job) {
 		p.serialMu.Lock()
 	}
 	if j.req.Unified {
-		resp.Unified, err = core.UnifiedTopKCtx(j.ctx, g, j.req.Query, j.req.Opt)
+		resp.Unified, err = ws.Unified(j.ctx, g, j.req.Query, j.req.Opt)
 	} else {
-		resp.TopK, err = core.TopKCtx(j.ctx, g, j.req.Query, j.req.Opt)
+		resp.TopK, err = ws.TopK(j.ctx, g, j.req.Query, j.req.Opt)
 	}
 	if p.serialMu != nil {
 		p.serialMu.Unlock()

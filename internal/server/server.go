@@ -12,6 +12,12 @@
 //	                        ?format=json returns the JSON snapshot
 //	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0][&trace=1]
 //	GET /unified?q=42&k=10[&c=0.5][&trace=1]
+//	POST /topk/batch        {"queries":[1,2,3],"k":10,"measure":"rwr",...}
+//	                        answers many queries sharing one option set in a
+//	                        single round trip; the response carries one slot
+//	                        per query with either results or that query's
+//	                        error, and cancellation mid-batch fills the
+//	                        unfinished slots instead of failing the call
 //
 // trace=1 returns the per-iteration convergence trajectory (visited/
 // boundary/candidate counts, the certification gap, per-phase timings)
@@ -61,6 +67,7 @@ type Server struct {
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
 	maxK     int
+	maxBatch int
 }
 
 // Config tunes the server.
@@ -83,6 +90,8 @@ type Config struct {
 	Defaults measure.Params
 	// MaxK caps requested k (0 = 1000).
 	MaxK int
+	// MaxBatch caps the query count of one /topk/batch request (0 = 256).
+	MaxBatch int
 	// Logger receives structured access and query records; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -90,7 +99,7 @@ type Config struct {
 
 // New builds a Server for g and starts its worker pool; Close releases it.
 func New(g graph.Graph, cfg Config) *Server {
-	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK, log: cfg.Logger}
+	s := &Server{g: g, defaults: cfg.Defaults, maxK: cfg.MaxK, maxBatch: cfg.MaxBatch, log: cfg.Logger}
 	if s.log == nil {
 		s.log = slog.Default()
 	}
@@ -100,11 +109,14 @@ func New(g graph.Graph, cfg Config) *Server {
 	if s.maxK == 0 {
 		s.maxK = 1000
 	}
+	if s.maxBatch == 0 {
+		s.maxBatch = 256
+	}
 	if st, ok := g.(*diskgraph.Store); ok {
 		s.store = st
 	}
 	s.httpLat = make(map[string]*obs.Histogram)
-	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/unified"} {
+	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified"} {
 		s.httpLat[ep] = &obs.Histogram{}
 	}
 	workers := cfg.Workers
@@ -135,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/topk/batch", s.handleTopKBatch)
 	mux.HandleFunc("/unified", s.handleUnified)
 	return s.instrument(mux)
 }
@@ -191,11 +204,14 @@ func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeQueryError maps a pool/engine error onto an HTTP status. Parameters
-// were fully validated before submission, so remaining failures are
-// operational, not client mistakes.
+// writeQueryError maps a pool/engine error onto an HTTP status via the
+// typed sentinels (errors.Is): invalid options or query node → 400,
+// overload → 429, deadline → 504, cancellation/shutdown → 503, anything
+// else → 500.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, core.ErrInvalidOptions), errors.Is(err, core.ErrInvalidQuery):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, qserve.ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded, retry later"})
@@ -226,6 +242,7 @@ type metricsBody struct {
 	QueriesServed  int64   `json:"queries_served"`
 	QueriesShed    int64   `json:"queries_shed"`
 	Interrupted    int64   `json:"queries_interrupted"`
+	Batches        int64   `json:"batches_served"`
 	Deadline       int64   `json:"queries_deadline"`
 	Canceled       int64   `json:"queries_canceled"`
 	Failed         int64   `json:"queries_failed"`
@@ -314,6 +331,7 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		QueriesServed:  m.Served,
 		QueriesShed:    m.Shed,
 		Interrupted:    m.Interrupted,
+		Batches:        m.Batches,
 		Deadline:       m.Deadline,
 		Canceled:       m.Canceled,
 		Failed:         m.Failed,
@@ -377,6 +395,7 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	p.Counter("flos_queries_served_total", "Queries answered, cache hits and interrupted queries included.", nil, m.Served)
 	p.Counter("flos_queries_shed_total", "Admissions refused with 429 because the queue was full.", nil, m.Shed)
 	p.Counter("flos_queries_interrupted_total", "Queries ended early by context deadline or cancellation.", nil, m.Interrupted)
+	p.Counter("flos_batches_served_total", "DoBatch calls; member queries count in flos_queries_served_total.", nil, m.Batches)
 	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "deadline"}, m.Deadline)
 	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "canceled"}, m.Canceled)
 	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "failed"}, m.Failed)
@@ -390,7 +409,7 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 				map[string]string{"measure": label}, snap)
 		}
 	}
-	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/unified"} {
+	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified"} {
 		if h := s.httpLat[ep]; h != nil && h.Count() > 0 {
 			p.Histogram("flos_http_request_duration_seconds", "HTTP request latency by endpoint.",
 				map[string]string{"endpoint": ep}, h.Snapshot())
@@ -553,6 +572,127 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, rk := range res.TopK {
 		body.Results = append(body.Results, rankedBody{Node: rk.Node, Score: rk.Score})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// batchRequestBody is the POST /topk/batch payload: one option set shared
+// by every query. Pointer fields distinguish "omitted" from zero.
+type batchRequestBody struct {
+	Queries []graph.NodeID `json:"queries"`
+	K       int            `json:"k"`
+	Measure string         `json:"measure"`
+	C       *float64       `json:"c,omitempty"`
+	L       *int           `json:"L,omitempty"`
+	Tau     *float64       `json:"tau,omitempty"`
+	Tighten *bool          `json:"tighten,omitempty"`
+}
+
+// batchItemBody is one query's slot of a batch response: results, or that
+// query's error (out-of-range node, deadline, cancellation mid-batch).
+type batchItemBody struct {
+	Query   graph.NodeID `json:"query"`
+	Error   string       `json:"error,omitempty"`
+	Exact   bool         `json:"exact,omitempty"`
+	Cached  bool         `json:"cached,omitempty"`
+	Visited int          `json:"visited,omitempty"`
+	Results []rankedBody `json:"results,omitempty"`
+}
+
+type batchBody struct {
+	Measure   string          `json:"measure"`
+	K         int             `json:"k"`
+	Count     int             `json:"count"`
+	Errors    int             `json:"errors"`
+	ElapsedUS int64           `json:"elapsed_us"`
+	Results   []batchItemBody `json:"results"`
+}
+
+// handleTopKBatch answers many queries sharing one option set in a single
+// round trip. Batch-level mistakes (bad JSON, bad k/measure/params, too
+// many queries) are a 400; everything per-query — including an out-of-range
+// node or the client's deadline firing mid-batch — lands in that query's
+// slot, so one bad query never poisons its neighbors.
+func (s *Server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req batchRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "bad JSON body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		badRequest(w, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		badRequest(w, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 1 || k > s.maxK {
+		badRequest(w, "k=%d outside [1,%d]", k, s.maxK)
+		return
+	}
+	kind, err := parseMeasure(req.Measure)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	p := s.defaults
+	if req.C != nil {
+		p.C = *req.C
+	}
+	if req.L != nil {
+		p.L = *req.L
+	}
+	if req.Tau != nil {
+		p.Tau = *req.Tau
+	}
+	if err := p.Validate(); err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	tighten := true
+	if req.Tighten != nil {
+		tighten = *req.Tighten
+	}
+	opt := core.Options{K: k, Measure: kind, Params: p, Tighten: tighten, TieEps: 1e-9}
+
+	reqs := make([]qserve.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = qserve.Request{Query: q, Opt: opt}
+	}
+	start := time.Now()
+	items := s.pool.DoBatch(r.Context(), reqs)
+	body := batchBody{
+		Measure:   kind.String(),
+		K:         k,
+		Count:     len(items),
+		ElapsedUS: time.Since(start).Microseconds(),
+		Results:   make([]batchItemBody, len(items)),
+	}
+	for i, it := range items {
+		slot := batchItemBody{Query: req.Queries[i]}
+		if it.Err != nil {
+			slot.Error = it.Err.Error()
+			body.Errors++
+		} else {
+			res := it.Resp.TopK
+			slot.Exact = res.Exact
+			slot.Cached = it.Resp.CacheHit
+			slot.Visited = res.Visited
+			for _, rk := range res.TopK {
+				slot.Results = append(slot.Results, rankedBody{Node: rk.Node, Score: rk.Score})
+			}
+		}
+		body.Results[i] = slot
 	}
 	writeJSON(w, http.StatusOK, body)
 }
