@@ -6,8 +6,8 @@ import (
 )
 
 // phpEngine is the native FLoS bound engine for PHP-shaped systems
-// (r = c·T·r + e_q with the query row zeroed). It maintains, over the
-// visited set S:
+// (r = c·T·r + e_q with the query row zeroed). On top of the shared
+// localSearch substrate it maintains, over the visited set S:
 //
 //   - the lower-bound system: every transition probability touching an
 //     unvisited node deleted (Theorem 3 / Section 4.2);
@@ -18,38 +18,31 @@ import (
 // All node bookkeeping is in local indices 0..len(nodes)-1; local index 0 is
 // always the query.
 //
+// The two bound values of a node live interleaved in one struct-of-arrays
+// store: bnd[2i] is the lower bound, bnd[2i+1] the upper. The fused solver
+// (solveBounds) relaxes both systems in one pass, so the second system finds
+// the row entries and its neighbors' bound pair already in cache instead of
+// re-traversing t.Rows[i] cold.
+//
 // An engine is reusable: reset prepares it for a new query while keeping
 // every slice's backing storage and logically clearing the global→local
 // index and degree memo with a generation bump (see workspace.go). A cold
 // engine (newPHPEngine) uses maps for the two indexes; a warm one uses
 // dense stamped arrays sized to the graph.
 type phpEngine struct {
-	g       graph.Graph
-	q       graph.NodeID
+	localSearch
+
 	c       float64
 	tau     float64
 	maxIter int
 	tighten bool
 
-	// stable records that g advertises graph.StableNeighbors, so adjN/adjW
-	// below alias the graph's own slices instead of copying per visit.
-	stable bool
+	t *linalg.RowMatrix // off-diagonal local transition entries (row q empty)
 
-	nodes []graph.NodeID // local -> global
-	local nodeIndex      // global -> local
-
-	adjN [][]graph.NodeID // cached global adjacency of visited nodes
-	adjW [][]float64
-
-	deg    []float64 // full-graph weighted degree
-	inW    []float64 // Σ weights of incident edges whose far end is in S
-	outCnt []int32   // # neighbors outside S; >0 ⇔ boundary
-
-	t    *linalg.RowMatrix // off-diagonal local transition entries (row q empty)
-	ladj [][]int32         // local undirected adjacency (dependency graph for relaxation)
-
-	lb, ub []float64
-	rd     float64 // dummy-node value
+	// bnd is the interleaved bound store: lower bound of local node i at
+	// bnd[2i], upper bound at bnd[2i+1]. Use lbAt/ubAt outside hot loops.
+	bnd []float64
+	rd  float64 // dummy-node value
 
 	// Worklist state for the residual-driven bound solver: one queue per
 	// bound side, with membership bitmaps and per-node accumulated input
@@ -62,24 +55,21 @@ type phpEngine struct {
 	pendLB, pendUB   []float64
 
 	// Tightening state, valid only for boundary nodes and refreshed lazily.
+	// dirtyList holds the nodes whose dirty flag is set (each at most once:
+	// nodes are appended only on a false→true flip), so the refresh visits
+	// the changed region instead of scanning all of S for set flags.
 	selfLoop   []float64 // diagonal entry c·Σ_{j∉S} p_ij·p_ji
 	dummyTight []float64 // tightened dummy entry c·Σ_{j∉S} p_ij·(1−p_ji)
 	dirty      []bool    // outside-neighborhood changed since last refresh
+	dirtyList  []int32
 	degCache   degMemo
 
-	// Scratch reused across iterations (and, warm, across queries): the
-	// expansion/termination scans would otherwise allocate per iteration.
-	pickBuf  []scored
-	pickOut  []int32
-	candBuf  []scored
-	selOut   []int32
-	selOut2  []int32 // second selection buffer: unified search keeps two live
-	inSel    []bool  // local-index marks; always cleared after use
-	addedBuf []graph.NodeID
-
-	sweeps       int // node relaxations performed by the bound solver
 	degreeProbes int
 }
+
+// lbAt and ubAt expose the interleaved bound pair of local node i.
+func (e *phpEngine) lbAt(i int32) float64 { return e.bnd[2*i] }
+func (e *phpEngine) ubAt(i int32) float64 { return e.bnd[2*i+1] }
 
 // newPHPEngine builds a cold single-query engine (map-backed indexes).
 func newPHPEngine(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten bool) *phpEngine {
@@ -94,28 +84,12 @@ func newPHPEngine(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, ti
 // to a freshly constructed one — the expansion schedule, solver sweeps, and
 // results are byte-for-byte the same.
 func (e *phpEngine) reset(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten, dense bool) {
-	e.g, e.q, e.c, e.tau, e.maxIter, e.tighten = g, q, c, tau, maxIter, tighten
+	e.c, e.tau, e.maxIter, e.tighten = c, tau, maxIter, tighten
 
-	stable := graph.HasStableNeighbors(g)
-	if e.stable && !stable {
-		// The previous run aliased graph-owned adjacency rows; drop them so
-		// the copy path below never appends into another graph's storage.
-		e.adjN, e.adjW = nil, nil
-	}
-	e.stable = stable
-
-	e.local.init(g.NumNodes(), dense)
+	e.resetCommon(g, q, dense)
 	e.degCache.init(g.NumNodes(), dense)
 
-	e.nodes = e.nodes[:0]
-	e.adjN = e.adjN[:0]
-	e.adjW = e.adjW[:0]
-	e.deg = e.deg[:0]
-	e.inW = e.inW[:0]
-	e.outCnt = e.outCnt[:0]
-	e.ladj = e.ladj[:0]
-	e.lb = e.lb[:0]
-	e.ub = e.ub[:0]
+	e.bnd = e.bnd[:0]
 	e.queueLB = e.queueLB[:0]
 	e.queueUB = e.queueUB[:0]
 	e.inQLB = e.inQLB[:0]
@@ -125,91 +99,64 @@ func (e *phpEngine) reset(g graph.Graph, q graph.NodeID, c, tau float64, maxIter
 	e.selfLoop = e.selfLoop[:0]
 	e.dummyTight = e.dummyTight[:0]
 	e.dirty = e.dirty[:0]
+	e.dirtyList = e.dirtyList[:0]
 	if e.t == nil {
 		e.t = linalg.NewRowMatrix(0)
 	} else {
 		e.t.Reset()
 	}
 	e.rd = 1
-	e.sweeps = 0
 	e.degreeProbes = 0
 
 	e.visit(q)
-	e.lb[0] = 1
-	e.ub[0] = 1
+	e.bnd[0] = 1 // lb_q
+	e.bnd[1] = 1 // ub_q
 }
 
-// visit pulls node v into S: queries its adjacency, wires up the local
-// transition entries in both directions, and maintains the boundary
-// bookkeeping. Precondition: v not yet visited.
+// visit pulls node v into S: the substrate maintains the visited-set and
+// frontier bookkeeping, then this wires the transition entries in both
+// directions and seeds the solver worklists. Precondition: v not visited.
 func (e *phpEngine) visit(v graph.NodeID) int32 {
-	li := int32(len(e.nodes))
-	e.nodes = append(e.nodes, v)
-	e.local.put(v, li)
+	li := e.visitCommon(v)
 	e.t.AddRow()
 
-	nbrs, ws := e.g.Neighbors(v)
-	if e.stable {
-		// The graph guarantees slice stability; alias instead of copying.
-		e.adjN = append(e.adjN, nbrs)
-		e.adjW = append(e.adjW, ws)
-	} else {
-		// Copy: disk-backed graphs reuse the returned slices.
-		e.adjN = appendRowCopy(e.adjN, nbrs)
-		e.adjW = appendRowCopy(e.adjW, ws)
-	}
-	cn, cw := e.adjN[li], e.adjW[li]
-
-	// First pass: the full degree (needed to normalize v's own transition
-	// probabilities) and the in/out split.
-	var d, in float64
-	var out int32
-	for i, u := range cn {
-		d += cw[i]
-		if e.local.has(u) {
-			in += cw[i]
-		} else {
-			out++
-		}
-	}
-	e.deg = append(e.deg, d)
-	e.inW = append(e.inW, in)
-	e.outCnt = append(e.outCnt, out)
-	e.lb = append(e.lb, 0)
-	e.ub = append(e.ub, 1)
+	e.bnd = append(e.bnd, 0, 1)
 	e.selfLoop = append(e.selfLoop, 0)
 	e.dummyTight = append(e.dummyTight, 0)
-	e.dirty = append(e.dirty, true)
-	e.ladj = appendRow(e.ladj)
+	e.dirty = append(e.dirty, false)
 	e.inQLB = append(e.inQLB, false)
 	e.inQUB = append(e.inQUB, false)
 	e.pendLB = append(e.pendLB, 0)
 	e.pendUB = append(e.pendUB, 0)
+	e.markDirty(li)
 	e.enqueue(li)
 
-	// Second pass: wire transition entries to/from already-visited neighbors
-	// and update their boundary bookkeeping. Touched neighbors join the
+	// Wire transition entries to/from the already-visited neighbors the
+	// substrate just linked (ladj[li] / visitW). Touched neighbors join the
 	// relaxation worklists: their rows gained an entry.
-	for i, u := range cn {
-		lu, ok := e.local.get(u)
-		if !ok {
-			continue
-		}
+	d := e.deg[li]
+	for idx, lu := range e.ladj[li] {
+		w := e.visitW[idx]
 		if v != e.q && d > 0 {
-			e.t.Append(li, lu, cw[i]/d)
+			e.t.Append(li, lu, w/d)
 		}
 		// Reverse direction u -> v, unless u is the query (zeroed row).
-		if u != e.q && e.deg[lu] > 0 {
-			e.t.Append(lu, li, cw[i]/e.deg[lu])
+		if e.nodes[lu] != e.q && e.deg[lu] > 0 {
+			e.t.Append(lu, li, w/e.deg[lu])
 		}
-		e.ladj[li] = append(e.ladj[li], lu)
-		e.ladj[lu] = append(e.ladj[lu], li)
-		e.inW[lu] += cw[i]
-		e.outCnt[lu]--
-		e.dirty[lu] = true
+		e.markDirty(lu)
 		e.enqueue(lu)
 	}
 	return li
+}
+
+// markDirty flags node i for a tightening refresh, appending it to the
+// dirty worklist on a false→true flip (so the list holds each node once).
+func (e *phpEngine) markDirty(i int32) {
+	if !e.dirty[i] {
+		e.dirty[i] = true
+		e.dirtyList = append(e.dirtyList, i)
+	}
 }
 
 // enqueue adds a node to both bound worklists.
@@ -224,24 +171,9 @@ func (e *phpEngine) enqueue(i int32) {
 	}
 }
 
-// size returns |S|.
-func (e *phpEngine) size() int { return len(e.nodes) }
-
-// isBoundary reports whether local node i has unvisited neighbors.
-func (e *phpEngine) isBoundary(i int32) bool { return e.outCnt[i] > 0 }
-
 // outMass returns Σ_{j∉S} p_ij for local node i — the probability mass the
 // untightened upper bound redirects to the dummy node.
-func (e *phpEngine) outMass(i int32) float64 {
-	if e.deg[i] == 0 {
-		return 0
-	}
-	m := (e.deg[i] - e.inW[i]) / e.deg[i]
-	if m < 0 {
-		return 0
-	}
-	return m
-}
+func (e *phpEngine) outMass(i int32) float64 { return e.outMassOf(i, 0) }
 
 // degreeOf fetches (and memoizes) the full degree of an unvisited node —
 // the only information Section 5.3's tightening needs from outside S.
@@ -262,15 +194,14 @@ func (e *phpEngine) degreeOf(v graph.NodeID) float64 {
 //	dummyTight_i = c·Σ_{j∈N_i∩S̄} p_ij·(1−p_ji)
 //
 // Both carry one factor of c inside the entry (the star-to-mesh edge stands
-// for a two-step walk); the solver applies the second factor.
+// for a two-step walk); the solver applies the second factor. Only the
+// dirty worklist is visited — each expansion dirties the new node and its
+// visited neighbors, so the refresh cost tracks the changed region, not S.
 func (e *phpEngine) refreshTightening() {
 	if !e.tighten {
 		return
 	}
-	for i := int32(0); i < int32(e.size()); i++ {
-		if !e.dirty[i] {
-			continue
-		}
+	for _, i := range e.dirtyList {
 		e.dirty[i] = false
 		e.selfLoop[i] = 0
 		e.dummyTight[i] = 0
@@ -294,6 +225,7 @@ func (e *phpEngine) refreshTightening() {
 		e.selfLoop[i] = e.c * self
 		e.dummyTight[i] = e.c * dum
 	}
+	e.dirtyList = e.dirtyList[:0]
 }
 
 // dummyEntry returns local node i's transition entry into the dummy node for
@@ -316,11 +248,11 @@ func (e *phpEngine) selfEntry(i int32) float64 {
 	return e.selfLoop[i]
 }
 
-// solveLower re-solves the lower-bound system to tolerance, warm-started
-// from the previous lower bound (a sub-solution, so truncation keeps
-// validity).
+// solveBounds re-solves both bound systems to tolerance, warm-started from
+// the previous bounds (the lower a sub-solution, the upper a
+// super-solution, so truncation keeps validity on both sides).
 //
-// The solver is a residual-driven Gauss–Seidel relaxation over a worklist
+// The solver is a residual-driven Gauss–Seidel relaxation over worklists
 // rather than full Jacobi sweeps: expansion enqueues exactly the rows whose
 // equations changed, each relaxation applies the closed-form update
 //
@@ -332,75 +264,116 @@ func (e *phpEngine) selfEntry(i int32) float64 {
 // stays below the fixpoint, of a super-solution above), so bound validity
 // under truncation is untouched — but its cost tracks the changed region,
 // not |S|, which matters because FLoS re-solves after every expansion.
-func (e *phpEngine) solveLower() {
-	e.relax(e.lb, e.inQLB, e.pendLB, &e.queueLB, false)
-}
-
-// solveUpper re-solves the upper-bound system; see solveLower.
-func (e *phpEngine) solveUpper() {
-	e.relax(e.ub, e.inQUB, e.pendUB, &e.queueUB, true)
-}
-
-func (e *phpEngine) relax(r []float64, inQ []bool, pend []float64, queue *[]int32, withDummy bool) {
-	// Pop via a head index rather than q = q[1:]: reslicing the front off
-	// erodes the backing array's capacity one slot per pop, so the queue
-	// (which persists across queries in a warm workspace) would reallocate
+//
+// The two systems share no mutable state — the lower side reads and writes
+// only bnd[2i]/pendLB/inQLB, the upper only bnd[2i+1]/pendUB/inQUB/rd — so
+// any interleaving of the two relaxation sequences produces bit-identical
+// results to running them back to back. solveBounds interleaves them 1:1:
+// the queues are seeded in lockstep (enqueue adds to both), so the upper
+// relaxation of a node usually runs right after its lower one, while
+// t.Rows[i], ladj[i], and the neighbors' interleaved bound pairs are still
+// in cache — this is the fusion the struct-of-arrays bnd store exists for.
+func (e *phpEngine) solveBounds() {
+	// Pop via head indexes rather than q = q[1:]: reslicing the front off
+	// erodes the backing array's capacity one slot per pop, so the queues
+	// (which persist across queries in a warm workspace) would reallocate
 	// on nearly every append instead of amortizing to zero.
-	q := *queue
-	head := 0
+	qlb, qub := e.queueLB, e.queueUB
+	headLB, headUB := 0, 0
 	budget := int64(e.maxIter) * int64(e.size())
-	var processed int64
-	for head < len(q) && processed < budget {
-		i := q[head]
-		head++
-		inQ[i] = false
-		pend[i] = 0
-		processed++
-		e.sweeps++
-		if e.nodes[i] == e.q {
-			r[i] = 1
-			continue
+	var processedLB, processedUB int64
+	// The propagation threshold sits a factor 16 below τ so the relaxed
+	// bounds are at least as tight as a Jacobi-to-τ solve — the RWR
+	// termination guard compares quantities near the τ scale, where any
+	// extra slack inflates the visited set.
+	theta := e.tau / 16
+	for {
+		moreLB := headLB < len(qlb) && processedLB < budget
+		moreUB := headUB < len(qub) && processedUB < budget
+		if !moreLB && !moreUB {
+			break
 		}
-		var s float64
-		for _, en := range e.t.Rows[i] {
-			s += en.Val * r[en.Col]
-		}
-		if withDummy {
-			s += e.dummyEntry(i) * e.rd
-		}
-		v := e.c * s
-		if self := e.selfEntry(i); self > 0 {
-			v /= 1 - e.c*self
-		}
-		d := abs(v - r[i])
-		r[i] = v
-		if d == 0 {
-			continue
-		}
-		// Charge the change to every dependent row; a row re-relaxes once
-		// its accumulated potential shift exceeds the propagation threshold.
-		// (c bounds the entry value times decay, so c·d overestimates the
-		// per-row effect.) The threshold sits a factor 16 below τ so the
-		// relaxed bounds are at least as tight as a Jacobi-to-τ solve — the
-		// RWR termination guard compares quantities near the τ scale, where
-		// any extra slack inflates the visited set.
-		theta := e.tau / 16
-		for _, j := range e.ladj[i] {
-			if e.nodes[j] == e.q {
-				continue
+		if moreLB {
+			i := qlb[headLB]
+			headLB++
+			e.inQLB[i] = false
+			e.pendLB[i] = 0
+			processedLB++
+			e.sweeps++
+			if e.nodes[i] == e.q {
+				e.bnd[2*i] = 1
+			} else {
+				var s float64
+				for _, en := range e.t.Rows[i] {
+					s += en.Val * e.bnd[2*en.Col]
+				}
+				v := e.c * s
+				if self := e.selfEntry(i); self > 0 {
+					v /= 1 - e.c*self
+				}
+				d := abs(v - e.bnd[2*i])
+				e.bnd[2*i] = v
+				if d != 0 {
+					// Charge the change to every dependent row; a row
+					// re-relaxes once its accumulated potential shift
+					// exceeds theta. (c bounds the entry value times decay,
+					// so c·d overestimates the per-row effect.)
+					for _, j := range e.ladj[i] {
+						if e.nodes[j] == e.q {
+							continue
+						}
+						e.pendLB[j] += e.c * d
+						if !e.inQLB[j] && e.pendLB[j] > theta {
+							e.inQLB[j] = true
+							qlb = append(qlb, j)
+						}
+					}
+				}
 			}
-			pend[j] += e.c * d
-			if !inQ[j] && pend[j] > theta {
-				inQ[j] = true
-				q = append(q, j)
+		}
+		if moreUB {
+			i := qub[headUB]
+			headUB++
+			e.inQUB[i] = false
+			e.pendUB[i] = 0
+			processedUB++
+			e.sweeps++
+			if e.nodes[i] == e.q {
+				e.bnd[2*i+1] = 1
+			} else {
+				var s float64
+				for _, en := range e.t.Rows[i] {
+					s += en.Val * e.bnd[2*en.Col+1]
+				}
+				s += e.dummyEntry(i) * e.rd
+				v := e.c * s
+				if self := e.selfEntry(i); self > 0 {
+					v /= 1 - e.c*self
+				}
+				d := abs(v - e.bnd[2*i+1])
+				e.bnd[2*i+1] = v
+				if d != 0 {
+					for _, j := range e.ladj[i] {
+						if e.nodes[j] == e.q {
+							continue
+						}
+						e.pendUB[j] += e.c * d
+						if !e.inQUB[j] && e.pendUB[j] > theta {
+							e.inQUB[j] = true
+							qub = append(qub, j)
+						}
+					}
+				}
 			}
 		}
 	}
-	// Drained or budget hit: compact the unprocessed tail to the front so
+	// Drained or budget hit: compact the unprocessed tails to the front so
 	// the inQ flags stay consistent with the queue contents and the full
 	// backing capacity survives for the next call.
-	n := copy(q, q[head:])
-	*queue = q[:n]
+	n := copy(qlb, qlb[headLB:])
+	e.queueLB = qlb[:n]
+	n = copy(qub, qub[headUB:])
+	e.queueUB = qub[:n]
 }
 
 // updateDummy lowers rd to max_{i∈δS} ub_i (Algorithm 5 line 7). It must run
@@ -409,15 +382,16 @@ func (e *phpEngine) relax(r []float64, inQ []bool, pend []float64, queue *[]int3
 //
 // A decrease smaller than τ is skipped: a stale, larger r_d keeps every
 // upper bound valid (it only loosens them), and skipping avoids re-relaxing
-// the whole boundary for negligible gain.
+// the whole boundary for negligible gain. Both scans walk the incremental
+// boundary list — O(|δS|), not O(|S|).
 func (e *phpEngine) updateDummy() {
 	maxUB := 0.0
 	found := false
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) {
+	for _, i := range e.bList {
+		if e.outCnt[i] > 0 {
 			found = true
-			if e.ub[i] > maxUB {
-				maxUB = e.ub[i]
+			if ub := e.bnd[2*i+1]; ub > maxUB {
+				maxUB = ub
 			}
 		}
 	}
@@ -432,8 +406,8 @@ func (e *phpEngine) updateDummy() {
 	}
 	e.rd = maxUB
 	// Every boundary equation references r_d; re-relax them.
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) && !e.inQUB[i] {
+	for _, i := range e.bList {
+		if e.outCnt[i] > 0 && !e.inQUB[i] {
 			e.inQUB[i] = true
 			e.queueUB = append(e.queueUB, i)
 		}
@@ -449,16 +423,18 @@ func (e *phpEngine) updateDummy() {
 // Algorithm 3 expands a single node per iteration; the batch size is an
 // engineering knob (the caller grows it with |S|) that only affects the
 // expansion schedule, never the exactness argument — every expansion is
-// still a legal S^{t-1} → S^t step.
+// still a legal S^{t-1} → S^t step. The scan walks the boundary list in
+// ascending local index — the same candidates in the same order as the old
+// full-S sweep, at O(|δS|) cost.
 func (e *phpEngine) pickExpansion(rwrMode bool, batch int) []int32 {
 	// Bounded selection: keep the `batch` best seen so far in a small
-	// insertion-sorted slice (batch ≪ |S|).
+	// insertion-sorted slice (batch ≪ |δS|).
 	best := e.pickBuf[:0]
-	for i := int32(0); i < int32(e.size()); i++ {
-		if !e.isBoundary(i) {
+	for _, i := range e.bList {
+		if e.outCnt[i] <= 0 {
 			continue
 		}
-		key := (e.lb[i] + e.ub[i]) / 2
+		key := (e.bnd[2*i] + e.bnd[2*i+1]) / 2
 		if rwrMode {
 			key *= e.deg[i]
 		}
@@ -500,28 +476,6 @@ func (e *phpEngine) expand(u int32, added []graph.NodeID) []graph.NodeID {
 	return added
 }
 
-// interiorCount returns |S \ δS \ {q}|.
-func (e *phpEngine) interiorCount() int {
-	cnt := 0
-	for i := int32(0); i < int32(e.size()); i++ {
-		if !e.isBoundary(i) && e.nodes[i] != e.q {
-			cnt++
-		}
-	}
-	return cnt
-}
-
-// boundaryCount returns |δS|.
-func (e *phpEngine) boundaryCount() int {
-	cnt := 0
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) {
-			cnt++
-		}
-	}
-	return cnt
-}
-
 // certGap records the observables of one termination test for tracing: the
 // k-th candidate's certified-side bound key and the best competing bound
 // key it must clear. Filled only when the caller passes a non-nil pointer,
@@ -532,26 +486,6 @@ type certGap struct {
 	rest  float64 // best competing bound key over everything else
 }
 
-// markSel ensures the inSel scratch covers the current size and marks the
-// first k entries of sel; clearSel undoes the marks. The scratch is only
-// ever dirty between the two calls, so reuse across iterations and queries
-// needs no bulk clearing.
-func (e *phpEngine) markSel(sel []scored) {
-	if cap(e.inSel) < e.size() {
-		e.inSel = make([]bool, e.size())
-	}
-	e.inSel = e.inSel[:cap(e.inSel)]
-	for _, c := range sel {
-		e.inSel[c.i] = true
-	}
-}
-
-func (e *phpEngine) clearSel(sel []scored) {
-	for _, c := range sel {
-		e.inSel[c.i] = false
-	}
-}
-
 // checkTermination implements Algorithm 6 (and its RWR variant from
 // Section 5.6). key(lb_i) and key(ub_i) are lb/ub themselves for PHP-family
 // queries, and deg_i·lb_i / deg_i·ub_i for RWR. wSbar is the w(S̄) guard
@@ -559,33 +493,22 @@ func (e *phpEngine) clearSel(sel []scored) {
 // selected top-k local indices appended to dst (possibly empty but non-nil);
 // otherwise nil. A non-nil gap receives the certification-gap observables
 // (tracing only).
+//
+// The candidate selection walks the incremental interior list through a
+// k-bounded buffer ordered under the same total order the old full sort
+// used, so no O(|S| log |S|) re-sort happens; the competing-bound scan
+// splits into one pass over the interior list and one over the boundary
+// list.
 func (e *phpEngine) checkTermination(dst []int32, k int, rwrMode bool, wSbar float64, tieEps float64, gap *certGap) []int32 {
-	exhausted := true
-	interior := e.candBuf[:0]
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q {
-			continue
-		}
-		if e.isBoundary(i) {
-			exhausted = false
-			continue
-		}
-		key := e.lb[i]
-		if rwrMode {
-			key *= e.deg[i]
-		}
-		interior = append(interior, scored{i, key})
-	}
-	e.candBuf = interior
-	if len(interior) < k && !exhausted {
+	exhausted := e.bLive == 0
+	nCand := len(e.iList)
+	if nCand < k && !exhausted {
 		return nil
 	}
-	sortScoredDesc(interior, e.nodes)
-	if k > len(interior) {
-		if !exhausted {
-			return nil
-		}
-		k = len(interior) // component smaller than k+1: return what exists
+	if k > nCand {
+		// nCand < k and exhausted: the component is smaller than k+1;
+		// return what exists.
+		k = nCand
 	}
 	if k == 0 {
 		if dst != nil {
@@ -593,38 +516,55 @@ func (e *phpEngine) checkTermination(dst []int32, k int, rwrMode bool, wSbar flo
 		}
 		return []int32{}
 	}
-	sel := interior[:k]
-	e.markSel(sel)
-	minK := sel[0].key
-	for _, c := range sel {
-		if c.key < minK {
-			minK = c.key
+	sel := e.candBuf[:0]
+	for _, i := range e.iList {
+		key := e.bnd[2*i]
+		if rwrMode {
+			key *= e.deg[i]
 		}
+		sel = e.offerDesc(sel, k, i, key)
 	}
-	// max over S \ K \ {q} of the upper-bound key.
+	e.candBuf = sel
+	e.markSel(sel)
+	minK := sel[len(sel)-1].key // buffer is sorted descending
+	// max over S \ K \ {q} of the upper-bound key: interior candidates not
+	// selected, plus every boundary node.
 	maxRest := 0.0
-	maxBoundaryUB := 0.0
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q || e.inSel[i] {
+	for _, i := range e.iList {
+		if e.inSel[i] {
 			continue
 		}
-		key := e.ub[i]
+		key := e.bnd[2*i+1]
 		if rwrMode {
 			key *= e.deg[i]
 		}
 		if key > maxRest {
 			maxRest = key
 		}
-		if e.isBoundary(i) && e.ub[i] > maxBoundaryUB {
-			maxBoundaryUB = e.ub[i]
+	}
+	maxBoundaryUB := 0.0
+	for _, i := range e.bList {
+		if e.outCnt[i] <= 0 || e.nodes[i] == e.q {
+			continue
+		}
+		ub := e.bnd[2*i+1]
+		key := ub
+		if rwrMode {
+			key *= e.deg[i]
+		}
+		if key > maxRest {
+			maxRest = key
+		}
+		if ub > maxBoundaryUB {
+			maxBoundaryUB = ub
 		}
 	}
 	e.clearSel(sel)
 	// In RWR mode the best unvisited node scores at most
 	// w(S̄)·max_{i∈δS} ub_i (second condition of Section 5.6; K is
-	// interior-only, so the first loop saw every boundary node). Folding it
-	// into rest makes the test one comparison and gives the trace the true
-	// competing bound.
+	// interior-only, so the boundary pass saw every boundary node). Folding
+	// it into rest makes the test one comparison and gives the trace the
+	// true competing bound.
 	rest := maxRest
 	if rwrMode && !exhausted && wSbar*maxBoundaryUB > rest {
 		rest = wSbar * maxBoundaryUB

@@ -66,7 +66,7 @@ func TestEngineLowerBoundMatchesDeletedSystem(t *testing.T) {
 	e.expand(0, nil) // S = {1,2,3} (paper numbering)
 	l1, _ := e.local.get(1)
 	e.expand(l1, nil) // + node 4
-	e.solveLower()
+	e.solveBounds()
 
 	// Dense solve on the same local system.
 	n := e.size()
@@ -83,8 +83,8 @@ func TestEngineLowerBoundMatchesDeletedSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		if math.Abs(e.lb[i]-want[i]) > 1e-9 {
-			t.Fatalf("lb[%d] = %g, dense = %g", i, e.lb[i], want[i])
+		if math.Abs(e.lbAt(int32(i))-want[i]) > 1e-9 {
+			t.Fatalf("lb[%d] = %g, dense = %g", i, e.lbAt(int32(i)), want[i])
 		}
 	}
 }
@@ -97,8 +97,7 @@ func TestEngineUpperBoundMatchesDummySystem(t *testing.T) {
 	e := newTestEngine(t, g, 0, c, false)
 	e.updateDummy()
 	e.expand(0, nil)
-	e.solveLower()
-	e.solveUpper()
+	e.solveBounds()
 
 	n := e.size()
 	a := linalg.Identity(n)
@@ -116,8 +115,8 @@ func TestEngineUpperBoundMatchesDummySystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		if math.Abs(e.ub[i]-want[i]) > 1e-9 {
-			t.Fatalf("ub[%d] = %g, dense = %g", i, e.ub[i], want[i])
+		if math.Abs(e.ubAt(int32(i))-want[i]) > 1e-9 {
+			t.Fatalf("ub[%d] = %g, dense = %g", i, e.ubAt(int32(i)), want[i])
 		}
 	}
 }
@@ -181,8 +180,7 @@ func TestEngineDummyMonotone(t *testing.T) {
 			break
 		}
 		e.expand(us[0], nil)
-		e.solveLower()
-		e.solveUpper()
+		e.solveBounds()
 	}
 	// Exhausted: rd drops to 0.
 	e.updateDummy()
@@ -199,8 +197,7 @@ func TestEnginePickExpansionBatch(t *testing.T) {
 	e.expand(0, nil)                        // visit the center, exposing 7 leaves... via expansion of q
 	// Expand q (local 0) first: adds center.
 	// (constructor already visited q; local 0 = q)
-	e.solveLower()
-	e.solveUpper()
+	e.solveBounds()
 	us := e.pickExpansion(false, 3)
 	if len(us) == 0 {
 		t.Fatal("no expansion candidates")
@@ -216,7 +213,7 @@ func TestEnginePickExpansionBatch(t *testing.T) {
 		}
 	}
 	// Priorities must be non-increasing.
-	key := func(i int32) float64 { return (e.lb[i] + e.ub[i]) / 2 }
+	key := func(i int32) float64 { return (e.lbAt(i) + e.ubAt(i)) / 2 }
 	for i := 1; i < len(us); i++ {
 		if key(us[i]) > key(us[i-1])+1e-15 {
 			t.Fatalf("batch out of order at %d", i)

@@ -40,20 +40,10 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 	}
 
 	// w(S̄) guard for RWR: the largest degree among unvisited nodes, served
-	// by the graph's degree index. Falling back to the global maximum when
-	// the whole cached prefix is visited keeps the bound valid, just looser.
-	topDeg := g.TopDegrees(4096)
-	wSbar := func() float64 {
-		for _, de := range topDeg {
-			if !e.local.has(de.Node) {
-				return de.Degree
-			}
-		}
-		if len(topDeg) > 0 {
-			return topDeg[0].Degree
-		}
-		return 0
-	}
+	// by the graph's degree index through a persistent cursor (visitedness
+	// is monotone within a query, so the guard never re-scans the visited
+	// prefix).
+	wSbar := newWSbarGuard(g)
 
 	tracing := opt.Tracer != nil
 	var phaseAt time.Time
@@ -88,25 +78,24 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			}
 		}
 		e.addedBuf = added
+		if postExpandHook != nil {
+			postExpandHook(e)
+		}
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
 		}
 
 		e.refreshTightening()
-		e.solveLower()
-		e.solveUpper()
+		e.solveBounds()
 		if tracing {
 			now := time.Now()
 			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
 		}
 
-		// The batched expansion keeps the iteration count logarithmic in
-		// |S|, so the O(|S| log |S|) termination test can run every
-		// iteration without dominating.
 		guard := 0.0
 		if rwrMode {
-			guard = wSbar()
+			guard = wSbar.value(&e.localSearch)
 			e.degreeProbes++ // the index scan stands in for one metadata probe
 		}
 		var gap *certGap
@@ -153,7 +142,7 @@ func (e *phpEngine) forceSelect(dst []int32, k int, rwrMode bool) []int32 {
 		if e.nodes[i] == e.q {
 			continue
 		}
-		key := e.lb[i]
+		key := e.lbAt(i)
 		if rwrMode {
 			key *= e.deg[i]
 		}
@@ -181,7 +170,7 @@ func buildResult(e *phpEngine, sel []int32, opt Options, iters int, exact bool) 
 		Exact:        exact,
 	}
 	for _, i := range sel {
-		php := (e.lb[i] + e.ub[i]) / 2
+		php := (e.lbAt(i) + e.ubAt(i)) / 2
 		score, err := measure.ScoreFromPHP(opt.Measure, opt.Params, php, e.deg[i])
 		if err != nil {
 			return nil, err
@@ -232,13 +221,19 @@ func iterStats(e *phpEngine, t, batch, added int, certified bool, gap *certGap, 
 }
 
 func traceSnapshot(e *phpEngine, t int, expanded graph.NodeID, added []graph.NodeID) TraceEvent {
+	lbs := make([]float64, e.size())
+	ubs := make([]float64, e.size())
+	for i := range lbs {
+		lbs[i] = e.bnd[2*i]
+		ubs[i] = e.bnd[2*i+1]
+	}
 	ev := TraceEvent{
 		Iteration:  t,
 		Expanded:   expanded,
 		NewNodes:   append([]graph.NodeID(nil), added...),
 		Nodes:      append([]graph.NodeID(nil), e.nodes...),
-		Lower:      append([]float64(nil), e.lb...),
-		Upper:      append([]float64(nil), e.ub...),
+		Lower:      lbs,
+		Upper:      ubs,
 		DummyValue: e.rd,
 	}
 	return ev

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flos/internal/diskgraph"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// This file pins the search's observable behavior — result values, ranking,
+// and work counters — to goldens captured from the pre-substrate engines
+// (commit fd82b02). The substrate refactor is required to be byte-identical:
+// same TopK nodes, bit-identical float64 scores, same Visited / Iterations /
+// Sweeps / DegreeProbes, for every measure, on both graph backends, cold and
+// warm. Regenerate (only when a change is MEANT to alter the schedule) with:
+//
+//	FLOS_UPDATE_GOLDEN=1 go test ./internal/core -run TestGolden
+//
+// Scores are stored as IEEE-754 bit patterns so the comparison is exact, not
+// within-epsilon: the refactor may not move a result by even one ulp.
+
+type goldenEntry struct {
+	Graph   string   `json:"graph"`
+	Measure string   `json:"measure"`
+	Query   int32    `json:"query"`
+	Tighten bool     `json:"tighten"`
+	Nodes   []int32  `json:"nodes"`
+	Scores  []uint64 `json:"score_bits"`
+
+	Visited      int  `json:"visited"`
+	Iterations   int  `json:"iterations"`
+	Sweeps       int  `json:"sweeps"`
+	DegreeProbes int  `json:"degree_probes"`
+	Exact        bool `json:"exact"`
+}
+
+type goldenUnified struct {
+	Graph        string   `json:"graph"`
+	Query        int32    `json:"query"`
+	PHPNodes     []int32  `json:"php_nodes"`
+	PHPScores    []uint64 `json:"php_score_bits"`
+	RWRNodes     []int32  `json:"rwr_nodes"`
+	RWRScores    []uint64 `json:"rwr_score_bits"`
+	Visited      int      `json:"visited"`
+	Iterations   int      `json:"iterations"`
+	Sweeps       int      `json:"sweeps"`
+	DegreeProbes int      `json:"degree_probes"`
+}
+
+type goldenFile struct {
+	TopK    []goldenEntry   `json:"topk"`
+	Unified []goldenUnified `json:"unified"`
+}
+
+const goldenPath = "testdata/golden_equivalence.json"
+
+// goldenGraphs returns the deterministic graph suite the goldens are pinned
+// on, in a fixed order. Shapes are chosen to exercise distinct schedules:
+// the paper's worked example, random community-ish graphs of two sizes, a
+// high-diameter grid, and a barbell (long corridor between dense ends).
+func goldenGraphs(t testing.TB) []struct {
+	name string
+	g    *graph.MemGraph
+} {
+	return []struct {
+		name string
+		g    *graph.MemGraph
+	}{
+		{"paper", gen.PaperExample()},
+		{"rand200", randomConnected(t, 200, 420, 7)},
+		{"rand500", randomConnected(t, 500, 1000, 2)},
+		{"grid", gen.Grid(12, 15)},
+		{"barbell", gen.Barbell(18, 24)},
+	}
+}
+
+func goldenQueries(n int) []graph.NodeID {
+	qs := []graph.NodeID{0, graph.NodeID(n / 3), graph.NodeID(n - 1)}
+	out := qs[:0]
+	seen := map[graph.NodeID]bool{}
+	for _, q := range qs {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func goldenOptions(kind measure.Kind, tighten bool) Options {
+	opt := testOptions(kind, 8)
+	opt.Tighten = tighten
+	return opt
+}
+
+func rankedBits(rs []measure.Ranked) ([]int32, []uint64) {
+	nodes := make([]int32, len(rs))
+	bits := make([]uint64, len(rs))
+	for i, r := range rs {
+		nodes[i] = r.Node
+		bits[i] = math.Float64bits(r.Score)
+	}
+	return nodes, bits
+}
+
+func captureGolden(t *testing.T) goldenFile {
+	var gf goldenFile
+	for _, gc := range goldenGraphs(t) {
+		for _, q := range goldenQueries(gc.g.NumNodes()) {
+			for _, kind := range measure.Kinds() {
+				for _, tighten := range []bool{true, false} {
+					if kind == measure.THT && !tighten {
+						continue // THT ignores tightening; avoid duplicate rows
+					}
+					res, err := TopKCtx(context.Background(), gc.g, q, goldenOptions(kind, tighten))
+					if err != nil {
+						t.Fatalf("%s/%v/q=%d: %v", gc.name, kind, q, err)
+					}
+					nodes, bits := rankedBits(res.TopK)
+					gf.TopK = append(gf.TopK, goldenEntry{
+						Graph: gc.name, Measure: kind.String(), Query: q, Tighten: tighten,
+						Nodes: nodes, Scores: bits,
+						Visited: res.Visited, Iterations: res.Iterations,
+						Sweeps: res.Sweeps, DegreeProbes: res.DegreeProbes, Exact: res.Exact,
+					})
+				}
+			}
+			ur, err := UnifiedTopKCtx(context.Background(), gc.g, q, goldenOptions(measure.PHP, true))
+			if err != nil {
+				t.Fatalf("%s/unified/q=%d: %v", gc.name, q, err)
+			}
+			pn, pb := rankedBits(ur.PHPFamily)
+			rn, rb := rankedBits(ur.RWR)
+			gf.Unified = append(gf.Unified, goldenUnified{
+				Graph: gc.name, Query: q,
+				PHPNodes: pn, PHPScores: pb, RWRNodes: rn, RWRScores: rb,
+				Visited: ur.Visited, Iterations: ur.Iterations,
+				Sweeps: ur.Sweeps, DegreeProbes: ur.DegreeProbes,
+			})
+		}
+	}
+	return gf
+}
+
+func requireGoldenTopK(t *testing.T, label string, want goldenEntry, got *Result) {
+	t.Helper()
+	nodes, bits := rankedBits(got.TopK)
+	fail := func(field string, want, got any) {
+		t.Fatalf("%s: %s drifted from golden\nwant %v\ngot  %v", label, field, want, got)
+	}
+	if fmt.Sprint(nodes) != fmt.Sprint(want.Nodes) {
+		fail("ranking", want.Nodes, nodes)
+	}
+	if fmt.Sprint(bits) != fmt.Sprint(want.Scores) {
+		fail("score bits", want.Scores, bits)
+	}
+	if got.Visited != want.Visited {
+		fail("visited", want.Visited, got.Visited)
+	}
+	if got.Iterations != want.Iterations {
+		fail("iterations", want.Iterations, got.Iterations)
+	}
+	if got.Sweeps != want.Sweeps {
+		fail("sweeps", want.Sweeps, got.Sweeps)
+	}
+	if got.DegreeProbes != want.DegreeProbes {
+		fail("degree probes", want.DegreeProbes, got.DegreeProbes)
+	}
+	if got.Exact != want.Exact {
+		fail("exact", want.Exact, got.Exact)
+	}
+}
+
+// diskVariant writes g to a disk store and opens it with a small page cache,
+// so the engine runs the defensive-copy (unstable neighbors) path.
+func diskVariant(t *testing.T, g *graph.MemGraph) graph.Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.flos")
+	if err := diskgraph.Create(path, g, 4096); err != nil {
+		t.Fatal(err)
+	}
+	st, err := diskgraph.Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestGoldenEquivalence replays every pinned scenario on both backends,
+// cold and through a reused warm Workspace, and requires byte-identical
+// results and work counters against the pre-refactor goldens.
+func TestGoldenEquivalence(t *testing.T) {
+	if os.Getenv("FLOS_UPDATE_GOLDEN") != "" {
+		gf := captureGolden(t)
+		buf, err := json.MarshalIndent(gf, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d topk + %d unified scenarios", len(gf.TopK), len(gf.Unified))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with FLOS_UPDATE_GOLDEN=1 to capture): %v", err)
+	}
+	var gf goldenFile
+	if err := json.Unmarshal(buf, &gf); err != nil {
+		t.Fatal(err)
+	}
+
+	graphs := map[string]*graph.MemGraph{}
+	for _, gc := range goldenGraphs(t) {
+		graphs[gc.name] = gc.g
+	}
+	disks := map[string]graph.Graph{}
+	for name, g := range graphs {
+		disks[name] = diskVariant(t, g)
+	}
+	memWS := map[string]*Workspace{}
+	diskWS := map[string]*Workspace{}
+	for name := range graphs {
+		memWS[name] = NewWorkspace()
+		diskWS[name] = NewWorkspace()
+	}
+
+	ctx := context.Background()
+	for _, want := range gf.TopK {
+		kind, ok := kindByName(want.Measure)
+		if !ok {
+			t.Fatalf("golden names unknown measure %q", want.Measure)
+		}
+		opt := goldenOptions(kind, want.Tighten)
+		label := fmt.Sprintf("%s/%s/q=%d/tighten=%v", want.Graph, want.Measure, want.Query, want.Tighten)
+
+		res, err := TopKCtx(ctx, graphs[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGoldenTopK(t, label+"/mem-cold", want, res)
+
+		res, err = memWS[want.Graph].TopK(ctx, graphs[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGoldenTopK(t, label+"/mem-warm", want, res)
+
+		res, err = TopKCtx(ctx, disks[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGoldenTopK(t, label+"/disk-cold", want, res)
+
+		res, err = diskWS[want.Graph].TopK(ctx, disks[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGoldenTopK(t, label+"/disk-warm", want, res)
+	}
+
+	for _, want := range gf.Unified {
+		opt := goldenOptions(measure.PHP, true)
+		label := fmt.Sprintf("%s/unified/q=%d", want.Graph, want.Query)
+		check := func(label string, ur *UnifiedResult) {
+			pn, pb := rankedBits(ur.PHPFamily)
+			rn, rb := rankedBits(ur.RWR)
+			if fmt.Sprint(pn) != fmt.Sprint(want.PHPNodes) || fmt.Sprint(pb) != fmt.Sprint(want.PHPScores) {
+				t.Fatalf("%s: PHP family drifted\nwant %v %v\ngot  %v %v", label, want.PHPNodes, want.PHPScores, pn, pb)
+			}
+			if fmt.Sprint(rn) != fmt.Sprint(want.RWRNodes) || fmt.Sprint(rb) != fmt.Sprint(want.RWRScores) {
+				t.Fatalf("%s: RWR drifted\nwant %v %v\ngot  %v %v", label, want.RWRNodes, want.RWRScores, rn, rb)
+			}
+			if ur.Visited != want.Visited || ur.Iterations != want.Iterations ||
+				ur.Sweeps != want.Sweeps || ur.DegreeProbes != want.DegreeProbes {
+				t.Fatalf("%s: counters drifted\nwant {v:%d it:%d sw:%d dp:%d}\ngot  {v:%d it:%d sw:%d dp:%d}",
+					label, want.Visited, want.Iterations, want.Sweeps, want.DegreeProbes,
+					ur.Visited, ur.Iterations, ur.Sweeps, ur.DegreeProbes)
+			}
+		}
+		ur, err := UnifiedTopKCtx(ctx, graphs[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(label+"/mem-cold", ur)
+		ur, err = memWS[want.Graph].Unified(ctx, graphs[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(label+"/mem-warm", ur)
+		ur, err = diskWS[want.Graph].Unified(ctx, disks[want.Graph], want.Query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(label+"/disk-warm", ur)
+	}
+}
+
+func kindByName(s string) (measure.Kind, bool) {
+	for _, k := range measure.Kinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// TestSweepCounterBaseline is the CI work-counter smoke: on the committed
+// benchmark graph (a mid-size community graph), the Result work counters
+// (sweeps, visited, iterations) must match testdata/sweep_baseline.json for
+// every measure. A drift means the expansion schedule or the bound solver's
+// relaxation sequence changed — which must never happen by accident.
+// Regenerate with FLOS_UPDATE_GOLDEN=1.
+func TestSweepCounterBaseline(t *testing.T) {
+	const path = "testdata/sweep_baseline.json"
+	g, err := gen.Community(20000, 60000, gen.DefaultCommunityParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		Measure    string `json:"measure"`
+		Query      int32  `json:"query"`
+		Sweeps     int    `json:"sweeps"`
+		Visited    int    `json:"visited"`
+		Iterations int    `json:"iterations"`
+	}
+	var got []row
+	for _, kind := range measure.Kinds() {
+		for _, q := range []graph.NodeID{11, 4096} {
+			res, err := TopKCtx(context.Background(), g, q, DefaultOptions(kind, 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, row{kind.String(), q, res.Sweeps, res.Visited, res.Iterations})
+		}
+	}
+	if os.Getenv("FLOS_UPDATE_GOLDEN") != "" {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("sweep baseline updated: %d rows", len(got))
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing baseline (run with FLOS_UPDATE_GOLDEN=1 to capture): %v", err)
+	}
+	var want []row
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("baseline has %d rows, run produced %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("work counters drifted: want %+v, got %+v", want[i], got[i])
+		}
+	}
+}

@@ -51,8 +51,9 @@ type Options struct {
 	// visited/boundary/candidate counts, the certification gap (k-th lower
 	// bound vs. best outsider upper bound), batch size, and per-phase wall
 	// times. The disabled cost is a nil check per iteration; the enabled
-	// cost is O(|S|) per iteration for the count scans plus the timestamp
-	// reads.
+	// cost is a handful of timestamp reads — the boundary and interior
+	// sizes come from the engines' O(1) incremental counters, so tracing
+	// adds no per-iteration scan of the visited set.
 	Tracer Tracer
 }
 

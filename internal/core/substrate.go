@@ -1,0 +1,329 @@
+package core
+
+import (
+	"flos/internal/graph"
+)
+
+// This file is the shared local-search substrate both bound engines build
+// on: the visited-set bookkeeping FLoS's Algorithm 3 grows one expansion at
+// a time. Before ISSUE 4 the PHP and THT engines each carried a private copy
+// of this machinery and re-derived the boundary, the interior candidate
+// count, and the expansion frontier by scanning all of S every iteration —
+// O(|S|) per iteration against the paper's "work proportional to the changed
+// region" cost model (Section 5.5). The substrate makes that bookkeeping
+// incremental:
+//
+//   - an explicit boundary list, maintained on visit: a node enters δS when
+//     it is visited with unvisited neighbors and leaves exactly once, when
+//     its last outside neighbor is pulled in. Both transitions are monotone,
+//     so the list is append-only with lazy deletion (liveness is just
+//     outCnt > 0) and compaction amortizes removal to O(1). Iterating it
+//     costs O(|δS|) and preserves ascending-local-index order — the order
+//     the old full scans produced — so every consumer (dummy update,
+//     expansion pick, floor scan, worklist re-seeding) keeps a bit-identical
+//     schedule.
+//   - an append-only interior list and O(1) interior/boundary counters, so
+//     the termination test and the tracer stop re-deriving |δS| and
+//     |S \ δS \ {q}| by sweeping S.
+//   - bounded top-k selection helpers (offerDesc/offerAsc) that maintain the
+//     candidate buffer under the same total order the old sort used
+//     (key, then smaller global identifier), which is what lets the
+//     termination test drop its O(|S| log |S|) re-sort of all candidates.
+//
+// localSearch is bookkeeping only; each engine supplies its own bound
+// systems and solver on top.
+type localSearch struct {
+	g graph.Graph
+	q graph.NodeID
+
+	// stable records that g advertises graph.StableNeighbors, so adjN/adjW
+	// below alias the graph's own slices instead of copying per visit.
+	stable bool
+
+	nodes []graph.NodeID // local -> global
+	local nodeIndex      // global -> local
+
+	adjN [][]graph.NodeID // cached global adjacency of visited nodes
+	adjW [][]float64
+
+	deg    []float64 // full-graph weighted degree
+	inW    []float64 // Σ weights of incident edges whose far end is in S
+	outCnt []int32   // # neighbors outside S; >0 ⇔ boundary
+	ladj   [][]int32 // local undirected adjacency (dependency graph)
+
+	// Incremental frontier bookkeeping. bList holds every node that ever
+	// joined the boundary, in ascending local index (nodes join only at
+	// visit time, with the largest index so far, so appends keep it
+	// sorted); an entry is live iff outCnt > 0. bLive is the live count
+	// |δS| (including q while q has unvisited neighbors). iList holds the
+	// interior candidates S \ δS \ {q} in join order; interior membership
+	// is monotone (outCnt never grows), so it is append-only and
+	// len(iList) is the candidate count.
+	bList []int32
+	bLive int
+	iList []int32
+
+	// visitW holds, after visitCommon(v), the edge weights parallel to the
+	// ladj entries the visit just created — the engine-specific wiring pass
+	// consumes them without re-scanning v's adjacency.
+	visitW []float64
+
+	// Scratch reused across iterations (and, warm, across queries): the
+	// expansion/termination scans would otherwise allocate per iteration.
+	pickBuf  []scored
+	pickOut  []int32
+	candBuf  []scored
+	selOut   []int32
+	selOut2  []int32 // second selection buffer: unified search keeps two live
+	inSel    []bool  // local-index marks; always cleared after use
+	addedBuf []graph.NodeID
+
+	sweeps int // node relaxations performed by the bound solver
+}
+
+// resetCommon prepares the substrate for a new query, reusing all retained
+// storage. dense selects the generation-stamped array index (warm
+// workspaces); cold engines pass false and get a map.
+func (s *localSearch) resetCommon(g graph.Graph, q graph.NodeID, dense bool) {
+	s.g, s.q = g, q
+
+	stable := graph.HasStableNeighbors(g)
+	if s.stable && !stable {
+		// The previous run aliased graph-owned adjacency rows; drop them so
+		// the copy path below never appends into another graph's storage.
+		s.adjN, s.adjW = nil, nil
+	}
+	s.stable = stable
+
+	s.local.init(g.NumNodes(), dense)
+
+	s.nodes = s.nodes[:0]
+	s.adjN = s.adjN[:0]
+	s.adjW = s.adjW[:0]
+	s.deg = s.deg[:0]
+	s.inW = s.inW[:0]
+	s.outCnt = s.outCnt[:0]
+	s.ladj = s.ladj[:0]
+	s.bList = s.bList[:0]
+	s.bLive = 0
+	s.iList = s.iList[:0]
+	s.sweeps = 0
+}
+
+// visitCommon pulls node v into S: queries its adjacency, computes the
+// degree split, wires the local dependency edges, and maintains the
+// boundary/interior bookkeeping. The engine-specific transition wiring runs
+// afterwards over ladj[li] (the freshly created local neighbors) and visitW
+// (the matching edge weights). Precondition: v not yet visited.
+func (s *localSearch) visitCommon(v graph.NodeID) int32 {
+	li := int32(len(s.nodes))
+	s.nodes = append(s.nodes, v)
+	s.local.put(v, li)
+
+	nbrs, ws := s.g.Neighbors(v)
+	if s.stable {
+		// The graph guarantees slice stability; alias instead of copying.
+		s.adjN = append(s.adjN, nbrs)
+		s.adjW = append(s.adjW, ws)
+	} else {
+		// Copy: disk-backed graphs reuse the returned slices.
+		s.adjN = appendRowCopy(s.adjN, nbrs)
+		s.adjW = appendRowCopy(s.adjW, ws)
+	}
+	cn, cw := s.adjN[li], s.adjW[li]
+
+	// First pass: the full degree (needed to normalize v's own transition
+	// probabilities) and the in/out split.
+	var d, in float64
+	var out int32
+	for i, u := range cn {
+		d += cw[i]
+		if s.local.has(u) {
+			in += cw[i]
+		} else {
+			out++
+		}
+	}
+	s.deg = append(s.deg, d)
+	s.inW = append(s.inW, in)
+	s.outCnt = append(s.outCnt, out)
+	s.ladj = appendRow(s.ladj)
+	if out > 0 {
+		s.bList = append(s.bList, li)
+		s.bLive++
+	} else if v != s.q {
+		s.iList = append(s.iList, li)
+	}
+
+	// Second pass: wire the dependency edges to already-visited neighbors
+	// and update their boundary bookkeeping. The weights are recorded in
+	// visitW so the caller's wiring pass needs no re-scan.
+	s.visitW = s.visitW[:0]
+	for i, u := range cn {
+		lu, ok := s.local.get(u)
+		if !ok {
+			continue
+		}
+		s.ladj[li] = append(s.ladj[li], lu)
+		s.ladj[lu] = append(s.ladj[lu], li)
+		s.visitW = append(s.visitW, cw[i])
+		s.inW[lu] += cw[i]
+		s.outCnt[lu]--
+		if s.outCnt[lu] == 0 {
+			// lu's last outside neighbor was v: it leaves δS for good.
+			s.bLive--
+			if s.nodes[lu] != s.q {
+				s.iList = append(s.iList, lu)
+			}
+		}
+	}
+	s.compactBoundary()
+	return li
+}
+
+// compactBoundary drops dead entries once they outnumber the live ones, so
+// boundary iteration stays O(|δS|) amortized. Compaction preserves the
+// ascending-index order, keeping every boundary scan's schedule identical
+// to the full scans it replaced.
+func (s *localSearch) compactBoundary() {
+	if len(s.bList)-s.bLive <= s.bLive+32 {
+		return
+	}
+	live := s.bList[:0]
+	for _, i := range s.bList {
+		if s.outCnt[i] > 0 {
+			live = append(live, i)
+		}
+	}
+	s.bList = live
+}
+
+// size returns |S|.
+func (s *localSearch) size() int { return len(s.nodes) }
+
+// isBoundary reports whether local node i has unvisited neighbors.
+func (s *localSearch) isBoundary(i int32) bool { return s.outCnt[i] > 0 }
+
+// boundaryCount returns |δS| in O(1).
+func (s *localSearch) boundaryCount() int { return s.bLive }
+
+// interiorCount returns |S \ δS \ {q}| in O(1).
+func (s *localSearch) interiorCount() int { return len(s.iList) }
+
+// outMassOf returns Σ_{j∉S} p_ij for local node i, with zeroDegree as the
+// convention for isolated nodes (the engines differ: PHP treats a degree-0
+// node as keeping its walk, THT as sending full mass outside).
+func (s *localSearch) outMassOf(i int32, zeroDegree float64) float64 {
+	if s.deg[i] == 0 {
+		return zeroDegree
+	}
+	m := (s.deg[i] - s.inW[i]) / s.deg[i]
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// offerDesc feeds one candidate into a k-bounded selection buffer kept
+// sorted under the total order (key descending, ties toward the smaller
+// global identifier) — the exact order sortScoredDesc imposed when the
+// termination test still sorted every interior candidate. Because the skip
+// test compares under the full total order, the resulting top-k is
+// independent of offer order.
+func (s *localSearch) offerDesc(best []scored, k int, i int32, key float64) []scored {
+	if len(best) == k {
+		w := best[k-1]
+		if key < w.key || (key == w.key && s.nodes[i] > s.nodes[w.i]) {
+			return best
+		}
+	}
+	pos := len(best)
+	for pos > 0 && (best[pos-1].key < key ||
+		(best[pos-1].key == key && s.nodes[best[pos-1].i] > s.nodes[i])) {
+		pos--
+	}
+	if len(best) < k {
+		best = append(best, scored{})
+	}
+	copy(best[pos+1:], best[pos:len(best)-1])
+	best[pos] = scored{i, key}
+	return best
+}
+
+// offerAsc is offerDesc for lower-is-better keys (THT): ascending key, ties
+// toward the smaller global identifier.
+func (s *localSearch) offerAsc(best []scored, k int, i int32, key float64) []scored {
+	if len(best) == k {
+		w := best[k-1]
+		if key > w.key || (key == w.key && s.nodes[i] > s.nodes[w.i]) {
+			return best
+		}
+	}
+	pos := len(best)
+	for pos > 0 && (best[pos-1].key > key ||
+		(best[pos-1].key == key && s.nodes[best[pos-1].i] > s.nodes[i])) {
+		pos--
+	}
+	if len(best) < k {
+		best = append(best, scored{})
+	}
+	copy(best[pos+1:], best[pos:len(best)-1])
+	best[pos] = scored{i, key}
+	return best
+}
+
+// markSel ensures the inSel scratch covers the current size and marks the
+// selected entries; clearSel undoes the marks. The scratch is only ever
+// dirty between the two calls, so reuse across iterations and queries needs
+// no bulk clearing.
+func (s *localSearch) markSel(sel []scored) {
+	if cap(s.inSel) < s.size() {
+		s.inSel = make([]bool, s.size())
+	}
+	s.inSel = s.inSel[:cap(s.inSel)]
+	for _, c := range sel {
+		s.inSel[c.i] = true
+	}
+}
+
+func (s *localSearch) clearSel(sel []scored) {
+	for _, c := range sel {
+		s.inSel[c.i] = false
+	}
+}
+
+// postExpandHook, when non-nil, is invoked by every main loop right after an
+// expansion step with the active engine (*phpEngine or *thtEngine). It
+// exists for differential tests that cross-check the incremental frontier
+// bookkeeping against brute-force recomputation after every expansion; it
+// must never be set outside tests.
+var postExpandHook func(engine any)
+
+// wsbarGuard serves the RWR termination guard w(S̄) — the largest weighted
+// degree among unvisited nodes — from the graph's degree index. Visited
+// status is monotone within a query, so a persistent cursor never re-scans
+// the visited prefix: the whole guard amortizes to one pass over the cached
+// prefix per query instead of one pass per iteration. Falling back to the
+// global maximum when the whole prefix is visited keeps the bound valid,
+// just looser — identical to the seed's behavior.
+type wsbarGuard struct {
+	top []graph.DegreeEntry
+	cur int
+}
+
+func newWSbarGuard(g graph.Graph) wsbarGuard {
+	return wsbarGuard{top: g.TopDegrees(4096)}
+}
+
+func (w *wsbarGuard) value(s *localSearch) float64 {
+	for w.cur < len(w.top) && s.local.has(w.top[w.cur].Node) {
+		w.cur++
+	}
+	if w.cur < len(w.top) {
+		return w.top[w.cur].Degree
+	}
+	if len(w.top) > 0 {
+		return w.top[0].Degree
+	}
+	return 0
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"math"
+	"slices"
+	"testing"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// Differential tests of the incremental frontier bookkeeping: after EVERY
+// expansion of a real query (via postExpandHook), the maintained boundary
+// list, interior list, O(1) counters, per-node degree splits, and the
+// k-bounded candidate selection are checked against brute-force
+// recomputation from the cached adjacency. Runs every measure on both graph
+// backends over randomized graphs, so any drift the incremental updates
+// could accumulate — a node stuck in δS, a missed interior promotion, a
+// selection differing from a full sort — fails loudly at the iteration that
+// introduced it.
+
+// checkSubstrate cross-checks the localSearch bookkeeping against a from-
+// scratch recomputation.
+func checkSubstrate(t *testing.T, s *localSearch) {
+	t.Helper()
+	n := int32(s.size())
+
+	// Per-node degree split and boundary membership from the cached
+	// adjacency and the visited index.
+	wantBoundary := make(map[int32]bool)
+	var wantBLive, wantInterior int
+	for i := int32(0); i < n; i++ {
+		var d, in float64
+		var out int32
+		for k, u := range s.adjN[i] {
+			d += s.adjW[i][k]
+			if s.local.has(u) {
+				in += s.adjW[i][k]
+			} else {
+				out++
+			}
+		}
+		if math.Abs(d-s.deg[i]) > 1e-9*(1+math.Abs(d)) {
+			t.Fatalf("deg[%d] = %g, brute force %g", i, s.deg[i], d)
+		}
+		if math.Abs(in-s.inW[i]) > 1e-9*(1+math.Abs(in)) {
+			t.Fatalf("inW[%d] = %g, brute force %g", i, s.inW[i], in)
+		}
+		if out != s.outCnt[i] {
+			t.Fatalf("outCnt[%d] = %d, brute force %d", i, s.outCnt[i], out)
+		}
+		if out > 0 {
+			wantBoundary[i] = true
+			wantBLive++
+		} else if s.nodes[i] != s.q {
+			wantInterior++
+		}
+	}
+
+	// Boundary list: live entries must equal the brute-force boundary set,
+	// in strictly ascending local-index order (the order every consumer's
+	// schedule depends on), and the live counter must match.
+	if s.bLive != wantBLive {
+		t.Fatalf("bLive = %d, brute force %d", s.bLive, wantBLive)
+	}
+	if got := s.boundaryCount(); got != wantBLive {
+		t.Fatalf("boundaryCount() = %d, brute force %d", got, wantBLive)
+	}
+	prev := int32(-1)
+	live := 0
+	for _, i := range s.bList {
+		if i <= prev {
+			t.Fatalf("bList not strictly ascending: %v", s.bList)
+		}
+		prev = i
+		if s.outCnt[i] > 0 {
+			live++
+			if !wantBoundary[i] {
+				t.Fatalf("bList live entry %d not boundary by brute force", i)
+			}
+		}
+	}
+	if live != wantBLive {
+		t.Fatalf("bList live entries = %d, brute force %d", live, wantBLive)
+	}
+
+	// Interior list: exactly the non-query zero-outCnt nodes, no duplicates.
+	if got := s.interiorCount(); got != wantInterior {
+		t.Fatalf("interiorCount() = %d, brute force %d", got, wantInterior)
+	}
+	seen := make(map[int32]bool, len(s.iList))
+	for _, i := range s.iList {
+		if seen[i] {
+			t.Fatalf("iList duplicate entry %d", i)
+		}
+		seen[i] = true
+		if s.outCnt[i] != 0 || s.nodes[i] == s.q {
+			t.Fatalf("iList entry %d: outCnt=%d q=%v", i, s.outCnt[i], s.nodes[i] == s.q)
+		}
+	}
+	if len(seen) != wantInterior {
+		t.Fatalf("iList covers %d nodes, brute force %d", len(seen), wantInterior)
+	}
+}
+
+// checkSelection cross-checks the k-bounded offer helpers against a full
+// sort under the same total order, on the live interior candidates.
+func checkSelection(t *testing.T, s *localSearch, k int, key func(int32) float64, desc bool) {
+	t.Helper()
+	var got []scored
+	for _, i := range s.iList {
+		if desc {
+			got = s.offerDesc(got, k, i, key(i))
+		} else {
+			got = s.offerAsc(got, k, i, key(i))
+		}
+	}
+	want := make([]scored, 0, len(s.iList))
+	for _, i := range s.iList {
+		want = append(want, scored{i, key(i)})
+	}
+	slices.SortFunc(want, func(a, b scored) int {
+		if a.key != b.key {
+			if (a.key > b.key) == desc {
+				return -1
+			}
+			return 1
+		}
+		if s.nodes[a.i] < s.nodes[b.i] {
+			return -1
+		}
+		return 1
+	})
+	if k > len(want) {
+		k = len(want)
+	}
+	want = want[:k]
+	if len(got) != len(want) {
+		t.Fatalf("selection size %d, brute force %d", len(got), len(want))
+	}
+	for j := range got {
+		if got[j].i != want[j].i || got[j].key != want[j].key {
+			t.Fatalf("selection[%d] = {%d %g}, brute force {%d %g}",
+				j, got[j].i, got[j].key, want[j].i, want[j].key)
+		}
+	}
+}
+
+// TestSubstrateDifferential drives full queries for all five measures on
+// randomized graphs over both backends with the per-expansion cross-check
+// installed.
+func TestSubstrateDifferential(t *testing.T) {
+	graphs := map[string]*graph.MemGraph{
+		"rand150": randomConnected(t, 150, 320, 11),
+		"rand80":  randomConnected(t, 80, 120, 5),
+	}
+	kinds := []measure.Kind{measure.PHP, measure.EI, measure.DHT, measure.RWR, measure.THT}
+
+	for gname, mem := range graphs {
+		for _, backend := range []string{"mem", "disk"} {
+			var g graph.Graph = mem
+			if backend == "disk" {
+				g = diskVariant(t, mem)
+			}
+			for _, kind := range kinds {
+				t.Run(gname+"/"+backend+"/"+kind.String(), func(t *testing.T) {
+					opt := testOptions(kind, 8)
+					checks := 0
+					postExpandHook = func(engine any) {
+						checks++
+						switch e := engine.(type) {
+						case *phpEngine:
+							checkSubstrate(t, &e.localSearch)
+							rwr := kind == measure.RWR
+							checkSelection(t, &e.localSearch, opt.K, func(i int32) float64 {
+								key := e.lbAt(i)
+								if rwr {
+									key *= e.deg[i]
+								}
+								return key
+							}, true)
+						case *thtEngine:
+							checkSubstrate(t, &e.localSearch)
+							checkSelection(t, &e.localSearch, opt.K, e.ub, false)
+						default:
+							t.Fatalf("unexpected engine %T", engine)
+						}
+					}
+					defer func() { postExpandHook = nil }()
+					if _, err := TopK(g, 3, opt); err != nil {
+						t.Fatal(err)
+					}
+					if checks == 0 {
+						t.Fatal("hook never fired")
+					}
+				})
+			}
+		}
+	}
+
+	// The unified loop shares the PHP engine; run it once with the hook to
+	// cover its expansion path too.
+	t.Run("unified", func(t *testing.T) {
+		opt := testOptions(measure.PHP, 8)
+		checks := 0
+		postExpandHook = func(engine any) {
+			checks++
+			e, ok := engine.(*phpEngine)
+			if !ok {
+				t.Fatalf("unexpected engine %T", engine)
+			}
+			checkSubstrate(t, &e.localSearch)
+		}
+		defer func() { postExpandHook = nil }()
+		if _, err := UnifiedTopK(graphs["rand150"], 3, opt); err != nil {
+			t.Fatal(err)
+		}
+		if checks == 0 {
+			t.Fatal("hook never fired")
+		}
+	})
+}
+
+// TestSubstrateDifferentialWarm repeats the cross-check through a reused
+// workspace, covering the generation-stamped reset path.
+func TestSubstrateDifferentialWarm(t *testing.T) {
+	g := randomConnected(t, 120, 260, 23)
+	ws := NewWorkspace()
+	for _, kind := range []measure.Kind{measure.PHP, measure.RWR, measure.THT} {
+		for _, q := range []graph.NodeID{0, 60, 119} {
+			opt := testOptions(kind, 6)
+			postExpandHook = func(engine any) {
+				switch e := engine.(type) {
+				case *phpEngine:
+					checkSubstrate(t, &e.localSearch)
+				case *thtEngine:
+					checkSubstrate(t, &e.localSearch)
+				}
+			}
+			if _, err := ws.TopK(context.Background(), g, q, opt); err != nil {
+				postExpandHook = nil
+				t.Fatal(err)
+			}
+			postExpandHook = nil
+		}
+	}
+}

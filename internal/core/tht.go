@@ -10,8 +10,9 @@ import (
 )
 
 // thtEngine is the finite-horizon FLoS variant for L-truncated hitting time
-// (appendix 10.4). The same visited-set machinery applies, with the bound
-// roles mirrored because lower values mean closer:
+// (appendix 10.4), built on the shared localSearch substrate. The same
+// visited-set machinery applies, with the bound roles mirrored because lower
+// values mean closer:
 //
 //   - lower bound: boundary-crossing mass is sent to a level-aware floor.
 //     The appendix's plain deletion corresponds to floor 0; this engine
@@ -33,20 +34,9 @@ import (
 // Like phpEngine, a thtEngine is reusable via reset: slices truncate in
 // place and the global→local index clears by generation bump.
 type thtEngine struct {
-	g graph.Graph
-	q graph.NodeID
+	localSearch
+
 	L int
-
-	stable bool // g advertises graph.StableNeighbors; adjN/adjW alias it
-
-	nodes  []graph.NodeID
-	local  nodeIndex
-	adjN   [][]graph.NodeID
-	adjW   [][]float64
-	deg    []float64
-	inW    []float64
-	outCnt []int32
-	ladj   [][]int32
 
 	// tRows[i] holds (local col, p_ij) for j ∈ N_i ∩ S; the query row is
 	// zeroed (walks stop at q).
@@ -67,16 +57,8 @@ type thtEngine struct {
 	queue [][]int32
 
 	lastFloor int32 // D+1 used in the last solve; change re-dirties the boundary
-	sweeps    int
 
-	// Scratch reused across iterations and queries.
-	pickBuf  []scored
-	pickOut  []int32
-	candBuf  []scored
-	selOut   []int32
-	inSel    []bool
 	floorBuf []int32
-	addedBuf []graph.NodeID
 	distQ    []int32
 }
 
@@ -96,23 +78,10 @@ func newTHTEngine(g graph.Graph, q graph.NodeID, L int) *thtEngine {
 // reset prepares the engine for a new query (possibly a new horizon L and a
 // new graph), reusing retained storage; see phpEngine.reset.
 func (e *thtEngine) reset(g graph.Graph, q graph.NodeID, L int, dense bool) {
-	e.g, e.q, e.L = g, q, L
+	e.L = L
 
-	stable := graph.HasStableNeighbors(g)
-	if e.stable && !stable {
-		e.adjN, e.adjW = nil, nil
-	}
-	e.stable = stable
+	e.resetCommon(g, q, dense)
 
-	e.local.init(g.NumNodes(), dense)
-
-	e.nodes = e.nodes[:0]
-	e.adjN = e.adjN[:0]
-	e.adjW = e.adjW[:0]
-	e.deg = e.deg[:0]
-	e.inW = e.inW[:0]
-	e.outCnt = e.outCnt[:0]
-	e.ladj = e.ladj[:0]
 	e.tRows = e.tRows[:0]
 	e.dist = e.dist[:0]
 
@@ -135,40 +104,17 @@ func (e *thtEngine) reset(g graph.Graph, q graph.NodeID, L int, dense bool) {
 	}
 
 	e.lastFloor = -1
-	e.sweeps = 0
 
 	e.visit(q)
 }
 
+// visit pulls node v into S: the substrate maintains the visited-set and
+// frontier bookkeeping, then this appends the level-bound rows, wires the
+// transition entries in both directions, and maintains the within-S
+// distance. Precondition: v not yet visited.
 func (e *thtEngine) visit(v graph.NodeID) {
-	li := int32(len(e.nodes))
-	e.nodes = append(e.nodes, v)
-	e.local.put(v, li)
-	nbrs, ws := e.g.Neighbors(v)
-	if e.stable {
-		e.adjN = append(e.adjN, nbrs)
-		e.adjW = append(e.adjW, ws)
-	} else {
-		e.adjN = appendRowCopy(e.adjN, nbrs)
-		e.adjW = appendRowCopy(e.adjW, ws)
-	}
-	cn, cw := e.adjN[li], e.adjW[li]
-
-	var d, in float64
-	var out int32
-	for i, u := range cn {
-		d += cw[i]
-		if e.local.has(u) {
-			in += cw[i]
-		} else {
-			out++
-		}
-	}
-	e.deg = append(e.deg, d)
-	e.inW = append(e.inW, in)
-	e.outCnt = append(e.outCnt, out)
+	li := e.visitCommon(v)
 	e.tRows = appendRow(e.tRows)
-	e.ladj = appendRow(e.ladj)
 	for l := 0; l <= e.L; l++ {
 		e.lbL[l] = append(e.lbL[l], 0)
 		// Initial upper value min(l, L) = l is always valid: r^l ≤ l.
@@ -188,22 +134,18 @@ func (e *thtEngine) visit(v graph.NodeID) {
 	}
 	e.dist = append(e.dist, nd)
 
-	for i, u := range cn {
-		lu, ok := e.local.get(u)
-		if !ok {
-			continue
-		}
+	// Wire transition entries to/from the already-visited neighbors the
+	// substrate just linked (ladj[li] / visitW); their equations changed
+	// (new entry and smaller outside mass), so every level is re-dirtied.
+	d := e.deg[li]
+	for idx, lu := range e.ladj[li] {
+		w := e.visitW[idx]
 		if v != e.q && d > 0 {
-			e.tRows[li] = append(e.tRows[li], thtEntry{col: lu, p: cw[i] / d})
+			e.tRows[li] = append(e.tRows[li], thtEntry{col: lu, p: w / d})
 		}
-		if u != e.q && e.deg[lu] > 0 {
-			e.tRows[lu] = append(e.tRows[lu], thtEntry{col: li, p: cw[i] / e.deg[lu]})
+		if e.nodes[lu] != e.q && e.deg[lu] > 0 {
+			e.tRows[lu] = append(e.tRows[lu], thtEntry{col: li, p: w / e.deg[lu]})
 		}
-		e.ladj[li] = append(e.ladj[li], lu)
-		e.ladj[lu] = append(e.ladj[lu], li)
-		e.inW[lu] += cw[i]
-		e.outCnt[lu]--
-		// lu's equations changed (new entry and smaller outside mass).
 		e.markAllLevels(lu)
 		if e.dist[lu]+1 < e.dist[li] {
 			e.dist[li] = e.dist[lu] + 1
@@ -247,26 +189,18 @@ func (e *thtEngine) markAllLevels(i int32) {
 	}
 }
 
-func (e *thtEngine) size() int               { return len(e.nodes) }
-func (e *thtEngine) isBoundary(i int32) bool { return e.outCnt[i] > 0 }
-
 func (e *thtEngine) outMass(i int32) float64 {
-	if e.deg[i] == 0 {
-		return 1 // a degree-0 node's walk goes nowhere: full mass "outside"
-	}
-	m := (e.deg[i] - e.inW[i]) / e.deg[i]
-	if m < 0 {
-		return 0
-	}
-	return m
+	// A degree-0 node's walk goes nowhere: full mass "outside".
+	return e.outMassOf(i, 1)
 }
 
 // unvisitedFloor returns D+1: a sound hop-distance lower bound on every
-// unvisited node's distance from q.
+// unvisited node's distance from q. The scan walks the incremental boundary
+// list — O(|δS|), not O(|S|).
 func (e *thtEngine) unvisitedFloor() int32 {
 	minD := distInf
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) && e.dist[i] < minD {
+	for _, i := range e.bList {
+		if e.outCnt[i] > 0 && e.dist[i] < minD {
 			minD = e.dist[i]
 		}
 	}
@@ -283,8 +217,8 @@ func (e *thtEngine) solveBounds() {
 	floor := e.unvisitedFloor()
 	if floor != e.lastFloor {
 		e.lastFloor = floor
-		for i := int32(0); i < int32(e.size()); i++ {
-			if e.isBoundary(i) {
+		for _, i := range e.bList {
+			if e.outCnt[i] > 0 {
 				e.markAllLevels(i)
 			}
 		}
@@ -345,12 +279,15 @@ func (e *thtEngine) lb(i int32) float64 { return e.lbL[e.L][i] }
 func (e *thtEngine) ub(i int32) float64 { return e.ubL[e.L][i] }
 
 // pickExpansion returns up to batch boundary nodes with the smallest
-// ½(lb+ub) (closest-first for a lower-is-closer measure), best first. The
-// returned slice is engine scratch, valid until the next pick call.
+// ½(lb+ub) (closest-first for a lower-is-closer measure), best first, ties
+// toward the smaller global identifier. The returned slice is engine
+// scratch, valid until the next pick call. The scan walks the boundary list
+// in ascending local index — the same candidates in the same order as the
+// old full-S sweep, at O(|δS|) cost.
 func (e *thtEngine) pickExpansion(batch int) []int32 {
 	best := e.pickBuf[:0]
-	for i := int32(0); i < int32(e.size()); i++ {
-		if !e.isBoundary(i) {
+	for _, i := range e.bList {
+		if e.outCnt[i] <= 0 {
 			continue
 		}
 		key := (e.lb(i) + e.ub(i)) / 2
@@ -387,11 +324,12 @@ func (e *thtEngine) pickExpansion(batch int) []int32 {
 // best-first expansion chases small hitting-time values and can leave a
 // low-hop hub unexpanded forever, pinning D (and with it every far lower
 // bound); mixing in this hop-closure step is the THT analogue of GRANCH's
-// hop-by-hop schedule.
+// hop-by-hop schedule. Both passes walk the boundary list in ascending
+// local index, preserving the output order of the full scans they replace.
 func (e *thtEngine) pickFloorClosers() []int32 {
 	minD := distInf
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) && e.dist[i] < minD {
+	for _, i := range e.bList {
+		if e.outCnt[i] > 0 && e.dist[i] < minD {
 			minD = e.dist[i]
 		}
 	}
@@ -399,8 +337,8 @@ func (e *thtEngine) pickFloorClosers() []int32 {
 		return nil
 	}
 	out := e.floorBuf[:0]
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) && e.dist[i] == minD {
+	for _, i := range e.bList {
+		if e.outCnt[i] > 0 && e.dist[i] == minD {
 			out = append(out, i)
 		}
 	}
@@ -420,22 +358,6 @@ func (e *thtEngine) expand(u int32, added []graph.NodeID) []graph.NodeID {
 	return added
 }
 
-func (e *thtEngine) markSel(sel []scored) {
-	if cap(e.inSel) < e.size() {
-		e.inSel = make([]bool, e.size())
-	}
-	e.inSel = e.inSel[:cap(e.inSel)]
-	for _, c := range sel {
-		e.inSel[c.i] = true
-	}
-}
-
-func (e *thtEngine) clearSel(sel []scored) {
-	for _, c := range sel {
-		e.inSel[c.i] = false
-	}
-}
-
 // checkTermination mirrors Algorithm 6 for a lower-is-closer measure: pick
 // the k interior nodes with smallest upper bounds; they are the exact top-k
 // once max_K ub ≤ min over every other candidate of lb (the unvisited
@@ -445,37 +367,19 @@ func (e *thtEngine) clearSel(sel []scored) {
 // (tracing only): kth is the k-th candidate's upper bound, rest the best
 // outsider lower bound — the roles mirror the PHP engine because lower is
 // closer.
+//
+// The candidate selection walks the incremental interior list through a
+// k-bounded buffer ordered under the same total order the old full sort
+// used, so no O(|S| log |S|) re-sort happens; the outsider scan splits into
+// one pass over the interior list and one over the boundary list.
 func (e *thtEngine) checkTermination(dst []int32, k int, tieEps float64, gap *certGap) []int32 {
-	exhausted := true
-	interior := e.candBuf[:0]
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q {
-			continue
-		}
-		if e.isBoundary(i) {
-			exhausted = false
-			continue
-		}
-		interior = append(interior, scored{i, e.ub(i)})
-	}
-	e.candBuf = interior
-	if len(interior) < k && !exhausted {
+	exhausted := e.bLive == 0
+	nCand := len(e.iList)
+	if nCand < k && !exhausted {
 		return nil
 	}
-	slices.SortFunc(interior, func(a, b scored) int {
-		if a.key != b.key {
-			if a.key < b.key {
-				return -1
-			}
-			return 1
-		}
-		if e.nodes[a.i] < e.nodes[b.i] {
-			return -1
-		}
-		return 1
-	})
-	if k > len(interior) {
-		k = len(interior)
+	if k > nCand {
+		k = nCand // component smaller than k+1: return what exists
 	}
 	if k == 0 {
 		if dst != nil {
@@ -483,25 +387,33 @@ func (e *thtEngine) checkTermination(dst []int32, k int, tieEps float64, gap *ce
 		}
 		return []int32{}
 	}
-	sel := interior[:k]
-	e.markSel(sel)
-	maxK := 0.0
-	for _, c := range sel {
-		if c.key > maxK {
-			maxK = c.key
-		}
+	sel := e.candBuf[:0]
+	for _, i := range e.iList {
+		sel = e.offerAsc(sel, k, i, e.ub(i))
 	}
+	e.candBuf = sel
+	e.markSel(sel)
+	maxK := sel[len(sel)-1].key // buffer is sorted ascending
 	minRest := float64(e.L) + 1
-	restSeen := false
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.nodes[i] == e.q || e.inSel[i] {
+	for _, i := range e.iList {
+		if e.inSel[i] {
 			continue
 		}
-		restSeen = true
-		if e.lb(i) < minRest {
-			minRest = e.lb(i)
+		if lb := e.lb(i); lb < minRest {
+			minRest = lb
 		}
 	}
+	for _, i := range e.bList {
+		if e.outCnt[i] <= 0 || e.nodes[i] == e.q {
+			continue
+		}
+		if lb := e.lb(i); lb < minRest {
+			minRest = lb
+		}
+	}
+	// Every non-q node is either an interior candidate or a live boundary
+	// node, so an outsider exists iff the selection plus q don't cover S.
+	restSeen := e.size()-1-len(sel) > 0
 	e.clearSel(sel)
 	if gap != nil {
 		gap.valid = true
@@ -557,6 +469,9 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 			}
 		}
 		e.addedBuf = added
+		if postExpandHook != nil {
+			postExpandHook(e)
+		}
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
@@ -630,11 +545,14 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 // engine. Gap orientation mirrors the PHP engine's because lower is closer:
 // best outsider lower bound minus kth upper bound, non-negative (within
 // TieEps) exactly when certified. DummyValue is the horizon L, the value the
-// upper-bound dummy is pinned at.
+// upper-bound dummy is pinned at. The boundary/interior sizes come from the
+// substrate's O(1) counters — tracing no longer adds an O(|S|) sweep.
 func thtIterStats(e *thtEngine, t, batch, added int, certified bool, gap *certGap, expandNS, solveNS, certifyNS int64) IterStats {
 	s := IterStats{
 		Iteration:  t,
 		Visited:    e.size(),
+		Boundary:   e.boundaryCount(),
+		Interior:   e.interiorCount(),
 		Batch:      batch,
 		NewNodes:   added,
 		Certified:  certified,
@@ -642,13 +560,6 @@ func thtIterStats(e *thtEngine, t, batch, added int, certified bool, gap *certGa
 		ExpandNS:   expandNS,
 		SolveNS:    solveNS,
 		CertifyNS:  certifyNS,
-	}
-	for i := int32(0); i < int32(e.size()); i++ {
-		if e.isBoundary(i) {
-			s.Boundary++
-		} else if e.nodes[i] != e.q {
-			s.Interior++
-		}
 	}
 	if gap != nil && gap.valid {
 		s.GapValid = true

@@ -64,18 +64,8 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
 	}
-	topDeg := g.TopDegrees(4096)
-	wSbar := func() float64 {
-		for _, de := range topDeg {
-			if !e.local.has(de.Node) {
-				return de.Degree
-			}
-		}
-		if len(topDeg) > 0 {
-			return topDeg[0].Degree
-		}
-		return 0
-	}
+	// w(S̄) guard for the RWR family, cursor-based as in phpFamilyTopK.
+	wSbar := newWSbarGuard(g)
 
 	tracing := opt.Tracer != nil
 	var phaseAt time.Time
@@ -113,14 +103,16 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 			added = e.expand(u, added)
 		}
 		e.addedBuf = added
+		if postExpandHook != nil {
+			postExpandHook(e)
+		}
 		if tracing {
 			now := time.Now()
 			expandNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
 		}
 
 		e.refreshTightening()
-		e.solveLower()
-		e.solveUpper()
+		e.solveBounds()
 		if tracing {
 			now := time.Now()
 			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
@@ -143,7 +135,7 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 			if tracing {
 				gapRWR = &certGap{}
 			}
-			guard := wSbar()
+			guard := wSbar.value(&e.localSearch)
 			e.degreeProbes++
 			selRWR = e.checkTermination(e.selOut2, opt.K, true, guard, opt.TieEps, gapRWR)
 			if selRWR != nil {
@@ -197,13 +189,13 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 			for _, i := range selPHP {
 				out.PHPFamily = append(out.PHPFamily, measure.Ranked{
 					Node:  e.nodes[i],
-					Score: (e.lb[i] + e.ub[i]) / 2,
+					Score: (e.lbAt(i) + e.ubAt(i)) / 2,
 				})
 			}
 			for _, i := range selRWR {
 				out.RWR = append(out.RWR, measure.Ranked{
 					Node:  e.nodes[i],
-					Score: e.deg[i] * (e.lb[i] + e.ub[i]) / 2,
+					Score: e.deg[i] * (e.lbAt(i) + e.ubAt(i)) / 2,
 				})
 			}
 			return out, nil
