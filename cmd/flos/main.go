@@ -4,9 +4,15 @@
 //
 //	flos -graph web.txt -q 42 -k 10 -measure rwr
 //	flos -store big.flos -cache 128 -q 42 -k 20 -measure php
+//	flos -replay slow.json [-replay-id req-7]
 //
 // Graph inputs: a SNAP-style text edge list (-graph), the binary CSR format
 // (-bin), or a disk store produced by flosgen/CreateDiskGraph (-store).
+//
+// -replay renders a flight-recorder dump (saved from a flosd instance's
+// /debug/flos/slow or /debug/flos/flightrec endpoint) as the convergence
+// table a live -trace run prints — offline slow-query analysis without the
+// graph the query ran against.
 package main
 
 import (
@@ -35,8 +41,17 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the per-iteration convergence table")
 		unified   = flag.Bool("unified", false, "answer both PHP-family and RWR rankings in one search")
 		certify   = flag.Bool("certify", false, "audit the result against a full global-iteration solve")
+		replay    = flag.String("replay", "", "replay a flight-recorder dump file (JSON from /debug/flos/slow) instead of querying")
+		replayID  = flag.String("replay-id", "", "with -replay: render only the record with this request ID")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := replayDump(*replay, *replayID); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	kind, err := parseMeasure(*meas)
 	if err != nil {

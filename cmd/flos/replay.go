@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"flos/internal/obs"
+)
+
+// replayDump renders a flight-recorder dump — the JSON body of
+// /debug/flos/slow or /debug/flos/flightrec, a bare record array, or a
+// single record — as the same convergence tables a live `-trace` query
+// prints, so a slow query captured in production can be studied offline
+// without the graph.
+func replayDump(path, id string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	records, err := decodeFlightDump(raw)
+	if err != nil {
+		return err
+	}
+	if id != "" {
+		kept := records[:0]
+		for _, rec := range records {
+			if rec.ID == id {
+				kept = append(kept, rec)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no record with id %q in %s", id, path)
+		}
+		records = kept
+	}
+	for i, rec := range records {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderRecord(rec)
+	}
+	return nil
+}
+
+// decodeFlightDump accepts the three shapes a dump file can take.
+func decodeFlightDump(raw []byte) ([]*obs.FlightRecord, error) {
+	var dump struct {
+		Records []*obs.FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &dump); err == nil && len(dump.Records) > 0 {
+		return dump.Records, nil
+	}
+	var list []*obs.FlightRecord
+	if err := json.Unmarshal(raw, &list); err == nil && len(list) > 0 {
+		return list, nil
+	}
+	var one obs.FlightRecord
+	if err := json.Unmarshal(raw, &one); err == nil && one.ID != "" {
+		return []*obs.FlightRecord{&one}, nil
+	}
+	return nil, fmt.Errorf("no flight records found (expected the JSON body of /debug/flos/slow or /debug/flos/flightrec)")
+}
+
+func renderRecord(rec *obs.FlightRecord) {
+	kind := "topk"
+	if rec.Unified {
+		kind = "unified"
+	}
+	slow := ""
+	if rec.Slow {
+		slow = " [slow]"
+	}
+	fmt.Printf("record %s  %s%s\n", rec.ID, rec.Start.Format(time.RFC3339), slow)
+	fmt.Printf("%s query %d, measure %s, k=%d, outcome %s: %s, visited %d nodes, %d iterations, %d sweeps, exact=%v\n",
+		kind, rec.Query, rec.Measure, rec.K, rec.Outcome,
+		time.Duration(rec.LatencyUS)*time.Microsecond,
+		rec.Visited, rec.Iterations, rec.Sweeps, rec.Exact)
+	if len(rec.Trace) == 0 {
+		fmt.Println("(no trajectory recorded)")
+		return
+	}
+	if rec.TraceTotal > len(rec.Trace) {
+		fmt.Printf("(trajectory down-sampled: %d of %d iterations retained)\n",
+			len(rec.Trace), rec.TraceTotal)
+	}
+	printTrace(rec.Trace)
+}

@@ -13,6 +13,7 @@
 //	flosbench -fig all          # everything
 //	flosbench -datasets         # Table 4/6/7 dataset statistics
 //	flosbench -serving          # concurrent disk-resident serving throughput
+//	flosbench -recorder         # flight-recorder on/off latency overhead
 //
 // Scales default to laptop-bench sizes; pass -scale 1 -synthscale 1
 // -diskscale 1 -queries 1000 to run the paper's full configuration.
@@ -34,6 +35,8 @@ func main() {
 		datasets   = flag.Bool("datasets", false, "print dataset statistics tables")
 		serving    = flag.Bool("serving", false, "benchmark concurrent vs serialized disk-resident query serving")
 		batch      = flag.Bool("batch", false, "benchmark the session API: cold TopK vs warm Querier vs Batch (allocs/query)")
+		recorder   = flag.Bool("recorder", false, "benchmark query latency with the flight recorder + SLO tracking on vs off")
+		benchJSON  = flag.String("json", "", "with -recorder: also write the machine-readable result (BENCH_5.json) to this file")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -100,6 +103,12 @@ func main() {
 	}
 	if *batch {
 		if err := batchBench(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *recorder {
+		if err := recorderBench(out, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+	"flos/internal/obs"
+	"flos/internal/qserve"
+)
+
+// recorderBench measures the diagnostics plane's hot-path cost: the same
+// single-worker PHP top-20 workload served by a pool with the flight
+// recorder, histogram exemplars, and SLO tracking on versus off. The design
+// is paired: each query node is timed back-to-back on both pools (order
+// alternating per round), and the headline number is the median of the
+// per-pair overhead ratios — pairing cancels the workload's heavy-tailed
+// per-node cost variance, which would otherwise swamp a percent-level
+// effect in unpaired medians. The result cache is disabled so every query
+// pays the full execution (and thus recording) path.
+func recorderBench(out io.Writer, jsonPath string) error {
+	const (
+		nodes   = 50000
+		edges   = 250000
+		queries = 400
+		rounds  = 5
+	)
+	g, err := gen.Community(nodes, edges, gen.CommunityParamsForDensity(2*float64(edges)/float64(nodes)), 1)
+	if err != nil {
+		return err
+	}
+	workload := make([]graph.NodeID, queries)
+	for i := range workload {
+		workload[i] = graph.NodeID((i * 7919) % nodes)
+	}
+	opt := core.DefaultOptions(measure.PHP, 20)
+	ctx := context.Background()
+
+	newPool := func(diag bool) *qserve.Pool {
+		cfg := qserve.Config{Workers: 1, CacheEntries: -1}
+		if diag {
+			cfg.Recorder = obs.NewFlightRecorder(obs.RecorderConfig{})
+			cfg.SLO = obs.NewSLOTracker(obs.SLOConfig{})
+		}
+		return qserve.New(g, cfg)
+	}
+	offPool, onPool := newPool(false), newPool(true)
+	defer offPool.Close()
+	defer onPool.Close()
+
+	timeOne := func(p *qserve.Pool, q graph.NodeID) (time.Duration, error) {
+		start := time.Now()
+		if _, err := p.Do(ctx, qserve.Request{Query: q, Opt: opt}); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both pools (workspace slices, graph views) outside the timing.
+	for _, q := range workload {
+		if _, err := timeOne(offPool, q); err != nil {
+			return err
+		}
+		if _, err := timeOne(onPool, q); err != nil {
+			return err
+		}
+	}
+
+	var offLat, onLat []time.Duration
+	var ratios []float64
+	for r := 0; r < rounds; r++ {
+		for _, q := range workload {
+			first, second := offPool, onPool
+			if r%2 == 1 { // alternate order: neither side always runs cache-cold
+				first, second = second, first
+			}
+			d1, err := timeOne(first, q)
+			if err != nil {
+				return err
+			}
+			d2, err := timeOne(second, q)
+			if err != nil {
+				return err
+			}
+			off, on := d1, d2
+			if r%2 == 1 {
+				off, on = d2, d1
+			}
+			offLat = append(offLat, off)
+			onLat = append(onLat, on)
+			ratios = append(ratios, float64(on)/float64(off)-1)
+		}
+	}
+
+	stats := func(ds []time.Duration) (p50, mean float64) {
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return float64(sorted[len(sorted)/2].Microseconds()),
+			float64(sum.Microseconds()) / float64(len(sorted))
+	}
+	offP50, offMean := stats(offLat)
+	onP50, onMean := stats(onLat)
+	sort.Float64s(ratios)
+	medianOverhead := 100 * ratios[len(ratios)/2]
+	meanOverhead := 100 * (onMean - offMean) / offMean
+
+	fmt.Fprintf(out, "flight-recorder overhead: PHP k=20, %d-node community graph, %d paired queries x %d rounds, 1 worker, cache off\n",
+		nodes, queries, rounds)
+	fmt.Fprintf(out, "%-14s %10s %10s\n", "", "p50-us", "mean-us")
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "recorder off", offP50, offMean)
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "recorder on", onP50, onMean)
+	fmt.Fprintf(out, "paired median overhead %+.2f%%, mean %+.2f%%   (target: <= 2%% median)\n",
+		medianOverhead, meanOverhead)
+
+	if rec := onPool.Metrics(); rec.OK != int64((rounds+1)*queries) {
+		return fmt.Errorf("recorder-on pool executed %d queries, want %d", rec.OK, (rounds+1)*queries)
+	}
+
+	if jsonPath != "" {
+		body := map[string]any{
+			"bench":               "flight-recorder-overhead",
+			"nodes":               nodes,
+			"edges":               edges,
+			"queries_per_round":   queries,
+			"rounds":              rounds,
+			"off_p50_us":          offP50,
+			"on_p50_us":           onP50,
+			"off_mean_us":         offMean,
+			"on_mean_us":          onMean,
+			"median_overhead_pct": medianOverhead,
+			"mean_overhead_pct":   meanOverhead,
+			"target_pct":          2.0,
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

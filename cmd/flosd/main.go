@@ -19,6 +19,17 @@
 // result-cache capacity, and -timeout the per-query deadline. Disk-resident
 // stores are served concurrently through the lock-striped page cache.
 //
+// The diagnostics plane is on by default: a flight recorder keeps the last
+// -flightrec completed queries (outcome, latency, work counters, and a
+// down-sampled convergence trajectory) and promotes queries over
+// -slow-latency (or visiting more than -slow-visited nodes) into a retained
+// slow-query log at /debug/flos/slow — dump that to a file and replay it
+// offline with `flos -replay`. /debug/flos/slo reports rolling 5m/1h
+// availability and latency burn rates against -slo-availability /
+// -slo-latency-objective. -profile-dir enables continuous profiling:
+// periodic CPU/heap pprof captures with bounded rotation, tagged -slow when
+// the capture window overlapped a slow query.
+//
 // Logs are structured (log/slog, text to stderr): one access record per
 // request with its ID, status, and latency, plus per-query debug records at
 // -log-level debug. -pprof exposes net/http/pprof on a separate listener so
@@ -53,6 +64,18 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms or 2s (0 = none)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
+
+		flightRec   = flag.Int("flightrec", 256, "flight-recorder ring size (0 disables the diagnostics plane)")
+		slowLatency = flag.Duration("slow-latency", 250*time.Millisecond, "promote queries over this latency into the slow-query log (negative disables)")
+		slowVisited = flag.Int("slow-visited", 0, "promote queries visiting more than this many nodes (0 disables)")
+		slowKeep    = flag.Int("slow-keep", 64, "retained slow-query log entries")
+		sloLatency  = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO threshold")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability objective (fraction of non-canceled queries that must succeed)")
+		sloLatObj   = flag.Float64("slo-latency-objective", 0.99, "latency objective (fraction of successes under -slo-latency)")
+
+		profileDir      = flag.String("profile-dir", "", "directory for continuous CPU/heap profiles; empty disables")
+		profileInterval = flag.Duration("profile-interval", time.Minute, "continuous-profiling capture interval")
+		profileKeep     = flag.Int("profile-keep", 10, "profiles retained per kind before rotation")
 	)
 	flag.Parse()
 
@@ -101,6 +124,45 @@ func main() {
 		}()
 	}
 
+	// Diagnostics plane: flight recorder + SLO tracker, shared between the
+	// serving pool (which records into them) and the HTTP layer (which
+	// serves /debug/flos/* and the flos_slo_* gauges from them).
+	var rec *obs.FlightRecorder
+	var slo *obs.SLOTracker
+	if *flightRec > 0 {
+		rec = obs.NewFlightRecorder(obs.RecorderConfig{
+			Size:        *flightRec,
+			SlowLatency: *slowLatency,
+			SlowVisited: *slowVisited,
+			SlowKeep:    *slowKeep,
+		})
+		slo = obs.NewSLOTracker(obs.SLOConfig{
+			AvailabilityObjective: *sloAvail,
+			LatencyObjective:      *sloLatObj,
+			LatencyThreshold:      *sloLatency,
+		})
+	}
+	if *profileDir != "" {
+		pcfg := obs.ProfilerConfig{
+			Dir:      *profileDir,
+			Interval: *profileInterval,
+			Keep:     *profileKeep,
+			Logger:   logger,
+		}
+		if rec != nil {
+			// Tag profile windows that overlapped a slow query, so the
+			// capture to pull for a latency regression is obvious.
+			pcfg.SlowSince = rec.SlowSince
+		}
+		prof, err := obs.StartProfiler(pcfg)
+		if err != nil {
+			fatal(logger, "start continuous profiler", err)
+		}
+		defer prof.Stop()
+		logger.Info("continuous profiling",
+			"dir", *profileDir, "interval", *profileInterval, "keep", *profileKeep)
+	}
+
 	srv := server.New(g, server.Config{
 		MaxK:         *maxK,
 		MaxBatch:     *maxBatch,
@@ -109,6 +171,8 @@ func main() {
 		CacheEntries: *cache,
 		Timeout:      *timeout,
 		Logger:       logger,
+		Recorder:     rec,
+		SLO:          slo,
 	})
 	defer srv.Close()
 	m := srv.Pool().Metrics()

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// TestBatchTracersPerSlot is the tracer/batch interaction contract: with
+// per-slot tracers set on some slots of a work-stolen Batch, trajectories
+// are emitted only into those slots' collectors, each collector sees
+// exactly its own query's trajectory (identical to a solo traced run), and
+// no collector state is shared across workers. Run under -race this is also
+// the data-race test: a per-slot TraceCollector is plain unsynchronized
+// state, so any cross-worker sharing trips the detector.
+func TestBatchTracersPerSlot(t *testing.T) {
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(measure.PHP, 5)
+	qr, err := NewQuerier(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr.Parallelism = 4
+
+	const n = 64
+	queries := make([]graph.NodeID, n)
+	tracers := make([]Tracer, n)
+	collectors := make(map[int]*TraceCollector)
+	for i := range queries {
+		queries[i] = graph.NodeID((i * 131) % g.NumNodes())
+		if i%3 == 0 { // tracer on every third slot only
+			tc := &TraceCollector{}
+			collectors[i] = tc
+			tracers[i] = tc
+		}
+	}
+
+	items := qr.BatchTracers(context.Background(), queries, tracers)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("slot %d: %v", i, it.Err)
+		}
+	}
+
+	for i, tc := range collectors {
+		if len(tc.Iters) == 0 {
+			t.Fatalf("traced slot %d emitted no trajectory", i)
+		}
+		if got := tc.Iters[len(tc.Iters)-1]; !got.Certified {
+			t.Errorf("slot %d final iteration not certified: %+v", i, got)
+		}
+		// The collector saw exactly its own query's trajectory: same length
+		// and final visited count as a solo traced run.
+		solo := &TraceCollector{}
+		soloOpt := opt
+		soloOpt.Tracer = solo
+		res, err := TopK(g, queries[i], soloOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tc.Iters) != len(solo.Iters) {
+			t.Errorf("slot %d trajectory length %d, solo run %d — collector state leaked across slots",
+				i, len(tc.Iters), len(solo.Iters))
+		}
+		if last := tc.Iters[len(tc.Iters)-1]; last.Visited != res.Visited {
+			t.Errorf("slot %d final visited %d, solo run %d", i, last.Visited, res.Visited)
+		}
+		if items[i].Result.Visited != res.Visited {
+			t.Errorf("slot %d batch result visited %d, solo %d", i, items[i].Result.Visited, res.Visited)
+		}
+	}
+
+	// Untraced slots must not have fed any collector: total iterations
+	// across collectors equals the sum over traced queries alone.
+	for i := range queries {
+		if _, traced := collectors[i]; traced {
+			continue
+		}
+		if items[i].Result.Iterations == 0 {
+			t.Errorf("untraced slot %d reports zero iterations", i)
+		}
+	}
+
+	// Session-wide tracer still applies to slots without an override.
+	shared := &TraceCollector{}
+	sharedOpt := opt
+	sharedOpt.Tracer = shared
+	qr2, err := NewQuerier(g, sharedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr2.Parallelism = 1 // serialized: the shared collector is then safe
+	slotTC := &TraceCollector{}
+	items2 := qr2.BatchTracers(context.Background(), queries[:4], []Tracer{nil, slotTC})
+	for i, it := range items2 {
+		if it.Err != nil {
+			t.Fatalf("slot %d: %v", i, it.Err)
+		}
+	}
+	if len(slotTC.Iters) == 0 {
+		t.Error("override slot emitted no trajectory")
+	}
+	wantShared := items2[0].Result.Iterations + items2[2].Result.Iterations + items2[3].Result.Iterations
+	if len(shared.Iters) != wantShared {
+		t.Errorf("session tracer saw %d iterations, want %d (slots 0,2,3 only — override slot must not leak in)",
+			len(shared.Iters), wantShared)
+	}
+}

@@ -111,6 +111,18 @@ type BatchItem struct {
 // promptly, and every unfinished slot gets an *Interrupted error — the call
 // itself always returns, it never hangs.
 func (qr *Querier) Batch(ctx context.Context, queries []graph.NodeID) []BatchItem {
+	return qr.BatchTracers(ctx, queries, nil)
+}
+
+// BatchTracers is Batch with per-slot tracer overrides: tracers[i], when
+// non-nil, observes query i's iterations in place of the session-wide
+// Options.Tracer — the way to trace individual queries of a concurrent
+// batch without the collectors interleaving. tracers may be nil (no
+// overrides) or shorter than queries (missing slots fall back to the
+// session tracer). A slot's tracer is driven only by the worker executing
+// that slot, never shared across the work-stealing workers, so a plain
+// TraceCollector per slot is race-free.
+func (qr *Querier) BatchTracers(ctx context.Context, queries []graph.NodeID, tracers []Tracer) []BatchItem {
 	out := make([]BatchItem, len(queries))
 	for i, q := range queries {
 		out[i].Query = q
@@ -143,7 +155,11 @@ func (qr *Querier) Batch(ctx context.Context, queries []graph.NodeID) []BatchIte
 					out[i].Err = interrupted(err, 0, 0, 0)
 					continue
 				}
-				out[i].Result, out[i].Err = qr.runOne(ctx, ws, queries[i])
+				opt := qr.opt
+				if i < len(tracers) && tracers[i] != nil {
+					opt.Tracer = tracers[i]
+				}
+				out[i].Result, out[i].Err = qr.runOne(ctx, ws, queries[i], opt)
 			}
 		}()
 	}
@@ -151,12 +167,12 @@ func (qr *Querier) Batch(ctx context.Context, queries []graph.NodeID) []BatchIte
 	return out
 }
 
-func (qr *Querier) runOne(ctx context.Context, w *querierWS, q graph.NodeID) (*Result, error) {
+func (qr *Querier) runOne(ctx context.Context, w *querierWS, q graph.NodeID, opt Options) (*Result, error) {
 	if !qr.viewer {
 		qr.mu.Lock()
 		defer qr.mu.Unlock()
 	}
-	return topKIn(ctx, w.g, q, qr.opt, w.ws)
+	return topKIn(ctx, w.g, q, opt, w.ws)
 }
 
 // TopKBatch answers a one-off batch of queries sharing one option set: it

@@ -1,9 +1,13 @@
 // Package obs holds the observability primitives shared by the serving
-// stack: a lock-free log-bucketed latency histogram, a Prometheus
-// text-exposition writer, request-ID generation, and log-level parsing.
+// stack: a lock-free log-bucketed latency histogram with per-bucket
+// exemplars, a Prometheus text-exposition writer, request-ID generation,
+// log-level parsing, and the production diagnostics plane — a query flight
+// recorder with a slow-query log, a multi-window SLO burn-rate tracker, and
+// a continuous pprof profiler.
 //
-// Everything here is dependency-free by design — the module serves metrics
-// in the Prometheus text format without importing a client library.
+// Nothing here imports a metrics client library: the package serves the
+// Prometheus text format with its own writer, so the serving stack has no
+// external observability dependencies.
 package obs
 
 import (
@@ -21,25 +25,50 @@ const numBuckets = 28
 // bucketBound returns the inclusive upper bound of bucket i in microseconds.
 func bucketBound(i int) int64 { return 1 << uint(i) }
 
+// Exemplar ties a histogram bucket back to one concrete request: the ID and
+// exact latency of the bucket's most recent sample. Joining a tail bucket's
+// exemplar against the flight recorder or slow-query log turns "the p99 is
+// high" into "this query made the p99 high".
+type Exemplar struct {
+	// ID is the request ID of the sample (empty when the bucket has never
+	// seen an exemplar-carrying observation).
+	ID string `json:"id"`
+	// LatencyUS is that sample's exact latency in microseconds.
+	LatencyUS int64 `json:"latency_us"`
+}
+
 // Histogram is a fixed-shape, log-bucketed latency histogram safe for
 // concurrent Observe and Snapshot: counts are independent atomics, so a
 // snapshot is per-bucket consistent (each bucket value is exact at some
-// instant) without any lock on the hot path.
+// instant) without any lock on the hot path. Each bucket additionally
+// remembers its most recent exemplar (one atomic pointer store when the
+// observation carries a request ID).
 type Histogram struct {
 	buckets [numBuckets]atomic.Int64
 	count   atomic.Int64
 	sumUS   atomic.Int64
+
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
 }
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
+// Observe records one duration without an exemplar.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveExemplar(d, "") }
+
+// ObserveExemplar records one duration and, when id is non-empty, installs
+// it as the bucket's exemplar (last writer wins — "most recent sample" is
+// best-effort under concurrency, which is all an exemplar needs to be).
+func (h *Histogram) ObserveExemplar(d time.Duration, id string) {
 	us := d.Microseconds()
 	if us < 0 {
 		us = 0
 	}
-	h.buckets[bucketIndex(us)].Add(1)
+	i := bucketIndex(us)
+	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumUS.Add(us)
+	if id != "" {
+		h.exemplars[i].Store(&Exemplar{ID: id, LatencyUS: us})
+	}
 }
 
 // bucketIndex returns the bucket holding an observation of us microseconds:
@@ -61,13 +90,17 @@ type Snapshot struct {
 	// Count and SumUS are the total observation count and latency sum.
 	Count int64
 	SumUS int64
+	// Exemplars[i] is bucket i's most recent exemplar, nil when the bucket
+	// has never seen one.
+	Exemplars [numBuckets]*Exemplar
 }
 
-// Snapshot copies the current bucket counts.
+// Snapshot copies the current bucket counts and exemplars.
 func (h *Histogram) Snapshot() Snapshot {
 	var s Snapshot
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	s.Count = h.count.Load()
 	s.SumUS = h.sumUS.Load()
@@ -92,10 +125,14 @@ func BucketBoundsUS() []int64 {
 // at rank ceil(p·(n−1))+1. Rounding the rank index up and reporting the
 // bucket's upper edge biases tail quantiles high, never low — the safe
 // direction for alerting (the old sort-based estimator truncated the index
-// to int(p·(n−1)), which under-reported p99 on small windows). Returns 0
-// when the histogram is empty.
+// to int(p·(n−1)), which under-reported p99 on small windows).
+//
+// The extremes are pinned rather than estimated: an empty histogram (and a
+// NaN p) reports 0, and p = 0 reports the minimum nonempty bucket's *lower*
+// bound — the round-up rule would overstate the observed minimum, the one
+// quantile where biasing high is the unsafe direction.
 func (s Snapshot) QuantileUS(p float64) int64 {
-	if s.Count == 0 {
+	if s.Count == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p < 0 {
@@ -103,6 +140,17 @@ func (s Snapshot) QuantileUS(p float64) int64 {
 	}
 	if p > 1 {
 		p = 1
+	}
+	if p == 0 {
+		for i, c := range s.Counts {
+			if c > 0 {
+				if i == 0 {
+					return 0
+				}
+				return bucketBound(i - 1)
+			}
+		}
+		return 0 // unreachable: Count > 0 implies a nonempty bucket
 	}
 	rank := int64(math.Ceil(p*float64(s.Count-1))) + 1
 	var cum int64

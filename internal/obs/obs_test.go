@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -127,6 +128,80 @@ func TestPromWriterFormat(t *testing.T) {
 			t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
 		}
 		prev = v
+	}
+}
+
+// TestQuantileExtremes pins the estimator's edge behavior: an empty
+// histogram (and a NaN p) reports 0, and p = 0 reports the minimum nonempty
+// bucket's lower bound — the one quantile where the round-up rule's
+// bias-high direction is unsafe.
+func TestQuantileExtremes(t *testing.T) {
+	var empty Histogram
+	for _, p := range []float64{0, 0.5, 0.99, 1, math.NaN(), -1, 2} {
+		if got := empty.Snapshot().QuantileUS(p); got != 0 {
+			t.Errorf("empty QuantileUS(%v) = %d, want 0", p, got)
+		}
+	}
+
+	cases := []struct {
+		name    string
+		observe []time.Duration
+		p       float64
+		want    int64
+	}{
+		// All mass in bucket 10 ((512,1024]us): the minimum is that
+		// bucket's lower bound, not its upper bound.
+		{"p0 lower bound", []time.Duration{800 * time.Microsecond, 900 * time.Microsecond}, 0, 512},
+		// Mass in bucket 0: the lower bound of the first bucket is 0.
+		{"p0 bucket zero", []time.Duration{time.Microsecond}, 0, 0},
+		// Minimum is taken over the lowest nonempty bucket even when the
+		// mass is mostly elsewhere.
+		{"p0 mixed", []time.Duration{3 * time.Microsecond, time.Second, time.Second}, 0, 2},
+		// p=1 still reports the top bucket's upper bound (round-up rule).
+		{"p1 upper bound", []time.Duration{3 * time.Microsecond, 800 * time.Microsecond}, 1, 1024},
+		// Out-of-range p clamps.
+		{"p<0 clamps to min", []time.Duration{800 * time.Microsecond}, -3, 512},
+		{"p>1 clamps to max", []time.Duration{800 * time.Microsecond}, 7, 1024},
+		// NaN on a populated histogram reports 0 rather than garbage.
+		{"NaN", []time.Duration{800 * time.Microsecond}, math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		for _, d := range tc.observe {
+			h.Observe(d)
+		}
+		if got := h.Snapshot().QuantileUS(tc.p); got != tc.want {
+			t.Errorf("%s: QuantileUS(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramExemplars verifies each bucket remembers the request ID of
+// its most recent sample and that plain Observe never clobbers one.
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(3*time.Microsecond, "req-a")     // bucket 2
+	h.ObserveExemplar(800*time.Microsecond, "req-b")   // bucket 10
+	h.ObserveExemplar(900*time.Microsecond, "req-c")   // bucket 10 again: replaces
+	h.Observe(600 * time.Microsecond)                  // bucket 10, no ID: keeps req-c
+	h.ObserveExemplar(50*time.Millisecond, "req-slow") // tail bucket
+	s := h.Snapshot()
+
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5 (exemplar observations must still count)", s.Count)
+	}
+	byBucket := map[int]string{2: "req-a", 10: "req-c", 16: "req-slow"}
+	for i, ex := range s.Exemplars {
+		want, expect := byBucket[i]
+		switch {
+		case expect && (ex == nil || ex.ID != want):
+			t.Errorf("bucket %d exemplar = %v, want %q", i, ex, want)
+		case !expect && ex != nil:
+			t.Errorf("bucket %d has unexpected exemplar %v", i, ex)
+		}
+	}
+	if ex := s.Exemplars[10]; ex != nil && ex.LatencyUS != 900 {
+		t.Errorf("bucket 10 exemplar latency = %d, want 900", ex.LatencyUS)
 	}
 }
 

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig tunes a continuous Profiler.
+type ProfilerConfig struct {
+	// Dir is where profiles are written (created if missing). Required.
+	Dir string
+	// Interval is the capture cadence; 0 selects 60s.
+	Interval time.Duration
+	// CPUDuration is how long each CPU capture runs; 0 selects 10s, and it
+	// is clamped to Interval/2 so captures never overlap.
+	CPUDuration time.Duration
+	// Keep bounds the retained files per profile kind; 0 selects 10.
+	Keep int
+	// SlowSince, when non-nil, reports whether a slow query completed at or
+	// after the given time — capture windows that overlap one are tagged
+	// with a "-slow" filename suffix so the offending profile is findable
+	// without timestamps arithmetic. Wire it to FlightRecorder.SlowSince.
+	SlowSince func(time.Time) bool
+	// Logger receives capture/rotation records; nil keeps the profiler
+	// silent.
+	Logger *slog.Logger
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 60 * time.Second
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 10 * time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.Keep <= 0 {
+		c.Keep = 10
+	}
+	return c
+}
+
+// Profiler periodically captures CPU and heap pprof profiles into a
+// directory with retention-bounded rotation — continuous profiling without
+// an agent: when a p99 incident shows up in the slow-query log, the
+// overlapping (and "-slow"-tagged) profile is already on disk.
+type Profiler struct {
+	cfg  ProfilerConfig
+	done chan struct{}
+	wg   sync.WaitGroup
+	stop sync.Once
+}
+
+// StartProfiler validates cfg, creates the directory, and starts the
+// capture goroutine. Call Stop to end it.
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profiler needs a directory")
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profiler dir: %w", err)
+	}
+	p := &Profiler{cfg: cfg, done: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// Stop ends the capture loop and waits for an in-flight capture to finish.
+func (p *Profiler) Stop() {
+	p.stop.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+func (p *Profiler) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	// First capture immediately: a crash loop shorter than Interval should
+	// still leave profiles behind.
+	p.capture()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-tick.C:
+			p.capture()
+		}
+	}
+}
+
+// capture runs one CPU window and one heap snapshot, tags the files if a
+// slow query overlapped the window, and rotates old files out.
+func (p *Profiler) capture() {
+	start := time.Now()
+	stamp := start.UTC().Format("20060102T150405.000")
+
+	cpuPath := filepath.Join(p.cfg.Dir, "cpu-"+stamp+".pprof")
+	cpuOK := p.captureCPU(cpuPath)
+
+	heapPath := filepath.Join(p.cfg.Dir, "heap-"+stamp+".pprof")
+	heapOK := p.captureHeap(heapPath)
+
+	if p.cfg.SlowSince != nil && p.cfg.SlowSince(start) {
+		if cpuOK {
+			cpuPath = tagSlow(cpuPath)
+		}
+		if heapOK {
+			heapPath = tagSlow(heapPath)
+		}
+		p.logInfo("profile window overlaps slow query", "cpu", cpuPath, "heap", heapPath)
+	}
+	p.rotate("cpu-")
+	p.rotate("heap-")
+}
+
+func (p *Profiler) captureCPU(path string) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		p.logWarn("cpu profile create failed", "err", err)
+		return false
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running (e.g. an operator hit the pprof
+		// HTTP endpoint); skip this window rather than fight over it.
+		p.logWarn("cpu profile start failed", "err", err)
+		os.Remove(path)
+		return false
+	}
+	select {
+	case <-time.After(p.cfg.CPUDuration):
+	case <-p.done:
+	}
+	pprof.StopCPUProfile()
+	return true
+}
+
+func (p *Profiler) captureHeap(path string) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		p.logWarn("heap profile create failed", "err", err)
+		return false
+	}
+	defer f.Close()
+	runtime.GC() // settle the live heap so snapshots are comparable
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		p.logWarn("heap profile write failed", "err", err)
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// tagSlow renames base.pprof to base-slow.pprof, returning the final path.
+func tagSlow(path string) string {
+	tagged := strings.TrimSuffix(path, ".pprof") + "-slow.pprof"
+	if err := os.Rename(path, tagged); err != nil {
+		return path
+	}
+	return tagged
+}
+
+// rotate deletes the oldest files of one kind beyond the retention bound.
+// Timestamped names sort chronologically, so lexical order is age order.
+func (p *Profiler) rotate(prefix string) {
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		p.logWarn("profile rotation scan failed", "err", err)
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) && strings.HasSuffix(e.Name(), ".pprof") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= p.cfg.Keep {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names[:len(names)-p.cfg.Keep] {
+		if err := os.Remove(filepath.Join(p.cfg.Dir, name)); err != nil {
+			p.logWarn("profile rotation remove failed", "file", name, "err", err)
+		}
+	}
+}
+
+func (p *Profiler) logInfo(msg string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (p *Profiler) logWarn(msg string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Warn(msg, args...)
+	}
+}

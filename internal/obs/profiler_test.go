@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func listProfiles(t *testing.T, dir, prefix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestProfilerCapturesAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfilerConfig{
+		Dir:         dir,
+		Interval:    50 * time.Millisecond,
+		CPUDuration: 10 * time.Millisecond,
+		Keep:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let several capture cycles run so rotation has something to delete.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(listProfiles(t, dir, "cpu-")) > 0 && len(listProfiles(t, dir, "heap-")) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	p.Stop()
+
+	cpus := listProfiles(t, dir, "cpu-")
+	heaps := listProfiles(t, dir, "heap-")
+	if len(cpus) == 0 || len(heaps) == 0 {
+		t.Fatalf("no profiles captured: cpu=%v heap=%v", cpus, heaps)
+	}
+	if len(cpus) > 2 || len(heaps) > 2 {
+		t.Fatalf("rotation exceeded Keep=2: cpu=%v heap=%v", cpus, heaps)
+	}
+	// Profiles are non-empty files.
+	for _, name := range append(cpus, heaps...) {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+func TestProfilerTagsSlowWindows(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfilerConfig{
+		Dir:         dir,
+		Interval:    40 * time.Millisecond,
+		CPUDuration: 5 * time.Millisecond,
+		Keep:        50,
+		SlowSince:   func(time.Time) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(listProfiles(t, dir, "heap-")) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p.Stop()
+
+	var tagged bool
+	for _, name := range listProfiles(t, dir, "heap-") {
+		if strings.Contains(name, "-slow.pprof") {
+			tagged = true
+		}
+	}
+	if !tagged {
+		t.Fatalf("no heap profile tagged -slow: %v", listProfiles(t, dir, "heap-"))
+	}
+}
+
+func TestProfilerRequiresDir(t *testing.T) {
+	if _, err := StartProfiler(ProfilerConfig{}); err == nil {
+		t.Fatal("StartProfiler without Dir succeeded")
+	}
+}

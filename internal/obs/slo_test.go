@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a SLOTracker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(cfg SLOConfig) (*SLOTracker, *fakeClock) {
+	tr := NewSLOTracker(cfg)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func window(t *testing.T, s SLOSnapshot, name string) SLOWindow {
+	t.Helper()
+	for _, w := range s.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("no %q window in %+v", name, s)
+	return SLOWindow{}
+}
+
+func TestSLOTrackerIdleIsCompliant(t *testing.T) {
+	tr, _ := newTestTracker(SLOConfig{})
+	s := tr.Snapshot()
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(s.Windows))
+	}
+	for _, w := range s.Windows {
+		if w.Availability != 1 || w.AvailabilityBurnRate != 0 || w.LatencyCompliance != 1 || w.LatencyBurnRate != 0 {
+			t.Errorf("idle window %s not fully compliant: %+v", w.Window, w)
+		}
+	}
+	if s.AvailabilityObjective != 0.999 || s.LatencyObjective != 0.99 || s.LatencyThresholdUS != 100_000 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}
+
+func TestSLOTrackerBurnRates(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{
+		AvailabilityObjective: 0.99, // error budget 1%
+		LatencyObjective:      0.90, // latency budget 10%
+		LatencyThreshold:      50 * time.Millisecond,
+	})
+	// 100 events: 2 errors, 98 ok of which 49 over the latency threshold.
+	for i := 0; i < 2; i++ {
+		tr.Record(0, false)
+	}
+	for i := 0; i < 49; i++ {
+		tr.Record(time.Millisecond, true)
+	}
+	for i := 0; i < 49; i++ {
+		tr.Record(time.Second, true)
+	}
+
+	s := tr.Snapshot()
+	for _, name := range []string{"5m", "1h"} {
+		w := window(t, s, name)
+		if w.Total != 100 || w.Errors != 2 || w.Slow != 49 {
+			t.Fatalf("%s counts = %d/%d/%d, want 100/2/49", name, w.Total, w.Errors, w.Slow)
+		}
+		if math.Abs(w.Availability-0.98) > 1e-12 {
+			t.Errorf("%s availability = %g, want 0.98", name, w.Availability)
+		}
+		// 2% error rate against a 1% budget burns at 2x.
+		if math.Abs(w.AvailabilityBurnRate-2.0) > 1e-12 {
+			t.Errorf("%s availability burn = %g, want 2.0", name, w.AvailabilityBurnRate)
+		}
+		// 49 slow of 98 successes = 50% against a 10% budget: burn 5x.
+		if math.Abs(w.LatencyCompliance-0.5) > 1e-12 {
+			t.Errorf("%s latency compliance = %g, want 0.5", name, w.LatencyCompliance)
+		}
+		if math.Abs(w.LatencyBurnRate-5.0) > 1e-12 {
+			t.Errorf("%s latency burn = %g, want 5.0", name, w.LatencyBurnRate)
+		}
+	}
+
+	// 6 minutes later the events left the 5m window but not the 1h one.
+	clk.advance(6 * time.Minute)
+	s = tr.Snapshot()
+	if w := window(t, s, "5m"); w.Total != 0 || w.AvailabilityBurnRate != 0 {
+		t.Errorf("5m window did not roll off: %+v", w)
+	}
+	if w := window(t, s, "1h"); w.Total != 100 {
+		t.Errorf("1h window lost events: %+v", w)
+	}
+
+	// 61 minutes later everything has aged out, including via bucket reuse.
+	clk.advance(61 * time.Minute)
+	tr.Record(time.Millisecond, true)
+	s = tr.Snapshot()
+	if w := window(t, s, "1h"); w.Total != 1 || w.Errors != 0 {
+		t.Errorf("1h window after expiry = %+v, want exactly the fresh event", w)
+	}
+}
+
+func TestSLOTrackerStaleBucketReuse(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{})
+	tr.Record(0, false)
+	// Exactly one ring revolution later the same slot is reused; the stale
+	// error must not leak into the new hour.
+	clk.advance(time.Duration(sloBuckets*sloBucketSec) * time.Second)
+	tr.Record(time.Millisecond, true)
+	w := window(t, tr.Snapshot(), "1h")
+	if w.Total != 1 || w.Errors != 0 {
+		t.Fatalf("reused bucket kept stale counts: %+v", w)
+	}
+}
+
+func TestSLOTrackerConcurrent(t *testing.T) {
+	tr, _ := newTestTracker(SLOConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Record(time.Millisecond, j%10 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	w := window(t, tr.Snapshot(), "1h")
+	if w.Total != 8000 || w.Errors != 800 {
+		t.Fatalf("concurrent counts = %d/%d, want 8000/800", w.Total, w.Errors)
+	}
+}

@@ -1,0 +1,229 @@
+package qserve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+	"flos/internal/obs"
+)
+
+func diagGraph(t *testing.T) *graph.MemGraph {
+	t.Helper()
+	g, err := gen.Community(2000, 5400, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestOutcomeParityWithCacheHits is the satellite-2 regression: cache-hit
+// answers get their own outcome counter, so OK + Hit + Deadline + Canceled +
+// Failed == Served holds exactly, and per measure the executed-latency
+// histogram count plus HitByMeasure covers every served query. Before the
+// hit counter existed, cached answers inflated Served with no matching
+// outcome, which overcounted SLO availability.
+func TestOutcomeParityWithCacheHits(t *testing.T) {
+	g := diagGraph(t)
+	pool := New(g, Config{Workers: 2, CacheEntries: 64})
+	defer pool.Close()
+
+	reqs := []Request{
+		{Query: 100, Opt: core.DefaultOptions(measure.PHP, 5)},
+		{Query: 200, Opt: core.DefaultOptions(measure.RWR, 5)},
+		{Query: 300, Opt: core.DefaultOptions(measure.PHP, 5), Unified: true},
+	}
+	for round := 0; round < 3; round++ { // round 1 executes, rounds 2-3 hit
+		for _, req := range reqs {
+			resp, err := pool.Do(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round > 0 && !resp.CacheHit {
+				t.Fatalf("round %d query %d missed the cache", round, req.Query)
+			}
+		}
+	}
+
+	m := pool.Metrics()
+	if m.Served != 9 || m.OK != 3 || m.Hit != 6 {
+		t.Fatalf("served/ok/hit = %d/%d/%d, want 9/3/6", m.Served, m.OK, m.Hit)
+	}
+	if got := m.OK + m.Hit + m.Deadline + m.Canceled + m.Failed; got != m.Served {
+		t.Fatalf("outcome sum %d != served %d", got, m.Served)
+	}
+	// Per-measure parity: histogram (executed) + hits covers served.
+	for _, label := range []string{"php", "rwr", "unified"} {
+		got := m.LatencyByMeasure[label].Count + m.HitByMeasure[label]
+		if got != 3 {
+			t.Errorf("measure %q: executed %d + hits %d = %d, want 3",
+				label, m.LatencyByMeasure[label].Count, m.HitByMeasure[label], got)
+		}
+	}
+	// Hits never pollute the executed-latency histograms.
+	if m.Latency.Count != 3 {
+		t.Errorf("executed histogram count = %d, want 3", m.Latency.Count)
+	}
+}
+
+// TestFlightRecorderOutcomePaths wires a recorder into the pool and checks
+// every outcome path emits a record: executed queries carry a down-sampled
+// trajectory and a request ID, cache hits carry outcome "hit" with the same
+// ID threading, and DoBatch members are recorded like Do calls.
+func TestFlightRecorderOutcomePaths(t *testing.T) {
+	g := diagGraph(t)
+	rec := obs.NewFlightRecorder(obs.RecorderConfig{Size: 64, SlowLatency: -1})
+	slo := obs.NewSLOTracker(obs.SLOConfig{})
+	pool := New(g, Config{Workers: 2, CacheEntries: 64, Recorder: rec, SLO: slo})
+	defer pool.Close()
+
+	req := Request{Query: 100, Opt: core.DefaultOptions(measure.PHP, 5)}
+	if _, err := pool.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := pool.Do(context.Background(), req) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("second identical query missed the cache")
+	}
+
+	last := rec.Last(10)
+	if len(last) != 2 {
+		t.Fatalf("recorded %d records, want 2", len(last))
+	}
+	hit, exec := last[0], last[1] // newest first
+	if hit.Outcome != "hit" || exec.Outcome != "ok" {
+		t.Fatalf("outcomes = %q,%q, want hit,ok", hit.Outcome, exec.Outcome)
+	}
+	if exec.ID == "" || hit.ID == "" {
+		t.Fatal("pool did not assign request IDs")
+	}
+	if len(exec.Trace) == 0 || exec.TraceTotal != exec.Iterations {
+		t.Fatalf("executed record trajectory: %d points of %d total (iterations %d)",
+			len(exec.Trace), exec.TraceTotal, exec.Iterations)
+	}
+	if got := exec.Trace[len(exec.Trace)-1]; !got.Certified {
+		t.Errorf("final trace point not certified: %+v", got)
+	}
+	if exec.Visited == 0 || exec.Iterations == 0 || !exec.Exact {
+		t.Errorf("work counters not populated: %+v", exec)
+	}
+	if hit.Trace != nil || hit.Visited != 0 {
+		t.Errorf("cache hit carries execution state: %+v", hit)
+	}
+
+	// The executed record's ID is the exemplar of its latency bucket — the
+	// join key between /metrics and the flight recorder.
+	m := pool.Metrics()
+	found := false
+	for _, ex := range m.Latency.Exemplars {
+		if ex != nil && ex.ID == exec.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("request ID %s not found among histogram exemplars", exec.ID)
+	}
+
+	// DoBatch members are recorded too.
+	batch := []Request{
+		{Query: 400, Opt: core.DefaultOptions(measure.RWR, 5)},
+		{Query: 100, Opt: core.DefaultOptions(measure.PHP, 5)}, // cached
+	}
+	for i, r := range pool.DoBatch(context.Background(), batch) {
+		if r.Err != nil {
+			t.Fatalf("batch slot %d: %v", i, r.Err)
+		}
+	}
+	if got := rec.Recorded(); got != 4 {
+		t.Fatalf("recorded %d records after batch, want 4", got)
+	}
+
+	// SLO saw only good events so both windows are fully compliant.
+	s := slo.Snapshot()
+	for _, w := range s.Windows {
+		if w.Total != 4 || w.Errors != 0 || w.Availability != 1 {
+			t.Errorf("window %s: %+v, want 4 good events", w.Window, w)
+		}
+	}
+}
+
+// TestFlightRecorderSlowPromotionAndSLOErrors forces deadline outcomes and
+// checks they are promoted into the slow log (threshold 1ns: everything is
+// slow) and recorded as SLO errors, while client cancellations stay out of
+// the SLO accounting.
+func TestFlightRecorderSlowPromotionAndSLOErrors(t *testing.T) {
+	g := diagGraph(t)
+	rec := obs.NewFlightRecorder(obs.RecorderConfig{Size: 16, SlowLatency: time.Nanosecond})
+	slo := obs.NewSLOTracker(obs.SLOConfig{})
+	pool := New(g, Config{Workers: 1, CacheEntries: -1, Timeout: time.Nanosecond, Recorder: rec, SLO: slo})
+	defer pool.Close()
+
+	if _, err := pool.Do(context.Background(), Request{Query: 1, Opt: core.DefaultOptions(measure.PHP, 5)}); err == nil {
+		t.Fatal("1ns deadline did not interrupt")
+	}
+	slow := rec.Slow()
+	if len(slow) != 1 || slow[0].Outcome != "deadline" || !slow[0].Slow {
+		t.Fatalf("slow log = %+v, want one promoted deadline record", slow)
+	}
+	s := slo.Snapshot()
+	if w := s.Windows[0]; w.Total != 1 || w.Errors != 1 {
+		t.Fatalf("SLO window after deadline: %+v, want 1 error of 1", w)
+	}
+
+	// A client-canceled query is recorded in flight but not against the SLO.
+	cpool := New(g, Config{Workers: 1, CacheEntries: -1, Recorder: rec, SLO: slo})
+	defer cpool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cpool.Do(ctx, Request{Query: 2, Opt: core.DefaultOptions(measure.PHP, 5)}); err == nil {
+		t.Fatal("canceled context did not interrupt")
+	}
+	if w := slo.Snapshot().Windows[0]; w.Total != 1 {
+		t.Fatalf("cancellation leaked into SLO accounting: %+v", w)
+	}
+	if got := rec.Last(1); len(got) != 1 || got[0].Outcome != "canceled" {
+		t.Fatalf("last record = %+v, want canceled", got)
+	}
+}
+
+// TestRecorderTeesUserTracer: when both a user tracer and the flight
+// recorder are active, the user's collector still sees the full trajectory
+// and the record carries the down-sampled one.
+func TestRecorderTeesUserTracer(t *testing.T) {
+	g := diagGraph(t)
+	rec := obs.NewFlightRecorder(obs.RecorderConfig{Size: 8, SlowLatency: -1, TracePoints: 4})
+	pool := New(g, Config{Workers: 1, CacheEntries: 64, Recorder: rec})
+	defer pool.Close()
+
+	tc := &core.TraceCollector{}
+	req := Request{Query: 100, Opt: core.DefaultOptions(measure.RWR, 5)}
+	req.Opt.Tracer = tc
+	resp, err := pool.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("traced request served from cache")
+	}
+	if len(tc.Iters) != resp.TopK.Iterations {
+		t.Fatalf("user tracer saw %d iterations, want %d", len(tc.Iters), resp.TopK.Iterations)
+	}
+	last := rec.Last(1)
+	if len(last) != 1 {
+		t.Fatal("no flight record for traced query")
+	}
+	r := last[0]
+	if r.TraceTotal != resp.TopK.Iterations {
+		t.Errorf("record trace total %d, want %d", r.TraceTotal, resp.TopK.Iterations)
+	}
+	if len(r.Trace) == 0 || len(r.Trace) > 4+1 {
+		t.Errorf("down-sampled trajectory has %d points, want 1..5", len(r.Trace))
+	}
+}

@@ -37,11 +37,22 @@ type metrics struct {
 	interrupted atomic.Int64
 	batches     atomic.Int64
 
-	// Outcome split of executed queries: deadline + canceled = interrupted;
-	// failed counts non-context errors.
+	// Outcome split of served queries. ok counts executed successes and hit
+	// counts result-cache answers, so ok + hit + deadline + canceled +
+	// failed == served (the parity the SLO availability math relies on —
+	// before the hit counter, cache answers vanished from the outcome
+	// breakdown entirely). deadline + canceled = interrupted; failed counts
+	// non-context errors.
+	ok       atomic.Int64
+	hit      atomic.Int64
 	deadline atomic.Int64
 	canceled atomic.Int64
 	failed   atomic.Int64
+
+	// hitByMeasure mirrors the per-measure latency histograms for cache
+	// hits, which never enter those histograms: per measure, executed count
+	// (latByMeasure[i].Count()) + hitByMeasure[i] covers every served query.
+	hitByMeasure [len(measureLabels)]atomic.Int64
 
 	// Work totals accumulated from completed and interrupted searches.
 	iterations atomic.Int64
@@ -52,9 +63,17 @@ type metrics struct {
 	latByMeasure [len(measureLabels)]obs.Histogram
 }
 
-func (m *metrics) observe(slot int, d time.Duration) {
-	m.lat.Observe(d)
-	m.latByMeasure[slot].Observe(d)
+// observe records one executed query's latency, tagging the landed buckets
+// with the request ID as their exemplar (id may be empty).
+func (m *metrics) observe(slot int, d time.Duration, id string) {
+	m.lat.ObserveExemplar(d, id)
+	m.latByMeasure[slot].ObserveExemplar(d, id)
+}
+
+// observeHit accounts one result-cache answer.
+func (m *metrics) observeHit(slot int) {
+	m.hit.Add(1)
+	m.hitByMeasure[slot].Add(1)
 }
 
 func (m *metrics) addWork(iterations, visited, sweeps int) {
@@ -70,6 +89,8 @@ func (m *metrics) snapshot() Metrics {
 		Shed:             m.shed.Load(),
 		Interrupted:      m.interrupted.Load(),
 		Batches:          m.batches.Load(),
+		OK:               m.ok.Load(),
+		Hit:              m.hit.Load(),
 		Deadline:         m.deadline.Load(),
 		Canceled:         m.canceled.Load(),
 		Failed:           m.failed.Load(),
@@ -85,6 +106,12 @@ func (m *metrics) snapshot() Metrics {
 		if s := m.latByMeasure[i].Snapshot(); s.Count > 0 {
 			out.LatencyByMeasure[measureLabels[i]] = s
 		}
+		if h := m.hitByMeasure[i].Load(); h > 0 {
+			if out.HitByMeasure == nil {
+				out.HitByMeasure = make(map[string]int64)
+			}
+			out.HitByMeasure[measureLabels[i]] = h
+		}
 	}
 	return out
 }
@@ -96,9 +123,17 @@ type Metrics struct {
 	// ended in cancellation); Shed counts admissions refused with
 	// ErrOverloaded; Interrupted counts queries ended by context.
 	Served, Shed, Interrupted int64
+	// OK counts executed successes and Hit result-cache answers; with the
+	// interrupted/failed counters below they partition Served exactly:
+	// OK + Hit + Deadline + Canceled + Failed == Served.
+	OK, Hit int64
 	// Deadline and Canceled split Interrupted by cause; Failed counts
 	// queries that ended in a non-context error.
 	Deadline, Canceled, Failed int64
+	// HitByMeasure splits Hit by measure label (cache hits never enter
+	// LatencyByMeasure, so per-measure served = histogram count + this);
+	// labels with no hits are omitted and the map is nil when empty.
+	HitByMeasure map[string]int64
 	// Batches counts DoBatch calls; their member queries are accounted in
 	// the per-query counters above.
 	Batches int64

@@ -34,6 +34,7 @@ import (
 
 	"flos/internal/core"
 	"flos/internal/graph"
+	"flos/internal/obs"
 )
 
 // Errors returned by Do without running the query.
@@ -62,6 +63,15 @@ type Config struct {
 	// measure, latency, outcome) and warn records for shed requests. Nil
 	// keeps the pool silent.
 	Logger *slog.Logger
+	// Recorder, when non-nil, receives one FlightRecord per query outcome —
+	// executed (with a down-sampled convergence trajectory), cache hit, and
+	// shed — and promotes outliers into its slow-query log.
+	Recorder *obs.FlightRecorder
+	// SLO, when non-nil, receives every query outcome for burn-rate
+	// accounting: successes and hits as good events, deadline/failure/shed
+	// as errors. Client cancellations are excluded — they say nothing about
+	// the server's objectives.
+	SLO *obs.SLOTracker
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +89,11 @@ func (c Config) withDefaults() Config {
 
 // Request names one query.
 type Request struct {
+	// ID is the request identifier threaded through the flight recorder and
+	// histogram exemplars (the join key between a latency bucket and the
+	// slow-query log). When empty and a recorder is configured, the pool
+	// assigns one at admission.
+	ID string
 	// Query is the query node.
 	Query graph.NodeID
 	// Opt configures the search. A request with a trace callback (Opt.Trace)
@@ -117,6 +132,8 @@ type Pool struct {
 	serialMu *sync.Mutex
 
 	met metrics
+	rec *obs.FlightRecorder
+	slo *obs.SLOTracker
 }
 
 type job struct {
@@ -141,6 +158,8 @@ func New(g graph.Graph, cfg Config) *Pool {
 		cfg:  cfg,
 		jobs: make(chan *job, cfg.QueueDepth),
 		done: make(chan struct{}),
+		rec:  cfg.Recorder,
+		slo:  cfg.SLO,
 	}
 	if cfg.CacheEntries > 0 {
 		p.cache = newResultCache(cfg.CacheEntries)
@@ -190,12 +209,16 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 	default:
 	}
 
+	start := time.Now()
+	if p.rec != nil && req.ID == "" {
+		req.ID = obs.NewRequestID()
+	}
 	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
 	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
 		j.key = keyOf(p.epoch.Load(), req)
 		j.cached = true
 		if resp, ok := p.cache.get(j.key); ok {
-			p.met.served.Add(1)
+			p.recordHit(req, start)
 			hit := *resp
 			hit.CacheHit = true
 			return &hit, nil
@@ -211,7 +234,7 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 		if j.cancel != nil {
 			j.cancel()
 		}
-		p.met.shed.Add(1)
+		p.recordShed(req, start)
 		if p.cfg.Logger != nil {
 			p.cfg.Logger.Warn("query shed", "query", req.Query, "queue_cap", p.cfg.QueueDepth)
 		}
@@ -249,6 +272,7 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []Request) []BatchResult {
 	if len(reqs) == 0 {
 		return out
 	}
+	start := time.Now()
 	p.met.batches.Add(1)
 
 	jobs := make([]*job, len(reqs))
@@ -261,12 +285,15 @@ admit:
 			continue
 		default:
 		}
+		if p.rec != nil && req.ID == "" {
+			req.ID = obs.NewRequestID()
+		}
 		j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
 		if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
 			j.key = keyOf(p.epoch.Load(), req)
 			j.cached = true
 			if resp, ok := p.cache.get(j.key); ok {
-				p.met.served.Add(1)
+				p.recordHit(req, start)
 				hit := *resp
 				hit.CacheHit = true
 				out[i].Resp = &hit
@@ -313,6 +340,54 @@ admit:
 	return out
 }
 
+// recordHit accounts one result-cache answer across the counters, the SLO
+// tracker (a good event), and the flight recorder (no trajectory: nothing
+// executed). Hits never enter the executed-latency histograms, so the
+// per-measure parity is histogram count + hitByMeasure.
+func (p *Pool) recordHit(req Request, start time.Time) {
+	p.met.served.Add(1)
+	p.met.observeHit(metricsSlot(req))
+	elapsed := time.Since(start)
+	if p.slo != nil {
+		p.slo.Record(elapsed, true)
+	}
+	if p.rec != nil {
+		p.rec.Record(&obs.FlightRecord{
+			ID:        req.ID,
+			Start:     start,
+			Measure:   measureLabels[metricsSlot(req)],
+			Query:     int64(req.Query),
+			K:         req.Opt.K,
+			Unified:   req.Unified,
+			Outcome:   "hit",
+			LatencyUS: elapsed.Microseconds(),
+		})
+	}
+}
+
+// recordShed accounts one refused admission: an error against the
+// availability objective and a trace-less flight record, never a served
+// count.
+func (p *Pool) recordShed(req Request, start time.Time) {
+	p.met.shed.Add(1)
+	elapsed := time.Since(start)
+	if p.slo != nil {
+		p.slo.Record(elapsed, false)
+	}
+	if p.rec != nil {
+		p.rec.Record(&obs.FlightRecord{
+			ID:        req.ID,
+			Start:     start,
+			Measure:   measureLabels[metricsSlot(req)],
+			Query:     int64(req.Query),
+			K:         req.Opt.K,
+			Unified:   req.Unified,
+			Outcome:   "shed",
+			LatencyUS: elapsed.Microseconds(),
+		})
+	}
+}
+
 // interruptedZero wraps a context error for a query that never started.
 func interruptedZero(ctxErr error) error {
 	cause := core.ErrCanceled
@@ -325,23 +400,56 @@ func interruptedZero(ctxErr error) error {
 func (p *Pool) worker(g graph.Graph) {
 	defer p.wg.Done()
 	// One warm engine workspace per worker: consecutive queries on this
-	// worker reuse all engine state (reset per query, never shared).
+	// worker reuse all engine state (reset per query, never shared). The
+	// trace sampler is likewise per-worker — run() resets it per query, so
+	// its buffer never crosses workers.
 	ws := core.NewWorkspace()
+	var sampler *obs.TraceSampler
+	if p.rec != nil {
+		if tp := p.rec.TracePoints(); tp > 0 {
+			sampler = obs.NewTraceSampler(tp)
+		}
+	}
 	for {
 		select {
 		case <-p.done:
 			return
 		case j := <-p.jobs:
-			p.run(g, ws, j)
+			p.run(g, ws, j, sampler)
 		}
 	}
 }
 
-func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job) {
+// teeTracer fans iteration records out to the caller's tracer and the flight
+// recorder's sampler, so recording a query never hides its trajectory from
+// the user who asked for it.
+type teeTracer struct {
+	user    core.Tracer
+	sampler *obs.TraceSampler
+}
+
+func (t teeTracer) ObserveIteration(it core.IterStats) {
+	t.user.ObserveIteration(it)
+	t.sampler.ObserveIteration(it)
+}
+
+func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.TraceSampler) {
 	if j.cancel != nil {
 		defer j.cancel()
 	}
 	start := time.Now()
+	opt := j.req.Opt
+	if sampler != nil {
+		// Attach the flight recorder's sampler after the cache decision (Do
+		// keys bypass off the user-set tracer, not this one) so caching
+		// semantics are unchanged when recording is on.
+		sampler.Reset()
+		if opt.Tracer != nil {
+			opt.Tracer = teeTracer{user: opt.Tracer, sampler: sampler}
+		} else {
+			opt.Tracer = sampler
+		}
+	}
 	var (
 		resp = &Response{}
 		err  error
@@ -350,23 +458,25 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job) {
 		p.serialMu.Lock()
 	}
 	if j.req.Unified {
-		resp.Unified, err = ws.Unified(j.ctx, g, j.req.Query, j.req.Opt)
+		resp.Unified, err = ws.Unified(j.ctx, g, j.req.Query, opt)
 	} else {
-		resp.TopK, err = ws.TopK(j.ctx, g, j.req.Query, j.req.Opt)
+		resp.TopK, err = ws.TopK(j.ctx, g, j.req.Query, opt)
 	}
 	if p.serialMu != nil {
 		p.serialMu.Unlock()
 	}
 	elapsed := time.Since(start)
 	p.met.served.Add(1)
-	p.met.observe(metricsSlot(j.req), elapsed)
+	p.met.observe(metricsSlot(j.req), elapsed, j.req.ID)
 	status := "ok"
+	var iters, visited, sweeps int
+	var exact bool
 	if err != nil {
-		status = "error"
+		status = "failed"
 		var in *core.Interrupted
 		if errors.As(err, &in) {
 			p.met.interrupted.Add(1)
-			p.met.addWork(in.Iterations, in.Visited, in.Sweeps)
+			iters, visited, sweeps = in.Iterations, in.Visited, in.Sweeps
 			if errors.Is(err, core.ErrDeadline) {
 				p.met.deadline.Add(1)
 				status = "deadline"
@@ -377,10 +487,42 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job) {
 		} else {
 			p.met.failed.Add(1)
 		}
-	} else if j.req.Unified {
-		p.met.addWork(resp.Unified.Iterations, resp.Unified.Visited, resp.Unified.Sweeps)
 	} else {
-		p.met.addWork(resp.TopK.Iterations, resp.TopK.Visited, resp.TopK.Sweeps)
+		p.met.ok.Add(1)
+		if j.req.Unified {
+			iters, visited, sweeps = resp.Unified.Iterations, resp.Unified.Visited, resp.Unified.Sweeps
+			exact = resp.Unified.Exact
+		} else {
+			iters, visited, sweeps = resp.TopK.Iterations, resp.TopK.Visited, resp.TopK.Sweeps
+			exact = resp.TopK.Exact
+		}
+	}
+	p.met.addWork(iters, visited, sweeps)
+	// Cancellation is client-initiated and says nothing about the server's
+	// objectives; every other outcome feeds the SLO windows.
+	if p.slo != nil && status != "canceled" {
+		p.slo.Record(elapsed, status == "ok")
+	}
+	if p.rec != nil {
+		rec := &obs.FlightRecord{
+			ID:         j.req.ID,
+			Start:      start,
+			Measure:    measureLabels[metricsSlot(j.req)],
+			Query:      int64(j.req.Query),
+			K:          j.req.Opt.K,
+			Unified:    j.req.Unified,
+			Outcome:    status,
+			LatencyUS:  elapsed.Microseconds(),
+			Iterations: iters,
+			Visited:    visited,
+			Sweeps:     sweeps,
+			Exact:      exact,
+		}
+		if sampler != nil {
+			rec.Trace = sampler.Snapshot()
+			rec.TraceTotal = sampler.Total()
+		}
+		p.rec.Record(rec)
 	}
 	if p.cfg.Logger != nil {
 		p.cfg.Logger.Debug("query executed",

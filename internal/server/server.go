@@ -18,6 +18,10 @@
 //	                        per query with either results or that query's
 //	                        error, and cancellation mid-batch fills the
 //	                        unfinished slots instead of failing the call
+//	GET /debug/flos/slow       retained slow-query log (replayable with
+//	                           `flos -replay`)
+//	GET /debug/flos/flightrec  newest n flight-recorder records (?n=, def. 32)
+//	GET /debug/flos/slo        multi-window SLO burn-rate snapshot
 //
 // trace=1 returns the per-iteration convergence trajectory (visited/
 // boundary/candidate counts, the certification gap, per-phase timings)
@@ -64,6 +68,11 @@ type Server struct {
 	// bounded cardinality by construction.
 	httpLat map[string]*obs.Histogram
 
+	// Diagnostics plane (nil when disabled): flight recorder and SLO
+	// tracker, shared with the pool.
+	rec *obs.FlightRecorder
+	slo *obs.SLOTracker
+
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
 	maxK     int
@@ -95,6 +104,13 @@ type Config struct {
 	// Logger receives structured access and query records; nil selects
 	// slog.Default().
 	Logger *slog.Logger
+	// Recorder, when non-nil, is the query flight recorder: the pool records
+	// every outcome into it, outliers are promoted into its slow-query log,
+	// and GET /debug/flos/slow and /debug/flos/flightrec serve its contents.
+	Recorder *obs.FlightRecorder
+	// SLO, when non-nil, tracks multi-window availability and latency burn
+	// rates, exported as flos_slo_* gauges and GET /debug/flos/slo.
+	SLO *obs.SLOTracker
 }
 
 // New builds a Server for g and starts its worker pool; Close releases it.
@@ -116,9 +132,11 @@ func New(g graph.Graph, cfg Config) *Server {
 		s.store = st
 	}
 	s.httpLat = make(map[string]*obs.Histogram)
-	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified"} {
+	for _, ep := range endpointPaths {
 		s.httpLat[ep] = &obs.Histogram{}
 	}
+	s.rec = cfg.Recorder
+	s.slo = cfg.SLO
 	workers := cfg.Workers
 	if cfg.Serialize {
 		workers = 1
@@ -129,8 +147,17 @@ func New(g graph.Graph, cfg Config) *Server {
 		CacheEntries: cfg.CacheEntries,
 		Timeout:      cfg.Timeout,
 		Logger:       s.log,
+		Recorder:     cfg.Recorder,
+		SLO:          cfg.SLO,
 	})
 	return s
+}
+
+// endpointPaths enumerates every served path; the per-endpoint latency
+// histograms are keyed by it, keeping metric cardinality bounded.
+var endpointPaths = []string{
+	"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified",
+	"/debug/flos/slow", "/debug/flos/flightrec", "/debug/flos/slo",
 }
 
 // Pool exposes the serving pool (epoch bumps, metrics).
@@ -149,6 +176,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/topk/batch", s.handleTopKBatch)
 	mux.HandleFunc("/unified", s.handleUnified)
+	mux.HandleFunc("/debug/flos/slow", s.handleSlow)
+	mux.HandleFunc("/debug/flos/flightrec", s.handleFlightRec)
+	mux.HandleFunc("/debug/flos/slo", s.handleSLO)
 	return s.instrument(mux)
 }
 
@@ -228,6 +258,62 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// flightDumpBody is the payload of both flight-recorder endpoints; Records
+// is newest-first. The same shape is accepted by `flos -replay`.
+type flightDumpBody struct {
+	// Recorded counts every query ever recorded; SlowTotal every promotion
+	// into the slow-query log (both outlive the ring/log retention).
+	Recorded  uint64              `json:"recorded"`
+	SlowTotal uint64              `json:"slow_total"`
+	Records   []*obs.FlightRecord `json:"records"`
+}
+
+// handleSlow serves the retained slow-query log: records promoted past the
+// recorder's latency/visited thresholds, trajectories included, ready for
+// offline replay with `flos -replay`.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	if s.rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled (-flightrec 0)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, flightDumpBody{
+		Recorded:  s.rec.Recorded(),
+		SlowTotal: s.rec.SlowCount(),
+		Records:   s.rec.Slow(),
+	})
+}
+
+// handleFlightRec serves the newest n records of the flight-recorder ring
+// (?n=, default 32) — slow or not, the rolling view of recent traffic.
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled (-flightrec 0)"})
+		return
+	}
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			badRequest(w, "bad n: %q", v)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, flightDumpBody{
+		Recorded:  s.rec.Recorded(),
+		SlowTotal: s.rec.SlowCount(),
+		Records:   s.rec.Last(n),
+	})
+}
+
+// handleSLO serves the multi-window burn-rate snapshot.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "SLO tracking disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
+
 type statsBody struct {
 	Nodes int   `json:"nodes"`
 	Edges int64 `json:"edges"`
@@ -243,6 +329,8 @@ type metricsBody struct {
 	QueriesShed    int64   `json:"queries_shed"`
 	Interrupted    int64   `json:"queries_interrupted"`
 	Batches        int64   `json:"batches_served"`
+	QueriesOK      int64   `json:"queries_ok"`
+	QueriesHit     int64   `json:"queries_cache_answered"`
 	Deadline       int64   `json:"queries_deadline"`
 	Canceled       int64   `json:"queries_canceled"`
 	Failed         int64   `json:"queries_failed"`
@@ -265,6 +353,14 @@ type metricsBody struct {
 	// traffic.
 	Measures map[string]measureLatencyBody `json:"measures,omitempty"`
 
+	// Exemplars lists, for each overall-latency bucket holding one, the
+	// request ID of its most recent sample — the join key into the flight
+	// recorder, slow-query log, and access logs.
+	Exemplars []exemplarBody `json:"latency_exemplars,omitempty"`
+
+	// SLO is the burn-rate snapshot; present when SLO tracking is on.
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
+
 	// Runtime gauges.
 	Runtime runtimeBody `json:"runtime"`
 
@@ -276,6 +372,29 @@ type measureLatencyBody struct {
 	Count     int64 `json:"count"`
 	P50Micros int64 `json:"p50_us"`
 	P99Micros int64 `json:"p99_us"`
+	// CacheAnswered counts this measure's result-cache answers, which never
+	// enter the latency histogram above.
+	CacheAnswered int64 `json:"cache_answered,omitempty"`
+}
+
+// exemplarBody is one latency bucket's exemplar.
+type exemplarBody struct {
+	// BucketLEUS is the bucket's inclusive upper bound in microseconds.
+	BucketLEUS int64  `json:"bucket_le_us"`
+	ID         string `json:"id"`
+	LatencyUS  int64  `json:"latency_us"`
+}
+
+// exemplarBodies flattens a snapshot's per-bucket exemplars.
+func exemplarBodies(snap obs.Snapshot) []exemplarBody {
+	bounds := obs.BucketBoundsUS()
+	var out []exemplarBody
+	for i, ex := range snap.Exemplars {
+		if ex != nil {
+			out = append(out, exemplarBody{BucketLEUS: bounds[i], ID: ex.ID, LatencyUS: ex.LatencyUS})
+		}
+	}
+	return out
 }
 
 type runtimeBody struct {
@@ -332,6 +451,8 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		QueriesShed:    m.Shed,
 		Interrupted:    m.Interrupted,
 		Batches:        m.Batches,
+		QueriesOK:      m.OK,
+		QueriesHit:     m.Hit,
 		Deadline:       m.Deadline,
 		Canceled:       m.Canceled,
 		Failed:         m.Failed,
@@ -355,11 +476,17 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		body.Measures = make(map[string]measureLatencyBody, len(m.LatencyByMeasure))
 		for label, snap := range m.LatencyByMeasure {
 			body.Measures[label] = measureLatencyBody{
-				Count:     snap.Count,
-				P50Micros: snap.QuantileUS(0.50),
-				P99Micros: snap.QuantileUS(0.99),
+				Count:         snap.Count,
+				P50Micros:     snap.QuantileUS(0.50),
+				P99Micros:     snap.QuantileUS(0.99),
+				CacheAnswered: m.HitByMeasure[label],
 			}
 		}
+	}
+	body.Exemplars = exemplarBodies(m.Latency)
+	if s.slo != nil {
+		snap := s.slo.Snapshot()
+		body.SLO = &snap
 	}
 	if s.store != nil {
 		st := s.store.CacheStats()
@@ -396,9 +523,11 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	p.Counter("flos_queries_shed_total", "Admissions refused with 429 because the queue was full.", nil, m.Shed)
 	p.Counter("flos_queries_interrupted_total", "Queries ended early by context deadline or cancellation.", nil, m.Interrupted)
 	p.Counter("flos_batches_served_total", "DoBatch calls; member queries count in flos_queries_served_total.", nil, m.Batches)
-	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "deadline"}, m.Deadline)
-	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "canceled"}, m.Canceled)
-	p.Counter("flos_query_outcomes_total", "Executed-query outcomes by cause.", map[string]string{"outcome": "failed"}, m.Failed)
+	p.Counter("flos_query_outcomes_total", "Served-query outcomes (ok+hit+deadline+canceled+failed = served).", map[string]string{"outcome": "ok"}, m.OK)
+	p.Counter("flos_query_outcomes_total", "Served-query outcomes (ok+hit+deadline+canceled+failed = served).", map[string]string{"outcome": "hit"}, m.Hit)
+	p.Counter("flos_query_outcomes_total", "Served-query outcomes (ok+hit+deadline+canceled+failed = served).", map[string]string{"outcome": "deadline"}, m.Deadline)
+	p.Counter("flos_query_outcomes_total", "Served-query outcomes (ok+hit+deadline+canceled+failed = served).", map[string]string{"outcome": "canceled"}, m.Canceled)
+	p.Counter("flos_query_outcomes_total", "Served-query outcomes (ok+hit+deadline+canceled+failed = served).", map[string]string{"outcome": "failed"}, m.Failed)
 	p.Counter("flos_engine_iterations_total", "Local-expansion iterations across all searches.", nil, m.IterationsTotal)
 	p.Counter("flos_engine_visited_nodes_total", "Visited-set sizes summed across all searches (the paper's locality metric).", nil, m.VisitedTotal)
 	p.Counter("flos_engine_sweeps_total", "Bound-solver relaxations across all searches.", nil, m.SweepsTotal)
@@ -409,7 +538,7 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 				map[string]string{"measure": label}, snap)
 		}
 	}
-	for _, ep := range []string{"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified"} {
+	for _, ep := range endpointPaths {
 		if h := s.httpLat[ep]; h != nil && h.Count() > 0 {
 			p.Histogram("flos_http_request_duration_seconds", "HTTP request latency by endpoint.",
 				map[string]string{"endpoint": ep}, h.Snapshot())
@@ -436,6 +565,24 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 			p.Gauge("flos_page_cache_resident_bytes", "Resident page bytes by lock shard.", shard, float64(ss.ResidentBytes))
 			p.Gauge("flos_page_cache_resident_pages", "Resident pages by lock shard.", shard, float64(ss.ResidentPages))
 		}
+	}
+
+	if s.slo != nil {
+		snap := s.slo.Snapshot()
+		p.Gauge("flos_slo_availability_objective", "Configured availability objective.", nil, snap.AvailabilityObjective)
+		p.Gauge("flos_slo_latency_objective", "Configured latency objective (fraction under threshold).", nil, snap.LatencyObjective)
+		p.Gauge("flos_slo_latency_threshold_seconds", "Latency SLO threshold.", nil, float64(snap.LatencyThresholdUS)/1e6)
+		for _, win := range snap.Windows {
+			lbl := map[string]string{"window": win.Window}
+			p.Gauge("flos_slo_availability", "Rolling availability (1 when idle).", lbl, win.Availability)
+			p.Gauge("flos_slo_availability_burn_rate", "Availability error-budget burn rate (1.0 = sustainable).", lbl, win.AvailabilityBurnRate)
+			p.Gauge("flos_slo_latency_compliance", "Fraction of successful queries under the latency threshold.", lbl, win.LatencyCompliance)
+			p.Gauge("flos_slo_latency_burn_rate", "Latency error-budget burn rate (1.0 = sustainable).", lbl, win.LatencyBurnRate)
+		}
+	}
+	if s.rec != nil {
+		p.Counter("flos_flightrec_recorded_total", "Queries captured by the flight recorder.", nil, int64(s.rec.Recorded()))
+		p.Counter("flos_flightrec_slow_total", "Queries promoted into the slow-query log.", nil, int64(s.rec.SlowCount()))
 	}
 
 	rt := readRuntime()
@@ -552,7 +699,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		opt.Tracer = tc
 	}
 	start := time.Now()
-	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt})
+	resp, err := s.pool.Do(r.Context(), qserve.Request{ID: w.Header().Get("X-Request-ID"), Query: q, Opt: opt})
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -665,9 +812,12 @@ func (s *Server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := core.Options{K: k, Measure: kind, Params: p, Tighten: tighten, TieEps: 1e-9}
 
+	// Batch members share the HTTP request's ID with a slot suffix, so each
+	// member's flight record and exemplar still joins back to the access log.
+	id := w.Header().Get("X-Request-ID")
 	reqs := make([]qserve.Request, len(req.Queries))
 	for i, q := range req.Queries {
-		reqs[i] = qserve.Request{Query: q, Opt: opt}
+		reqs[i] = qserve.Request{ID: fmt.Sprintf("%s-%d", id, i), Query: q, Opt: opt}
 	}
 	start := time.Now()
 	items := s.pool.DoBatch(r.Context(), reqs)
@@ -722,7 +872,7 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		opt.Tracer = tc
 	}
 	start := time.Now()
-	resp, err := s.pool.Do(r.Context(), qserve.Request{Query: q, Opt: opt, Unified: true})
+	resp, err := s.pool.Do(r.Context(), qserve.Request{ID: w.Header().Get("X-Request-ID"), Query: q, Opt: opt, Unified: true})
 	if err != nil {
 		writeQueryError(w, err)
 		return

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Diagnostics-plane smoke test (the CI diagnostics-smoke job).
+#
+# Boots flosd with the flight recorder, slow-query log, SLO tracking, and
+# continuous profiler enabled; fires 200 queries plus an injected slow query
+# carrying a known X-Request-ID; asserts the query is captured in
+# /debug/flos/slow, joinable through its latency-bucket exemplar in
+# /metrics?format=json, visible in the flos_slo_* gauges, and replayable
+# offline with `flos -replay`; then runs the recorder-overhead benchmark and
+# gates on the <= 2% median target, leaving the machine-readable result in
+# BENCH_5.json (override with BENCH_OUT).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18097"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+OUT="${BENCH_OUT:-BENCH_5.json}"
+FLOSD_PID=""
+trap '[ -n "$FLOSD_PID" ] && kill "$FLOSD_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== build =="
+go build -o "$WORK/flosgen" ./cmd/flosgen
+go build -o "$WORK/flosd" ./cmd/flosd
+go build -o "$WORK/flos" ./cmd/flos
+go build -o "$WORK/flosbench" ./cmd/flosbench
+
+echo "== generate graph =="
+"$WORK/flosgen" -model rmat -n 20000 -m 100000 -seed 1 -format bin -out "$WORK/graph.bin"
+
+echo "== boot flosd with the diagnostics plane on =="
+# -slow-latency 1ns promotes every query, which makes the injected slow query
+# (fired last, with a client-supplied request ID) deterministically retained
+# in the slow log and deterministically the most recent exemplar of its
+# latency bucket.
+"$WORK/flosd" -bin "$WORK/graph.bin" -addr "$ADDR" \
+  -flightrec 512 -slow-latency 1ns -slow-keep 64 \
+  -slo-latency 100ms -cache 64 \
+  -profile-dir "$WORK/profiles" -profile-interval 2s -profile-keep 3 \
+  -log-level warn &
+FLOSD_PID=$!
+up=""
+for _ in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.2
+done
+[ -n "$up" ] || fail "flosd did not come up on $ADDR"
+
+echo "== fire 200 queries =="
+for i in $(seq 0 199); do
+  q=$(( (i * 37) % 20000 ))
+  curl -fsS "$BASE/topk?q=$q&k=10&measure=php" >/dev/null
+done
+curl -fsS "$BASE/unified?q=11&k=5" >/dev/null
+curl -fsS -X POST -d '{"queries":[1,2,3],"k":5,"measure":"rwr"}' "$BASE/topk/batch" >/dev/null
+curl -fsS "$BASE/topk?q=0&k=10&measure=php" >/dev/null # repeat: result-cache hit
+
+echo "== inject slow query with a known request ID =="
+SLOW_ID="smoke-slow-$$"
+curl -fsS -H "X-Request-ID: $SLOW_ID" "$BASE/topk?q=123&k=50&measure=rwr" >/dev/null
+
+echo "== slow log captured it =="
+curl -fsS "$BASE/debug/flos/slow" >"$WORK/slow.json"
+grep -q "\"$SLOW_ID\"" "$WORK/slow.json" || fail "$SLOW_ID not in /debug/flos/slow"
+grep -q '"trace":' "$WORK/slow.json" || fail "slow log carries no trajectories"
+
+echo "== request ID is its latency bucket's exemplar =="
+curl -fsS "$BASE/metrics?format=json" >"$WORK/metrics.json"
+grep -q "\"$SLOW_ID\"" "$WORK/metrics.json" || fail "$SLOW_ID is not a latency-bucket exemplar"
+
+echo "== SLO gauges and recorder counters exposed =="
+curl -fsS "$BASE/metrics" >"$WORK/metrics.prom"
+for m in 'flos_slo_availability{window="5m"}' 'flos_slo_availability_burn_rate{window="1h"}' \
+  'flos_slo_latency_compliance{window="5m"}' 'flos_flightrec_recorded_total' \
+  'flos_query_outcomes_total{outcome="hit"}' 'flos_query_outcomes_total{outcome="ok"}'; do
+  grep -qF "$m" "$WORK/metrics.prom" || fail "/metrics missing $m"
+done
+curl -fsS "$BASE/debug/flos/slo" | grep -q '"window":"5m"' || fail "/debug/flos/slo has no 5m window"
+
+echo "== offline replay renders the convergence table =="
+"$WORK/flos" -replay "$WORK/slow.json" -replay-id "$SLOW_ID" >"$WORK/replay.txt"
+grep -q "convergence trace:" "$WORK/replay.txt" ||
+  { cat "$WORK/replay.txt" >&2; fail "replay printed no convergence table"; }
+grep -Eq '^\s+[0-9]+\s+[0-9]+' "$WORK/replay.txt" || fail "replay table has no iteration rows"
+grep -q " yes " "$WORK/replay.txt" || fail "replayed trajectory has no certified row"
+
+echo "== continuous profiler wrote captures =="
+ls "$WORK"/profiles/cpu-*.pprof >/dev/null 2>&1 || fail "no CPU profiles in $WORK/profiles"
+ls "$WORK"/profiles/heap-*.pprof >/dev/null 2>&1 || fail "no heap profiles in $WORK/profiles"
+
+kill "$FLOSD_PID"
+wait "$FLOSD_PID" 2>/dev/null || true
+FLOSD_PID=""
+
+echo "== recorder overhead benchmark -> $OUT =="
+"$WORK/flosbench" -recorder -json "$OUT"
+p50=$(awk -F': ' '/"median_overhead_pct"/ {gsub(/,/, "", $2); print $2}' "$OUT")
+[ -n "$p50" ] || fail "no median_overhead_pct in $OUT"
+awk -v v="$p50" 'BEGIN { exit !(v <= 2.0) }' || fail "median overhead ${p50}% exceeds the 2% target"
+
+echo "diagnostics smoke: OK (recorder median overhead ${p50}%)"
