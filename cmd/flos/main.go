@@ -12,7 +12,10 @@
 // -replay renders a flight-recorder dump (saved from a flosd instance's
 // /debug/flos/slow or /debug/flos/flightrec endpoint) as the convergence
 // table a live -trace run prints — offline slow-query analysis without the
-// graph the query ran against.
+// graph the query ran against. Records from a live-graph server carry their
+// snapshot epoch; replay flags records behind -replay-epoch (or the newest
+// epoch in the dump) as stale, since their trajectories describe an older
+// topology.
 package main
 
 import (
@@ -43,11 +46,12 @@ func main() {
 		certify   = flag.Bool("certify", false, "audit the result against a full global-iteration solve")
 		replay    = flag.String("replay", "", "replay a flight-recorder dump file (JSON from /debug/flos/slow) instead of querying")
 		replayID  = flag.String("replay-id", "", "with -replay: render only the record with this request ID")
+		replayEp  = flag.Uint64("replay-epoch", 0, "with -replay: audit records against this live-graph epoch (0 = newest epoch in the dump)")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		if err := replayDump(*replay, *replayID); err != nil {
+		if err := replayDump(*replay, *replayID, *replayEp); err != nil {
 			fatal(err)
 		}
 		return

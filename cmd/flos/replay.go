@@ -14,7 +14,14 @@ import (
 // single record — as the same convergence tables a live `-trace` query
 // prints, so a slow query captured in production can be studied offline
 // without the graph.
-func replayDump(path, id string) error {
+//
+// Records from a live-graph server carry the snapshot epoch they ran
+// against. asOfEpoch is the epoch to audit staleness against (e.g. the
+// server's current epoch from /metrics); 0 selects the newest epoch in the
+// dump. Records behind that epoch are flagged stale: their trajectories
+// describe an older topology, so work counters and bound gaps may no longer
+// reproduce on the current graph.
+func replayDump(path, id string, asOfEpoch uint64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -35,13 +42,55 @@ func replayDump(path, id string) error {
 		}
 		records = kept
 	}
+	ref := asOfEpoch
+	if ref == 0 {
+		for _, rec := range records {
+			if rec.Epoch > ref {
+				ref = rec.Epoch
+			}
+		}
+	}
 	for i, rec := range records {
 		if i > 0 {
 			fmt.Println()
 		}
-		renderRecord(rec)
+		renderRecord(rec, ref)
 	}
+	reportStaleness(records, ref, asOfEpoch != 0)
 	return nil
+}
+
+// reportStaleness summarizes cross-epoch staleness across the dump: how many
+// records ran on snapshots older than the reference epoch.
+func reportStaleness(records []*obs.FlightRecord, ref uint64, explicit bool) {
+	if ref == 0 {
+		return // no epochs recorded (pre-live dump or static graph)
+	}
+	stale, epoched := 0, 0
+	for _, rec := range records {
+		if rec.Epoch == 0 {
+			continue
+		}
+		epoched++
+		if rec.Epoch < ref {
+			stale++
+		}
+	}
+	if epoched == 0 {
+		return
+	}
+	refDesc := "newest epoch in dump"
+	if explicit {
+		refDesc = "-replay-epoch"
+	}
+	fmt.Println()
+	if stale == 0 {
+		fmt.Printf("cross-epoch staleness: none — all %d epoch-tagged records ran on epoch %d (%s)\n",
+			epoched, ref, refDesc)
+		return
+	}
+	fmt.Printf("cross-epoch staleness: %d of %d epoch-tagged records predate epoch %d (%s); their trajectories describe an older graph topology\n",
+		stale, epoched, ref, refDesc)
 }
 
 // decodeFlightDump accepts the three shapes a dump file can take.
@@ -63,7 +112,7 @@ func decodeFlightDump(raw []byte) ([]*obs.FlightRecord, error) {
 	return nil, fmt.Errorf("no flight records found (expected the JSON body of /debug/flos/slow or /debug/flos/flightrec)")
 }
 
-func renderRecord(rec *obs.FlightRecord) {
+func renderRecord(rec *obs.FlightRecord, refEpoch uint64) {
 	kind := "topk"
 	if rec.Unified {
 		kind = "unified"
@@ -72,7 +121,14 @@ func renderRecord(rec *obs.FlightRecord) {
 	if rec.Slow {
 		slow = " [slow]"
 	}
-	fmt.Printf("record %s  %s%s\n", rec.ID, rec.Start.Format(time.RFC3339), slow)
+	epoch := ""
+	if rec.Epoch > 0 {
+		epoch = fmt.Sprintf("  epoch %d", rec.Epoch)
+		if rec.Epoch < refEpoch {
+			epoch += " [stale]"
+		}
+	}
+	fmt.Printf("record %s  %s%s%s\n", rec.ID, rec.Start.Format(time.RFC3339), epoch, slow)
 	fmt.Printf("%s query %d, measure %s, k=%d, outcome %s: %s, visited %d nodes, %d iterations, %d sweeps, exact=%v\n",
 		kind, rec.Query, rec.Measure, rec.K, rec.Outcome,
 		time.Duration(rec.LatencyUS)*time.Microsecond,

@@ -1,0 +1,329 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/livegraph"
+	"flos/internal/measure"
+	"flos/internal/qserve"
+)
+
+// liveBench measures live-graph serving under mutation pressure: a pool of
+// repeated queries against a community graph while a writer applies edge
+// mutations confined to a small node block disconnected from the query
+// traffic. Two invalidation policies serve the identical workload:
+//
+//   - full: every mutation batch is followed by BumpEpoch — the deprecated
+//     wholesale flush, standing in for the pre-live "any write orphans the
+//     whole cache" behavior;
+//   - surgical: Mutate alone — each batch invalidates only the cached
+//     results whose read footprint intersects the touched rows, carrying
+//     everything else across the epoch.
+//
+// Because the mutations are localized away from every query's footprint,
+// surgical invalidation retains essentially the whole cache at any mutation
+// rate, while the full flush collapses the hit rate as soon as flushes
+// outpace each key's revisit interval. The headline number is the hit-rate
+// ratio at the highest mutation rate (target: >= 5x).
+//
+// Clients are paced (fixed arrival rate, not closed-loop): an unpaced client
+// blocked on a slow miss issues few lookups while a hitting client issues
+// millions, so the hit rate would be throughput-weighted and meaningless.
+// With pacing each key is revisited on a fixed cadence and the hit rate
+// measures what fraction of queries actually found their answer live.
+func liveBench(out io.Writer, jsonPath string) error {
+	const (
+		nodes     = 20000
+		edges     = 80000
+		mutBlock  = 64 // extra nodes receiving all mutation traffic
+		clients   = 4
+		workers   = 4
+		pairs     = 256 // distinct (query, measure) pairs in the hot set
+		batchLen  = 4   // edge ops per mutation batch
+		duration  = 2 * time.Second
+		targetQPS = 2000 // paced aggregate arrival rate
+	)
+	rates := []int{0, 10, 100} // mutations per second
+
+	base, err := buildLiveBase(nodes, edges, mutBlock)
+	if err != nil {
+		return err
+	}
+	lc := graph.LargestComponentNodes(base)
+	kinds := []measure.Kind{measure.PHP, measure.EI, measure.DHT, measure.THT, measure.RWR}
+	reqs := make([]qserve.Request, pairs)
+	for i := range reqs {
+		reqs[i] = qserve.Request{
+			Query: lc[(i*7919)%len(lc)],
+			Opt:   core.DefaultOptions(kinds[i%len(kinds)], 10),
+		}
+	}
+
+	// One mutation batch: toggle the weight of batchLen ring edges inside the
+	// mutation block. OpSet is always valid, so the writer never errors.
+	mutation := func(step int) []livegraph.EdgeOp {
+		ops := make([]livegraph.EdgeOp, batchLen)
+		w := 1.0 + float64(step%2)
+		for i := range ops {
+			u := nodes + (step*batchLen+i)%mutBlock
+			ops[i] = livegraph.EdgeOp{
+				Op: livegraph.OpSet,
+				U:  graph.NodeID(u),
+				V:  graph.NodeID(nodes + (u-nodes+1)%mutBlock),
+				W:  w,
+			}
+		}
+		return ops
+	}
+
+	type scenario struct {
+		Mode      string  `json:"mode"`
+		MutPerSec int     `json:"mutations_per_sec"`
+		Queries   int     `json:"queries"`
+		QPS       float64 `json:"qps"`
+		P50US     float64 `json:"p50_us"`
+		P99US     float64 `json:"p99_us"`
+		HitRate   float64 `json:"hit_rate"`
+		Surgical  int64   `json:"invalidations_surgical"`
+		Retained  int64   `json:"cache_retained"`
+		Recertify int64   `json:"recertify_hits"`
+		FullFlush int64   `json:"invalidations_full"`
+		Mutations int64   `json:"mutations_applied"`
+		Batches   int64   `json:"batches_applied"`
+	}
+
+	run := func(mode string, rate int) (scenario, error) {
+		mg, err := buildLiveBase(nodes, edges, mutBlock)
+		if err != nil {
+			return scenario{}, err
+		}
+		lg := livegraph.New(mg)
+		pool := qserve.New(lg, qserve.Config{
+			Workers:      workers,
+			QueueDepth:   4 * clients,
+			CacheEntries: 4096,
+		})
+		defer pool.Close()
+		ctx := context.Background()
+
+		// Warm the cache (and the engine workspaces) outside the window.
+		for _, r := range reqs {
+			if _, err := pool.Do(ctx, r); err != nil {
+				return scenario{}, err
+			}
+		}
+		before := pool.Metrics()
+
+		var (
+			wg       sync.WaitGroup
+			latMu    sync.Mutex
+			lats     []time.Duration
+			firstErr error
+			errMu    sync.Mutex
+		)
+		fail := func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+		deadline := time.Now().Add(duration)
+		stop := make(chan struct{})
+		time.AfterFunc(duration, func() { close(stop) })
+
+		if rate > 0 {
+			interval := time.Duration(float64(batchLen) / float64(rate) * float64(time.Second))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				for step := 0; ; step++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					if _, err := pool.Mutate(mutation(step)); err != nil {
+						fail(err)
+						return
+					}
+					if mode == "full" {
+						pool.BumpEpoch()
+					}
+				}
+			}()
+		}
+
+		pace := time.Duration(clients) * time.Second / targetQPS
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var local []time.Duration
+				for i := c; time.Now().Before(deadline); i += clients {
+					start := time.Now()
+					if _, err := pool.Do(ctx, reqs[i%len(reqs)]); err != nil {
+						fail(err)
+						return
+					}
+					elapsed := time.Since(start)
+					local = append(local, elapsed)
+					if d := pace - elapsed; d > 0 {
+						time.Sleep(d)
+					}
+				}
+				latMu.Lock()
+				lats = append(lats, local...)
+				latMu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return scenario{}, firstErr
+		}
+
+		after := pool.Metrics()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			idx := int(p * float64(len(lats)-1))
+			return float64(lats[idx].Microseconds())
+		}
+		hits := after.CacheHits - before.CacheHits
+		misses := after.CacheMisses - before.CacheMisses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		return scenario{
+			Mode:      mode,
+			MutPerSec: rate,
+			Queries:   len(lats),
+			QPS:       float64(len(lats)) / duration.Seconds(),
+			P50US:     pct(0.50),
+			P99US:     pct(0.99),
+			HitRate:   hitRate,
+			Surgical:  after.InvalidationsSurgical,
+			Retained:  after.CacheRetained,
+			Recertify: after.RecertifyHits,
+			FullFlush: after.InvalidationsFull,
+			Mutations: after.OpsApplied,
+			Batches:   after.SnapshotsTotal - 1,
+		}, nil
+	}
+
+	fmt.Fprintf(out, "live-graph serving: %d+%d nodes, %d edges, %d clients, %d workers,\n",
+		nodes, mutBlock, edges, clients, workers)
+	fmt.Fprintf(out, "%d-pair hot query set, mutations confined to a %d-node block (batches of %d), %s per scenario\n",
+		pairs, mutBlock, batchLen, duration)
+	fmt.Fprintf(out, "%-10s %8s %9s %9s %9s %9s %10s %10s %9s\n",
+		"mode", "mut/s", "queries", "p50-us", "p99-us", "hit-rate", "surgical", "retained", "recert")
+
+	var scenarios []scenario
+	var surgicalHit, fullHit float64
+	fullQueries := 1
+	for _, mode := range []string{"full", "surgical"} {
+		for _, rate := range rates {
+			sc, err := run(mode, rate)
+			if err != nil {
+				return err
+			}
+			scenarios = append(scenarios, sc)
+			fmt.Fprintf(out, "%-10s %8d %9d %9.0f %9.0f %8.1f%% %10d %10d %9d\n",
+				sc.Mode, sc.MutPerSec, sc.Queries, sc.P50US, sc.P99US,
+				100*sc.HitRate, sc.Surgical, sc.Retained, sc.Recertify)
+			if rate == rates[len(rates)-1] {
+				if mode == "surgical" {
+					surgicalHit = sc.HitRate
+				} else {
+					fullHit = sc.HitRate
+					fullQueries = sc.Queries
+				}
+			}
+		}
+	}
+
+	// Clamp the denominator to one hit so a zero-hit full flush reports a
+	// finite (still enormous) ratio instead of dividing by zero.
+	fullFloor := fullHit
+	if min := 1.0 / float64(fullQueries+1); fullFloor < min {
+		fullFloor = min
+	}
+	ratio := surgicalHit / fullFloor
+	fmt.Fprintf(out, "hit rate at %d mut/s: surgical %.1f%% vs full flush %.1f%% — %.1fx (target: >= 5x)\n",
+		rates[len(rates)-1], 100*surgicalHit, 100*fullHit, ratio)
+
+	if jsonPath != "" {
+		body := map[string]any{
+			"bench":             "live-serving",
+			"nodes":             nodes + mutBlock,
+			"edges":             edges,
+			"clients":           clients,
+			"workers":           workers,
+			"hot_pairs":         pairs,
+			"batch_len":         batchLen,
+			"duration_sec":      duration.Seconds(),
+			"scenarios":         scenarios,
+			"surgical_hit_rate": surgicalHit,
+			"full_hit_rate":     fullHit,
+			"hit_rate_ratio":    ratio,
+			"target_ratio":      5.0,
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// buildLiveBase is the benchmark graph: a community graph carrying the query
+// traffic plus a small disconnected ring of block nodes that receives every
+// mutation, so mutations are provably outside any query's read footprint.
+func buildLiveBase(nodes int, edges int64, block int) (*graph.MemGraph, error) {
+	cg, err := gen.Community(nodes, edges, gen.CommunityParamsForDensity(2*float64(edges)/float64(nodes)), 11)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(nodes + block)
+	for u := 0; u < cg.NumNodes(); u++ {
+		nbrs, wts := cg.Neighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			if graph.NodeID(u) < v {
+				if err := b.AddEdge(graph.NodeID(u), v, wts[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := 0; i < block; i++ {
+		if err := b.AddEdge(graph.NodeID(nodes+i), graph.NodeID(nodes+(i+1)%block), 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -6,6 +6,7 @@
 //	flosd -store big.flos -pagecache 256 -addr :8080
 //	flosd -bin graph.bin -workers 16 -queue 128 -cache 4096 -timeout 2s
 //	flosd -bin graph.bin -log-level debug -pprof :6060
+//	flosd -bin graph.bin -live               # accept POST /graph/edges
 //
 //	curl 'localhost:8080/topk?q=42&k=10&measure=rwr'
 //	curl 'localhost:8080/topk?q=42&k=10&measure=rwr&trace=1'
@@ -18,6 +19,11 @@
 // size, -queue the admission queue that sheds overload with 429, -cache the
 // result-cache capacity, and -timeout the per-query deadline. Disk-resident
 // stores are served concurrently through the lock-striped page cache.
+//
+// -live wraps an in-memory graph (-graph or -bin) in a live-graph snapshot
+// chain: POST /graph/edges applies atomic mutation batches while queries
+// keep running against their pinned snapshots, and the result cache is
+// invalidated surgically (see internal/livegraph).
 //
 // The diagnostics plane is on by default: a flight recorder keeps the last
 // -flightrec completed queries (outcome, latency, work counters, and a
@@ -62,6 +68,7 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission queue depth; excess requests get 429 (0 = 4x workers)")
 		cache     = flag.Int("cache", 0, "result-cache entries (0 = 1024, negative disables)")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms or 2s (0 = none)")
+		live      = flag.Bool("live", false, "serve a mutable live graph: accept POST /graph/edges (requires -graph or -bin)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
 
@@ -110,8 +117,16 @@ func main() {
 		logger.Error("one of -graph, -bin, -store is required")
 		os.Exit(1)
 	}
+	if *live {
+		mg, ok := g.(*flos.MemGraph)
+		if !ok {
+			logger.Error("-live requires an in-memory graph (-graph or -bin); disk stores are immutable")
+			os.Exit(1)
+		}
+		g = flos.NewLiveGraph(mg)
+	}
 	logger.Info("graph loaded",
-		"nodes", g.NumNodes(), "edges", g.NumEdges(), "elapsed", time.Since(start))
+		"nodes", g.NumNodes(), "edges", g.NumEdges(), "live", *live, "elapsed", time.Since(start))
 
 	if *pprofAddr != "" {
 		// The pprof import registers on http.DefaultServeMux; serve that mux

@@ -30,6 +30,7 @@ import (
 	"flos/internal/diskgraph"
 	"flos/internal/gen"
 	"flos/internal/graph"
+	"flos/internal/livegraph"
 	"flos/internal/measure"
 )
 
@@ -220,6 +221,41 @@ func GenerateRandom(n int, m int64, seed uint64) (*MemGraph, error) {
 func GenerateRMAT(n int, m int64, seed uint64) (*MemGraph, error) {
 	return gen.RMAT(n, m, gen.DefaultRMAT(), seed)
 }
+
+// LiveGraph is a mutable graph served as a chain of immutable copy-on-write
+// CSR snapshots: writers apply atomic mutation batches (Apply) that produce
+// a new snapshot re-materializing only the touched adjacency rows, while
+// readers pin the current snapshot (Acquire / AcquireSnapshot) and keep
+// querying it unchanged until they release it. A LiveGraph satisfies Graph
+// directly (each read delegates to the current snapshot), and the search
+// layer pins one snapshot per query, so in-flight queries never observe a
+// mutation. See internal/livegraph.
+type LiveGraph = livegraph.LiveGraph
+
+// GraphSnapshot is one immutable snapshot in a LiveGraph's chain. It
+// satisfies Graph and serves reads lock-free.
+type GraphSnapshot = livegraph.Snapshot
+
+// EdgeOp is one edge mutation in a LiveGraph batch.
+type EdgeOp = livegraph.EdgeOp
+
+// EdgeOpKind selects an EdgeOp's operation.
+type EdgeOpKind = livegraph.Op
+
+// The edge mutation kinds.
+const (
+	// OpAdd inserts a new edge (errors if it exists).
+	OpAdd = livegraph.OpAdd
+	// OpRemove deletes an existing edge (errors if missing).
+	OpRemove = livegraph.OpRemove
+	// OpSet upserts an edge's weight.
+	OpSet = livegraph.OpSet
+)
+
+// NewLiveGraph wraps an in-memory graph in a live snapshot chain. The base
+// snapshot aliases g's adjacency storage (no copy); g must not be used for
+// writes afterwards.
+func NewLiveGraph(g *MemGraph) *LiveGraph { return livegraph.New(g) }
 
 // CreateDiskGraph writes g into the paged disk-store format.
 func CreateDiskGraph(path string, g *MemGraph) error {

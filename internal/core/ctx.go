@@ -76,6 +76,13 @@ func TopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options) (*
 // topKIn validates and dispatches one query; ws supplies a reusable engine
 // workspace (nil runs cold).
 func topKIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*Result, error) {
+	if snapper, ok := g.(graph.Snapshotter); ok {
+		// Live backend: pin one immutable snapshot for the whole search so
+		// concurrent mutation batches cannot tear the topology mid-query.
+		snap, release := snapper.AcquireSnapshot()
+		defer release()
+		g = snap
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}

@@ -65,6 +65,14 @@ type phpEngine struct {
 	degCache   degMemo
 
 	degreeProbes int
+
+	// Footprint capture (Options.CaptureFootprint): probed collects the
+	// unvisited nodes whose Degree was read — the memo guarantees each node
+	// appears at most once — and lastGuard records the final w(S̄) ceiling an
+	// RWR search certified against. Both feed surgical cache invalidation.
+	capProbes bool
+	probed    []graph.NodeID
+	lastGuard float64
 }
 
 // lbAt and ubAt expose the interleaved bound pair of local node i.
@@ -107,6 +115,9 @@ func (e *phpEngine) reset(g graph.Graph, q graph.NodeID, c, tau float64, maxIter
 	}
 	e.rd = 1
 	e.degreeProbes = 0
+	e.capProbes = false
+	e.probed = e.probed[:0]
+	e.lastGuard = 0
 
 	e.visit(q)
 	e.bnd[0] = 1 // lb_q
@@ -183,6 +194,9 @@ func (e *phpEngine) degreeOf(v graph.NodeID) float64 {
 	}
 	d := e.g.Degree(v)
 	e.degreeProbes++
+	if e.capProbes {
+		e.probed = append(e.probed, v)
+	}
 	e.degCache.put(v, d)
 	return d
 }

@@ -34,6 +34,18 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 	}
 	rwrMode := opt.Measure == measure.RWR
 	e := ws.phpFor(g, q, phpParams.C, phpParams.Tau, phpParams.MaxIter, opt.Tighten)
+	e.capProbes = opt.CaptureFootprint
+	// Warm-start seeding: pre-visit the supplied nodes before iteration 1.
+	// The bound systems are valid for any S containing q, and the first
+	// iteration's refreshTightening/solveBounds handle the seeded region like
+	// any other expansion, so correctness is untouched — only the trajectory
+	// (and hence the work counters) changes.
+	for _, v := range opt.WarmStart {
+		if v == q || v < 0 || int(v) >= g.NumNodes() || e.local.has(v) {
+			continue
+		}
+		e.visit(v)
+	}
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -97,6 +109,7 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 		if rwrMode {
 			guard = wSbar.value(&e.localSearch)
 			e.degreeProbes++ // the index scan stands in for one metadata probe
+			e.lastGuard = guard
 		}
 		var gap *certGap
 		if tracing {
@@ -168,6 +181,11 @@ func buildResult(e *phpEngine, sel []int32, opt Options, iters int, exact bool) 
 		Sweeps:       e.sweeps,
 		DegreeProbes: e.degreeProbes,
 		Exact:        exact,
+	}
+	if opt.CaptureFootprint {
+		res.VisitedNodes = append([]graph.NodeID(nil), e.nodes...)
+		res.ProbedNodes = append([]graph.NodeID(nil), e.probed...)
+		res.GuardDegree = e.lastGuard
 	}
 	for _, i := range sel {
 		php := (e.lbAt(i) + e.ubAt(i)) / 2

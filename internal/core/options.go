@@ -47,6 +47,23 @@ type Options struct {
 	// same schedule without the O(|S|) snapshot copies. Trace remains for
 	// the figure-regeneration tooling.
 	Trace func(TraceEvent)
+	// WarmStart seeds the visited set with the listed nodes (in order)
+	// before the first expansion, on top of the mandatory query-node seed.
+	// The bound systems are valid for ANY visited set containing q, so a
+	// warm-started search is exactly as correct as a cold one — it just
+	// starts closer to termination when the seeds cover the answer's
+	// neighborhood. The live-serving cache uses this to re-certify a stale
+	// result on a new snapshot from its old visited set instead of
+	// recomputing from scratch. Out-of-range, duplicate, and q entries are
+	// skipped silently. Warm-started results are exact but need not be
+	// byte-identical to a cold run: the expansion trajectory differs.
+	WarmStart []graph.NodeID
+	// CaptureFootprint asks the result to carry the query's read footprint:
+	// the visited set in visit order, the unvisited nodes whose Degree was
+	// probed (bound tightening, RWR guard), and the w(S̄) guard ceiling.
+	// This is what surgical cache invalidation intersects mutation batches
+	// against. Off by default — capture allocates two slices per query.
+	CaptureFootprint bool
 	// Tracer, when non-nil, receives one IterStats per search iteration:
 	// visited/boundary/candidate counts, the certification gap (k-th lower
 	// bound vs. best outsider upper bound), batch size, and per-phase wall
@@ -178,4 +195,16 @@ type Result struct {
 	DegreeProbes int
 	// Exact is false only if MaxVisited aborted the search early.
 	Exact bool
+
+	// VisitedNodes, ProbedNodes, and GuardDegree are populated only when
+	// Options.CaptureFootprint is set. VisitedNodes is S in visit order;
+	// ProbedNodes lists the unvisited nodes whose Degree the search read
+	// (each at most once); GuardDegree is the last w(S̄) guard value an RWR
+	// search certified against (0 when no guard was used). Together they are
+	// the query's entire read footprint: a mutation that touches none of
+	// these nodes and does not raise any endpoint's degree above GuardDegree
+	// cannot change this result.
+	VisitedNodes []graph.NodeID
+	ProbedNodes  []graph.NodeID
+	GuardDegree  float64
 }

@@ -434,6 +434,14 @@ func (e *thtEngine) checkTermination(dst []int32, k int, tieEps float64, gap *ce
 // engine (nil runs cold).
 func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*Result, error) {
 	e := ws.thtFor(g, q, opt.Params.L)
+	// Warm-start seeding (see phpFamilyTopK): the L-level bound systems are
+	// valid for any S containing q, so pre-visiting seeds is safe.
+	for _, v := range opt.WarmStart {
+		if v == q || v < 0 || int(v) >= g.NumNodes() || e.local.has(v) {
+			continue
+		}
+		e.visit(v)
+	}
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -529,6 +537,11 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 				Iterations: t,
 				Sweeps:     e.sweeps,
 				Exact:      exact,
+			}
+			if opt.CaptureFootprint {
+				// THT probes no outside degrees and uses no guard, so its
+				// read footprint is exactly the visited set.
+				res.VisitedNodes = append([]graph.NodeID(nil), e.nodes...)
 			}
 			for _, i := range sel {
 				res.TopK = append(res.TopK, measure.Ranked{

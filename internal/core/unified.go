@@ -24,6 +24,13 @@ type UnifiedResult struct {
 	Sweeps       int
 	DegreeProbes int
 	Exact        bool
+
+	// Read footprint, populated only under Options.CaptureFootprint; see
+	// Result for field semantics. A unified query always certifies an RWR
+	// ranking, so GuardDegree is meaningful whenever the guard was consulted.
+	VisitedNodes []graph.NodeID
+	ProbedNodes  []graph.NodeID
+	GuardDegree  float64
 }
 
 // UnifiedTopK answers both ranking families — PHP/EI/DHT and RWR — with a
@@ -53,6 +60,13 @@ func UnifiedTopKCtx(ctx context.Context, g graph.Graph, q graph.NodeID, opt Opti
 // unifiedIn is the unified main loop; ws supplies a reusable engine
 // workspace (nil runs cold).
 func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) (*UnifiedResult, error) {
+	if snapper, ok := g.(graph.Snapshotter); ok {
+		// Live backend: pin one immutable snapshot for the whole search (see
+		// topKIn).
+		snap, release := snapper.AcquireSnapshot()
+		defer release()
+		g = snap
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,6 +74,14 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 		return nil, fmt.Errorf("%w: query node %d outside [0,%d)", ErrInvalidQuery, q, g.NumNodes())
 	}
 	e := ws.phpFor(g, q, opt.Params.C, opt.Params.Tau, opt.Params.MaxIter, opt.Tighten)
+	e.capProbes = opt.CaptureFootprint
+	// Warm-start seeding, as in phpFamilyTopK.
+	for _, v := range opt.WarmStart {
+		if v == q || v < 0 || int(v) >= g.NumNodes() || e.local.has(v) {
+			continue
+		}
+		e.visit(v)
+	}
 	maxVisited := opt.MaxVisited
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
@@ -137,6 +159,7 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 			}
 			guard := wSbar.value(&e.localSearch)
 			e.degreeProbes++
+			e.lastGuard = guard
 			selRWR = e.checkTermination(e.selOut2, opt.K, true, guard, opt.TieEps, gapRWR)
 			if selRWR != nil {
 				e.selOut2 = selRWR
@@ -185,6 +208,11 @@ func unifiedIn(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, 
 				Sweeps:       e.sweeps,
 				DegreeProbes: e.degreeProbes,
 				Exact:        exact,
+			}
+			if opt.CaptureFootprint {
+				out.VisitedNodes = append([]graph.NodeID(nil), e.nodes...)
+				out.ProbedNodes = append([]graph.NodeID(nil), e.probed...)
+				out.GuardDegree = e.lastGuard
 			}
 			for _, i := range selPHP {
 				out.PHPFamily = append(out.PHPFamily, measure.Ranked{

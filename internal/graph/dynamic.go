@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DynamicGraph is a mutable overlay over an immutable base graph: edges can
@@ -18,7 +19,9 @@ import (
 //
 // Neighbors allocates when v's adjacency is modified (merging base and
 // overlay); untouched nodes are served zero-copy from the base. Not safe
-// for concurrent mutation; concurrent reads are fine between mutations.
+// for concurrent mutation; concurrent reads between mutations are safe —
+// merged adjacency is materialized into fresh per-call slices (never shared
+// scratch) and the lazy TopDegrees rebuild is mutex-guarded.
 type DynamicGraph struct {
 	base *MemGraph
 
@@ -31,10 +34,9 @@ type DynamicGraph struct {
 
 	edgeDelta int64
 
-	// scratch for merged adjacency.
-	scratchN []NodeID
-	scratchW []float64
-
+	// topMu guards the lazy topCache rebuild: TopDegrees is a read in the
+	// Graph contract, so concurrent readers must not race on the rebuild.
+	topMu    sync.Mutex
 	topDirty bool
 	topCache []DegreeEntry
 }
@@ -178,7 +180,8 @@ func (g *DynamicGraph) Degree(v NodeID) float64 {
 
 // Neighbors returns the current adjacency of v. If v's adjacency is
 // unmodified the base slices are returned zero-copy; otherwise the merge is
-// materialized into scratch buffers valid until the next Neighbors call.
+// materialized into fresh slices owned by the caller. The merge never writes
+// shared state, so concurrent readers of overlay-touched nodes are safe.
 func (g *DynamicGraph) Neighbors(v NodeID) ([]NodeID, []float64) {
 	baseN, baseW := g.base.Neighbors(v)
 	extra := g.added[v]
@@ -194,46 +197,41 @@ func (g *DynamicGraph) Neighbors(v NodeID) ([]NodeID, []float64) {
 	if !touched {
 		return baseN, baseW
 	}
-	g.scratchN = g.scratchN[:0]
-	g.scratchW = g.scratchW[:0]
+	nbrs := make([]NodeID, 0, len(baseN)+len(extra))
+	ws := make([]float64, 0, len(baseN)+len(extra))
 	for i, u := range baseN {
 		if !g.removed[keyOf(v, u)] {
-			g.scratchN = append(g.scratchN, u)
-			g.scratchW = append(g.scratchW, baseW[i])
+			nbrs = append(nbrs, u)
+			ws = append(ws, baseW[i])
 		}
 	}
 	for _, h := range extra {
-		g.scratchN = append(g.scratchN, h.to)
-		g.scratchW = append(g.scratchW, h.w)
+		nbrs = append(nbrs, h.to)
+		ws = append(ws, h.w)
 	}
-	return g.scratchN, g.scratchW
+	return nbrs, ws
 }
 
-// TopDegrees recomputes the degree index lazily after mutations.
+// TopDegrees recomputes the degree index lazily after mutations. The rebuild
+// is mutex-guarded because this is a read in the Graph contract and may be
+// called by many readers at once.
 func (g *DynamicGraph) TopDegrees(k int) []DegreeEntry {
+	g.topMu.Lock()
 	if g.topCache == nil || g.topDirty {
 		g.topDirty = false
 		n := g.NumNodes()
-		entries := make([]DegreeEntry, n)
+		degs := make([]float64, n)
 		for v := 0; v < n; v++ {
-			entries[v] = DegreeEntry{Node: NodeID(v), Degree: g.Degree(NodeID(v))}
+			degs[v] = g.Degree(NodeID(v))
 		}
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].Degree != entries[j].Degree {
-				return entries[i].Degree > entries[j].Degree
-			}
-			return entries[i].Node < entries[j].Node
-		})
-		limit := topDegreeCache
-		if limit > n {
-			limit = n
-		}
-		g.topCache = entries[:limit]
+		g.topCache = TopDegreeIndex(degs)
 	}
-	if k > len(g.topCache) {
-		k = len(g.topCache)
+	top := g.topCache
+	g.topMu.Unlock()
+	if k > len(top) {
+		k = len(top)
 	}
-	return g.topCache[:k]
+	return top[:k]
 }
 
 // Freeze materializes the current view into a fresh immutable MemGraph.

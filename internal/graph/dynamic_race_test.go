@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDynamicGraphConcurrentReads locks in the fixed read contract: between
+// mutations, any number of goroutines may call Neighbors, Degree, and
+// TopDegrees concurrently — including on overlay-touched nodes, whose merged
+// adjacency used to be materialized into shared scratch buffers and whose
+// TopDegrees rebuild used to race. Run with -race (CI does), this test fails
+// on the old implementation and passes on the allocation-local one.
+func TestDynamicGraphConcurrentReads(t *testing.T) {
+	base := MustFromEdges(8,
+		0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 0, 0, 4)
+	g := NewDynamicGraph(base)
+	// Touch several rows so the merge path (not the zero-copy path) is what
+	// the readers exercise, and remove a base edge so the removed-mask path
+	// runs too.
+	if err := g.AddEdge(1, 5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 6, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	wantN, wantW := g.Neighbors(1)
+	wantDeg := g.Degree(1)
+	wantTop := g.TopDegrees(4)
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				for v := NodeID(0); v < 8; v++ {
+					nbrs, ws := g.Neighbors(v)
+					if len(nbrs) != len(ws) {
+						t.Error("adjacency slices disagree in length")
+						return
+					}
+					var sum float64
+					for _, w := range ws {
+						sum += w
+					}
+					if d := g.Degree(v); d != sum {
+						t.Errorf("node %d: degree %g != row sum %g", v, d, sum)
+						return
+					}
+				}
+				top := g.TopDegrees(4)
+				if len(top) != len(wantTop) {
+					t.Errorf("TopDegrees length changed: %d != %d", len(top), len(wantTop))
+					return
+				}
+				for i := range top {
+					if top[i] != wantTop[i] {
+						t.Errorf("TopDegrees[%d] = %+v, want %+v", i, top[i], wantTop[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reads after the concurrent phase still see the same merged view.
+	gotN, gotW := g.Neighbors(1)
+	if len(gotN) != len(wantN) || len(gotW) != len(wantW) {
+		t.Fatalf("merged adjacency changed shape: %v/%v vs %v/%v", gotN, gotW, wantN, wantW)
+	}
+	for i := range gotN {
+		if gotN[i] != wantN[i] || gotW[i] != wantW[i] {
+			t.Fatalf("merged adjacency changed: %v/%v vs %v/%v", gotN, gotW, wantN, wantW)
+		}
+	}
+	if g.Degree(1) != wantDeg {
+		t.Fatalf("degree changed: %g != %g", g.Degree(1), wantDeg)
+	}
+}

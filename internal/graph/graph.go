@@ -75,6 +75,18 @@ func HasStableNeighbors(g Graph) bool {
 	return ok && s.StableNeighbors()
 }
 
+// Snapshotter is the optional capability of graph backends whose topology
+// can change between queries (livegraph.LiveGraph). AcquireSnapshot pins the
+// current immutable point-in-time view and returns it together with a
+// release function; the search engines pin one snapshot per query, so a
+// whole search always sees a single consistent topology even while writers
+// publish new snapshots concurrently. Release must be called exactly once
+// when the query is done; it never blocks.
+type Snapshotter interface {
+	// AcquireSnapshot pins and returns the current immutable snapshot.
+	AcquireSnapshot() (Graph, func())
+}
+
 // Viewer is the optional capability of graph backends that can hand out
 // independent concurrent-safe read views sharing the underlying storage.
 // A backend whose Graph handle is itself safe for concurrent readers (the
@@ -156,7 +168,18 @@ func (g *MemGraph) Weights() []float64 { return g.weights }
 
 // buildTopDegrees computes the cached degree prefix.
 func (g *MemGraph) buildTopDegrees() {
-	n := g.NumNodes()
+	g.top = TopDegreeIndex(g.degrees)
+}
+
+// TopDegreeIndex computes the canonical pre-sorted degree prefix every graph
+// implementation in this module serves TopDegrees from: all nodes ordered by
+// (degree descending, node ascending), truncated to the standard cache
+// length. Sharing one implementation is what keeps TopDegrees — and with it
+// the RWR w(S̄) guard and every downstream query result — byte-identical
+// across MemGraph, DynamicGraph, and live-graph snapshots built over the
+// same degree vector.
+func TopDegreeIndex(degrees []float64) []DegreeEntry {
+	n := len(degrees)
 	k := topDegreeCache
 	if k > n {
 		k = n
@@ -165,7 +188,7 @@ func (g *MemGraph) buildTopDegrees() {
 	// tens of millions and this runs once at construction.
 	entries := make([]DegreeEntry, n)
 	for v := 0; v < n; v++ {
-		entries[v] = DegreeEntry{Node: NodeID(v), Degree: g.degrees[v]}
+		entries[v] = DegreeEntry{Node: NodeID(v), Degree: degrees[v]}
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Degree != entries[j].Degree {
@@ -173,7 +196,7 @@ func (g *MemGraph) buildTopDegrees() {
 		}
 		return entries[i].Node < entries[j].Node
 	})
-	g.top = append([]DegreeEntry(nil), entries[:k]...)
+	return append([]DegreeEntry(nil), entries[:k]...)
 }
 
 // Validate checks structural invariants: sorted offsets, in-range targets,

@@ -72,6 +72,11 @@ type FlightRecord struct {
 	Sweeps     int `json:"sweeps"`
 	// Exact reports the engine's exactness certificate.
 	Exact bool `json:"exact,omitempty"`
+	// Epoch is the graph epoch (live-pool snapshot epoch) the query ran
+	// against; offline replay compares it with the replay graph's epoch to
+	// flag cross-epoch staleness instead of silently replaying on a
+	// different topology.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Slow marks records promoted into the slow-query log.
 	Slow bool `json:"slow,omitempty"`
 	// Trace is the down-sampled IterStats trajectory; TraceTotal is the

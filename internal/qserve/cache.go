@@ -51,6 +51,18 @@ type resultCache struct {
 type cacheEntry struct {
 	key  cacheKey
 	resp *Response
+
+	// Live-mode invalidation state, nil/zero on non-live pools. fp is the
+	// query's full read footprint (visited ∪ degree-probed nodes), sorted;
+	// visited is the visit-order set kept for warm-starting a re-certify run;
+	// guard/guarded implement the RWR w(S̄) rule: a guarded entry also goes
+	// stale when a mutation raises some touched node's degree above the
+	// ceiling the search certified against, because the unvisited-mass bound
+	// quietly leaned on that ceiling even outside the footprint.
+	fp      []graph.NodeID
+	visited []graph.NodeID
+	guard   float64
+	guarded bool
 }
 
 func newResultCache(max int) *resultCache {
@@ -91,8 +103,170 @@ func (c *resultCache) put(k cacheKey, resp *Response) {
 	}
 }
 
+// putLive stores a response together with its read footprint so later
+// mutation batches can invalidate it surgically.
+func (c *resultCache) putLive(k cacheKey, resp *Response, fp, visited []graph.NodeID, guard float64, guarded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		e := el.Value.(*cacheEntry)
+		e.resp, e.fp, e.visited, e.guard, e.guarded = resp, fp, visited, guard, guarded
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp, fp: fp, visited: visited, guard: guard, guarded: guarded})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// invalidate walks every entry after a mutation batch moved the graph from
+// oldEpoch to newEpoch. touched is the sorted list of nodes whose adjacency
+// the batch changed; maxTouchedDeg is the largest new degree among them.
+//
+// Per entry:
+//   - epoch == newEpoch: a query raced ahead and cached against the new
+//     snapshot already — valid, keep.
+//   - epoch == oldEpoch, footprint disjoint from touched and the guard rule
+//     silent: the batch provably cannot change this answer (the search read
+//     none of the mutated rows, probed none of the mutated degrees, and no
+//     degree rose above the certified w(S̄) ceiling) — re-key to newEpoch so
+//     future lookups keep hitting it (retained).
+//   - epoch == oldEpoch, footprint intersected or guard rule fired: evict,
+//     parking the visited set in the stale store so the recompute can
+//     warm-start (surgical).
+//   - anything older: straggler from a pre-batch query that finished after a
+//     later batch's walk; it can never be served again — drop (counted as
+//     surgical, it is the same per-entry invalidation).
+func (c *resultCache) invalidate(oldEpoch, newEpoch uint64, touched []graph.NodeID, maxTouchedDeg float64, stale *staleStore) (surgical, retained int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.epoch == newEpoch {
+			continue
+		}
+		stay := e.key.epoch == oldEpoch &&
+			e.fp != nil &&
+			!intersectsSorted(e.fp, touched) &&
+			!(e.guarded && maxTouchedDeg > e.guard)
+		if stay {
+			delete(c.m, e.key)
+			e.key.epoch = newEpoch
+			// A raced-ahead query may already hold the new key; keep the
+			// fresher entry and drop this one.
+			if _, dup := c.m[e.key]; dup {
+				c.ll.Remove(el)
+				surgical++
+				continue
+			}
+			c.m[e.key] = el
+			retained++
+			continue
+		}
+		delete(c.m, e.key)
+		c.ll.Remove(el)
+		surgical++
+		if stale != nil && e.key.epoch == oldEpoch && len(e.visited) > 0 {
+			stale.put(e.key, e.visited)
+		}
+	}
+	return surgical, retained
+}
+
+// clear drops every entry (the deprecated full-flush path).
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}
+
 func (c *resultCache) counters() (hits, misses, evictions int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, c.ll.Len()
+}
+
+// intersectsSorted reports whether two ascending NodeID slices share an
+// element (linear merge scan).
+func intersectsSorted(a, b []graph.NodeID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// staleStore parks the visited sets of surgically invalidated entries, keyed
+// by their cache key with the epoch zeroed (the seed is useful on whatever
+// snapshot the recompute lands on). take is one-shot: the first recompute of
+// a stale query consumes the seed and warm-starts from it. Bounded FIFO.
+type staleStore struct {
+	mu    sync.Mutex
+	max   int
+	order []cacheKey
+	m     map[cacheKey][]graph.NodeID
+}
+
+func newStaleStore(max int) *staleStore {
+	return &staleStore{max: max, m: make(map[cacheKey][]graph.NodeID, max)}
+}
+
+// zeroEpoch is the stale store's key normalization.
+func zeroEpoch(k cacheKey) cacheKey {
+	k.epoch = 0
+	return k
+}
+
+func (s *staleStore) put(k cacheKey, visited []graph.NodeID) {
+	k = zeroEpoch(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; !ok {
+		s.order = append(s.order, k)
+		for len(s.order) > s.max {
+			delete(s.m, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.m[k] = visited
+}
+
+// take removes and returns the parked visited set for k, if any.
+func (s *staleStore) take(k cacheKey) ([]graph.NodeID, bool) {
+	k = zeroEpoch(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	if !ok {
+		return nil, false
+	}
+	delete(s.m, k)
+	for i, key := range s.order {
+		if key == k {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return v, true
+}
+
+func (s *staleStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order = s.order[:0]
+	clear(s.m)
 }

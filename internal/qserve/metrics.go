@@ -59,6 +59,16 @@ type metrics struct {
 	visited    atomic.Int64
 	sweeps     atomic.Int64
 
+	// Invalidation split. invalFull counts whole-cache flushes (BumpEpoch);
+	// invalSurgical counts entries individually evicted because a mutation
+	// batch touched their read footprint; retained counts entries a batch
+	// carried forward untouched; recertHits counts stale entries re-certified
+	// by a warm-started search instead of a cold recompute.
+	invalFull     atomic.Int64
+	invalSurgical atomic.Int64
+	retained      atomic.Int64
+	recertHits    atomic.Int64
+
 	lat          obs.Histogram // all executed (non-cache-hit) queries
 	latByMeasure [len(measureLabels)]obs.Histogram
 }
@@ -85,22 +95,26 @@ func (m *metrics) addWork(iterations, visited, sweeps int) {
 func (m *metrics) snapshot() Metrics {
 	lat := m.lat.Snapshot()
 	out := Metrics{
-		Served:           m.served.Load(),
-		Shed:             m.shed.Load(),
-		Interrupted:      m.interrupted.Load(),
-		Batches:          m.batches.Load(),
-		OK:               m.ok.Load(),
-		Hit:              m.hit.Load(),
-		Deadline:         m.deadline.Load(),
-		Canceled:         m.canceled.Load(),
-		Failed:           m.failed.Load(),
-		IterationsTotal:  m.iterations.Load(),
-		VisitedTotal:     m.visited.Load(),
-		SweepsTotal:      m.sweeps.Load(),
-		P50Micros:        lat.QuantileUS(0.50),
-		P99Micros:        lat.QuantileUS(0.99),
-		Latency:          lat,
-		LatencyByMeasure: make(map[string]obs.Snapshot),
+		Served:                m.served.Load(),
+		Shed:                  m.shed.Load(),
+		Interrupted:           m.interrupted.Load(),
+		Batches:               m.batches.Load(),
+		OK:                    m.ok.Load(),
+		Hit:                   m.hit.Load(),
+		Deadline:              m.deadline.Load(),
+		Canceled:              m.canceled.Load(),
+		Failed:                m.failed.Load(),
+		IterationsTotal:       m.iterations.Load(),
+		VisitedTotal:          m.visited.Load(),
+		SweepsTotal:           m.sweeps.Load(),
+		InvalidationsFull:     m.invalFull.Load(),
+		InvalidationsSurgical: m.invalSurgical.Load(),
+		CacheRetained:         m.retained.Load(),
+		RecertifyHits:         m.recertHits.Load(),
+		P50Micros:             lat.QuantileUS(0.50),
+		P99Micros:             lat.QuantileUS(0.99),
+		Latency:               lat,
+		LatencyByMeasure:      make(map[string]obs.Snapshot),
 	}
 	for i := range m.latByMeasure {
 		if s := m.latByMeasure[i].Snapshot(); s.Count > 0 {
@@ -158,8 +172,22 @@ type Metrics struct {
 	// Cache counters; zero when the cache is disabled.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheEntries                           int
-	// Epoch is the current invalidation epoch.
+	// Epoch is the current invalidation epoch. On a live pool it mirrors the
+	// current snapshot's epoch.
 	Epoch uint64
+	// Invalidation split. InvalidationsFull counts whole-cache flushes
+	// (BumpEpoch, the deprecated path); InvalidationsSurgical counts entries
+	// individually invalidated because a mutation batch intersected their
+	// read footprint; CacheRetained counts entries carried forward across a
+	// batch untouched; RecertifyHits counts stale entries answered by a
+	// warm-started re-certification instead of a cold recompute.
+	InvalidationsFull, InvalidationsSurgical int64
+	CacheRetained, RecertifyHits             int64
+	// Live-graph gauges, zero on non-live pools: snapshots currently
+	// referenced, snapshots ever published, adjacency rows copy-on-write
+	// re-materialized, and edge ops applied.
+	SnapshotsAlive, SnapshotsTotal int64
+	RowsCoWed, OpsApplied          int64
 }
 
 // CacheHitRatio returns hits/(hits+misses), 0 when no lookups happened.

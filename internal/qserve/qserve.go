@@ -28,12 +28,15 @@ import (
 	"errors"
 	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flos/internal/core"
 	"flos/internal/graph"
+	"flos/internal/livegraph"
+	"flos/internal/measure"
 	"flos/internal/obs"
 )
 
@@ -44,6 +47,9 @@ var (
 	ErrOverloaded = errors.New("qserve: admission queue full")
 	// ErrClosed reports that the pool has been shut down.
 	ErrClosed = errors.New("qserve: pool closed")
+	// ErrNotLive reports a Mutate call on a pool whose graph backend is not
+	// a livegraph.LiveGraph.
+	ErrNotLive = errors.New("qserve: pool is not serving a live graph")
 )
 
 // Config tunes a Pool. The zero value selects sensible defaults.
@@ -114,6 +120,10 @@ type Response struct {
 	Unified *core.UnifiedResult
 	// CacheHit reports that the answer came from the result cache.
 	CacheHit bool
+	// Epoch is the graph epoch the answer is valid for. On a live pool it is
+	// the epoch of the snapshot the query was pinned to at admission; replay
+	// tooling compares it against the current epoch to report staleness.
+	Epoch uint64
 }
 
 // Pool executes queries on a bounded worker set.
@@ -126,6 +136,22 @@ type Pool struct {
 
 	cache *resultCache
 	epoch atomic.Uint64
+
+	// live is non-nil when the graph backend is a livegraph.LiveGraph. Each
+	// admitted query then pins the current snapshot (j.snap), runs entirely
+	// against it, and caches under the snapshot's epoch; Mutate publishes new
+	// snapshots and invalidates surgically. On live pools p.epoch merely
+	// mirrors the latest published epoch for Metrics — cache keys come from
+	// the pinned snapshot, never from this mirror, so an admission racing a
+	// publish stays consistent.
+	live *livegraph.LiveGraph
+	// mutateMu serializes Mutate's apply→invalidate sequence so the cache
+	// walk of batch N completes before batch N+1 starts retiring epoch N.
+	mutateMu sync.Mutex
+	// stale parks visited sets of surgically invalidated entries for the
+	// re-certification warm start; nil when caching is off or the pool is
+	// not live.
+	stale *staleStore
 
 	// serialMu is non-nil when the graph backend is not concurrent-safe;
 	// workers hold it for the duration of each search.
@@ -143,6 +169,25 @@ type job struct {
 	key    cacheKey
 	cached bool // key is valid and the answer should be cached
 	out    chan outcome
+
+	// Live-mode state: the snapshot pinned at admission (the whole query
+	// runs against it), its epoch, and whether the run warm-starts from a
+	// stale entry's visited set (a re-certification).
+	snap   *livegraph.Snapshot
+	epoch  uint64
+	recert bool
+}
+
+// discard releases the job's resources without running it: the deadline
+// context (if any) and the pinned snapshot. Safe to call more than once.
+func (j *job) discard() {
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if j.snap != nil {
+		j.snap.Release()
+		j.snap = nil
+	}
 }
 
 type outcome struct {
@@ -163,6 +208,13 @@ func New(g graph.Graph, cfg Config) *Pool {
 	}
 	if cfg.CacheEntries > 0 {
 		p.cache = newResultCache(cfg.CacheEntries)
+	}
+	if lg, ok := g.(*livegraph.LiveGraph); ok {
+		p.live = lg
+		p.epoch.Store(lg.Epoch())
+		if p.cache != nil {
+			p.stale = newStaleStore(cfg.CacheEntries)
+		}
 	}
 
 	views := make([]graph.Graph, cfg.Workers)
@@ -188,15 +240,85 @@ func New(g graph.Graph, cfg Config) *Pool {
 func (p *Pool) Close() {
 	p.close.Do(func() { close(p.done) })
 	p.wg.Wait()
+	// Workers are gone; drain abandoned queue entries so their pinned
+	// snapshots are released.
+	for {
+		select {
+		case j := <-p.jobs:
+			j.discard()
+		default:
+			return
+		}
+	}
 }
 
 // Epoch returns the current graph epoch the result cache is keyed by.
 func (p *Pool) Epoch() uint64 { return p.epoch.Load() }
 
-// BumpEpoch invalidates every cached result. Call it after mutating the
-// graph (e.g. DynamicGraph.AddEdge/RemoveEdge); queries admitted afterwards
-// read fresh topology and repopulate the cache under the new epoch.
-func (p *Pool) BumpEpoch() { p.epoch.Add(1) }
+// BumpEpoch invalidates every cached result at once.
+//
+// Deprecated: on live pools this full flush is superseded by Mutate, which
+// publishes the topology change AND invalidates surgically — only entries
+// whose read footprint the batch touched are evicted. BumpEpoch remains the
+// contract for external mutation of non-live backends (DynamicGraph): call
+// it after AddEdge/RemoveEdge so queries admitted afterwards read fresh
+// topology and repopulate the cache under the new epoch. Either way the call
+// counts toward Metrics.InvalidationsFull.
+func (p *Pool) BumpEpoch() {
+	p.met.invalFull.Add(1)
+	if p.live != nil {
+		// Epochs are owned by the snapshot chain on live pools; just drop
+		// every entry and every parked warm-start seed.
+		if p.cache != nil {
+			p.cache.clear()
+		}
+		if p.stale != nil {
+			p.stale.clear()
+		}
+		return
+	}
+	p.epoch.Add(1)
+}
+
+// Mutate applies a batch of edge mutations to the live graph, publishing one
+// new snapshot, and surgically invalidates the result cache: an entry is
+// evicted only if the batch touched a node in its recorded read footprint
+// (or, for RWR-guarded entries, raised a touched node's degree above the
+// certified w(S̄) ceiling); every other entry is re-keyed to the new epoch
+// and keeps serving hits. Evicted entries park their visited sets so the
+// next recompute warm-starts (re-certification).
+//
+// Returns the new epoch. The batch is atomic: on error nothing is published
+// and the cache is untouched. Returns ErrNotLive on non-live pools.
+func (p *Pool) Mutate(ops []livegraph.EdgeOp) (uint64, error) {
+	if p.live == nil {
+		return 0, ErrNotLive
+	}
+	p.mutateMu.Lock()
+	defer p.mutateMu.Unlock()
+	oldEpoch := p.epoch.Load()
+	snap, touched, err := p.live.Apply(ops)
+	if err != nil {
+		return 0, err
+	}
+	newEpoch := snap.Epoch()
+	if newEpoch == oldEpoch { // empty batch: nothing published
+		return newEpoch, nil
+	}
+	if p.cache != nil {
+		var maxTouchedDeg float64
+		for _, v := range touched {
+			if d := snap.Degree(v); d > maxTouchedDeg {
+				maxTouchedDeg = d
+			}
+		}
+		surgical, retained := p.cache.invalidate(oldEpoch, newEpoch, touched, maxTouchedDeg, p.stale)
+		p.met.invalSurgical.Add(surgical)
+		p.met.retained.Add(retained)
+	}
+	p.epoch.Store(newEpoch)
+	return newEpoch, nil
+}
 
 // Do executes one query, waiting for a worker. It returns ErrOverloaded
 // when the admission queue is full, ErrClosed after Close, and passes
@@ -210,31 +332,16 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	start := time.Now()
-	if p.rec != nil && req.ID == "" {
-		req.ID = obs.NewRequestID()
-	}
-	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
-	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
-		j.key = keyOf(p.epoch.Load(), req)
-		j.cached = true
-		if resp, ok := p.cache.get(j.key); ok {
-			p.recordHit(req, start)
-			hit := *resp
-			hit.CacheHit = true
-			return &hit, nil
-		}
-	}
-	if p.cfg.Timeout > 0 {
-		j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+	j, hit := p.prepare(ctx, req, start)
+	if hit != nil {
+		return hit, nil
 	}
 
 	select {
 	case p.jobs <- j:
 	default:
-		if j.cancel != nil {
-			j.cancel()
-		}
-		p.recordShed(req, start)
+		j.discard()
+		p.recordShed(j.req, start)
 		if p.cfg.Logger != nil {
 			p.cfg.Logger.Warn("query shed", "query", req.Query, "queue_cap", p.cfg.QueueDepth)
 		}
@@ -247,6 +354,52 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 	case <-p.done:
 		return nil, ErrClosed
 	}
+}
+
+// prepare resolves one request into an admittable job: assigns a request ID,
+// pins the current live snapshot (the query's whole view of the world), and
+// consults the result cache under the pinned epoch. A non-nil Response means
+// the cache answered and no job needs to run. On a live-pool cache miss the
+// job requests footprint capture, and — if a surgically invalidated ancestor
+// parked its visited set — warm-starts from it as a re-certification.
+func (p *Pool) prepare(ctx context.Context, req Request, start time.Time) (*job, *Response) {
+	if p.rec != nil && req.ID == "" {
+		req.ID = obs.NewRequestID()
+	}
+	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
+	if p.live != nil {
+		j.snap = p.live.Acquire()
+		j.epoch = j.snap.Epoch()
+	} else {
+		j.epoch = p.epoch.Load()
+	}
+	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
+		j.key = keyOf(j.epoch, req)
+		j.cached = true
+		if resp, ok := p.cache.get(j.key); ok {
+			j.discard()
+			p.recordHit(j.req, j.epoch, start)
+			hit := *resp
+			hit.CacheHit = true
+			return nil, &hit
+		}
+		if p.live != nil {
+			// Capture the read footprint so the completed answer can be
+			// invalidated surgically. Not part of the cache key, so warm
+			// non-live paths are unaffected.
+			j.req.Opt.CaptureFootprint = true
+			if p.stale != nil {
+				if seeds, ok := p.stale.take(j.key); ok {
+					j.req.Opt.WarmStart = seeds
+					j.recert = true
+				}
+			}
+		}
+	}
+	if p.cfg.Timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+	}
+	return j, nil
 }
 
 // QueueDepth returns the number of admitted queries waiting for a worker.
@@ -285,32 +438,17 @@ admit:
 			continue
 		default:
 		}
-		if p.rec != nil && req.ID == "" {
-			req.ID = obs.NewRequestID()
-		}
-		j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
-		if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
-			j.key = keyOf(p.epoch.Load(), req)
-			j.cached = true
-			if resp, ok := p.cache.get(j.key); ok {
-				p.recordHit(req, start)
-				hit := *resp
-				hit.CacheHit = true
-				out[i].Resp = &hit
-				continue
-			}
-		}
-		if p.cfg.Timeout > 0 {
-			j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+		j, hit := p.prepare(ctx, req, start)
+		if hit != nil {
+			out[i].Resp = hit
+			continue
 		}
 		select {
 		case p.jobs <- j:
 			jobs[i] = j
 			submitted++
 		case <-ctx.Done():
-			if j.cancel != nil {
-				j.cancel()
-			}
+			j.discard()
 			// Mark this and every remaining slot unstarted and stop
 			// admitting; slots already submitted still drain below.
 			for r := i; r < len(reqs); r++ {
@@ -320,9 +458,7 @@ admit:
 			}
 			break admit
 		case <-p.done:
-			if j.cancel != nil {
-				j.cancel()
-			}
+			j.discard()
 			out[i].Err = ErrClosed
 		}
 	}
@@ -344,7 +480,7 @@ admit:
 // tracker (a good event), and the flight recorder (no trajectory: nothing
 // executed). Hits never enter the executed-latency histograms, so the
 // per-measure parity is histogram count + hitByMeasure.
-func (p *Pool) recordHit(req Request, start time.Time) {
+func (p *Pool) recordHit(req Request, epoch uint64, start time.Time) {
 	p.met.served.Add(1)
 	p.met.observeHit(metricsSlot(req))
 	elapsed := time.Since(start)
@@ -361,6 +497,7 @@ func (p *Pool) recordHit(req Request, start time.Time) {
 			Unified:   req.Unified,
 			Outcome:   "hit",
 			LatencyUS: elapsed.Microseconds(),
+			Epoch:     epoch,
 		})
 	}
 }
@@ -434,8 +571,11 @@ func (t teeTracer) ObserveIteration(it core.IterStats) {
 }
 
 func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.TraceSampler) {
-	if j.cancel != nil {
-		defer j.cancel()
+	defer j.discard()
+	if j.snap != nil {
+		// Live pool: the whole query runs against the snapshot pinned at
+		// admission, not whatever is current by the time a worker frees up.
+		g = j.snap
 	}
 	start := time.Now()
 	opt := j.req.Opt
@@ -451,7 +591,7 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 		}
 	}
 	var (
-		resp = &Response{}
+		resp = &Response{Epoch: j.epoch}
 		err  error
 	)
 	if p.serialMu != nil {
@@ -489,6 +629,9 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 		}
 	} else {
 		p.met.ok.Add(1)
+		if j.recert {
+			p.met.recertHits.Add(1)
+		}
 		if j.req.Unified {
 			iters, visited, sweeps = resp.Unified.Iterations, resp.Unified.Visited, resp.Unified.Sweeps
 			exact = resp.Unified.Exact
@@ -517,6 +660,7 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 			Visited:    visited,
 			Sweeps:     sweeps,
 			Exact:      exact,
+			Epoch:      j.epoch,
 		}
 		if sampler != nil {
 			rec.Trace = sampler.Snapshot()
@@ -535,9 +679,34 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 	}
 	if p.cache != nil && j.cached {
 		// Results are immutable once returned; the cache shares them.
-		p.cache.put(j.key, resp)
+		if p.live != nil {
+			fp, visitedSet, guard, guarded := footprintOf(j.req, resp)
+			p.cache.putLive(j.key, resp, fp, visitedSet, guard, guarded)
+		} else {
+			p.cache.put(j.key, resp)
+		}
 	}
 	j.out <- outcome{resp: resp}
+}
+
+// footprintOf assembles the cache-entry invalidation state from a completed
+// response: the sorted union of visited and degree-probed nodes, the
+// visit-order set (the warm-start seed), and the RWR guard rule inputs. A
+// unified query always certifies an RWR ranking, so it is guarded; a
+// single-measure query is guarded only under measure.RWR.
+func footprintOf(req Request, resp *Response) (fp, visited []graph.NodeID, guard float64, guarded bool) {
+	var probed []graph.NodeID
+	if resp.Unified != nil {
+		visited, probed, guard = resp.Unified.VisitedNodes, resp.Unified.ProbedNodes, resp.Unified.GuardDegree
+		guarded = true
+	} else if resp.TopK != nil {
+		visited, probed, guard = resp.TopK.VisitedNodes, resp.TopK.ProbedNodes, resp.TopK.GuardDegree
+		guarded = req.Opt.Measure == measure.RWR
+	}
+	fp = make([]graph.NodeID, 0, len(visited)+len(probed))
+	fp = append(append(fp, visited...), probed...)
+	sort.Slice(fp, func(i, j int) bool { return fp[i] < fp[j] })
+	return fp, visited, guard, guarded
 }
 
 // Metrics returns a counters snapshot; see the Metrics type.
@@ -550,5 +719,16 @@ func (p *Pool) Metrics() Metrics {
 	if p.cache != nil {
 		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries = p.cache.counters()
 	}
+	if p.live != nil {
+		ls := p.live.Stats()
+		m.Epoch = ls.Epoch
+		m.SnapshotsAlive = ls.SnapshotsAlive
+		m.SnapshotsTotal = ls.SnapshotsTotal
+		m.RowsCoWed = ls.RowsCoWed
+		m.OpsApplied = ls.OpsApplied
+	}
 	return m
 }
+
+// Live reports whether the pool serves a livegraph.LiveGraph (Mutate works).
+func (p *Pool) Live() bool { return p.live != nil }

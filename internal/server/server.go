@@ -12,6 +12,13 @@
 //	                        ?format=json returns the JSON snapshot
 //	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0][&trace=1]
 //	GET /unified?q=42&k=10[&c=0.5][&trace=1]
+//	POST /graph/edges       {"ops":[{"op":"add","u":1,"v":5,"w":1.0},...]}
+//	                        applies one atomic batch of edge mutations to a
+//	                        live graph (flosd -live): a new snapshot is
+//	                        published, cached results whose read footprint
+//	                        the batch touched are invalidated surgically,
+//	                        and the response carries the new epoch; 409 when
+//	                        the server is not serving a live graph
 //	POST /topk/batch        {"queries":[1,2,3],"k":10,"measure":"rwr",...}
 //	                        answers many queries sharing one option set in a
 //	                        single round trip; the response carries one slot
@@ -52,6 +59,7 @@ import (
 	"flos/internal/core"
 	"flos/internal/diskgraph"
 	"flos/internal/graph"
+	"flos/internal/livegraph"
 	"flos/internal/measure"
 	"flos/internal/obs"
 	"flos/internal/qserve"
@@ -157,6 +165,7 @@ func New(g graph.Graph, cfg Config) *Server {
 // histograms are keyed by it, keeping metric cardinality bounded.
 var endpointPaths = []string{
 	"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified",
+	"/graph/edges",
 	"/debug/flos/slow", "/debug/flos/flightrec", "/debug/flos/slo",
 }
 
@@ -176,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/topk/batch", s.handleTopKBatch)
 	mux.HandleFunc("/unified", s.handleUnified)
+	mux.HandleFunc("/graph/edges", s.handleGraphEdges)
 	mux.HandleFunc("/debug/flos/slow", s.handleSlow)
 	mux.HandleFunc("/debug/flos/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/flos/slo", s.handleSLO)
@@ -358,6 +368,10 @@ type metricsBody struct {
 	// recorder, slow-query log, and access logs.
 	Exemplars []exemplarBody `json:"latency_exemplars,omitempty"`
 
+	// Live holds live-graph serving counters; present only when the server
+	// runs a livegraph.LiveGraph (flosd -live).
+	Live *liveMetricsBody `json:"live,omitempty"`
+
 	// SLO is the burn-rate snapshot; present when SLO tracking is on.
 	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 
@@ -395,6 +409,19 @@ func exemplarBodies(snap obs.Snapshot) []exemplarBody {
 		}
 	}
 	return out
+}
+
+// liveMetricsBody carries the live-graph serving counters: the snapshot
+// chain gauges and the surgical-invalidation split.
+type liveMetricsBody struct {
+	SnapshotsAlive        int64 `json:"snapshots_alive"`
+	SnapshotsTotal        int64 `json:"snapshots_total"`
+	RowsCoWed             int64 `json:"rows_cowed"`
+	OpsApplied            int64 `json:"ops_applied"`
+	InvalidationsFull     int64 `json:"invalidations_full"`
+	InvalidationsSurgical int64 `json:"invalidations_surgical"`
+	CacheRetained         int64 `json:"cache_retained"`
+	RecertifyHits         int64 `json:"recertify_hits"`
 }
 
 type runtimeBody struct {
@@ -484,6 +511,18 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		}
 	}
 	body.Exemplars = exemplarBodies(m.Latency)
+	if s.pool.Live() {
+		body.Live = &liveMetricsBody{
+			SnapshotsAlive:        m.SnapshotsAlive,
+			SnapshotsTotal:        m.SnapshotsTotal,
+			RowsCoWed:             m.RowsCoWed,
+			OpsApplied:            m.OpsApplied,
+			InvalidationsFull:     m.InvalidationsFull,
+			InvalidationsSurgical: m.InvalidationsSurgical,
+			CacheRetained:         m.CacheRetained,
+			RecertifyHits:         m.RecertifyHits,
+		}
+	}
 	if s.slo != nil {
 		snap := s.slo.Snapshot()
 		body.SLO = &snap
@@ -555,6 +594,16 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	p.Gauge("flos_graph_epoch", "Result-cache invalidation epoch.", nil, float64(m.Epoch))
 	p.Gauge("flos_graph_nodes", "Nodes in the served graph.", nil, float64(s.g.NumNodes()))
 	p.Gauge("flos_graph_edges", "Edges in the served graph.", nil, float64(s.g.NumEdges()))
+	p.Counter("flos_cache_invalidations_total", "Result-cache invalidations by kind: full flushes (BumpEpoch) vs surgical per-entry evictions (Mutate footprint intersections).", map[string]string{"kind": "full"}, m.InvalidationsFull)
+	p.Counter("flos_cache_invalidations_total", "Result-cache invalidations by kind: full flushes (BumpEpoch) vs surgical per-entry evictions (Mutate footprint intersections).", map[string]string{"kind": "surgical"}, m.InvalidationsSurgical)
+	p.Counter("flos_cache_retained_total", "Cached results carried forward across mutation batches (footprint untouched).", nil, m.CacheRetained)
+	p.Counter("flos_recertify_hits_total", "Stale entries re-certified by warm-started searches.", nil, m.RecertifyHits)
+	if s.pool.Live() {
+		p.Gauge("flos_live_snapshots_alive", "Live-graph snapshots currently referenced (current + pinned).", nil, float64(m.SnapshotsAlive))
+		p.Counter("flos_live_snapshots_total", "Live-graph snapshots ever published.", nil, m.SnapshotsTotal)
+		p.Counter("flos_live_rows_cowed_total", "Adjacency rows re-materialized copy-on-write.", nil, m.RowsCoWed)
+		p.Counter("flos_live_ops_applied_total", "Edge mutations applied.", nil, m.OpsApplied)
+	}
 
 	if s.store != nil {
 		for _, ss := range s.store.ShardStats() {
@@ -608,6 +657,7 @@ type topKBody struct {
 	Exact     bool             `json:"exact"`
 	Cached    bool             `json:"cached"`
 	Visited   int              `json:"visited"`
+	Epoch     uint64           `json:"epoch,omitempty"`
 	ElapsedUS int64            `json:"elapsed_us"`
 	Results   []rankedBody     `json:"results"`
 	Trace     []core.IterStats `json:"trace,omitempty"`
@@ -712,6 +762,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Exact:     res.Exact,
 		Cached:    resp.CacheHit,
 		Visited:   res.Visited,
+		Epoch:     resp.Epoch,
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
 	if tc != nil {
@@ -847,12 +898,82 @@ func (s *Server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// edgeOpBody is one mutation of a POST /graph/edges batch.
+type edgeOpBody struct {
+	Op string       `json:"op"` // "add" | "remove" | "set"
+	U  graph.NodeID `json:"u"`
+	V  graph.NodeID `json:"v"`
+	W  float64      `json:"w,omitempty"`
+}
+
+type graphEdgesRequestBody struct {
+	Ops []edgeOpBody `json:"ops"`
+}
+
+type graphEdgesBody struct {
+	Epoch     uint64 `json:"epoch"`
+	Applied   int    `json:"applied"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// handleGraphEdges applies one atomic batch of edge mutations to a live
+// graph. The batch publishes a new snapshot and surgically invalidates the
+// result cache; in-flight queries keep running against their pinned
+// snapshots. Not-live servers answer 409; an invalid batch (bad op name,
+// out-of-range node, non-positive weight, add of an existing edge, remove of
+// a missing one) is rejected 400 with nothing applied.
+func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	if !s.pool.Live() {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "graph is not live (start flosd with -live)"})
+		return
+	}
+	var req graphEdgesRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "bad JSON body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		badRequest(w, "ops must be non-empty")
+		return
+	}
+	if len(req.Ops) > s.maxBatch {
+		badRequest(w, "batch of %d ops exceeds limit %d", len(req.Ops), s.maxBatch)
+		return
+	}
+	ops := make([]livegraph.EdgeOp, len(req.Ops))
+	for i, ob := range req.Ops {
+		op, err := livegraph.ParseOp(ob.Op)
+		if err != nil {
+			badRequest(w, "op %d: %v", i, err)
+			return
+		}
+		ops[i] = livegraph.EdgeOp{Op: op, U: ob.U, V: ob.V, W: ob.W}
+	}
+	start := time.Now()
+	epoch, err := s.pool.Mutate(ops)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphEdgesBody{
+		Epoch:     epoch,
+		Applied:   len(ops),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
 type unifiedBody struct {
 	Query     graph.NodeID     `json:"query"`
 	K         int              `json:"k"`
 	Exact     bool             `json:"exact"`
 	Cached    bool             `json:"cached"`
 	Visited   int              `json:"visited"`
+	Epoch     uint64           `json:"epoch,omitempty"`
 	ElapsedUS int64            `json:"elapsed_us"`
 	PHPFamily []rankedBody     `json:"php_family"`
 	RWR       []rankedBody     `json:"rwr"`
@@ -884,6 +1005,7 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		Exact:     res.Exact,
 		Cached:    resp.CacheHit,
 		Visited:   res.Visited,
+		Epoch:     resp.Epoch,
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
 	if tc != nil {
