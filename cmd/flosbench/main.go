@@ -14,6 +14,7 @@
 //	flosbench -datasets         # Table 4/6/7 dataset statistics
 //	flosbench -serving          # concurrent disk-resident serving throughput
 //	flosbench -recorder         # flight-recorder on/off latency overhead
+//	flosbench -trace-overhead   # span-tracing on/off latency overhead
 //	flosbench -live             # live-graph serving: surgical vs full-flush invalidation
 //
 // Scales default to laptop-bench sizes; pass -scale 1 -synthscale 1
@@ -37,8 +38,9 @@ func main() {
 		serving    = flag.Bool("serving", false, "benchmark concurrent vs serialized disk-resident query serving")
 		batch      = flag.Bool("batch", false, "benchmark the session API: cold TopK vs warm Querier vs Batch (allocs/query)")
 		recorder   = flag.Bool("recorder", false, "benchmark query latency with the flight recorder + SLO tracking on vs off")
+		traceOver  = flag.Bool("trace-overhead", false, "benchmark query latency with span tracing on (head rate 1.0) vs off")
 		liveMode   = flag.Bool("live", false, "benchmark live-graph serving: surgical vs full-flush cache invalidation under mutations")
-		benchJSON  = flag.String("json", "", "with -recorder or -live: also write the machine-readable result (BENCH_5.json / BENCH_6.json) to this file")
+		benchJSON  = flag.String("json", "", "with -recorder, -trace-overhead, or -live: also write the machine-readable result (BENCH_5/7/6.json) to this file")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -111,6 +113,12 @@ func main() {
 	}
 	if *recorder {
 		if err := recorderBench(out, *benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *traceOver {
+		if err := traceOverheadBench(out, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+	"flos/internal/obs/trace"
+	"flos/internal/qserve"
+)
+
+// traceOverheadBench measures the span-tracing hot-path cost with the same
+// paired design as recorderBench: one single-worker PHP top-20 pool, each
+// query node timed back-to-back untraced and under a fully-sampled trace
+// (HeadRate 1 — worst case: every span recorded AND retained, ring stores
+// and exporter-free), order alternating per round, headline = median of the
+// per-pair overhead ratios. The result cache is off so every query pays the
+// full execution (and thus span-recording) path.
+func traceOverheadBench(out io.Writer, jsonPath string) error {
+	const (
+		nodes   = 50000
+		edges   = 250000
+		queries = 400
+		rounds  = 5
+	)
+	g, err := gen.Community(nodes, edges, gen.CommunityParamsForDensity(2*float64(edges)/float64(nodes)), 1)
+	if err != nil {
+		return err
+	}
+	workload := make([]graph.NodeID, queries)
+	for i := range workload {
+		workload[i] = graph.NodeID((i * 7919) % nodes)
+	}
+	opt := core.DefaultOptions(measure.PHP, 20)
+	ctx := context.Background()
+
+	// Two identical pools: the tracing cost lives entirely in the request
+	// context, so the pools differ only in how each query is driven.
+	newPool := func() *qserve.Pool {
+		return qserve.New(g, qserve.Config{Workers: 1, CacheEntries: -1})
+	}
+	offPool, onPool := newPool(), newPool()
+	defer offPool.Close()
+	defer onPool.Close()
+	tracer := trace.New(trace.Config{HeadRate: trace.HeadAll, Ring: 64, SlowLatency: -1})
+
+	timeOff := func(q graph.NodeID) (time.Duration, error) {
+		start := time.Now()
+		if _, err := offPool.Do(ctx, qserve.Request{Query: q, Opt: opt}); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	timeOn := func(q graph.NodeID) (time.Duration, error) {
+		start := time.Now()
+		a := tracer.StartRequest(trace.TraceParent{})
+		root := a.StartSpan(trace.SpanID{}, "GET /topk")
+		root.SetKind("server")
+		tctx := trace.NewContext(ctx, a, root.ID())
+		if _, err := onPool.Do(tctx, qserve.Request{Query: q, Opt: opt}); err != nil {
+			return 0, err
+		}
+		root.End()
+		a.Finish("ok")
+		return time.Since(start), nil
+	}
+
+	// Warm both pools (workspace slices, graph views) outside the timing.
+	for _, q := range workload {
+		if _, err := timeOff(q); err != nil {
+			return err
+		}
+		if _, err := timeOn(q); err != nil {
+			return err
+		}
+	}
+
+	var offLat, onLat []time.Duration
+	var ratios []float64
+	for r := 0; r < rounds; r++ {
+		for _, q := range workload {
+			var off, on time.Duration
+			var err error
+			if r%2 == 0 {
+				if off, err = timeOff(q); err != nil {
+					return err
+				}
+				if on, err = timeOn(q); err != nil {
+					return err
+				}
+			} else { // alternate order: neither side always runs cache-cold
+				if on, err = timeOn(q); err != nil {
+					return err
+				}
+				if off, err = timeOff(q); err != nil {
+					return err
+				}
+			}
+			offLat = append(offLat, off)
+			onLat = append(onLat, on)
+			ratios = append(ratios, float64(on)/float64(off)-1)
+		}
+	}
+
+	stats := func(ds []time.Duration) (p50, mean float64) {
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return float64(sorted[len(sorted)/2].Microseconds()),
+			float64(sum.Microseconds()) / float64(len(sorted))
+	}
+	offP50, offMean := stats(offLat)
+	onP50, onMean := stats(onLat)
+	sort.Float64s(ratios)
+	medianOverhead := 100 * ratios[len(ratios)/2]
+	meanOverhead := 100 * (onMean - offMean) / offMean
+
+	fmt.Fprintf(out, "span-tracing overhead: PHP k=20, %d-node community graph, %d paired queries x %d rounds, 1 worker, cache off, head rate 1.0\n",
+		nodes, queries, rounds)
+	fmt.Fprintf(out, "%-14s %10s %10s\n", "", "p50-us", "mean-us")
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "tracing off", offP50, offMean)
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "tracing on", onP50, onMean)
+	fmt.Fprintf(out, "paired median overhead %+.2f%%, mean %+.2f%%   (target: <= 2%% median)\n",
+		medianOverhead, meanOverhead)
+
+	st := tracer.Stats()
+	if want := uint64((rounds + 1) * queries); st.KeptHead != want {
+		return fmt.Errorf("tracer kept %d traces, want %d — the traced side did not trace", st.KeptHead, want)
+	}
+
+	if jsonPath != "" {
+		body := map[string]any{
+			"bench":               "span-tracing-overhead",
+			"nodes":               nodes,
+			"edges":               edges,
+			"queries_per_round":   queries,
+			"rounds":              rounds,
+			"head_rate":           1.0,
+			"off_p50_us":          offP50,
+			"on_p50_us":           onP50,
+			"off_mean_us":         offMean,
+			"on_mean_us":          onMean,
+			"median_overhead_pct": medianOverhead,
+			"mean_overhead_pct":   meanOverhead,
+			"target_pct":          2.0,
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

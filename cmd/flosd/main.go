@@ -36,6 +36,15 @@
 // periodic CPU/heap pprof captures with bounded rotation, tagged -slow when
 // the capture window overlapped a slow query.
 //
+// Span tracing is on by default (-trace-ring 0 disables): every request runs
+// under a root span with per-phase children, W3C traceparent headers are
+// honored and echoed, and a trace is kept when the head sampler
+// (-trace-sample) selects it or when it ends slow/shed/deadline/failed —
+// so the p99 outlier is always retrievable as a span tree from
+// /debug/flos/traces even at -trace-sample 0. The slow threshold is shared
+// with -slow-latency. -trace-export appends every kept trace to a file as
+// OTLP-shaped JSON lines for offline tooling.
+//
 // Logs are structured (log/slog, text to stderr): one access record per
 // request with its ID, status, and latency, plus per-query debug records at
 // -log-level debug. -pprof exposes net/http/pprof on a separate listener so
@@ -52,6 +61,7 @@ import (
 
 	"flos"
 	"flos/internal/obs"
+	"flos/internal/obs/trace"
 	"flos/internal/server"
 )
 
@@ -83,6 +93,10 @@ func main() {
 		profileDir      = flag.String("profile-dir", "", "directory for continuous CPU/heap profiles; empty disables")
 		profileInterval = flag.Duration("profile-interval", time.Minute, "continuous-profiling capture interval")
 		profileKeep     = flag.Int("profile-keep", 10, "profiles retained per kind before rotation")
+
+		traceRing   = flag.Int("trace-ring", 256, "completed-trace ring size (0 disables span tracing)")
+		traceSample = flag.Float64("trace-sample", 1.0, "head-sampling rate in [0,1]; slow/shed/deadline/failed traces are kept regardless")
+		traceExport = flag.String("trace-export", "", "append kept traces to this file as OTLP-shaped JSON lines; empty disables")
 	)
 	flag.Parse()
 
@@ -178,6 +192,29 @@ func main() {
 			"dir", *profileDir, "interval", *profileInterval, "keep", *profileKeep)
 	}
 
+	// Span tracing: the tail-promotion latency threshold deliberately reuses
+	// -slow-latency, so the slow-query log and the trace store promote the
+	// same requests.
+	var tracer *trace.Tracer
+	if *traceRing > 0 {
+		tcfg := trace.Config{
+			HeadRate:    *traceSample,
+			Ring:        *traceRing,
+			SlowLatency: *slowLatency,
+		}
+		if *traceExport != "" {
+			exp, err := trace.NewFileExporter(*traceExport, "flosd")
+			if err != nil {
+				fatal(logger, "open trace export file", err)
+			}
+			defer exp.Close()
+			tcfg.Exporter = exp
+		}
+		tracer = trace.New(tcfg)
+		logger.Info("span tracing",
+			"ring", *traceRing, "head_rate", *traceSample, "export", *traceExport)
+	}
+
 	srv := server.New(g, server.Config{
 		MaxK:         *maxK,
 		MaxBatch:     *maxBatch,
@@ -188,6 +225,7 @@ func main() {
 		Logger:       logger,
 		Recorder:     rec,
 		SLO:          slo,
+		Tracer:       tracer,
 	})
 	defer srv.Close()
 	m := srv.Pool().Metrics()

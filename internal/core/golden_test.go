@@ -260,6 +260,16 @@ func TestGoldenEquivalence(t *testing.T) {
 		}
 		requireGoldenTopK(t, label+"/mem-warm", want, res)
 
+		// With the span-tracing observation hook attached, the schedule and
+		// results must not move by a bit — the tracer observes, never steers.
+		topt := opt
+		topt.Tracer = &TraceCollector{}
+		res, err = memWS[want.Graph].TopK(ctx, graphs[want.Graph], want.Query, topt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGoldenTopK(t, label+"/mem-warm-traced", want, res)
+
 		res, err = TopKCtx(ctx, disks[want.Graph], want.Query, opt)
 		if err != nil {
 			t.Fatal(err)
@@ -302,6 +312,13 @@ func TestGoldenEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		check(label+"/mem-warm", ur)
+		topt := opt
+		topt.Tracer = &TraceCollector{}
+		ur, err = memWS[want.Graph].Unified(ctx, graphs[want.Graph], want.Query, topt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(label+"/mem-warm-traced", ur)
 		ur, err = diskWS[want.Graph].Unified(ctx, disks[want.Graph], want.Query, opt)
 		if err != nil {
 			t.Fatal(err)

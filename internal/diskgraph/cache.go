@@ -3,6 +3,7 @@ package diskgraph
 import (
 	"io"
 	"sync"
+	"time"
 )
 
 // pageCache is an LRU cache of fixed-size file pages under a byte budget —
@@ -90,8 +91,11 @@ func newPageCache(src io.ReaderAt, pageSize, budget, fileSize int64) *pageCache 
 
 // get returns the content of the page with the given index, loading (and
 // possibly evicting within the page's shard) on a miss. The returned slice
-// is immutable and remains valid after eviction.
-func (c *pageCache) get(idx int64) ([]byte, error) {
+// is immutable and remains valid after eviction. onFault, when non-nil, is
+// called with the stall duration of every cold-path lookup — a disk read on
+// a miss, or the wait on another reader's in-flight load on a dedup; hits
+// never invoke it, so the hot path stays observer-free.
+func (c *pageCache) get(idx int64, onFault func(time.Duration)) ([]byte, error) {
 	sh := &c.shards[idx%int64(len(c.shards))]
 	sh.mu.Lock()
 	if p, ok := sh.pages[idx]; ok {
@@ -103,7 +107,13 @@ func (c *pageCache) get(idx int64) ([]byte, error) {
 	if f, ok := sh.flights[idx]; ok {
 		sh.dedups++
 		sh.mu.Unlock()
-		<-f.done
+		if onFault != nil {
+			start := time.Now()
+			<-f.done
+			onFault(time.Since(start))
+		} else {
+			<-f.done
+		}
 		return f.data, f.err
 	}
 	sh.misses++
@@ -111,7 +121,14 @@ func (c *pageCache) get(idx int64) ([]byte, error) {
 	sh.flights[idx] = f
 	sh.mu.Unlock()
 
+	var start time.Time
+	if onFault != nil {
+		start = time.Now()
+	}
 	f.data, f.err = c.load(idx) // disk I/O outside every lock
+	if onFault != nil {
+		onFault(time.Since(start))
+	}
 	close(f.done)
 
 	sh.mu.Lock()
@@ -140,11 +157,12 @@ func (c *pageCache) load(idx int64) ([]byte, error) {
 	return buf, nil
 }
 
-// readAt fills dst from the cached file content starting at off.
-func (c *pageCache) readAt(dst []byte, off int64) error {
+// readAt fills dst from the cached file content starting at off, reporting
+// page-fault stalls to onFault (may be nil).
+func (c *pageCache) readAt(dst []byte, off int64, onFault func(time.Duration)) error {
 	for len(dst) > 0 {
 		idx := off / c.pageSize
-		data, err := c.get(idx)
+		data, err := c.get(idx, onFault)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"flos/internal/core"
 	"flos/internal/gen"
@@ -192,7 +193,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newPageCache(bytes.NewReader(data), 10, 30, 100)
 	for i := 0; i < 10; i++ {
 		var b [10]byte
-		if err := c.readAt(b[:], int64(i)*10); err != nil {
+		if err := c.readAt(b[:], int64(i)*10, nil); err != nil {
 			t.Fatal(err)
 		}
 		if b[0] != byte(i*10) {
@@ -209,7 +210,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	// Re-read last three pages: all hits.
 	for i := 7; i < 10; i++ {
 		var b [10]byte
-		if err := c.readAt(b[:], int64(i)*10); err != nil {
+		if err := c.readAt(b[:], int64(i)*10, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -225,7 +226,7 @@ func TestCacheSpanningRead(t *testing.T) {
 	}
 	c := newPageCache(bytes.NewReader(data), 16, 64, 64)
 	got := make([]byte, 40)
-	if err := c.readAt(got, 12); err != nil {
+	if err := c.readAt(got, 12, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
@@ -233,7 +234,57 @@ func TestCacheSpanningRead(t *testing.T) {
 			t.Fatalf("byte %d = %d, want %d", i, got[i], 12+i)
 		}
 	}
-	if err := c.readAt(make([]byte, 8), 60); err == nil {
+	if err := c.readAt(make([]byte, 8), 60, nil); err == nil {
 		t.Fatal("read past EOF accepted")
 	}
+}
+
+// TestFaultObserver verifies the Reader-level page-fault hook: cold reads
+// invoke it with a positive stall duration, warm reads never invoke it, and
+// observer counts line up with the cache's miss counters.
+func TestFaultObserver(t *testing.T) {
+	g := gen.PaperExample()
+	path := writeStore(t, g, 512)
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	r := s.NewReader()
+	var faults int
+	var total time.Duration
+	r.SetFaultObserver(func(d time.Duration) {
+		faults++
+		total += d
+		if d < 0 {
+			t.Errorf("negative fault duration %v", d)
+		}
+	})
+	for v := 0; v < g.NumNodes(); v++ {
+		r.Neighbors(graph.NodeID(v))
+		r.Degree(graph.NodeID(v))
+	}
+	if faults == 0 {
+		t.Fatal("cold scan reported zero page faults")
+	}
+	st := s.CacheStats()
+	if int64(faults) != st.Misses+st.FaultsDeduped {
+		t.Fatalf("observer saw %d faults, cache counted %d misses + %d dedups",
+			faults, st.Misses, st.FaultsDeduped)
+	}
+
+	// Warm re-scan: everything resident, the observer must stay silent.
+	before := faults
+	for v := 0; v < g.NumNodes(); v++ {
+		r.Neighbors(graph.NodeID(v))
+		r.Degree(graph.NodeID(v))
+	}
+	if faults != before {
+		t.Fatalf("warm scan invoked the fault observer %d times", faults-before)
+	}
+
+	// Clearing the observer keeps reads working.
+	r.SetFaultObserver(nil)
+	r.Neighbors(0)
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"flos/internal/graph"
 )
@@ -38,6 +39,10 @@ type Reader struct {
 	scratchN []graph.NodeID
 	scratchW []float64
 	buf      []byte
+
+	// fault, when set, observes every page-fault stall this Reader's reads
+	// incur (cold disk loads and waits on another reader's in-flight load).
+	fault func(time.Duration)
 }
 
 var _ graph.Graph = (*Reader)(nil)
@@ -133,9 +138,12 @@ func (s *Store) TopDegrees(k int) []graph.DegreeEntry {
 
 // Degree reads one float64 from the degrees section via the cache. It uses
 // no scratch state and is safe for concurrent use.
-func (s *Store) Degree(v graph.NodeID) float64 {
+func (s *Store) Degree(v graph.NodeID) float64 { return s.degree(v, nil) }
+
+// degree is Degree with a fault observer threaded through to the page cache.
+func (s *Store) degree(v graph.NodeID, onFault func(time.Duration)) float64 {
 	var b [8]byte
-	if err := s.cache.readAt(b[:], s.l.degreesOff+int64(v)*8); err != nil {
+	if err := s.cache.readAt(b[:], s.l.degreesOff+int64(v)*8, onFault); err != nil {
 		panic(fmt.Sprintf("diskgraph: degree read: %v", err))
 	}
 	return math.Float64frombits(getU64(b[:]))
@@ -155,7 +163,14 @@ func (r *Reader) NumNodes() int { return r.s.NumNodes() }
 func (r *Reader) NumEdges() int64 { return r.s.NumEdges() }
 
 // Degree reads the weighted degree of v.
-func (r *Reader) Degree(v graph.NodeID) float64 { return r.s.Degree(v) }
+func (r *Reader) Degree(v graph.NodeID) float64 { return r.s.degree(v, r.fault) }
+
+// SetFaultObserver installs (or clears, with nil) a callback invoked with
+// the stall duration of every page fault this Reader's reads incur — the
+// hook the serving layer uses to attribute cold-path disk time to a query's
+// trace. The observer runs on the faulting goroutine; keep it cheap. Not
+// safe to call concurrently with reads on the same Reader.
+func (r *Reader) SetFaultObserver(fn func(time.Duration)) { r.fault = fn }
 
 // TopDegrees serves the header's degree index.
 func (r *Reader) TopDegrees(k int) []graph.DegreeEntry { return r.s.TopDegrees(k) }
@@ -165,7 +180,7 @@ func (r *Reader) TopDegrees(k int) []graph.DegreeEntry { return r.s.TopDegrees(k
 func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 	s := r.s
 	var ob [16]byte
-	if err := s.cache.readAt(ob[:], s.l.offsetsOff+int64(v)*8); err != nil {
+	if err := s.cache.readAt(ob[:], s.l.offsetsOff+int64(v)*8, r.fault); err != nil {
 		panic(fmt.Sprintf("diskgraph: offset read: %v", err))
 	}
 	lo := int64(getU64(ob[0:8]))
@@ -187,7 +202,7 @@ func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 		r.buf = make([]byte, need, 2*need)
 	}
 	tb := r.buf[:need]
-	if err := s.cache.readAt(tb, s.l.targetsOff+lo*4); err != nil {
+	if err := s.cache.readAt(tb, s.l.targetsOff+lo*4, r.fault); err != nil {
 		panic(fmt.Sprintf("diskgraph: targets read: %v", err))
 	}
 	for i := int64(0); i < cnt; i++ {
@@ -199,7 +214,7 @@ func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 		r.buf = make([]byte, need, 2*need)
 	}
 	wb := r.buf[:need]
-	if err := s.cache.readAt(wb, s.l.weightsOff+lo*8); err != nil {
+	if err := s.cache.readAt(wb, s.l.weightsOff+lo*8, r.fault); err != nil {
 		panic(fmt.Sprintf("diskgraph: weights read: %v", err))
 	}
 	for i := int64(0); i < cnt; i++ {

@@ -50,6 +50,9 @@ type FlightRecord struct {
 	// ID is the request ID — the join key against histogram exemplars and
 	// access logs.
 	ID string `json:"id"`
+	// TraceID is the request's hex trace ID when span tracing was on — the
+	// join key against /debug/flos/traces and exemplar trace IDs.
+	TraceID string `json:"trace_id,omitempty"`
 	// Start is when execution (or the cache lookup) began.
 	Start time.Time `json:"start"`
 	// Measure is the histogram label ("php".."rwr", "unified").

@@ -25,14 +25,18 @@ const numBuckets = 28
 // bucketBound returns the inclusive upper bound of bucket i in microseconds.
 func bucketBound(i int) int64 { return 1 << uint(i) }
 
-// Exemplar ties a histogram bucket back to one concrete request: the ID and
-// exact latency of the bucket's most recent sample. Joining a tail bucket's
-// exemplar against the flight recorder or slow-query log turns "the p99 is
-// high" into "this query made the p99 high".
+// Exemplar ties a histogram bucket back to one concrete request: the ID,
+// trace ID, and exact latency of the bucket's most recent sample. Joining a
+// tail bucket's exemplar against the flight recorder, slow-query log, or
+// span store turns "the p99 is high" into "this query made the p99 high" —
+// and, via the trace ID, into that query's full span tree.
 type Exemplar struct {
 	// ID is the request ID of the sample (empty when the bucket has never
 	// seen an exemplar-carrying observation).
 	ID string `json:"id"`
+	// TraceID is the sample's hex trace ID, joinable against
+	// /debug/flos/traces; empty when the request was untraced.
+	TraceID string `json:"trace_id,omitempty"`
 	// LatencyUS is that sample's exact latency in microseconds.
 	LatencyUS int64 `json:"latency_us"`
 }
@@ -52,12 +56,13 @@ type Histogram struct {
 }
 
 // Observe records one duration without an exemplar.
-func (h *Histogram) Observe(d time.Duration) { h.ObserveExemplar(d, "") }
+func (h *Histogram) Observe(d time.Duration) { h.ObserveExemplar(d, "", "") }
 
 // ObserveExemplar records one duration and, when id is non-empty, installs
-// it as the bucket's exemplar (last writer wins — "most recent sample" is
-// best-effort under concurrency, which is all an exemplar needs to be).
-func (h *Histogram) ObserveExemplar(d time.Duration, id string) {
+// it (with the request's trace ID, possibly empty) as the bucket's exemplar
+// (last writer wins — "most recent sample" is best-effort under concurrency,
+// which is all an exemplar needs to be).
+func (h *Histogram) ObserveExemplar(d time.Duration, id, traceID string) {
 	us := d.Microseconds()
 	if us < 0 {
 		us = 0
@@ -67,7 +72,7 @@ func (h *Histogram) ObserveExemplar(d time.Duration, id string) {
 	h.count.Add(1)
 	h.sumUS.Add(us)
 	if id != "" {
-		h.exemplars[i].Store(&Exemplar{ID: id, LatencyUS: us})
+		h.exemplars[i].Store(&Exemplar{ID: id, TraceID: traceID, LatencyUS: us})
 	}
 }
 

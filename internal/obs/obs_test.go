@@ -180,11 +180,11 @@ func TestQuantileExtremes(t *testing.T) {
 // its most recent sample and that plain Observe never clobbers one.
 func TestHistogramExemplars(t *testing.T) {
 	var h Histogram
-	h.ObserveExemplar(3*time.Microsecond, "req-a")     // bucket 2
-	h.ObserveExemplar(800*time.Microsecond, "req-b")   // bucket 10
-	h.ObserveExemplar(900*time.Microsecond, "req-c")   // bucket 10 again: replaces
-	h.Observe(600 * time.Microsecond)                  // bucket 10, no ID: keeps req-c
-	h.ObserveExemplar(50*time.Millisecond, "req-slow") // tail bucket
+	h.ObserveExemplar(3*time.Microsecond, "req-a", "")            // bucket 2
+	h.ObserveExemplar(800*time.Microsecond, "req-b", "")          // bucket 10
+	h.ObserveExemplar(900*time.Microsecond, "req-c", "trace-c")   // bucket 10 again: replaces
+	h.Observe(600 * time.Microsecond)                             // bucket 10, no ID: keeps req-c
+	h.ObserveExemplar(50*time.Millisecond, "req-slow", "trace-s") // tail bucket
 	s := h.Snapshot()
 
 	if s.Count != 5 {
@@ -200,8 +200,11 @@ func TestHistogramExemplars(t *testing.T) {
 			t.Errorf("bucket %d has unexpected exemplar %v", i, ex)
 		}
 	}
-	if ex := s.Exemplars[10]; ex != nil && ex.LatencyUS != 900 {
-		t.Errorf("bucket 10 exemplar latency = %d, want 900", ex.LatencyUS)
+	if ex := s.Exemplars[10]; ex != nil && (ex.LatencyUS != 900 || ex.TraceID != "trace-c") {
+		t.Errorf("bucket 10 exemplar = %+v, want latency 900 trace trace-c", ex)
+	}
+	if ex := s.Exemplars[2]; ex != nil && ex.TraceID != "" {
+		t.Errorf("bucket 2 exemplar trace = %q, want empty for untraced sample", ex.TraceID)
 	}
 }
 

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromLabelEscaping pins the text-exposition escaping rules for label
+// values: backslash, double-quote, and newline must be escaped; everything
+// else passes through verbatim. The writer leans on Go's %q, whose escapes
+// for these three bytes coincide with the Prometheus rules — this test is
+// the contract that keeps that coincidence load-bearing.
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // the rendered label assignment
+	}{
+		{"plain", "php", `m="php"`},
+		{"empty", "", `m=""`},
+		{"backslash", `a\b`, `m="a\\b"`},
+		{"quote", `say "hi"`, `m="say \"hi\""`},
+		{"newline", "line1\nline2", `m="line1\nline2"`},
+		{"all-three", "\\\"\n", `m="\\\"\n"`},
+		{"utf8", "héllo→world", `m="héllo→world"`},
+		{"spaces-and-braces", `{le="+Inf"} `, `m="{le=\"+Inf\"} "`},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		p := NewPromWriter(&b)
+		p.Counter("flos_test_total", "help", map[string]string{"m": tc.value}, 1)
+		if err := p.Err(); err != nil {
+			t.Fatalf("%s: write error: %v", tc.name, err)
+		}
+		out := b.String()
+		want := "flos_test_total{" + tc.want + "} 1\n"
+		if !strings.Contains(out, want) {
+			t.Errorf("%s: output %q missing %q", tc.name, out, want)
+		}
+	}
+}
+
+// TestPromLabelEscapingTabAndCR documents that tab and carriage-return are
+// rendered as %q escapes too — stricter than Prometheus requires, but
+// lossless and parseable by its escape grammar (\t and \r are not in the
+// 0.0.4 grammar, so values containing them should be rare; the writer must
+// at minimum never emit a raw newline or unbalanced quote).
+func TestPromLabelEscapingNeverRaw(t *testing.T) {
+	hostile := "a\nb\"c\\d\re\tf"
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Gauge("flos_test", "help", map[string]string{"v": hostile}, 1)
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The sample line must balance its unescaped quotes: scanning
+		// left to right, quotes not preceded by an odd backslash run
+		// must pair up.
+		unescaped := 0
+		for i := 0; i < len(line); i++ {
+			if line[i] != '"' {
+				continue
+			}
+			bs := 0
+			for j := i - 1; j >= 0 && line[j] == '\\'; j-- {
+				bs++
+			}
+			if bs%2 == 0 {
+				unescaped++
+			}
+		}
+		if unescaped != 2 {
+			t.Fatalf("sample line %q has %d unescaped quotes, want 2", line, unescaped)
+		}
+		if strings.ContainsAny(line, "\r") {
+			t.Fatalf("sample line %q contains a raw carriage return", line)
+		}
+	}
+	if strings.Count(out, "\n") != 3 { // HELP + TYPE + one sample
+		t.Fatalf("output %q: raw newline leaked into a label value", out)
+	}
+}
+
+// TestPromLabelOrderDeterministic verifies label maps render sorted by key,
+// so scrapes are diffable and series identity is stable.
+func TestPromLabelOrderDeterministic(t *testing.T) {
+	labels := map[string]string{"zeta": "1", "alpha": "2", "mid": "3"}
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("flos_test_total", "help", labels, 7)
+	want := `flos_test_total{alpha="2",mid="3",zeta="1"} 7`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("output %q missing sorted label set %q", b.String(), want)
+	}
+}
+
+// TestPromHeadOncePerFamily verifies HELP/TYPE are emitted once even when a
+// family is written label-set by label-set.
+func TestPromHeadOncePerFamily(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("flos_multi_total", "help", map[string]string{"m": "a"}, 1)
+	p.Counter("flos_multi_total", "help", map[string]string{"m": "b"}, 2)
+	out := b.String()
+	if strings.Count(out, "# HELP flos_multi_total") != 1 || strings.Count(out, "# TYPE flos_multi_total") != 1 {
+		t.Fatalf("HELP/TYPE not deduped:\n%s", out)
+	}
+}
+
+// TestPromHistogramEscapedLabels runs the histogram writer with a hostile
+// label value and checks the le= merge keeps escaping intact on every
+// bucket line.
+func TestPromHistogramEscapedLabels(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Histogram("flos_lat", "help", map[string]string{"m": `php"x`}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `m="php\"x"`) {
+		t.Fatalf("histogram lost label escaping:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("histogram missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "flos_lat_sum") || !strings.Contains(out, "flos_lat_count") {
+		t.Fatalf("histogram missing _sum/_count:\n%s", out)
+	}
+}

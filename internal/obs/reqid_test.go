@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNewRequestIDFormat pins the documented shape: epoch-hex, dash,
+// counter-hex, all lowercase.
+func TestNewRequestIDFormat(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 15 {
+		t.Fatalf("NewRequestID() = %q: len %d, want 15 (8 hex + dash + 6 hex)", id, len(id))
+	}
+	parts := strings.Split(id, "-")
+	if len(parts) != 2 || len(parts[0]) != 8 || len(parts[1]) != 6 {
+		t.Fatalf("NewRequestID() = %q: want <8 hex>-<6 hex>", id)
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			if c := p[i]; !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("NewRequestID() = %q: non-lowercase-hex byte %q", id, c)
+			}
+		}
+	}
+}
+
+// TestNewRequestIDMonotonicPrefix verifies every ID from one process shares
+// the epoch prefix — the property that makes IDs from a restarted server
+// distinguishable in aggregated logs.
+func TestNewRequestIDMonotonicPrefix(t *testing.T) {
+	prefix := strings.SplitN(NewRequestID(), "-", 2)[0]
+	for i := 0; i < 100; i++ {
+		if got := strings.SplitN(NewRequestID(), "-", 2)[0]; got != prefix {
+			t.Fatalf("epoch prefix changed mid-process: %q vs %q", got, prefix)
+		}
+	}
+}
+
+// TestNewRequestIDConcurrentUnique hammers the generator from many
+// goroutines and checks no ID repeats — the atomic counter must not tear.
+func TestNewRequestIDConcurrentUnique(t *testing.T) {
+	const workers, perWorker = 16, 2000
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				local = append(local, NewRequestID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate request ID %q under concurrency", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("got %d unique IDs, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+		"info":    slog.LevelInfo,
+		"":        slog.LevelInfo,
+		"verbose": slog.LevelInfo, // unknown → Info
+		"DEBUG":   slog.LevelInfo, // case-sensitive by design
+	}
+	for in, want := range cases {
+		if got := ParseLogLevel(in); got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

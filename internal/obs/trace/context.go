@@ -1,0 +1,44 @@
+package trace
+
+import "context"
+
+// ctxKey carries the (Active, current span) pair; one key, one allocation
+// per span boundary, no map lookups beyond context's own.
+type ctxKey struct{}
+
+type ctxVal struct {
+	a    *Active
+	span SpanID
+}
+
+// NewContext returns ctx carrying the trace with span as the current parent.
+// A nil Active returns ctx unchanged, so disabled tracing adds no context
+// layers.
+func NewContext(ctx context.Context, a *Active, span SpanID) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{a: a, span: span})
+}
+
+// FromContext extracts the trace and current span (nil/zero when the request
+// is untraced).
+func FromContext(ctx context.Context) (*Active, SpanID) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.a, v.span
+	}
+	return nil, SpanID{}
+}
+
+// StartSpan opens a child of ctx's current span and returns a context in
+// which the new span is current. Untraced contexts come back unchanged with
+// a nil handle — every SpanHandle method is nil-safe, so callers never
+// branch on tracing being on.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *SpanHandle) {
+	a, parent := FromContext(ctx)
+	if a == nil {
+		return ctx, nil
+	}
+	h := a.StartSpan(parent, name, attrs...)
+	return NewContext(ctx, a, h.ID()), h
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// FileExporter appends kept traces to a file as OTLP/JSON-shaped objects,
+// one per line: each line is an ExportTraceServiceRequest body
+// (resourceSpans → scopeSpans → spans, camelCase fields, nanosecond
+// timestamps as decimal strings, typed attribute values), so standard
+// OpenTelemetry tooling can ingest the stream without this package taking
+// the dependency. Export serializes under a mutex — it runs on the request
+// tail, once per *kept* trace, not per span.
+type FileExporter struct {
+	mu      sync.Mutex
+	w       io.WriteCloser
+	service string
+}
+
+// NewFileExporter opens (appending) the export file. service names the OTLP
+// resource ("flos" when empty).
+func NewFileExporter(path, service string) (*FileExporter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if service == "" {
+		service = "flos"
+	}
+	return &FileExporter{w: f, service: service}, nil
+}
+
+// Close flushes nothing (writes are line-buffered by the OS) and closes the
+// underlying file.
+func (e *FileExporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.w.Close()
+}
+
+// Export writes one trace as one OTLP/JSON line. Errors are swallowed:
+// tracing must never fail a request.
+func (e *FileExporter) Export(tr *Trace) {
+	line, err := json.Marshal(otlpRequest(tr, e.service))
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	e.w.Write(line)
+	e.mu.Unlock()
+}
+
+// --- OTLP/JSON shapes (the subset trace export needs) ---
+
+type otlpAnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // OTLP/JSON encodes int64 as string
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code"` // 0 unset, 1 ok, 2 error
+	Message string `json:"message,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"` // 1 internal, 2 server
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Status            otlpStatus     `json:"status"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func otlpAttr(a Attr) otlpKeyValue {
+	kv := otlpKeyValue{Key: a.Key}
+	switch a.Type {
+	case "int":
+		s := strconv.FormatInt(a.Int, 10)
+		kv.Value.IntValue = &s
+	case "float":
+		v := a.Float
+		kv.Value.DoubleValue = &v
+	case "bool":
+		b := a.Bool
+		kv.Value.BoolValue = &b
+	default:
+		s := a.Str
+		kv.Value.StringValue = &s
+	}
+	return kv
+}
+
+func otlpRequest(tr *Trace, service string) otlpExport {
+	spans := make([]otlpSpan, 0, len(tr.Spans))
+	for _, s := range tr.Spans {
+		kind := 1
+		if s.Kind == "server" {
+			kind = 2
+		}
+		status := otlpStatus{Code: 1}
+		if s.Error != "" {
+			status = otlpStatus{Code: 2, Message: s.Error}
+		}
+		spans = append(spans, otlpSpan{
+			TraceID:           tr.TraceID,
+			SpanID:            s.ID,
+			ParentSpanID:      s.Parent,
+			Name:              s.Name,
+			Kind:              kind,
+			StartTimeUnixNano: strconv.FormatInt(s.StartUnixNano, 10),
+			EndTimeUnixNano:   strconv.FormatInt(s.StartUnixNano+s.DurationNS, 10),
+			Attributes:        append(toOTLPAttrs(s.Attrs), otlpAttr(Str("flos.sampled", tr.Sampled))),
+			Status:            status,
+		})
+	}
+	var rs otlpResourceSpans
+	rs.Resource.Attributes = []otlpKeyValue{otlpAttr(Str("service.name", service))}
+	ss := otlpScopeSpans{Spans: spans}
+	ss.Scope.Name = "flos/internal/obs/trace"
+	rs.ScopeSpans = []otlpScopeSpans{ss}
+	return otlpExport{ResourceSpans: []otlpResourceSpans{rs}}
+}
+
+func toOTLPAttrs(attrs []Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, 0, len(attrs)+1)
+	for _, a := range attrs {
+		out = append(out, otlpAttr(a))
+	}
+	return out
+}

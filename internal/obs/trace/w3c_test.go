@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	got, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace = %s", got.Trace)
+	}
+	if got.Span.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span = %s", got.Span)
+	}
+	if !got.Sampled {
+		t.Fatal("sampled flag not read")
+	}
+
+	// Flags 00 → unsampled; other flag bits ignored.
+	for flags, want := range map[string]bool{"00": false, "01": true, "02": false, "03": true, "ff": true} {
+		got, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-" + flags)
+		if err != nil {
+			t.Fatalf("flags %s: %v", flags, err)
+		}
+		if got.Sampled != want {
+			t.Fatalf("flags %s: sampled = %v, want %v", flags, got.Sampled, want)
+		}
+	}
+
+	// Future version with extra fields: accepted with 00 semantics.
+	if _, err := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // v00 with 5 fields
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // invalid version
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex version
+		"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // 1-char version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01",   // uppercase span
+		"00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",    // short trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",    // short span
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1",    // 1-char flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",   // non-hex flags
+	}
+	for _, bad := range cases {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestInject(t *testing.T) {
+	h := make(http.Header)
+	id, span := NewID(), NewSpanID()
+	Inject(h, id, span, true)
+	got := h.Get(Header)
+	want := "00-" + id.String() + "-" + span.String() + "-01"
+	if got != want {
+		t.Fatalf("Inject wrote %q, want %q", got, want)
+	}
+	parsed, err := ParseTraceparent(got)
+	if err != nil {
+		t.Fatalf("injected header does not parse: %v", err)
+	}
+	if parsed.Trace != id || parsed.Span != span || !parsed.Sampled {
+		t.Fatal("injected header round-trip mismatch")
+	}
+
+	// Zero trace: no header.
+	h2 := make(http.Header)
+	Inject(h2, ID{}, span, true)
+	if h2.Get(Header) != "" {
+		t.Fatal("Inject wrote a header for the zero trace ID")
+	}
+}
+
+func TestFileExporterOTLPShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	exp, err := NewFileExporter(path, "flos-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Config{HeadRate: 1, Exporter: exp})
+	a := tr.StartRequest(TraceParent{})
+	root := a.StartSpan(SpanID{}, "GET /topk", Int("k", 10), Str("measure", "php"), Float("alpha", 0.5), Bool("unified", false))
+	root.SetKind("server")
+	child := a.StartSpan(root.ID(), "qserve.execute")
+	child.SetError("boom")
+	child.End()
+	root.End()
+	a.Finish("ok")
+	a2 := tr.StartRequest(TraceParent{})
+	a2.StartSpan(SpanID{}, "GET /topk").End()
+	a2.Finish("ok")
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exporter wrote %d lines, want 2 (one per kept trace)", len(lines))
+	}
+	first := lines[0]
+	for _, want := range []string{
+		`"resourceSpans"`, `"scopeSpans"`, `"spans"`,
+		`"service.name"`, `"flos-test"`,
+		`"traceId":"` + a.TraceIDString() + `"`,
+		`"kind":2`, // server span
+		`"kind":1`, // internal span
+		`"startTimeUnixNano":"`, `"endTimeUnixNano":"`,
+		`"intValue":"10"`, `"stringValue":"php"`, `"doubleValue":0.5`, `"boolValue":false`,
+		`"code":2`, `"message":"boom"`, // errored child status
+		`"flos.sampled"`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("OTLP line missing %s:\n%s", want, first)
+		}
+	}
+
+	// End = start + duration, as string nanos.
+	if !strings.Contains(first, `"parentSpanId":"`+root.ID().String()+`"`) {
+		t.Error("child span missing parentSpanId")
+	}
+	_ = time.Now()
+}

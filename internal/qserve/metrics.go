@@ -74,10 +74,10 @@ type metrics struct {
 }
 
 // observe records one executed query's latency, tagging the landed buckets
-// with the request ID as their exemplar (id may be empty).
-func (m *metrics) observe(slot int, d time.Duration, id string) {
-	m.lat.ObserveExemplar(d, id)
-	m.latByMeasure[slot].ObserveExemplar(d, id)
+// with the request ID and trace ID as their exemplar (either may be empty).
+func (m *metrics) observe(slot int, d time.Duration, id, traceID string) {
+	m.lat.ObserveExemplar(d, id, traceID)
+	m.latByMeasure[slot].ObserveExemplar(d, id, traceID)
 }
 
 // observeHit accounts one result-cache answer.

@@ -38,6 +38,7 @@ import (
 	"flos/internal/livegraph"
 	"flos/internal/measure"
 	"flos/internal/obs"
+	"flos/internal/obs/trace"
 )
 
 // Errors returned by Do without running the query.
@@ -176,6 +177,15 @@ type job struct {
 	snap   *livegraph.Snapshot
 	epoch  uint64
 	recert bool
+
+	// Span-tracing state, resolved once at prepare: the request's active
+	// trace (nil when untraced — every use below is nil-safe), the span the
+	// pool's spans parent under, its hex trace ID (the exemplar /
+	// flight-record join key), and the open admission-wait span.
+	trace   *trace.Active
+	parent  trace.SpanID
+	traceID string
+	queue   *trace.SpanHandle
 }
 
 // discard releases the job's resources without running it: the deadline
@@ -291,21 +301,36 @@ func (p *Pool) BumpEpoch() {
 // Returns the new epoch. The batch is atomic: on error nothing is published
 // and the cache is untouched. Returns ErrNotLive on non-live pools.
 func (p *Pool) Mutate(ops []livegraph.EdgeOp) (uint64, error) {
+	return p.MutateCtx(context.Background(), ops)
+}
+
+// MutateCtx is Mutate under a caller context: when the context carries an
+// active trace, the snapshot publication ("livegraph.apply") and the
+// surgical-invalidation walk ("qserve.cache.invalidate", with its
+// evicted/retained verdict) become spans of the mutating request.
+func (p *Pool) MutateCtx(ctx context.Context, ops []livegraph.EdgeOp) (uint64, error) {
 	if p.live == nil {
 		return 0, ErrNotLive
 	}
+	a, parent := trace.FromContext(ctx)
 	p.mutateMu.Lock()
 	defer p.mutateMu.Unlock()
 	oldEpoch := p.epoch.Load()
+	apply := a.StartSpan(parent, "livegraph.apply", trace.Int("ops", int64(len(ops))))
 	snap, touched, err := p.live.Apply(ops)
 	if err != nil {
+		apply.SetError(err.Error())
+		apply.End()
 		return 0, err
 	}
 	newEpoch := snap.Epoch()
+	apply.SetAttrs(trace.Int("touched", int64(len(touched))), trace.Int("epoch", int64(newEpoch)))
+	apply.End()
 	if newEpoch == oldEpoch { // empty batch: nothing published
 		return newEpoch, nil
 	}
 	if p.cache != nil {
+		inval := a.StartSpan(parent, "qserve.cache.invalidate")
 		var maxTouchedDeg float64
 		for _, v := range touched {
 			if d := snap.Degree(v); d > maxTouchedDeg {
@@ -315,6 +340,8 @@ func (p *Pool) Mutate(ops []livegraph.EdgeOp) (uint64, error) {
 		surgical, retained := p.cache.invalidate(oldEpoch, newEpoch, touched, maxTouchedDeg, p.stale)
 		p.met.invalSurgical.Add(surgical)
 		p.met.retained.Add(retained)
+		inval.SetAttrs(trace.Int("surgical", surgical), trace.Int("retained", retained))
+		inval.End()
 	}
 	p.epoch.Store(newEpoch)
 	return newEpoch, nil
@@ -337,11 +364,18 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 		return hit, nil
 	}
 
+	// The admission-wait span opens before the enqueue attempt and is ended
+	// by the worker at dequeue (or right here on a shed), so it covers the
+	// whole time the request spent waiting rather than computing.
+	j.queue = j.trace.StartSpan(j.parent, "qserve.queue.wait")
 	select {
 	case p.jobs <- j:
 	default:
+		j.queue.SetAttrs(trace.Str("outcome", "shed"), trace.Int("queue_cap", int64(p.cfg.QueueDepth)))
+		j.queue.End()
+		j.trace.Promote("shed")
 		j.discard()
-		p.recordShed(j.req, start)
+		p.recordShed(j.req, start, j.traceID)
 		if p.cfg.Logger != nil {
 			p.cfg.Logger.Warn("query shed", "query", req.Query, "queue_cap", p.cfg.QueueDepth)
 		}
@@ -367,18 +401,26 @@ func (p *Pool) prepare(ctx context.Context, req Request, start time.Time) (*job,
 		req.ID = obs.NewRequestID()
 	}
 	j := &job{ctx: ctx, req: req, out: make(chan outcome, 1)}
+	j.trace, j.parent = trace.FromContext(ctx)
+	j.traceID = j.trace.TraceIDString()
 	if p.live != nil {
+		pin := j.trace.StartSpan(j.parent, "livegraph.pin")
 		j.snap = p.live.Acquire()
 		j.epoch = j.snap.Epoch()
+		pin.SetAttrs(trace.Int("epoch", int64(j.epoch)))
+		pin.End()
 	} else {
 		j.epoch = p.epoch.Load()
 	}
 	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
 		j.key = keyOf(j.epoch, req)
 		j.cached = true
+		lookup := j.trace.StartSpan(j.parent, "qserve.cache.lookup")
 		if resp, ok := p.cache.get(j.key); ok {
+			lookup.SetAttrs(trace.Bool("hit", true))
+			lookup.End()
 			j.discard()
-			p.recordHit(j.req, j.epoch, start)
+			p.recordHit(j.req, j.epoch, start, j.traceID)
 			hit := *resp
 			hit.CacheHit = true
 			return nil, &hit
@@ -395,6 +437,8 @@ func (p *Pool) prepare(ctx context.Context, req Request, start time.Time) (*job,
 				}
 			}
 		}
+		lookup.SetAttrs(trace.Bool("hit", false), trace.Bool("recert", j.recert))
+		lookup.End()
 	}
 	if p.cfg.Timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(ctx, p.cfg.Timeout)
@@ -429,6 +473,10 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []Request) []BatchResult {
 	p.met.batches.Add(1)
 
 	jobs := make([]*job, len(reqs))
+	// One span per batch slot: each slot's pin/cache/queue/execute spans nest
+	// under its own "qserve.slot", so the fan-out reads as parallel branches
+	// of the request's span tree.
+	slots := make([]*trace.SpanHandle, len(reqs))
 	submitted := 0
 admit:
 	for i, req := range reqs {
@@ -438,16 +486,23 @@ admit:
 			continue
 		default:
 		}
-		j, hit := p.prepare(ctx, req, start)
+		slotCtx, slot := trace.StartSpan(ctx, "qserve.slot",
+			trace.Int("slot", int64(i)), trace.Int("query", int64(req.Query)))
+		slots[i] = slot
+		j, hit := p.prepare(slotCtx, req, start)
 		if hit != nil {
 			out[i].Resp = hit
+			slot.End()
 			continue
 		}
+		j.queue = j.trace.StartSpan(j.parent, "qserve.queue.wait")
 		select {
 		case p.jobs <- j:
 			jobs[i] = j
 			submitted++
 		case <-ctx.Done():
+			j.queue.SetAttrs(trace.Str("outcome", "canceled"))
+			j.queue.End()
 			j.discard()
 			// Mark this and every remaining slot unstarted and stop
 			// admitting; slots already submitted still drain below.
@@ -456,10 +511,13 @@ admit:
 					out[r].Err = interruptedZero(ctx.Err())
 				}
 			}
+			slot.End()
 			break admit
 		case <-p.done:
+			j.queue.End()
 			j.discard()
 			out[i].Err = ErrClosed
+			slot.End()
 		}
 	}
 	for i, j := range jobs {
@@ -472,6 +530,7 @@ admit:
 		case <-p.done:
 			out[i].Err = ErrClosed
 		}
+		slots[i].End()
 	}
 	return out
 }
@@ -480,7 +539,7 @@ admit:
 // tracker (a good event), and the flight recorder (no trajectory: nothing
 // executed). Hits never enter the executed-latency histograms, so the
 // per-measure parity is histogram count + hitByMeasure.
-func (p *Pool) recordHit(req Request, epoch uint64, start time.Time) {
+func (p *Pool) recordHit(req Request, epoch uint64, start time.Time, traceID string) {
 	p.met.served.Add(1)
 	p.met.observeHit(metricsSlot(req))
 	elapsed := time.Since(start)
@@ -490,6 +549,7 @@ func (p *Pool) recordHit(req Request, epoch uint64, start time.Time) {
 	if p.rec != nil {
 		p.rec.Record(&obs.FlightRecord{
 			ID:        req.ID,
+			TraceID:   traceID,
 			Start:     start,
 			Measure:   measureLabels[metricsSlot(req)],
 			Query:     int64(req.Query),
@@ -505,7 +565,7 @@ func (p *Pool) recordHit(req Request, epoch uint64, start time.Time) {
 // recordShed accounts one refused admission: an error against the
 // availability objective and a trace-less flight record, never a served
 // count.
-func (p *Pool) recordShed(req Request, start time.Time) {
+func (p *Pool) recordShed(req Request, start time.Time, traceID string) {
 	p.met.shed.Add(1)
 	elapsed := time.Since(start)
 	if p.slo != nil {
@@ -514,6 +574,7 @@ func (p *Pool) recordShed(req Request, start time.Time) {
 	if p.rec != nil {
 		p.rec.Record(&obs.FlightRecord{
 			ID:        req.ID,
+			TraceID:   traceID,
 			Start:     start,
 			Measure:   measureLabels[metricsSlot(req)],
 			Query:     int64(req.Query),
@@ -557,21 +618,45 @@ func (p *Pool) worker(g graph.Graph) {
 	}
 }
 
-// teeTracer fans iteration records out to the caller's tracer and the flight
-// recorder's sampler, so recording a query never hides its trajectory from
+// multiTracer fans iteration records out to every attached core.Tracer —
+// the caller's tracer, the flight recorder's sampler, and the span bridge's
+// phase accumulator — so recording a query never hides its trajectory from
 // the user who asked for it.
-type teeTracer struct {
-	user    core.Tracer
-	sampler *obs.TraceSampler
+type multiTracer []core.Tracer
+
+func (m multiTracer) ObserveIteration(it core.IterStats) {
+	for _, t := range m {
+		t.ObserveIteration(it)
+	}
 }
 
-func (t teeTracer) ObserveIteration(it core.IterStats) {
-	t.user.ObserveIteration(it)
-	t.sampler.ObserveIteration(it)
+// phaseAccum is the core.Tracer bridge between the engine's per-iteration
+// IterStats hook and the span model: it sums the per-phase wall times the
+// engines already measure, and run() synthesizes one aggregate span per
+// solver phase from the totals. The engines themselves are untouched — the
+// hook observes the schedule, it never alters it.
+type phaseAccum struct {
+	iters                        int64
+	expandNS, solveNS, certifyNS int64
+}
+
+func (a *phaseAccum) ObserveIteration(it core.IterStats) {
+	a.iters++
+	a.expandNS += it.ExpandNS
+	a.solveNS += it.SolveNS
+	a.certifyNS += it.CertifyNS
+}
+
+// faultObserved is the structural capability of graph views that can report
+// page-fault stalls (diskgraph.Reader); declared here so qserve needs no
+// diskgraph import.
+type faultObserved interface {
+	SetFaultObserver(func(time.Duration))
 }
 
 func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.TraceSampler) {
 	defer j.discard()
+	j.queue.End() // admission wait ends when a worker picks the job up
 	if j.snap != nil {
 		// Live pool: the whole query runs against the snapshot pinned at
 		// admission, not whatever is current by the time a worker frees up.
@@ -579,16 +664,47 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 	}
 	start := time.Now()
 	opt := j.req.Opt
+	// Compose the iteration tracers after the cache decision (Do keys bypass
+	// off the user-set tracer, not these) so caching semantics are unchanged
+	// when recording or span tracing is on.
+	var accum *phaseAccum
+	tracers := make(multiTracer, 0, 3)
+	if opt.Tracer != nil {
+		tracers = append(tracers, opt.Tracer)
+	}
 	if sampler != nil {
-		// Attach the flight recorder's sampler after the cache decision (Do
-		// keys bypass off the user-set tracer, not this one) so caching
-		// semantics are unchanged when recording is on.
 		sampler.Reset()
-		if opt.Tracer != nil {
-			opt.Tracer = teeTracer{user: opt.Tracer, sampler: sampler}
-		} else {
-			opt.Tracer = sampler
+		tracers = append(tracers, sampler)
+	}
+	exec := j.trace.StartSpan(j.parent, "qserve.execute",
+		trace.Str("measure", measureLabels[metricsSlot(j.req)]),
+		trace.Int("query", int64(j.req.Query)),
+		trace.Int("k", int64(j.req.Opt.K)),
+		trace.Bool("unified", j.req.Unified),
+		trace.Int("epoch", int64(j.epoch)))
+	var faults, faultNS int64
+	if j.trace != nil {
+		if j.recert {
+			exec.SetAttrs(trace.Bool("recert", true))
 		}
+		accum = &phaseAccum{}
+		tracers = append(tracers, accum)
+		if fo, ok := g.(faultObserved); ok {
+			// Attribute cold-path disk stalls to this query's trace. The
+			// worker owns this view exclusively, and the observer is cleared
+			// below before the job completes.
+			fo.SetFaultObserver(func(d time.Duration) {
+				faults++
+				faultNS += int64(d)
+			})
+		}
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		opt.Tracer = tracers[0]
+	default:
+		opt.Tracer = tracers
 	}
 	var (
 		resp = &Response{Epoch: j.epoch}
@@ -605,9 +721,14 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 	if p.serialMu != nil {
 		p.serialMu.Unlock()
 	}
+	if j.trace != nil {
+		if fo, ok := g.(faultObserved); ok {
+			fo.SetFaultObserver(nil)
+		}
+	}
 	elapsed := time.Since(start)
 	p.met.served.Add(1)
-	p.met.observe(metricsSlot(j.req), elapsed, j.req.ID)
+	p.met.observe(metricsSlot(j.req), elapsed, j.req.ID, j.traceID)
 	status := "ok"
 	var iters, visited, sweeps int
 	var exact bool
@@ -641,6 +762,45 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 		}
 	}
 	p.met.addWork(iters, visited, sweeps)
+	if j.trace != nil {
+		// Close out the execute span: outcome, work counters, then the
+		// synthesized per-phase children. The engines report per-phase wall
+		// times through IterStats; the totals become contiguous aggregate
+		// spans laid end to end from the execution start — real durations,
+		// synthetic placement.
+		exec.SetAttrs(trace.Str("outcome", status),
+			trace.Int("iterations", int64(iters)),
+			trace.Int("visited", int64(visited)),
+			trace.Int("sweeps", int64(sweeps)))
+		if err != nil && status == "failed" {
+			exec.SetError(err.Error())
+		}
+		if accum != nil && accum.iters > 0 {
+			t0 := start
+			for _, ph := range [...]struct {
+				name string
+				ns   int64
+			}{
+				{"solver.expand", accum.expandNS},
+				{"solver.solve", accum.solveNS},
+				{"solver.certify", accum.certifyNS},
+			} {
+				j.trace.AddSpan(exec.ID(), ph.name, t0, time.Duration(ph.ns),
+					trace.Int("iterations", accum.iters), trace.Bool("aggregate", true))
+				t0 = t0.Add(time.Duration(ph.ns))
+			}
+		}
+		if faults > 0 {
+			j.trace.AddSpan(exec.ID(), "disk.pagefault", start, time.Duration(faultNS),
+				trace.Int("faults", faults), trace.Bool("aggregate", true))
+		}
+		exec.End()
+		// Anything the slow-query log would promote, the trace store keeps
+		// too — the two planes must agree on what "the slow query" is.
+		if p.rec != nil && p.rec.IsSlow(elapsed, visited) {
+			j.trace.Promote("slow-query")
+		}
+	}
 	// Cancellation is client-initiated and says nothing about the server's
 	// objectives; every other outcome feeds the SLO windows.
 	if p.slo != nil && status != "canceled" {
@@ -649,6 +809,7 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 	if p.rec != nil {
 		rec := &obs.FlightRecord{
 			ID:         j.req.ID,
+			TraceID:    j.traceID,
 			Start:      start,
 			Measure:    measureLabels[metricsSlot(j.req)],
 			Query:      int64(j.req.Query),

@@ -29,6 +29,9 @@
 //	                           `flos -replay`)
 //	GET /debug/flos/flightrec  newest n flight-recorder records (?n=, def. 32)
 //	GET /debug/flos/slo        multi-window SLO burn-rate snapshot
+//	GET /debug/flos/traces     newest kept traces (?n=, def. 32) with tracer
+//	                           counters; ?id=<32-hex trace id> returns that
+//	                           trace's full span tree
 //
 // trace=1 returns the per-iteration convergence trajectory (visited/
 // boundary/candidate counts, the certification gap, per-phase timings)
@@ -37,6 +40,13 @@
 // All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
 // status. Every response carries an X-Request-ID header, and each request
 // emits one structured (log/slog) access record with latency and outcome.
+// When span tracing is on (Config.Tracer), every request runs under a root
+// "server" span: a client traceparent header (W3C Trace Context) is honored
+// — its trace continued, its sampling decision respected — and a malformed
+// one is rejected with the same structured 400 every endpoint uses. The
+// response always echoes a traceparent header carrying the trace ID and the
+// boundary span, and the access record carries the trace ID as the join key
+// into /debug/flos/traces, the slow-query log, and histogram exemplars.
 // Query execution is delegated to internal/qserve: a bounded worker pool
 // answers queries concurrently on every backend (disk-resident stores
 // included — their page cache is lock-striped and each worker holds its own
@@ -62,6 +72,7 @@ import (
 	"flos/internal/livegraph"
 	"flos/internal/measure"
 	"flos/internal/obs"
+	"flos/internal/obs/trace"
 	"flos/internal/qserve"
 )
 
@@ -76,10 +87,11 @@ type Server struct {
 	// bounded cardinality by construction.
 	httpLat map[string]*obs.Histogram
 
-	// Diagnostics plane (nil when disabled): flight recorder and SLO
-	// tracker, shared with the pool.
-	rec *obs.FlightRecorder
-	slo *obs.SLOTracker
+	// Diagnostics plane (nil when disabled): flight recorder, SLO tracker,
+	// and span tracer, shared with the pool.
+	rec    *obs.FlightRecorder
+	slo    *obs.SLOTracker
+	tracer *trace.Tracer
 
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
@@ -119,6 +131,11 @@ type Config struct {
 	// SLO, when non-nil, tracks multi-window availability and latency burn
 	// rates, exported as flos_slo_* gauges and GET /debug/flos/slo.
 	SLO *obs.SLOTracker
+	// Tracer, when non-nil, turns on end-to-end span tracing: every request
+	// runs under a root span, W3C traceparent context is honored and echoed,
+	// kept traces are served by GET /debug/flos/traces, and trace IDs join
+	// the flight recorder, slow-query log, exemplars, and access logs.
+	Tracer *trace.Tracer
 }
 
 // New builds a Server for g and starts its worker pool; Close releases it.
@@ -145,6 +162,7 @@ func New(g graph.Graph, cfg Config) *Server {
 	}
 	s.rec = cfg.Recorder
 	s.slo = cfg.SLO
+	s.tracer = cfg.Tracer
 	workers := cfg.Workers
 	if cfg.Serialize {
 		workers = 1
@@ -167,6 +185,7 @@ var endpointPaths = []string{
 	"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified",
 	"/graph/edges",
 	"/debug/flos/slow", "/debug/flos/flightrec", "/debug/flos/slo",
+	"/debug/flos/traces",
 }
 
 // Pool exposes the serving pool (epoch bumps, metrics).
@@ -189,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/flos/slow", s.handleSlow)
 	mux.HandleFunc("/debug/flos/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/flos/slo", s.handleSLO)
+	mux.HandleFunc("/debug/flos/traces", s.handleTraces)
 	return s.instrument(mux)
 }
 
@@ -203,8 +223,31 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument assigns each request an ID (echoed in X-Request-ID), times it
-// into the per-endpoint histogram, and emits one structured access record.
+// traceStatus maps the HTTP status the handler wrote onto the trace outcome
+// the tail sampler keys on: 429 is a shed admission, 504 a deadline, any
+// other 5xx a failure.
+func traceStatus(httpStatus int) string {
+	switch {
+	case httpStatus == http.StatusTooManyRequests:
+		return "shed"
+	case httpStatus == http.StatusGatewayTimeout:
+		return "deadline"
+	case httpStatus >= 500:
+		return "failed"
+	default:
+		return "ok"
+	}
+}
+
+// instrument assigns each request an ID (echoed in X-Request-ID), opens the
+// request's trace at the W3C boundary, times it into the per-endpoint
+// histogram, and emits one structured access record.
+//
+// The traceparent header is validated whether or not tracing is on — a
+// malformed value is the client's error and gets the same structured 400 on
+// every endpoint. A valid inbound header continues the caller's trace (its
+// sampled flag honored); with the tracer disabled it is simply echoed back,
+// so callers can rely on the header round-tripping either way.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -214,19 +257,54 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+
+		var parent trace.TraceParent
+		var parentErr error
+		if hv := r.Header.Get(trace.Header); hv != "" {
+			parent, parentErr = trace.ParseTraceparent(hv)
+		}
+		var a *trace.Active
+		var root *trace.SpanHandle
+		if parentErr == nil {
+			a = s.tracer.StartRequest(parent)
+			if a != nil {
+				root = a.StartSpan(a.RemoteParent(), r.Method+" "+r.URL.Path,
+					trace.Str("request_id", id))
+				root.SetKind("server")
+				w.Header().Set(trace.Header, trace.TraceParent{
+					Trace: a.TraceID(), Span: root.ID(), Sampled: a.HeadSampled(),
+				}.String())
+				r = r.WithContext(trace.NewContext(r.Context(), a, root.ID()))
+			} else if !parent.IsZero() {
+				// Tracer off: round-trip the validated client value untouched.
+				w.Header().Set(trace.Header, r.Header.Get(trace.Header))
+			}
+		}
+
+		if parentErr != nil {
+			badRequest(sw, "bad traceparent: %v", parentErr)
+		} else {
+			next.ServeHTTP(sw, r)
+		}
 		elapsed := time.Since(start)
+		root.SetAttrs(trace.Int("http.status", int64(sw.status)))
+		root.End()
+		a.Finish(traceStatus(sw.status))
 		if h, ok := s.httpLat[r.URL.Path]; ok {
 			h.Observe(elapsed)
 		}
-		s.log.Info("request",
+		logAttrs := []any{
 			"id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
 			"status", sw.status,
 			"latency", elapsed,
-		)
+		}
+		if a != nil {
+			logAttrs = append(logAttrs, "trace", a.TraceIDString())
+		}
+		s.log.Info("request", logAttrs...)
 	})
 }
 
@@ -324,6 +402,82 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.slo.Snapshot())
 }
 
+// traceSummaryBody is one kept trace's row in the list view.
+type traceSummaryBody struct {
+	TraceID       string `json:"trace_id"`
+	Root          string `json:"root"`
+	Status        string `json:"status"`
+	Sampled       string `json:"sampled"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationUS    int64  `json:"duration_us"`
+	Spans         int    `json:"spans"`
+}
+
+// traceListBody is the GET /debug/flos/traces payload: tracer counters plus
+// the newest kept traces (summaries; fetch one by ?id= for its span tree).
+type traceListBody struct {
+	Started  uint64             `json:"started"`
+	KeptHead uint64             `json:"kept_head"`
+	KeptTail uint64             `json:"kept_tail"`
+	Dropped  uint64             `json:"dropped"`
+	Traces   []traceSummaryBody `json:"traces"`
+}
+
+// traceDetailBody is the ?id= payload: the retained trace with its spans
+// assembled into the parent-child tree.
+type traceDetailBody struct {
+	*trace.Trace
+	Tree []*trace.SpanNode `json:"tree"`
+}
+
+// handleTraces serves the completed-trace ring: the list view with tracer
+// counters, or — with ?id=<32-hex trace id> — one trace's full span tree.
+// A trace that was never kept (head-dropped without a tail promotion) or has
+// been lapped out of the ring answers 404.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "span tracing disabled (-trace-ring 0)"})
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr := s.tracer.Get(id)
+		if tr == nil {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "trace not retained: " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, traceDetailBody{Trace: tr, Tree: tr.Tree()})
+		return
+	}
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			badRequest(w, "bad n: %q", v)
+			return
+		}
+	}
+	st := s.tracer.Stats()
+	body := traceListBody{
+		Started:  st.Started,
+		KeptHead: st.KeptHead,
+		KeptTail: st.KeptTail,
+		Dropped:  st.Dropped,
+		Traces:   []traceSummaryBody{},
+	}
+	for _, tr := range s.tracer.Last(n) {
+		body.Traces = append(body.Traces, traceSummaryBody{
+			TraceID:       tr.TraceID,
+			Root:          tr.Root,
+			Status:        tr.Status,
+			Sampled:       tr.Sampled,
+			StartUnixNano: tr.StartUnixNano,
+			DurationUS:    tr.DurationUS,
+			Spans:         len(tr.Spans),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 type statsBody struct {
 	Nodes int   `json:"nodes"`
 	Edges int64 `json:"edges"`
@@ -375,6 +529,10 @@ type metricsBody struct {
 	// SLO is the burn-rate snapshot; present when SLO tracking is on.
 	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 
+	// Traces holds the span tracer's retention counters; present when span
+	// tracing is on.
+	Traces *traceMetricsBody `json:"traces,omitempty"`
+
 	// Runtime gauges.
 	Runtime runtimeBody `json:"runtime"`
 
@@ -391,11 +549,13 @@ type measureLatencyBody struct {
 	CacheAnswered int64 `json:"cache_answered,omitempty"`
 }
 
-// exemplarBody is one latency bucket's exemplar.
+// exemplarBody is one latency bucket's exemplar. TraceID, when the sampled
+// request ran under span tracing, is the join key into /debug/flos/traces.
 type exemplarBody struct {
 	// BucketLEUS is the bucket's inclusive upper bound in microseconds.
 	BucketLEUS int64  `json:"bucket_le_us"`
 	ID         string `json:"id"`
+	TraceID    string `json:"trace_id,omitempty"`
 	LatencyUS  int64  `json:"latency_us"`
 }
 
@@ -405,10 +565,18 @@ func exemplarBodies(snap obs.Snapshot) []exemplarBody {
 	var out []exemplarBody
 	for i, ex := range snap.Exemplars {
 		if ex != nil {
-			out = append(out, exemplarBody{BucketLEUS: bounds[i], ID: ex.ID, LatencyUS: ex.LatencyUS})
+			out = append(out, exemplarBody{BucketLEUS: bounds[i], ID: ex.ID, TraceID: ex.TraceID, LatencyUS: ex.LatencyUS})
 		}
 	}
 	return out
+}
+
+// traceMetricsBody is the metrics view of the tracer's retention counters.
+type traceMetricsBody struct {
+	Started  uint64 `json:"started"`
+	KeptHead uint64 `json:"kept_head"`
+	KeptTail uint64 `json:"kept_tail"`
+	Dropped  uint64 `json:"dropped"`
 }
 
 // liveMetricsBody carries the live-graph serving counters: the snapshot
@@ -527,6 +695,15 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		snap := s.slo.Snapshot()
 		body.SLO = &snap
 	}
+	if s.tracer != nil {
+		st := s.tracer.Stats()
+		body.Traces = &traceMetricsBody{
+			Started:  st.Started,
+			KeptHead: st.KeptHead,
+			KeptTail: st.KeptTail,
+			Dropped:  st.Dropped,
+		}
+	}
 	if s.store != nil {
 		st := s.store.CacheStats()
 		disk := &diskMetricsBody{
@@ -632,6 +809,13 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	if s.rec != nil {
 		p.Counter("flos_flightrec_recorded_total", "Queries captured by the flight recorder.", nil, int64(s.rec.Recorded()))
 		p.Counter("flos_flightrec_slow_total", "Queries promoted into the slow-query log.", nil, int64(s.rec.SlowCount()))
+	}
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		p.Counter("flos_traces_started_total", "Requests that opened a trace.", nil, int64(ts.Started))
+		p.Counter("flos_traces_kept_total", "Traces retained, by sampling decision (head hash vs tail promotion).", map[string]string{"sampled": "head"}, int64(ts.KeptHead))
+		p.Counter("flos_traces_kept_total", "Traces retained, by sampling decision (head hash vs tail promotion).", map[string]string{"sampled": "tail"}, int64(ts.KeptTail))
+		p.Counter("flos_traces_dropped_total", "Traces recorded but not retained (head-dropped, no tail condition).", nil, int64(ts.Dropped))
 	}
 
 	rt := readRuntime()
@@ -955,7 +1139,7 @@ func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
 		ops[i] = livegraph.EdgeOp{Op: op, U: ob.U, V: ob.V, W: ob.W}
 	}
 	start := time.Now()
-	epoch, err := s.pool.Mutate(ops)
+	epoch, err := s.pool.MutateCtx(r.Context(), ops)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Diagnostics-plane smoke test (the CI diagnostics-smoke job).
 #
-# Boots flosd with the flight recorder, slow-query log, SLO tracking, and
+# Boots flosd with the flight recorder, slow-query log, SLO tracking, span
+# tracing (head rate 0 — only tail promotion retains anything), and
 # continuous profiler enabled; fires 200 queries plus an injected slow query
-# carrying a known X-Request-ID; asserts the query is captured in
-# /debug/flos/slow, joinable through its latency-bucket exemplar in
-# /metrics?format=json, visible in the flos_slo_* gauges, and replayable
-# offline with `flos -replay`; then runs the recorder-overhead benchmark and
-# gates on the <= 2% median target, leaving the machine-readable result in
-# BENCH_5.json (override with BENCH_OUT).
+# carrying a known X-Request-ID and W3C traceparent; asserts the query is
+# captured in /debug/flos/slow, joinable through its latency-bucket exemplar
+# in /metrics?format=json, visible in the flos_slo_* gauges, replayable
+# offline with `flos -replay`, and — despite the 0% head rate — retained as a
+# tail-promoted span tree at /debug/flos/traces and in the OTLP-JSON export
+# file; then runs the recorder- and tracing-overhead benchmarks and gates
+# both on the <= 2% median target, leaving the machine-readable results in
+# BENCH_5.json / BENCH_7.json (override with BENCH_OUT / TRACE_BENCH_OUT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +19,7 @@ ADDR="127.0.0.1:18097"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 OUT="${BENCH_OUT:-BENCH_5.json}"
+TRACE_OUT="${TRACE_BENCH_OUT:-BENCH_7.json}"
 FLOSD_PID=""
 trap '[ -n "$FLOSD_PID" ] && kill "$FLOSD_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
@@ -35,9 +39,12 @@ echo "== boot flosd with the diagnostics plane on =="
 # (fired last, with a client-supplied request ID) deterministically retained
 # in the slow log and deterministically the most recent exemplar of its
 # latency bucket.
+# -trace-sample 0 turns the head sampler fully off: a trace can only survive
+# by tail promotion, which is exactly the retention path this smoke asserts.
 "$WORK/flosd" -bin "$WORK/graph.bin" -addr "$ADDR" \
   -flightrec 512 -slow-latency 1ns -slow-keep 64 \
   -slo-latency 100ms -cache 64 \
+  -trace-ring 512 -trace-sample 0 -trace-export "$WORK/traces.jsonl" \
   -profile-dir "$WORK/profiles" -profile-interval 2s -profile-keep 3 \
   -log-level warn &
 FLOSD_PID=$!
@@ -57,9 +64,21 @@ curl -fsS "$BASE/unified?q=11&k=5" >/dev/null
 curl -fsS -X POST -d '{"queries":[1,2,3],"k":5,"measure":"rwr"}' "$BASE/topk/batch" >/dev/null
 curl -fsS "$BASE/topk?q=0&k=10&measure=php" >/dev/null # repeat: result-cache hit
 
-echo "== inject slow query with a known request ID =="
+echo "== inject slow query with a known request ID and traceparent =="
 SLOW_ID="smoke-slow-$$"
-curl -fsS -H "X-Request-ID: $SLOW_ID" "$BASE/topk?q=123&k=50&measure=rwr" >/dev/null
+# A client traceparent with the sampled flag OFF (flags 00): with the head
+# sampler also at 0, nothing but tail promotion can keep this trace.
+TRACE_ID="$(printf '%032x' "$$")"
+curl -fsS -H "X-Request-ID: $SLOW_ID" \
+  -H "traceparent: 00-$TRACE_ID-00000000000000aa-00" \
+  -D "$WORK/slow.headers" \
+  "$BASE/topk?q=123&k=50&measure=rwr" >/dev/null
+grep -qi "traceparent: 00-$TRACE_ID-" "$WORK/slow.headers" ||
+  fail "response did not echo the client's trace in traceparent"
+
+echo "== malformed traceparent is a structured 400 =="
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "traceparent: garbage" "$BASE/topk?q=1&k=5")
+[ "$code" = "400" ] || fail "malformed traceparent got $code, want 400"
 
 echo "== slow log captured it =="
 curl -fsS "$BASE/debug/flos/slow" >"$WORK/slow.json"
@@ -70,11 +89,34 @@ echo "== request ID is its latency bucket's exemplar =="
 curl -fsS "$BASE/metrics?format=json" >"$WORK/metrics.json"
 grep -q "\"$SLOW_ID\"" "$WORK/metrics.json" || fail "$SLOW_ID is not a latency-bucket exemplar"
 
+echo "== slow query's trace was tail-promoted at head rate 0 =="
+curl -fsS "$BASE/debug/flos/traces?id=$TRACE_ID" >"$WORK/trace.json"
+grep -q '"sampled":"tail:' "$WORK/trace.json" || fail "trace $TRACE_ID not tail-promoted"
+grep -q '"name":"qserve.execute"' "$WORK/trace.json" || fail "trace has no qserve.execute span"
+grep -q '"name":"GET /topk"' "$WORK/trace.json" || fail "trace has no boundary span"
+grep -q "\"parent_span_id\":\"00000000000000aa\"" "$WORK/trace.json" ||
+  fail "boundary span not parented on the client's span"
+curl -fsS "$BASE/debug/flos/traces" | grep -q '"kept_tail":' || fail "trace list has no counters"
+
+echo "== exemplar joins to the trace store =="
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORK/metrics.json" ||
+  fail "no latency exemplar carries trace_id $TRACE_ID"
+
+echo "== slow log record carries the trace ID =="
+curl -fsS "$BASE/debug/flos/slow" | grep -q "\"trace_id\":\"$TRACE_ID\"" ||
+  fail "slow-log record has no trace_id join key"
+
+echo "== OTLP export file has the trace =="
+grep -q "\"traceId\":\"$TRACE_ID\"" "$WORK/traces.jsonl" ||
+  fail "trace $TRACE_ID missing from the OTLP export file"
+
 echo "== SLO gauges and recorder counters exposed =="
 curl -fsS "$BASE/metrics" >"$WORK/metrics.prom"
 for m in 'flos_slo_availability{window="5m"}' 'flos_slo_availability_burn_rate{window="1h"}' \
   'flos_slo_latency_compliance{window="5m"}' 'flos_flightrec_recorded_total' \
-  'flos_query_outcomes_total{outcome="hit"}' 'flos_query_outcomes_total{outcome="ok"}'; do
+  'flos_query_outcomes_total{outcome="hit"}' 'flos_query_outcomes_total{outcome="ok"}' \
+  'flos_traces_started_total' 'flos_traces_kept_total{sampled="tail"}' \
+  'flos_traces_kept_total{sampled="head"} 0'; do
   grep -qF "$m" "$WORK/metrics.prom" || fail "/metrics missing $m"
 done
 curl -fsS "$BASE/debug/flos/slo" | grep -q '"window":"5m"' || fail "/debug/flos/slo has no 5m window"
@@ -100,4 +142,10 @@ p50=$(awk -F': ' '/"median_overhead_pct"/ {gsub(/,/, "", $2); print $2}' "$OUT")
 [ -n "$p50" ] || fail "no median_overhead_pct in $OUT"
 awk -v v="$p50" 'BEGIN { exit !(v <= 2.0) }' || fail "median overhead ${p50}% exceeds the 2% target"
 
-echo "diagnostics smoke: OK (recorder median overhead ${p50}%)"
+echo "== span-tracing overhead benchmark -> $TRACE_OUT =="
+"$WORK/flosbench" -trace-overhead -json "$TRACE_OUT"
+tp50=$(awk -F': ' '/"median_overhead_pct"/ {gsub(/,/, "", $2); print $2}' "$TRACE_OUT")
+[ -n "$tp50" ] || fail "no median_overhead_pct in $TRACE_OUT"
+awk -v v="$tp50" 'BEGIN { exit !(v <= 2.0) }' || fail "tracing median overhead ${tp50}% exceeds the 2% target"
+
+echo "diagnostics smoke: OK (recorder median overhead ${p50}%, tracing ${tp50}%)"
