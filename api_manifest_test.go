@@ -1,0 +1,204 @@
+package flos_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIManifest is the compatibility gate for the root flos package:
+// it extracts every exported declaration (functions, methods, types, consts,
+// vars) with its rendered signature and compares the sorted manifest against
+// the checked-in golden. Any change to the public surface — a removed
+// symbol, a changed signature, an added field — fails CI until the golden is
+// regenerated deliberately:
+//
+//	FLOS_UPDATE_GOLDEN=1 go test -run TestPublicAPIManifest .
+//
+// The extractor is stdlib-only (go/parser over this directory), so the gate
+// needs no external tooling.
+func TestPublicAPIManifest(t *testing.T) {
+	manifest := buildAPIManifest(t, ".")
+	goldenPath := filepath.Join("testdata", "api_manifest.txt")
+
+	if os.Getenv("FLOS_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(manifest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", goldenPath, strings.Count(manifest, "\n"))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with FLOS_UPDATE_GOLDEN=1): %v", err)
+	}
+	if manifest == string(want) {
+		return
+	}
+	// Report the precise drift, line by line.
+	gotLines := strings.Split(manifest, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !gotSet[l] {
+			t.Errorf("removed or changed: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !wantSet[l] {
+			t.Errorf("added or changed:   %s", l)
+		}
+	}
+	t.Fatalf("public API drifted from %s; if intentional, regenerate with FLOS_UPDATE_GOLDEN=1 go test -run TestPublicAPIManifest .", goldenPath)
+}
+
+// buildAPIManifest renders one sorted line per exported symbol of the
+// package in dir (test files excluded).
+func buildAPIManifest(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["flos"]
+	if !ok {
+		t.Fatalf("package flos not found in %s (got %v)", dir, pkgs)
+	}
+
+	render := func(n ast.Node) string {
+		var sb strings.Builder
+		if err := (&printer.Config{Mode: printer.RawFormat}).Fprint(&sb, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse to one line so the manifest diffs cleanly.
+		return strings.Join(strings.Fields(sb.String()), " ")
+	}
+
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := ""
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					rt := render(d.Recv.List[0].Type)
+					// Skip methods on unexported receivers.
+					if !ast.IsExported(strings.TrimPrefix(rt, "*")) {
+						continue
+					}
+					recv = "(" + rt + ") "
+				}
+				sig := render(d.Type)
+				// d.Type renders as "func(args) results"; splice the name in.
+				sig = "func " + recv + d.Name.Name + strings.TrimPrefix(sig, "func")
+				lines = append(lines, sig)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						switch tt := sp.Type.(type) {
+						case *ast.StructType:
+							lines = append(lines, fmt.Sprintf("type %s struct", sp.Name.Name))
+							for _, f := range tt.Fields.List {
+								ft := render(f.Type)
+								if len(f.Names) == 0 {
+									// Embedded field: exported iff its type name is.
+									base := strings.TrimPrefix(ft, "*")
+									if i := strings.LastIndex(base, "."); i >= 0 {
+										base = base[i+1:]
+									}
+									if ast.IsExported(base) {
+										lines = append(lines, fmt.Sprintf("type %s struct: %s (embedded)", sp.Name.Name, ft))
+									}
+									continue
+								}
+								for _, name := range f.Names {
+									if name.IsExported() {
+										lines = append(lines, fmt.Sprintf("type %s struct: %s %s", sp.Name.Name, name.Name, ft))
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							lines = append(lines, fmt.Sprintf("type %s interface", sp.Name.Name))
+							for _, m := range tt.Methods.List {
+								mt := render(m.Type)
+								if len(m.Names) == 0 {
+									lines = append(lines, fmt.Sprintf("type %s interface: %s (embedded)", sp.Name.Name, mt))
+									continue
+								}
+								for _, name := range m.Names {
+									if name.IsExported() {
+										lines = append(lines, fmt.Sprintf("type %s interface: %s%s", sp.Name.Name, name.Name, strings.TrimPrefix(mt, "func")))
+									}
+								}
+							}
+						default:
+							assign := "="
+							if sp.Assign == token.NoPos {
+								assign = ""
+							}
+							if assign == "" {
+								lines = append(lines, fmt.Sprintf("type %s %s", sp.Name.Name, render(sp.Type)))
+							} else {
+								lines = append(lines, fmt.Sprintf("type %s = %s", sp.Name.Name, render(sp.Type)))
+							}
+						}
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						typ := ""
+						if sp.Type != nil {
+							typ = " " + render(sp.Type)
+						}
+						for i, name := range sp.Names {
+							if !name.IsExported() {
+								continue
+							}
+							val := ""
+							// Record const values only when they are stable
+							// identifiers (aliases like ModeExact = core.ModeExact
+							// render by name, not by the internal value).
+							if d.Tok == token.CONST && i < len(sp.Values) {
+								if id, ok := sp.Values[i].(*ast.SelectorExpr); ok {
+									val = " = " + render(id)
+								}
+							}
+							lines = append(lines, fmt.Sprintf("%s %s%s%s", kw, name.Name, typ, val))
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -211,6 +211,13 @@ func BenchmarkFig13_Disk(b *testing.B) {
 	}
 }
 
+// nopSnapshots is a SnapshotObserver that discards every record, so the
+// traced benchmark measures snapshot construction without retention cost.
+type nopSnapshots struct{}
+
+func (nopSnapshots) ObserveIteration(IterStats) {}
+func (nopSnapshots) ObserveSnapshot(TraceEvent) {}
+
 // BenchmarkTable3_Trace micro-benchmarks the worked example, trace included.
 func BenchmarkTable3_Trace(b *testing.B) {
 	g := MustPaperExample()
@@ -219,7 +226,7 @@ func BenchmarkTable3_Trace(b *testing.B) {
 		Measure: PHP,
 		Params:  Params{C: 0.8, L: 10, Tau: 1e-8, MaxIter: 100000},
 		TieEps:  1e-9,
-		Trace:   func(TraceEvent) {},
+		Tracer:  nopSnapshots{},
 	}
 	for i := 0; i < b.N; i++ {
 		if _, err := TopK(g, 0, opt); err != nil {

@@ -133,6 +133,12 @@ func renderRecord(rec *obs.FlightRecord, refEpoch uint64) {
 		kind, rec.Query, rec.Measure, rec.K, rec.Outcome,
 		time.Duration(rec.LatencyUS)*time.Microsecond,
 		rec.Visited, rec.Iterations, rec.Sweeps, rec.Exact)
+	if len(rec.PartialTopK) > 0 {
+		fmt.Printf("partial top-%d in hand when the context fired (uncertified):\n", len(rec.PartialTopK))
+		for i, rk := range rec.PartialTopK {
+			fmt.Printf("  %2d. node %-10d score %.6g\n", i+1, rk.Node, rk.Score)
+		}
+	}
 	if len(rec.Trace) == 0 {
 		fmt.Println("(no trajectory recorded)")
 		return

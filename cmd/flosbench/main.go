@@ -16,6 +16,7 @@
 //	flosbench -recorder         # flight-recorder on/off latency overhead
 //	flosbench -trace-overhead   # span-tracing on/off latency overhead
 //	flosbench -live             # live-graph serving: surgical vs full-flush invalidation
+//	flosbench -modes            # serving modes: exact vs ε-certified paired RWR queries
 //
 // Scales default to laptop-bench sizes; pass -scale 1 -synthscale 1
 // -diskscale 1 -queries 1000 to run the paper's full configuration.
@@ -40,7 +41,8 @@ func main() {
 		recorder   = flag.Bool("recorder", false, "benchmark query latency with the flight recorder + SLO tracking on vs off")
 		traceOver  = flag.Bool("trace-overhead", false, "benchmark query latency with span tracing on (head rate 1.0) vs off")
 		liveMode   = flag.Bool("live", false, "benchmark live-graph serving: surgical vs full-flush cache invalidation under mutations")
-		benchJSON  = flag.String("json", "", "with -recorder, -trace-overhead, or -live: also write the machine-readable result (BENCH_5/7/6.json) to this file")
+		modes      = flag.Bool("modes", false, "benchmark serving modes: exact vs ε-certified paired RWR queries")
+		benchJSON  = flag.String("json", "", "with -recorder, -trace-overhead, -live, or -modes: also write the machine-readable result (BENCH_5/7/6/8.json) to this file")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -125,6 +127,12 @@ func main() {
 	}
 	if *liveMode {
 		if err := liveBench(out, *benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *modes {
+		if err := modesBench(out, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return

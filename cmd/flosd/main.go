@@ -78,6 +78,8 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission queue depth; excess requests get 429 (0 = 4x workers)")
 		cache     = flag.Int("cache", 0, "result-cache entries (0 = 1024, negative disables)")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms or 2s (0 = none)")
+		maxEps    = flag.Float64("max-epsilon", 0, "largest accepted /v1 epsilon budget (0 = 1.0, negative disables epsilon mode)")
+		maxDL     = flag.Duration("max-deadline", 0, "cap on client-requested /v1 deadlines; longer ones are clamped (0 = 30s)")
 		live      = flag.Bool("live", false, "serve a mutable live graph: accept POST /graph/edges (requires -graph or -bin)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
@@ -222,6 +224,8 @@ func main() {
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		Timeout:      *timeout,
+		MaxEpsilon:   *maxEps,
+		MaxDeadline:  *maxDL,
 		Logger:       logger,
 		Recorder:     rec,
 		SLO:          slo,

@@ -29,21 +29,23 @@ func ExampleTopK() {
 // expansion visits under PHP with c = 0.8.
 func ExampleTopK_trace() {
 	g := flos.MustPaperExample()
+	sc := &flos.SnapshotCollector{}
 	opt := flos.Options{
 		K:       2,
 		Measure: flos.PHP,
 		Params:  flos.Params{C: 0.8, L: 10, Tau: 1e-8, MaxIter: 100000},
 		TieEps:  1e-9,
-		Trace: func(ev flos.TraceEvent) {
-			fmt.Printf("iteration %d visits:", ev.Iteration)
-			for _, v := range ev.NewNodes {
-				fmt.Printf(" %d", v+1)
-			}
-			fmt.Println()
-		},
+		Tracer:  sc,
 	}
 	if _, err := flos.TopK(g, 0, opt); err != nil {
 		log.Fatal(err)
+	}
+	for _, ev := range sc.Events {
+		fmt.Printf("iteration %d visits:", ev.Iteration)
+		for _, v := range ev.NewNodes {
+			fmt.Printf(" %d", v+1)
+		}
+		fmt.Println()
 	}
 	// Output:
 	// iteration 1 visits: 2 3

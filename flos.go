@@ -81,9 +81,6 @@ type Result = core.Result
 // Ranked pairs a node with its proximity score.
 type Ranked = measure.Ranked
 
-// TraceEvent is a per-iteration search snapshot (Options.Trace).
-type TraceEvent = core.TraceEvent
-
 // Tracer observes the search's convergence trajectory (Options.Tracer):
 // one IterStats per local-expansion iteration, including the certification
 // gap the stopping rule closes. Unlike Options.Trace it does not perturb
@@ -95,6 +92,46 @@ type IterStats = core.IterStats
 
 // TraceCollector is a Tracer that appends every record to Iters.
 type TraceCollector = core.TraceCollector
+
+// SnapshotObserver is a Tracer extension receiving full per-iteration bound
+// snapshots (TraceEvent); assign one to Options.Tracer to get the detailed
+// trace the removed Options.Trace callback used to deliver.
+type SnapshotObserver = core.SnapshotObserver
+
+// SnapshotCollector is a SnapshotObserver that appends every snapshot to
+// Events.
+type SnapshotCollector = core.SnapshotCollector
+
+// TraceEvent is a full per-iteration bound snapshot, delivered to a
+// SnapshotObserver.
+type TraceEvent = core.TraceEvent
+
+// Mode selects the serving mode of a query: exact (the default), ε-certified
+// early stopping, or anytime (deadline returns the current partial top-k).
+type Mode = core.Mode
+
+// The serving modes.
+const (
+	// ModeExact runs the paper's exact stopping rule (the default).
+	ModeExact = core.ModeExact
+	// ModeEpsilon stops as soon as the certified gap is within
+	// Options.Epsilon.
+	ModeEpsilon = core.ModeEpsilon
+	// ModeAnytime returns the in-flight top-k with Certified=false instead
+	// of an *Interrupted error when the context fires.
+	ModeAnytime = core.ModeAnytime
+)
+
+// ParseMode parses "exact", "epsilon", or "anytime" ("" = exact).
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// Certification is the proof block attached to every Result: serving mode,
+// whether the answer is certified, the achieved gap and its bounds, and
+// per-node score intervals for the returned top-k.
+type Certification = core.Certification
+
+// NodeBounds is one returned node's certified score interval.
+type NodeBounds = core.NodeBounds
 
 // DefaultOptions mirrors the paper's experimental configuration
 // (c = 0.5, τ = 1e−5, L = 10, self-loop tightening on).

@@ -42,6 +42,14 @@ type Interrupted struct {
 	Iterations int
 	// Sweeps counts bound-solver relaxations performed.
 	Sweeps int
+	// Partial is the in-flight top-k at interruption time, with
+	// Certification.Certified=false and the residual gap — the same result
+	// ModeAnytime would have returned instead of this error. Nil only when
+	// interruption preceded the first solver iteration entirely (e.g. a
+	// batch slot that was never started).
+	Partial *Result
+	// PartialUnified is Partial's counterpart for unified queries.
+	PartialUnified *UnifiedResult
 }
 
 func (e *Interrupted) Error() string {
@@ -53,7 +61,7 @@ func (e *Interrupted) Error() string {
 func (e *Interrupted) Unwrap() error { return e.Cause }
 
 // interrupted maps a context error onto the typed sentinels.
-func interrupted(ctxErr error, visited, iterations, sweeps int) error {
+func interrupted(ctxErr error, visited, iterations, sweeps int) *Interrupted {
 	cause := ErrCanceled
 	if errors.Is(ctxErr, context.DeadlineExceeded) {
 		cause = ErrDeadline

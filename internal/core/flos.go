@@ -57,11 +57,20 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 	// prefix).
 	wSbar := newWSbarGuard(g)
 
+	// Termination slack: TieEps exact/anytime, widened to ε in ModeEpsilon.
+	// ModeExact passes the identical value through the identical code path,
+	// so exact-mode runs stay byte-identical to the pre-mode engine.
+	slack := opt.slack()
+
 	tracing := opt.Tracer != nil
+	snapObs, _ := opt.Tracer.(SnapshotObserver)
 	var phaseAt time.Time
+	// gap persists across iterations: at an interruption it still holds the
+	// previous iteration's termination observables for the partial result.
+	var gap certGap
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
-			return nil, interrupted(err, e.size(), t-1, e.sweeps)
+			return phpInterrupted(e, opt, rwrMode, t-1, gap, err)
 		}
 		// Algorithm 5 line 7 evaluates r_d against δS^{t-1} and ub^{t-1};
 		// capture it before the expansion mutates the boundary.
@@ -111,11 +120,8 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			e.degreeProbes++ // the index scan stands in for one metadata probe
 			e.lastGuard = guard
 		}
-		var gap *certGap
-		if tracing {
-			gap = &certGap{}
-		}
-		sel := e.checkTermination(e.selOut, opt.K, rwrMode, guard, opt.TieEps, gap)
+		gap = certGap{}
+		sel := e.checkTermination(e.selOut, opt.K, rwrMode, guard, slack, &gap)
 		if sel != nil {
 			e.selOut = sel
 		}
@@ -123,27 +129,103 @@ func phpFamilyTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Optio
 			certifyNS = time.Since(phaseAt).Nanoseconds()
 		}
 
-		if opt.Trace != nil {
-			opt.Trace(traceSnapshot(e, t, expanded, added))
+		if snapObs != nil {
+			snapObs.ObserveSnapshot(traceSnapshot(e, t, expanded, added))
 		}
 		if tracing {
 			opt.Tracer.ObserveIteration(iterStats(e, t, len(us), len(added),
-				sel != nil, gap, expandNS, solveNS, certifyNS))
+				sel != nil, &gap, expandNS, solveNS, certifyNS))
 		}
 
 		switch {
 		case sel != nil:
-			return buildResult(e, sel, opt, t, true)
+			return phpResult(e, sel, opt, t, true, true, gap)
 		case exhausted:
 			// Component exhausted without bound separation (ties beyond
 			// TieEps, or k larger than the component). The local system now
 			// IS the component with no dummy mass, so lb≈ub≈exact: return
 			// the top-k by lower bound.
-			return buildResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, true)
+			return phpResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, true, true, gap)
 		case e.size() >= maxVisited && opt.MaxVisited > 0:
-			return buildResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, false)
+			return phpResult(e, e.forceSelect(e.selOut, opt.K, rwrMode), opt, t, false, false, gap)
 		}
 	}
+}
+
+// phpResult builds the measure-scale result and attaches its Certification
+// block. exact feeds Result.Exact (modulo mode, see below); certified
+// records whether the stopping rule passed.
+func phpResult(e *phpEngine, sel []int32, opt Options, iters int, exact, certified bool, gap certGap) (*Result, error) {
+	// An ε-certified stop that still had separating work left is certified
+	// but not exact: the ranking may differ from the exact answer by up to
+	// ε in the certification-key scale.
+	if exact && opt.Mode == ModeEpsilon && gap.valid &&
+		measure.CertGap(opt.Measure, gap.kth, gap.rest) > opt.TieEps {
+		exact = false
+	}
+	res, err := buildResult(e, sel, opt, iters, exact)
+	if err != nil {
+		return nil, err
+	}
+	if err := attachPHPCertification(res, e, sel, opt, iters, gap, certified); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// phpInterrupted handles a context interruption inside the solver loop:
+// anytime mode returns the in-flight top-k as an uncertified result; the
+// other modes return an *Interrupted that carries the same partial result
+// (Interrupted.Partial) for diagnostics instead of dropping it.
+func phpInterrupted(e *phpEngine, opt Options, rwrMode bool, iters int, gap certGap, cause error) (*Result, error) {
+	sel := e.forceSelect(e.selOut, opt.K, rwrMode)
+	partial, err := buildResult(e, sel, opt, iters, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := attachPHPCertification(partial, e, sel, opt, iters, gap, false); err != nil {
+		return nil, err
+	}
+	if opt.Mode == ModeAnytime {
+		return partial, nil
+	}
+	in := interrupted(cause, e.size(), iters, e.sweeps)
+	in.Partial = partial
+	return nil, in
+}
+
+// attachPHPCertification fills res.Certification: the mode, the final
+// termination observables (converted to the measure's gap orientation), and
+// the per-node score intervals for the returned k, listed in ranking order.
+func attachPHPCertification(res *Result, e *phpEngine, sel []int32, opt Options, iters int, gap certGap, certified bool) error {
+	c := Certification{
+		Mode:       opt.Mode,
+		Certified:  certified,
+		Epsilon:    opt.Epsilon,
+		Iterations: iters,
+	}
+	if gap.valid {
+		c.GapValid = true
+		c.KthBound = gap.kth
+		c.RestBound = gap.rest
+		c.Gap = measure.CertGap(opt.Measure, gap.kth, gap.rest)
+	}
+	type interval struct{ lo, hi float64 }
+	iv := make(map[graph.NodeID]interval, len(sel))
+	for _, i := range sel {
+		lo, hi, err := measure.ScoreBoundsFromPHP(opt.Measure, opt.Params, e.lbAt(i), e.ubAt(i), e.deg[i])
+		if err != nil {
+			return err
+		}
+		iv[e.nodes[i]] = interval{lo, hi}
+	}
+	c.Bounds = make([]NodeBounds, 0, len(res.TopK))
+	for _, r := range res.TopK {
+		b := iv[r.Node]
+		c.Bounds = append(c.Bounds, NodeBounds{Node: r.Node, Lower: b.lo, Upper: b.hi})
+	}
+	res.Certification = c
+	return nil
 }
 
 // forceSelect picks the best-k visited nodes by lower bound regardless of

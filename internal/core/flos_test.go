@@ -129,16 +129,17 @@ func TestFLoSLocality(t *testing.T) {
 // must be certified as the top-2 after iteration 4, with node 8 unvisited.
 func TestPaperExampleTable3(t *testing.T) {
 	g := gen.PaperExample()
-	var events []TraceEvent
+	sc := &SnapshotCollector{}
 	opt := Options{
 		K:       2,
 		Measure: measure.PHP,
 		Params:  measure.Params{C: 0.8, L: 10, Tau: 1e-10, MaxIter: 100000},
 		Tighten: false,
 		TieEps:  1e-9,
-		Trace:   func(ev TraceEvent) { events = append(events, ev) },
+		Tracer:  sc,
 	}
 	res, err := TopK(g, 0, opt)
+	events := sc.Events
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,13 +171,14 @@ func TestBoundsMonotoneAndValid(t *testing.T) {
 		g := randomConnected(t, 60, 90, 11)
 		q := graph.NodeID(5)
 		exact := exactScores(t, g, q, measure.PHP, measure.DefaultParams())
-		var events []TraceEvent
+		sc := &SnapshotCollector{}
 		opt := testOptions(measure.PHP, 5)
 		opt.Tighten = tighten
-		opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+		opt.Tracer = sc
 		if _, err := TopK(g, q, opt); err != nil {
 			t.Fatal(err)
 		}
+		events := sc.Events
 		prevLB := map[graph.NodeID]float64{}
 		prevUB := map[graph.NodeID]float64{}
 		prevRD := 1.0
@@ -219,18 +221,14 @@ func TestTighteningNarrowsGap(t *testing.T) {
 	g := randomConnected(t, 60, 120, 3)
 	q := graph.NodeID(0)
 	gap := func(tighten bool) float64 {
-		var first *TraceEvent
+		sc := &SnapshotCollector{}
 		opt := testOptions(measure.PHP, 3)
 		opt.Tighten = tighten
-		opt.Trace = func(ev TraceEvent) {
-			if first == nil {
-				e := ev
-				first = &e
-			}
-		}
+		opt.Tracer = sc
 		if _, err := TopK(g, q, opt); err != nil {
 			t.Fatal(err)
 		}
+		first := &sc.Events[0]
 		var sum float64
 		for i := range first.Nodes {
 			sum += first.Upper[i] - first.Lower[i]
@@ -505,12 +503,13 @@ func TestTHTTraceBoundsValid(t *testing.T) {
 	q := graph.NodeID(1)
 	p := measure.DefaultParams()
 	exact := exactScores(t, g, q, measure.THT, p)
-	var events []TraceEvent
+	sc := &SnapshotCollector{}
 	opt := testOptions(measure.THT, 5)
-	opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	opt.Tracer = sc
 	if _, err := TopK(g, q, opt); err != nil {
 		t.Fatal(err)
 	}
+	events := sc.Events
 	for _, ev := range events {
 		for i, v := range ev.Nodes {
 			if ev.Lower[i] > exact[v]+1e-7 {
@@ -527,13 +526,14 @@ func TestTHTTraceBoundsValid(t *testing.T) {
 // nodes pulled into S, and Iterations matches the trace length.
 func TestVisitedCountsExpansionOnly(t *testing.T) {
 	g := randomConnected(t, 60, 100, 17)
-	var events []TraceEvent
+	sc := &SnapshotCollector{}
 	opt := testOptions(measure.PHP, 4)
-	opt.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	opt.Tracer = sc
 	res, err := TopK(g, 0, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
+	events := sc.Events
 	if res.Iterations != len(events) {
 		t.Errorf("iterations %d != trace %d", res.Iterations, len(events))
 	}

@@ -10,11 +10,81 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"flos/internal/graph"
 	"flos/internal/measure"
 )
+
+// Mode selects the serving mode: how much certification a query demands
+// before it returns. The zero value is ModeExact, so existing callers keep
+// the paper's exact semantics unchanged.
+type Mode int
+
+const (
+	// ModeExact runs Theorem 1's stopping rule to completion: the returned
+	// top-k is certified exact (up to TieEps ties). This is the zero value.
+	ModeExact Mode = iota
+	// ModeEpsilon stops as soon as the k-th certified bound is within
+	// Options.Epsilon of the best competing bound: every returned node's
+	// true proximity is within ε (in the engine's certification-key scale)
+	// of any node it displaced. The Result's Certification block reports
+	// the achieved gap, which is always <= ε.
+	ModeEpsilon
+	// ModeAnytime behaves like ModeExact until the context deadline fires
+	// or the caller cancels; instead of an *Interrupted error it then
+	// returns the current best top-k with Certification.Certified=false
+	// and the residual gap at interruption time.
+	ModeAnytime
+)
+
+// String renders the mode the way the HTTP API spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeEpsilon:
+		return "epsilon"
+	case ModeAnytime:
+		return "anytime"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// MarshalJSON renders the mode as its API spelling ("exact", "epsilon",
+// "anytime") so Certification blocks read the same in every envelope.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts the API spelling (or the empty string, as exact).
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+// ParseMode is the inverse of Mode.String. The empty string parses as
+// ModeExact so request schemas can leave the field optional.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return ModeExact, nil
+	case "epsilon":
+		return ModeEpsilon, nil
+	case "anytime":
+		return ModeAnytime, nil
+	}
+	return 0, fmt.Errorf("%w: unknown mode %q (want exact|epsilon|anytime)", ErrInvalidOptions, s)
+}
 
 // Options configures a FLoS query.
 type Options struct {
@@ -37,16 +107,17 @@ type Options struct {
 	// top-k answer. Zero keeps the paper's strict (and, under exact ties,
 	// non-terminating) criterion; DefaultOptions uses 1e-9.
 	TieEps float64
-	// Trace, when non-nil, receives a per-iteration snapshot of the search —
-	// used to regenerate the paper's Figure 4 and Table 3. Each snapshot
-	// copies the full visited set and both bound vectors, so it is far more
-	// expensive than Tracer. Traced and untraced runs share one expansion
-	// schedule: enabling Trace never changes which nodes are visited.
-	//
-	// Deprecated: use Tracer, which records per-iteration statistics on the
-	// same schedule without the O(|S|) snapshot copies. Trace remains for
-	// the figure-regeneration tooling.
-	Trace func(TraceEvent)
+	// Mode selects the serving mode (exact, ε-certified, or anytime). The
+	// zero value is ModeExact. ModeExact runs are byte-identical to a build
+	// without serving modes: the mode only widens the termination slack,
+	// and ModeExact's slack is exactly TieEps.
+	Mode Mode
+	// Epsilon is ModeEpsilon's certified-error budget, in the engine's
+	// certification-key scale (PHP-scale proximity for the PHP family,
+	// degree-weighted PHP for RWR, hop counts for THT). The search stops as
+	// soon as the residual gap is <= max(Epsilon, TieEps). Must be zero in
+	// the other modes.
+	Epsilon float64
 	// WarmStart seeds the visited set with the listed nodes (in order)
 	// before the first expansion, on top of the mandatory query-node seed.
 	// The bound systems are valid for ANY visited set containing q, so a
@@ -155,10 +226,58 @@ func (o Options) Validate() error {
 	if o.TieEps < 0 {
 		return fmt.Errorf("%w: TieEps=%g must be non-negative", ErrInvalidOptions, o.TieEps)
 	}
+	switch o.Mode {
+	case ModeExact, ModeEpsilon, ModeAnytime:
+	default:
+		return fmt.Errorf("%w: unknown Mode %d", ErrInvalidOptions, int(o.Mode))
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("%w: Epsilon=%g must be non-negative", ErrInvalidOptions, o.Epsilon)
+	}
+	if o.Epsilon > 0 && o.Mode != ModeEpsilon {
+		return fmt.Errorf("%w: Epsilon=%g requires ModeEpsilon (mode is %s)", ErrInvalidOptions, o.Epsilon, o.Mode)
+	}
 	return nil
 }
 
-// TraceEvent is one iteration's snapshot for tracing/visualization.
+// slack is the termination slack the stopping rule runs with: TieEps in
+// exact and anytime modes (byte-identical to the pre-mode engine), widened
+// to Epsilon in ε-certified mode. Centralizing it here keeps the engines'
+// loops mode-oblivious — they compare against one number either way.
+func (o Options) slack() float64 {
+	if o.Mode == ModeEpsilon && o.Epsilon > o.TieEps {
+		return o.Epsilon
+	}
+	return o.TieEps
+}
+
+// SnapshotObserver is an optional extension a Tracer can implement to also
+// receive the full per-iteration snapshot (TraceEvent): the visited set and
+// both bound vectors. Each snapshot copies O(|S|) state, so this is far more
+// expensive than plain IterStats observation — it exists for the
+// figure-regeneration tooling (Figure 4 / Table 3) and bound-validity tests.
+// It replaces the removed Options.Trace callback; snapshotted and plain runs
+// share one expansion schedule, so enabling it never changes which nodes are
+// visited.
+type SnapshotObserver interface {
+	Tracer
+	ObserveSnapshot(TraceEvent)
+}
+
+// SnapshotCollector is a SnapshotObserver that records the full snapshot
+// trajectory in order. It is not concurrency-safe; use one per query.
+type SnapshotCollector struct {
+	Events []TraceEvent
+}
+
+// ObserveIteration is a no-op; the collector keeps snapshots only.
+func (c *SnapshotCollector) ObserveIteration(IterStats) {}
+
+// ObserveSnapshot appends the snapshot.
+func (c *SnapshotCollector) ObserveSnapshot(ev TraceEvent) { c.Events = append(c.Events, ev) }
+
+// TraceEvent is one iteration's snapshot for tracing/visualization,
+// delivered to Tracers that implement SnapshotObserver.
 type TraceEvent struct {
 	// Iteration is the 1-based local-expansion count (paper's t).
 	Iteration int
@@ -193,8 +312,14 @@ type Result struct {
 	// DegreeProbes counts Degree() metadata lookups on unvisited nodes
 	// (spent by tightening and by the RWR w(S̄) guard).
 	DegreeProbes int
-	// Exact is false only if MaxVisited aborted the search early.
+	// Exact is false if MaxVisited aborted the search early, if ModeEpsilon
+	// stopped on its ε budget before full separation, or if ModeAnytime was
+	// interrupted. Certification carries the proof details either way.
 	Exact bool
+	// Certification is the proof block attached to every completed result:
+	// the serving mode, whether the stopping rule passed, the residual gap,
+	// and per-node bound intervals for the returned k (see Certification).
+	Certification Certification
 
 	// VisitedNodes, ProbedNodes, and GuardDegree are populated only when
 	// Options.CaptureFootprint is set. VisitedNodes is S in visit order;
@@ -207,4 +332,49 @@ type Result struct {
 	VisitedNodes []graph.NodeID
 	ProbedNodes  []graph.NodeID
 	GuardDegree  float64
+}
+
+// Certification is the proof block carried by every completed Result: what
+// the stopping rule certified, with how much residual uncertainty, and the
+// per-node bound intervals backing the returned ranking. Exact answers carry
+// their proof too (Certified=true, Gap <= TieEps); ε answers report the
+// achieved gap (<= Epsilon); interrupted anytime answers report
+// Certified=false with the gap at interruption time.
+type Certification struct {
+	// Mode is the serving mode the query ran under.
+	Mode Mode `json:"mode"`
+	// Certified reports that the stopping rule passed (exact separation in
+	// ModeExact, gap <= ε in ModeEpsilon). False when MaxVisited or an
+	// anytime interruption ended the search first.
+	Certified bool `json:"certified"`
+	// Epsilon echoes the ε budget for ModeEpsilon queries (0 otherwise).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// GapValid reports that the termination test got far enough to compare
+	// bounds (k candidates existed). KthBound/RestBound are then the final
+	// competing bound keys, in the engine's certification-key scale — the
+	// same orientation IterStats documents.
+	GapValid  bool    `json:"gap_valid"`
+	KthBound  float64 `json:"kth_bound,omitempty"`
+	RestBound float64 `json:"rest_bound,omitempty"`
+	// Gap is the achieved (residual) certification gap, oriented so that 0
+	// means fully separated: RestBound-KthBound for higher-is-closer
+	// measures, KthBound-RestBound for THT, clamped at 0. A certified
+	// ModeEpsilon answer has Gap <= Epsilon.
+	Gap float64 `json:"gap"`
+	// Iterations is the expansion count at which the search stopped — the
+	// iterations-to-certify for certified answers.
+	Iterations int `json:"iterations"`
+	// Bounds holds the per-node [lower, upper] proximity interval for each
+	// returned node, converted to the measure's displayed score scale and
+	// listed in ranking order (parallel to Result.TopK).
+	Bounds []NodeBounds `json:"bounds,omitempty"`
+}
+
+// NodeBounds is one returned node's certified score interval, in the
+// measure's displayed scale (Lower <= Upper regardless of the measure's
+// direction; the displayed score lies inside the interval).
+type NodeBounds struct {
+	Node  graph.NodeID `json:"node"`
+	Lower float64      `json:"lb"`
+	Upper float64      `json:"ub"`
 }

@@ -52,15 +52,12 @@ func localToGlobal(nodes []graph.NodeID, ls []int32) []graph.NodeID {
 }
 
 // expansionSchedule runs one query and records, per iteration, the first
-// expanded node and every newly visited node, via the Trace callback (which
-// shares the untraced schedule by contract).
+// expanded node and every newly visited node, via a snapshot-observing
+// Tracer (which shares the untraced schedule by contract).
 func expansionSchedule(t *testing.T, g graph.Graph, q graph.NodeID, opt Options, ws *Workspace) [][]graph.NodeID {
 	t.Helper()
-	var sched [][]graph.NodeID
-	opt.Trace = func(ev TraceEvent) {
-		row := append([]graph.NodeID{ev.Expanded}, ev.NewNodes...)
-		sched = append(sched, row)
-	}
+	sc := &SnapshotCollector{}
+	opt.Tracer = sc
 	var err error
 	if ws != nil {
 		_, err = ws.TopK(context.Background(), g, q, opt)
@@ -69,6 +66,10 @@ func expansionSchedule(t *testing.T, g graph.Graph, q graph.NodeID, opt Options,
 	}
 	if err != nil {
 		t.Fatal(err)
+	}
+	sched := make([][]graph.NodeID, 0, len(sc.Events))
+	for _, ev := range sc.Events {
+		sched = append(sched, append([]graph.NodeID{ev.Expanded}, ev.NewNodes...))
 	}
 	return sched
 }

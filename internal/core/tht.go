@@ -446,11 +446,16 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 	if maxVisited == 0 {
 		maxVisited = g.NumNodes()
 	}
+	// Termination slack: TieEps exact/anytime, widened to ε in ModeEpsilon
+	// (ε is in hop units here). See phpFamilyTopK.
+	slack := opt.slack()
 	tracing := opt.Tracer != nil
+	snapObs, _ := opt.Tracer.(SnapshotObserver)
 	var phaseAt time.Time
+	var gap certGap
 	for t := 1; ; t++ {
 		if err := ctx.Err(); err != nil {
-			return nil, interrupted(err, e.size(), t-1, e.sweeps)
+			return thtInterrupted(e, opt, t-1, gap, err)
 		}
 		batch := e.size() / 256
 		if batch < 1 {
@@ -489,27 +494,24 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 			now := time.Now()
 			solveNS, phaseAt = now.Sub(phaseAt).Nanoseconds(), now
 		}
-		var gap *certGap
-		if tracing {
-			gap = &certGap{}
-		}
-		sel := e.checkTermination(e.selOut, opt.K, opt.TieEps, gap)
+		gap = certGap{}
+		sel := e.checkTermination(e.selOut, opt.K, slack, &gap)
 		if sel != nil {
 			e.selOut = sel
 		}
 		if tracing {
 			certifyNS = time.Since(phaseAt).Nanoseconds()
 			opt.Tracer.ObserveIteration(thtIterStats(e, t, len(us), len(added),
-				sel != nil, gap, expandNS, solveNS, certifyNS))
+				sel != nil, &gap, expandNS, solveNS, certifyNS))
 		}
-		if opt.Trace != nil {
+		if snapObs != nil {
 			lbs := make([]float64, e.size())
 			ubs := make([]float64, e.size())
 			for i := range lbs {
 				lbs[i] = e.lb(int32(i))
 				ubs[i] = e.ub(int32(i))
 			}
-			opt.Trace(TraceEvent{
+			snapObs.ObserveSnapshot(TraceEvent{
 				Iteration:  t,
 				Expanded:   expanded,
 				NewNodes:   append([]graph.NodeID(nil), added...),
@@ -520,7 +522,7 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 			})
 		}
 		done := sel != nil
-		exact := true
+		exact, certified := true, true
 		if !done && len(us) == 0 {
 			sel = e.forceSelect(e.selOut, opt.K)
 			e.selOut = sel
@@ -529,29 +531,68 @@ func thtTopK(ctx context.Context, g graph.Graph, q graph.NodeID, opt Options, ws
 		if !done && e.size() >= maxVisited && opt.MaxVisited > 0 {
 			sel = e.forceSelect(e.selOut, opt.K)
 			e.selOut = sel
-			done, exact = true, false
+			done, exact, certified = true, false, false
 		}
 		if done {
-			res := &Result{
-				Visited:    e.size(),
-				Iterations: t,
-				Sweeps:     e.sweeps,
-				Exact:      exact,
-			}
-			if opt.CaptureFootprint {
-				// THT probes no outside degrees and uses no guard, so its
-				// read footprint is exactly the visited set.
-				res.VisitedNodes = append([]graph.NodeID(nil), e.nodes...)
-			}
-			for _, i := range sel {
-				res.TopK = append(res.TopK, measure.Ranked{
-					Node:  e.nodes[i],
-					Score: (e.lb(i) + e.ub(i)) / 2,
-				})
-			}
-			return res, nil
+			return thtResult(e, sel, opt, t, exact, certified, gap), nil
 		}
 	}
+}
+
+// thtResult builds the hop-scale result with its Certification block. THT
+// bounds are native (lower-is-closer hop counts), so the per-node intervals
+// need no scale conversion.
+func thtResult(e *thtEngine, sel []int32, opt Options, iters int, exact, certified bool, gap certGap) *Result {
+	if exact && opt.Mode == ModeEpsilon && gap.valid &&
+		measure.CertGap(measure.THT, gap.kth, gap.rest) > opt.TieEps {
+		exact = false
+	}
+	res := &Result{
+		Visited:    e.size(),
+		Iterations: iters,
+		Sweeps:     e.sweeps,
+		Exact:      exact,
+	}
+	if opt.CaptureFootprint {
+		// THT probes no outside degrees and uses no guard, so its
+		// read footprint is exactly the visited set.
+		res.VisitedNodes = append([]graph.NodeID(nil), e.nodes...)
+	}
+	c := Certification{
+		Mode:       opt.Mode,
+		Certified:  certified,
+		Epsilon:    opt.Epsilon,
+		Iterations: iters,
+	}
+	if gap.valid {
+		c.GapValid = true
+		c.KthBound = gap.kth
+		c.RestBound = gap.rest
+		c.Gap = measure.CertGap(measure.THT, gap.kth, gap.rest)
+	}
+	for _, i := range sel {
+		res.TopK = append(res.TopK, measure.Ranked{
+			Node:  e.nodes[i],
+			Score: (e.lb(i) + e.ub(i)) / 2,
+		})
+		c.Bounds = append(c.Bounds, NodeBounds{Node: e.nodes[i], Lower: e.lb(i), Upper: e.ub(i)})
+	}
+	res.Certification = c
+	return res
+}
+
+// thtInterrupted mirrors phpInterrupted for the finite-horizon engine:
+// anytime mode returns the uncertified in-flight top-k; other modes attach
+// it to the *Interrupted error.
+func thtInterrupted(e *thtEngine, opt Options, iters int, gap certGap, cause error) (*Result, error) {
+	sel := e.forceSelect(e.selOut, opt.K)
+	partial := thtResult(e, sel, opt, iters, false, false, gap)
+	if opt.Mode == ModeAnytime {
+		return partial, nil
+	}
+	in := interrupted(cause, e.size(), iters, e.sweeps)
+	in.Partial = partial
+	return nil, in
 }
 
 // thtIterStats assembles one IterStats record for the finite-horizon

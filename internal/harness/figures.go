@@ -263,27 +263,29 @@ func FigTrace(w io.Writer) error {
 	g := gen.PaperExample()
 	fmt.Fprintln(w, "== Figure 4 / Table 3: bound trace on the Figure 1(a) example (PHP, q=1, c=0.8) ==")
 	fmt.Fprintln(w, "(paper node numbers; node 1 is the query with constant proximity 1)")
+	sc := &core.SnapshotCollector{}
 	opt := core.Options{
 		K:       2,
 		Measure: measure.PHP,
 		Params:  measure.Params{C: 0.8, L: 10, Tau: 1e-8, MaxIter: 100000},
 		Tighten: false,
 		TieEps:  1e-9,
-		Trace: func(ev core.TraceEvent) {
-			fmt.Fprintf(w, "iteration %d: expanded node %d, newly visited %v\n",
-				ev.Iteration, ev.Expanded+1, paperNodes(ev.NewNodes))
-			for i, v := range ev.Nodes {
-				if v == 0 {
-					continue
-				}
-				fmt.Fprintf(w, "  node %d: lb=%.4f ub=%.4f\n", v+1, ev.Lower[i], ev.Upper[i])
-			}
-			fmt.Fprintf(w, "  dummy value r_d=%.4f\n", ev.DummyValue)
-		},
+		Tracer:  sc,
 	}
 	res, err := core.TopK(g, 0, opt)
 	if err != nil {
 		return err
+	}
+	for _, ev := range sc.Events {
+		fmt.Fprintf(w, "iteration %d: expanded node %d, newly visited %v\n",
+			ev.Iteration, ev.Expanded+1, paperNodes(ev.NewNodes))
+		for i, v := range ev.Nodes {
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  node %d: lb=%.4f ub=%.4f\n", v+1, ev.Lower[i], ev.Upper[i])
+		}
+		fmt.Fprintf(w, "  dummy value r_d=%.4f\n", ev.DummyValue)
 	}
 	fmt.Fprintf(w, "top-2 certified after %d iterations, %d/8 nodes visited: %v\n\n",
 		res.Iterations, res.Visited, paperNodes(measure.Nodes(res.TopK)))

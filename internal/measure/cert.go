@@ -1,0 +1,58 @@
+package measure
+
+// Certification-gap semantics per measure. The engines' stopping rule
+// compares two bound keys — the k-th selected candidate's certified-side
+// bound against the best competing bound over everything else — but which
+// side is "certified" depends on the measure's ranking direction:
+// higher-is-closer measures (PHP, EI, RWR) certify with lower bounds against
+// competing upper bounds, while lower-is-closer measures (DHT via the
+// order-reversing Theorem-2 map, THT natively) certify with upper bounds
+// against competing lower bounds. These helpers centralize that orientation
+// so every layer above the engines reports gaps and bound intervals with one
+// convention: a gap of 0 means fully separated, and intervals always satisfy
+// Lower <= Upper in the displayed score scale.
+
+// CertGap returns the residual certification gap for measure kind, given
+// the final kth/rest bound keys in the engine's certification-key scale
+// (the orientation core.IterStats documents). The result is oriented so 0
+// means the top-k is fully separated from the rest, and is clamped at 0:
+// a passed stopping rule can leave the raw difference slightly negative
+// (the certified side strictly ahead), which is zero residual error.
+func CertGap(kind Kind, kth, rest float64) float64 {
+	var g float64
+	if kind == THT {
+		// THT's engine certifies upper bounds (kth) against competing lower
+		// bounds (rest): uncertainty remains while kth exceeds rest.
+		g = kth - rest
+	} else {
+		// PHP-family engines — including DHT, which rides the PHP engine
+		// through an order-reversing map — certify lower bounds (kth)
+		// against competing upper bounds (rest).
+		g = rest - kth
+	}
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// ScoreBoundsFromPHP converts a node's PHP-scale bound interval
+// [lbPHP, ubPHP] into the measure's displayed score scale, returning
+// lo <= hi. DHT's Theorem-2 map (1-php)/c is order-reversing, so its
+// interval endpoints swap; the other PHP-family maps are monotone
+// increasing. THT bounds are native hop counts and never pass through
+// here (the THT engine reports them directly).
+func ScoreBoundsFromPHP(kind Kind, p Params, lbPHP, ubPHP, degree float64) (lo, hi float64, err error) {
+	lo, err = ScoreFromPHP(kind, p, lbPHP, degree)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = ScoreFromPHP(kind, p, ubPHP, degree)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi, nil
+}

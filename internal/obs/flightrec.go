@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flos/internal/core"
+	"flos/internal/measure"
 )
 
 // RecorderConfig tunes a FlightRecorder. The zero value selects defaults.
@@ -87,6 +88,13 @@ type FlightRecord struct {
 	// when TraceTotal == len(Trace)).
 	TraceTotal int              `json:"trace_total,omitempty"`
 	Trace      []core.IterStats `json:"trace,omitempty"`
+	// PartialTopK is the in-flight top-k an interrupted query (outcome
+	// "deadline" or "canceled") was holding when its context fired — the
+	// same partial an anytime-mode request would have been answered with.
+	// Offline replay renders it so a killed production query still shows
+	// what it had found. Empty for completed queries and for interruptions
+	// that preceded the first solver iteration.
+	PartialTopK []measure.Ranked `json:"partial_topk,omitempty"`
 }
 
 // FlightRecorder retains the last N completed queries in a fixed-size

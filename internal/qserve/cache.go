@@ -4,13 +4,17 @@ import (
 	"container/list"
 	"sync"
 
+	"flos/internal/core"
 	"flos/internal/graph"
 	"flos/internal/measure"
 )
 
 // cacheKey identifies one answer. Every option that can change the result
 // participates; the epoch ties the entry to a topology snapshot, so bumping
-// the pool's epoch orphans every earlier entry (they age out by LRU).
+// the pool's epoch orphans every earlier entry (they age out by LRU). The
+// serving mode and ε budget are part of the key because they change what
+// the answer certifies; exactKey exposes the deliberate asymmetry that an
+// exact entry may serve ε/anytime requests (see Pool.prepare).
 type cacheKey struct {
 	epoch      uint64
 	q          graph.NodeID
@@ -21,6 +25,8 @@ type cacheKey struct {
 	tighten    bool
 	maxVisited int
 	tieEps     float64
+	mode       core.Mode
+	epsilon    float64
 }
 
 func keyOf(epoch uint64, req Request) cacheKey {
@@ -34,7 +40,19 @@ func keyOf(epoch uint64, req Request) cacheKey {
 		tighten:    req.Opt.Tighten,
 		maxVisited: req.Opt.MaxVisited,
 		tieEps:     req.Opt.TieEps,
+		mode:       req.Opt.Mode,
+		epsilon:    req.Opt.Epsilon,
 	}
+}
+
+// exactKey is k with the serving mode stripped back to exact. An exact
+// answer is a valid (indeed, the best possible) answer for the same query
+// in ε or anytime mode, so mode lookups fall back to it; the converse never
+// holds — an ε answer must not serve an exact request.
+func exactKey(k cacheKey) cacheKey {
+	k.mode = core.ModeExact
+	k.epsilon = 0
+	return k
 }
 
 // resultCache is a mutex-guarded LRU of completed responses. Entries are
@@ -77,6 +95,12 @@ func (c *resultCache) get(k cacheKey) (*Response, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[k]
+	if !ok && k.mode != core.ModeExact {
+		// Exact-serves-ε asymmetry: an exact entry answers the same query in
+		// ε or anytime mode (its gap is 0, within any budget). An ε entry
+		// never serves an exact request — that direction is not probed.
+		el, ok = c.m[exactKey(k)]
+	}
 	if !ok {
 		c.misses++
 		return nil, false

@@ -49,6 +49,12 @@ type metrics struct {
 	canceled atomic.Int64
 	failed   atomic.Int64
 
+	// anytimePartial counts anytime-mode queries whose deadline fired
+	// mid-search: they completed as "ok" (200 with a certification block)
+	// but returned an uncertified partial top-k. A subset of ok, tracked
+	// separately so operators can see how often deadlines actually bind.
+	anytimePartial atomic.Int64
+
 	// hitByMeasure mirrors the per-measure latency histograms for cache
 	// hits, which never enter those histograms: per measure, executed count
 	// (latByMeasure[i].Count()) + hitByMeasure[i] covers every served query.
@@ -104,6 +110,7 @@ func (m *metrics) snapshot() Metrics {
 		Deadline:              m.deadline.Load(),
 		Canceled:              m.canceled.Load(),
 		Failed:                m.failed.Load(),
+		AnytimePartial:        m.anytimePartial.Load(),
 		IterationsTotal:       m.iterations.Load(),
 		VisitedTotal:          m.visited.Load(),
 		SweepsTotal:           m.sweeps.Load(),
@@ -144,6 +151,10 @@ type Metrics struct {
 	// Deadline and Canceled split Interrupted by cause; Failed counts
 	// queries that ended in a non-context error.
 	Deadline, Canceled, Failed int64
+	// AnytimePartial counts anytime-mode queries whose deadline fired
+	// mid-search and returned an uncertified partial top-k. These are
+	// successes (a subset of OK), not interruptions.
+	AnytimePartial int64
 	// HitByMeasure splits Hit by measure label (cache hits never enter
 	// LatencyByMeasure, so per-measure served = histogram count + this);
 	// labels with no hits are omitted and the map is nil when empty.

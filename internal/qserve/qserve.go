@@ -103,10 +103,15 @@ type Request struct {
 	ID string
 	// Query is the query node.
 	Query graph.NodeID
-	// Opt configures the search. A request with a trace callback (Opt.Trace)
-	// or an iteration tracer (Opt.Tracer) bypasses the result cache in both
-	// directions: the caller wants the trajectory of a real execution, and
-	// per-query tracer state must not be shared through cached responses.
+	// Opt configures the search. A request with an iteration tracer
+	// (Opt.Tracer) bypasses the result cache in both directions: the caller
+	// wants the trajectory of a real execution, and per-query tracer state
+	// must not be shared through cached responses. The serving mode
+	// (Opt.Mode/Opt.Epsilon) participates in the cache key, with one
+	// asymmetry: an exact entry may answer an ε or anytime request for the
+	// same query, never the reverse. Under ModeAnytime a deadline (the
+	// pool's Timeout or the caller's context) downgrades the answer to an
+	// uncertified partial instead of killing the query with an error.
 	Opt core.Options
 	// Unified selects UnifiedTopK (both ranking families in one search)
 	// instead of single-measure TopK.
@@ -412,7 +417,7 @@ func (p *Pool) prepare(ctx context.Context, req Request, start time.Time) (*job,
 	} else {
 		j.epoch = p.epoch.Load()
 	}
-	if p.cache != nil && req.Opt.Trace == nil && req.Opt.Tracer == nil {
+	if p.cache != nil && req.Opt.Tracer == nil {
 		j.key = keyOf(j.epoch, req)
 		j.cached = true
 		lookup := j.trace.StartSpan(j.parent, "qserve.cache.lookup")
@@ -732,12 +737,21 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 	status := "ok"
 	var iters, visited, sweeps int
 	var exact bool
+	certified := true
+	var partialTopK []measure.Ranked
 	if err != nil {
 		status = "failed"
 		var in *core.Interrupted
 		if errors.As(err, &in) {
 			p.met.interrupted.Add(1)
 			iters, visited, sweeps = in.Iterations, in.Visited, in.Sweeps
+			// Surface the in-flight top-k for the flight record: what the
+			// query had when the context fired (PHP family for unified).
+			if in.Partial != nil {
+				partialTopK = in.Partial.TopK
+			} else if in.PartialUnified != nil {
+				partialTopK = in.PartialUnified.PHPFamily
+			}
 			if errors.Is(err, core.ErrDeadline) {
 				p.met.deadline.Add(1)
 				status = "deadline"
@@ -756,9 +770,14 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 		if j.req.Unified {
 			iters, visited, sweeps = resp.Unified.Iterations, resp.Unified.Visited, resp.Unified.Sweeps
 			exact = resp.Unified.Exact
+			certified = resp.Unified.PHPCert.Certified && resp.Unified.RWRCert.Certified
 		} else {
 			iters, visited, sweeps = resp.TopK.Iterations, resp.TopK.Visited, resp.TopK.Sweeps
 			exact = resp.TopK.Exact
+			certified = resp.TopK.Certification.Certified
+		}
+		if opt.Mode == core.ModeAnytime && !certified {
+			p.met.anytimePartial.Add(1)
 		}
 	}
 	p.met.addWork(iters, visited, sweeps)
@@ -823,6 +842,7 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 			Exact:      exact,
 			Epoch:      j.epoch,
 		}
+		rec.PartialTopK = partialTopK
 		if sampler != nil {
 			rec.Trace = sampler.Snapshot()
 			rec.TraceTotal = sampler.Total()
@@ -838,8 +858,12 @@ func (p *Pool) run(g graph.Graph, ws *core.Workspace, j *job, sampler *obs.Trace
 		j.out <- outcome{err: err}
 		return
 	}
-	if p.cache != nil && j.cached {
-		// Results are immutable once returned; the cache shares them.
+	if p.cache != nil && j.cached && (opt.Mode != core.ModeAnytime || certified) {
+		// Results are immutable once returned; the cache shares them. An
+		// uncertified anytime partial is never cached: its content depends
+		// on when the deadline happened to fire, so replaying it to later
+		// callers (who may have looser deadlines) would serve interrupted
+		// junk as if it were the query's answer.
 		if p.live != nil {
 			fp, visitedSet, guard, guarded := footprintOf(j.req, resp)
 			p.cache.putLive(j.key, resp, fp, visitedSet, guard, guarded)

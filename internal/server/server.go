@@ -10,6 +10,19 @@
 //	                        per endpoint and per measure, query/outcome/
 //	                        cache/page-cache counters, runtime gauges);
 //	                        ?format=json returns the JSON snapshot
+//	GET /v1/topk            versioned query API: the legacy parameters plus
+//	                        mode=exact|epsilon|anytime, epsilon=<gap budget>,
+//	                        and deadline=<Go duration>; the response envelope
+//	                        carries api_version, the results, and the
+//	                        certification block (mode, certified, achieved
+//	                        gap, per-node score intervals). In anytime mode
+//	                        an expiring deadline answers 200 with the
+//	                        current top-k and certified=false — never 504.
+//	GET /v1/unified         versioned unified query (same mode parameters);
+//	                        per-family certification blocks
+//	POST /v1/topk/batch     versioned batch; mode/epsilon in the body apply
+//	                        to every member, certification per slot
+//	POST /v1/graph/edges    versioned alias of /graph/edges
 //	GET /topk?q=42&k=10&measure=rwr[&c=0.5][&L=10][&tau=1e-5][&tighten=0][&trace=1]
 //	GET /unified?q=42&k=10[&c=0.5][&trace=1]
 //	POST /graph/edges       {"ops":[{"op":"add","u":1,"v":5,"w":1.0},...]}
@@ -36,6 +49,12 @@
 // trace=1 returns the per-iteration convergence trajectory (visited/
 // boundary/candidate counts, the certification gap, per-phase timings)
 // alongside the results; traced requests bypass the result cache.
+//
+// The legacy unversioned query routes (/topk, /topk/batch, /unified,
+// /graph/edges) remain fully supported aliases with their behavior
+// unchanged; they answer with a "Deprecation: true" header plus a Link to
+// their /v1 successor, and each hit increments flos_legacy_requests_total
+// so operators can watch migration progress.
 //
 // All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
 // status. Every response carries an X-Request-ID header, and each request
@@ -64,6 +83,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"flos/internal/core"
@@ -97,6 +117,15 @@ type Server struct {
 	defaults measure.Params
 	maxK     int
 	maxBatch int
+
+	// Serving-mode guardrails for the /v1 endpoints.
+	maxEpsilon  float64
+	maxDeadline time.Duration
+
+	// legacyReq counts hits on each deprecated unversioned route, keyed by
+	// path — the flos_legacy_requests_total counter operators watch while
+	// migrating clients to /v1.
+	legacyReq map[string]*atomic.Int64
 }
 
 // Config tunes the server.
@@ -121,6 +150,13 @@ type Config struct {
 	MaxK int
 	// MaxBatch caps the query count of one /topk/batch request (0 = 256).
 	MaxBatch int
+	// MaxEpsilon caps the epsilon parameter of /v1 ε-certified requests
+	// (0 = 1.0, negative disables ε mode). Note THT gaps are on the hop
+	// scale (up to Params.L), so THT deployments may want a larger cap.
+	MaxEpsilon float64
+	// MaxDeadline caps the client-requested deadline of /v1 requests; longer
+	// requests are clamped, not rejected (0 = 30s).
+	MaxDeadline time.Duration
 	// Logger receives structured access and query records; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -153,6 +189,18 @@ func New(g graph.Graph, cfg Config) *Server {
 	if s.maxBatch == 0 {
 		s.maxBatch = 256
 	}
+	s.maxEpsilon = cfg.MaxEpsilon
+	if s.maxEpsilon == 0 {
+		s.maxEpsilon = 1.0
+	}
+	s.maxDeadline = cfg.MaxDeadline
+	if s.maxDeadline == 0 {
+		s.maxDeadline = 30 * time.Second
+	}
+	s.legacyReq = make(map[string]*atomic.Int64, len(legacyPaths))
+	for _, lp := range legacyPaths {
+		s.legacyReq[lp.path] = &atomic.Int64{}
+	}
 	if st, ok := g.(*diskgraph.Store); ok {
 		s.store = st
 	}
@@ -184,6 +232,7 @@ func New(g graph.Graph, cfg Config) *Server {
 var endpointPaths = []string{
 	"/healthz", "/stats", "/metrics", "/topk", "/topk/batch", "/unified",
 	"/graph/edges",
+	"/v1/topk", "/v1/topk/batch", "/v1/unified", "/v1/graph/edges",
 	"/debug/flos/slow", "/debug/flos/flightrec", "/debug/flos/slo",
 	"/debug/flos/traces",
 }
@@ -201,10 +250,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/topk/batch", s.handleTopKBatch)
-	mux.HandleFunc("/unified", s.handleUnified)
-	mux.HandleFunc("/graph/edges", s.handleGraphEdges)
+	mux.HandleFunc("/v1/topk", s.handleV1TopK)
+	mux.HandleFunc("/v1/topk/batch", s.handleV1TopKBatch)
+	mux.HandleFunc("/v1/unified", s.handleV1Unified)
+	mux.HandleFunc("/v1/graph/edges", s.handleGraphEdges)
+	mux.HandleFunc("/topk", s.deprecated("/topk", s.handleTopK))
+	mux.HandleFunc("/topk/batch", s.deprecated("/topk/batch", s.handleTopKBatch))
+	mux.HandleFunc("/unified", s.deprecated("/unified", s.handleUnified))
+	mux.HandleFunc("/graph/edges", s.deprecated("/graph/edges", s.handleGraphEdges))
 	mux.HandleFunc("/debug/flos/slow", s.handleSlow)
 	mux.HandleFunc("/debug/flos/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/flos/slo", s.handleSLO)
@@ -513,6 +566,10 @@ type metricsBody struct {
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	Epoch          uint64  `json:"epoch"`
 
+	// LegacyRequests counts hits on each deprecated unversioned route,
+	// keyed by path — migration progress toward /v1.
+	LegacyRequests map[string]int64 `json:"legacy_requests"`
+
 	// Measures holds per-measure latency summaries for labels that saw
 	// traffic.
 	Measures map[string]measureLatencyBody `json:"measures,omitempty"`
@@ -667,6 +724,10 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		Epoch:          m.Epoch,
 		Runtime:        readRuntime(),
 	}
+	body.LegacyRequests = make(map[string]int64, len(legacyPaths))
+	for _, lp := range legacyPaths {
+		body.LegacyRequests[lp.path] = s.legacyReq[lp.path].Load()
+	}
 	if len(m.LatencyByMeasure) > 0 {
 		body.Measures = make(map[string]measureLatencyBody, len(m.LatencyByMeasure))
 		for label, snap := range m.LatencyByMeasure {
@@ -759,6 +820,10 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 			p.Histogram("flos_http_request_duration_seconds", "HTTP request latency by endpoint.",
 				map[string]string{"endpoint": ep}, h.Snapshot())
 		}
+	}
+	for _, lp := range legacyPaths {
+		p.Counter("flos_legacy_requests_total", "Hits on deprecated unversioned routes (migrate callers to /v1).",
+			map[string]string{"endpoint": lp.path}, s.legacyReq[lp.path].Load())
 	}
 
 	p.Gauge("flos_queue_depth", "Admitted queries waiting for a worker.", nil, float64(m.QueueDepth))

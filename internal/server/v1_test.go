@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"flos/internal/core"
+)
+
+// TestV1TopKEnvelope checks the versioned envelope across every measure:
+// api_version, the certification block (certified exact, gap within TieEps,
+// bounds parallel to the results), and the legacy-compatible counters.
+func TestV1TopKEnvelope(t *testing.T) {
+	ts := newTestServer(t, false)
+	for _, m := range []string{"php", "ei", "dht", "tht", "rwr"} {
+		var body v1TopKBody
+		url := fmt.Sprintf("%s/v1/topk?q=100&k=5&measure=%s", ts.URL, m)
+		if code := getJSON(t, url, &body); code != 200 {
+			t.Fatalf("%s: code %d", m, code)
+		}
+		if body.APIVersion != "v1" {
+			t.Fatalf("%s: api_version %q", m, body.APIVersion)
+		}
+		if len(body.Results) != 5 || !body.Exact {
+			t.Fatalf("%s: %+v", m, body)
+		}
+		c := body.Certification
+		if c.Mode != core.ModeExact || !c.Certified {
+			t.Fatalf("%s: certification %+v", m, c)
+		}
+		if !c.GapValid || c.Gap < 0 || c.Gap > 1e-9 {
+			t.Fatalf("%s: exact gap %g (valid=%v)", m, c.Gap, c.GapValid)
+		}
+		if len(c.Bounds) != len(body.Results) {
+			t.Fatalf("%s: %d bounds for %d results", m, len(c.Bounds), len(body.Results))
+		}
+		for i, b := range c.Bounds {
+			if b.Node != body.Results[i].Node {
+				t.Fatalf("%s: bounds[%d] node %d != results[%d] node %d", m, i, b.Node, i, body.Results[i].Node)
+			}
+			if b.Lower > b.Upper+1e-9 {
+				t.Fatalf("%s: inverted interval [%g, %g]", m, b.Lower, b.Upper)
+			}
+		}
+	}
+}
+
+// TestV1TopKEpsilon checks the ε-certified mode over HTTP: 200 with a
+// certified block whose achieved gap is within the requested budget.
+func TestV1TopKEpsilon(t *testing.T) {
+	ts := newTestServer(t, false)
+	var body v1TopKBody
+	url := ts.URL + "/v1/topk?q=100&k=10&measure=rwr&mode=epsilon&epsilon=1e-3"
+	if code := getJSON(t, url, &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	c := body.Certification
+	if c.Mode != core.ModeEpsilon || c.Epsilon != 1e-3 {
+		t.Fatalf("certification mode/ε: %+v", c)
+	}
+	if !c.Certified || c.Gap > 1e-3 {
+		t.Fatalf("ε answer not certified within budget: %+v", c)
+	}
+}
+
+// TestV1TopKAnytimeDeadline is the acceptance path: an anytime query whose
+// deadline expires mid-search answers HTTP 200 with the partial top-k and
+// Certified=false — not 504.
+func TestV1TopKAnytimeDeadline(t *testing.T) {
+	ts := newTestServer(t, false)
+	var body v1TopKBody
+	url := ts.URL + "/v1/topk?q=100&k=10&measure=rwr&mode=anytime&deadline=1ns"
+	if code := getJSON(t, url, &body); code != 200 {
+		t.Fatalf("code %d, want 200", code)
+	}
+	c := body.Certification
+	if c.Mode != core.ModeAnytime {
+		t.Fatalf("mode %v, want anytime", c.Mode)
+	}
+	if c.Certified {
+		t.Fatalf("deadline-starved anytime answer claims certified: %+v", c)
+	}
+	if body.Exact {
+		t.Fatalf("deadline-starved anytime answer claims exact")
+	}
+
+	// The same starved request in exact mode keeps the legacy 504 contract.
+	resp, err := http.Get(ts.URL + "/v1/topk?q=100&k=10&measure=rwr&deadline=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("exact-mode starved query: code %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestV1DeadlineClamp checks that a client deadline above Config.MaxDeadline
+// is clamped, not rejected: with a 1ns server cap, even a generous client
+// deadline yields an uncertified anytime partial.
+func TestV1DeadlineClamp(t *testing.T) {
+	ts, _ := newTestServerCfg(t, Config{MaxDeadline: time.Nanosecond})
+	var body v1TopKBody
+	url := ts.URL + "/v1/topk?q=100&k=10&measure=rwr&mode=anytime&deadline=10h"
+	if code := getJSON(t, url, &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if body.Certification.Certified {
+		t.Fatalf("10h deadline was not clamped to the 1ns server cap")
+	}
+}
+
+// TestV1Unified checks the unified envelope's per-family certifications.
+func TestV1Unified(t *testing.T) {
+	ts := newTestServer(t, false)
+	var body v1UnifiedBody
+	if code := getJSON(t, ts.URL+"/v1/unified?q=42&k=4", &body); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if body.APIVersion != "v1" || len(body.PHPFamily) != 4 || len(body.RWR) != 4 {
+		t.Fatalf("body = %+v", body)
+	}
+	if !body.PHPCert.Certified || !body.RWRCert.Certified {
+		t.Fatalf("family certifications: php=%+v rwr=%+v", body.PHPCert, body.RWRCert)
+	}
+	if len(body.PHPCert.Bounds) != 4 || len(body.RWRCert.Bounds) != 4 {
+		t.Fatalf("bounds: php=%d rwr=%d", len(body.PHPCert.Bounds), len(body.RWRCert.Bounds))
+	}
+}
+
+// TestV1Batch checks the batch envelope: shared serving mode, per-slot
+// certifications, and per-slot errors that do not fail the batch.
+func TestV1Batch(t *testing.T) {
+	ts := newTestServer(t, false)
+	payload := `{"queries":[1,2,999999],"k":3,"measure":"rwr","mode":"epsilon","epsilon":0.001}`
+	resp, err := http.Post(ts.URL+"/v1/topk/batch", "application/json", bytes.NewReader([]byte(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("code %d", resp.StatusCode)
+	}
+	var body v1BatchBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.APIVersion != "v1" || body.Mode != "epsilon" || body.Count != 3 || body.Errors != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+	for i := 0; i < 2; i++ {
+		slot := body.Results[i]
+		if slot.Error != "" || slot.Certification == nil {
+			t.Fatalf("slot %d: %+v", i, slot)
+		}
+		if !slot.Certification.Certified || slot.Certification.Gap > 0.001 {
+			t.Fatalf("slot %d certification: %+v", i, slot.Certification)
+		}
+	}
+	if body.Results[2].Error == "" || body.Results[2].Certification != nil {
+		t.Fatalf("out-of-range slot: %+v", body.Results[2])
+	}
+}
+
+// TestV1BadRequests checks the serving-mode validation surface.
+func TestV1BadRequests(t *testing.T) {
+	ts := newTestServer(t, false)
+	cases := []string{
+		"/v1/topk?q=1&mode=bogus",                 // unknown mode
+		"/v1/topk?q=1&mode=epsilon&epsilon=2",     // over the default 1.0 cap
+		"/v1/topk?q=1&mode=epsilon&epsilon=-0.5",  // negative budget
+		"/v1/topk?q=1&mode=epsilon&epsilon=x",     // unparsable budget
+		"/v1/topk?q=1&epsilon=1e-3",               // epsilon without ModeEpsilon
+		"/v1/topk?q=1&mode=anytime&deadline=-1s",  // non-positive deadline
+		"/v1/topk?q=1&mode=anytime&deadline=soon", // unparsable deadline
+		"/v1/unified?q=1&mode=epsilon&epsilon=2",  // same checks on /v1/unified
+		"/v1/topk?q=999999",                       // legacy validation still applies
+		"/v1/topk?q=1&k=0",
+	}
+	for _, c := range cases {
+		var e errorBody
+		if code := getJSON(t, ts.URL+c, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", c, code)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error body", c)
+		}
+	}
+
+	// A negative MaxEpsilon disables ε serving entirely without breaking
+	// exact requests.
+	ts2, _ := newTestServerCfg(t, Config{MaxEpsilon: -1})
+	var e errorBody
+	if code := getJSON(t, ts2.URL+"/v1/topk?q=1&mode=epsilon&epsilon=1e-6", &e); code != http.StatusBadRequest {
+		t.Errorf("ε on ε-disabled server: code %d, want 400", code)
+	}
+	if code := getJSON(t, ts2.URL+"/v1/topk?q=1&k=3", nil); code != 200 {
+		t.Errorf("exact on ε-disabled server: code %d, want 200", code)
+	}
+}
+
+// TestLegacyDeprecation checks the alias contract: the unversioned routes
+// answer exactly as before, but every response carries the Deprecation and
+// successor-version Link headers and the hit lands in
+// flos_legacy_requests_total.
+func TestLegacyDeprecation(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp, err := http.Get(ts.URL + "/topk?q=100&k=5&measure=rwr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("legacy /topk: code %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Deprecation"); got != "true" {
+		t.Fatalf("Deprecation header %q, want \"true\"", got)
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/topk") || !strings.Contains(link, `rel="successor-version"`) {
+		t.Fatalf("Link header %q lacks the successor pointer", link)
+	}
+	// The legacy body is unchanged: no v1-only fields leak in.
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"api_version", "certification"} {
+		if _, ok := fields[banned]; ok {
+			t.Fatalf("legacy /topk body grew a %q field: %s", banned, raw)
+		}
+	}
+	// /v1 responses carry no deprecation headers.
+	resp, err = http.Get(ts.URL + "/v1/topk?q=100&k=5&measure=rwr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("/v1/topk carries a Deprecation header")
+	}
+
+	// The legacy hit shows up in both metric formats.
+	var mb metricsBody
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &mb); code != 200 {
+		t.Fatalf("metrics code %d", code)
+	}
+	if mb.LegacyRequests["/topk"] != 1 {
+		t.Fatalf("legacy_requests = %v, want /topk: 1", mb.LegacyRequests)
+	}
+	promResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), `flos_legacy_requests_total{endpoint="/topk"} 1`) {
+		t.Fatalf("prometheus exposition lacks the legacy counter:\n%s", prom)
+	}
+	if !strings.Contains(string(prom), `flos_legacy_requests_total{endpoint="/unified"} 0`) {
+		t.Fatalf("prometheus exposition should emit zero-valued legacy counters")
+	}
+}
+
+// TestModeJSONRoundTrip pins the wire spelling of the mode enum.
+func TestModeJSONRoundTrip(t *testing.T) {
+	for _, m := range []core.Mode{core.ModeExact, core.ModeEpsilon, core.ModeAnytime} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + m.String() + `"`; string(b) != want {
+			t.Fatalf("marshal %v = %s, want %s", m, b, want)
+		}
+		var back core.Mode
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %v", m, back)
+		}
+	}
+	var m core.Mode
+	if err := json.Unmarshal([]byte(`"warp"`), &m); err == nil {
+		t.Fatal("unknown mode unmarshaled without error")
+	}
+}

@@ -9,7 +9,12 @@
 # in /metrics?format=json, visible in the flos_slo_* gauges, replayable
 # offline with `flos -replay`, and — despite the 0% head rate — retained as a
 # tail-promoted span tree at /debug/flos/traces and in the OTLP-JSON export
-# file; then runs the recorder- and tracing-overhead benchmarks and gates
+# file. Along the way it exercises the versioned /v1 API: exact envelope with
+# a certification block, ε-certified query with achieved gap <= ε, anytime
+# under an expiring deadline answering 200 with certified:false, and the
+# legacy routes still answering unchanged but carrying Deprecation headers
+# and the flos_legacy_requests_total counter. Then it runs the recorder- and
+# tracing-overhead benchmarks and gates
 # both on the <= 2% median target, leaving the machine-readable results in
 # BENCH_5.json / BENCH_7.json (override with BENCH_OUT / TRACE_BENCH_OUT).
 set -euo pipefail
@@ -64,6 +69,40 @@ curl -fsS "$BASE/unified?q=11&k=5" >/dev/null
 curl -fsS -X POST -d '{"queries":[1,2,3],"k":5,"measure":"rwr"}' "$BASE/topk/batch" >/dev/null
 curl -fsS "$BASE/topk?q=0&k=10&measure=php" >/dev/null # repeat: result-cache hit
 
+echo "== /v1 envelope carries version and certification =="
+curl -fsS "$BASE/v1/topk?q=11&k=10&measure=php" >"$WORK/v1.json"
+grep -q '"api_version":"v1"' "$WORK/v1.json" || fail "/v1/topk envelope has no api_version"
+grep -q '"certification":{' "$WORK/v1.json" || fail "/v1/topk envelope has no certification block"
+grep -q '"mode":"exact"' "$WORK/v1.json" || fail "/v1 exact response does not report mode=exact"
+grep -q '"certified":true' "$WORK/v1.json" || fail "/v1 exact response is not certified"
+
+echo "== ε-certified mode stays within its budget =="
+curl -fsS "$BASE/v1/topk?q=11&k=10&measure=rwr&mode=epsilon&epsilon=0.001" >"$WORK/v1eps.json"
+grep -q '"mode":"epsilon"' "$WORK/v1eps.json" || fail "ε response does not echo its mode"
+grep -q '"certified":true' "$WORK/v1eps.json" || fail "ε response is not certified"
+gap=$(sed -n 's/.*"certification":{[^}]*"gap":\([0-9.eE+-]*\).*/\1/p' "$WORK/v1eps.json")
+[ -n "$gap" ] || fail "ε response reports no achieved gap"
+awk -v g="$gap" 'BEGIN { exit !(g <= 0.001) }' || fail "ε achieved gap $gap exceeds the 0.001 budget"
+
+echo "== anytime under an expiring deadline is a 200, not a 504 =="
+code=$(curl -s -o "$WORK/v1any.json" -w '%{http_code}' \
+  "$BASE/v1/topk?q=123&k=50&measure=rwr&mode=anytime&deadline=1ns")
+[ "$code" = "200" ] || fail "anytime under expiring deadline got $code, want 200"
+grep -q '"mode":"anytime"' "$WORK/v1any.json" || fail "anytime response does not echo its mode"
+grep -q '"certified":false' "$WORK/v1any.json" || fail "anytime partial under 1ns deadline claims certified"
+
+echo "== legacy routes answer unchanged but are marked deprecated =="
+curl -fsS -D "$WORK/legacy.headers" "$BASE/topk?q=11&k=10&measure=php" >"$WORK/legacy.json"
+grep -qi '^deprecation: true' "$WORK/legacy.headers" || fail "legacy /topk carries no Deprecation header"
+grep -qi 'rel="successor-version"' "$WORK/legacy.headers" || fail "legacy /topk Link has no successor-version"
+if grep -q '"api_version"' "$WORK/legacy.json"; then
+  fail "legacy /topk body grew an api_version field"
+fi
+curl -fsS -D "$WORK/v1.headers" -o /dev/null "$BASE/v1/topk?q=11&k=10&measure=php"
+if grep -qi '^deprecation:' "$WORK/v1.headers"; then
+  fail "/v1/topk wrongly carries a Deprecation header"
+fi
+
 echo "== inject slow query with a known request ID and traceparent =="
 SLOW_ID="smoke-slow-$$"
 # A client traceparent with the sampled flag OFF (flags 00): with the head
@@ -116,7 +155,8 @@ for m in 'flos_slo_availability{window="5m"}' 'flos_slo_availability_burn_rate{w
   'flos_slo_latency_compliance{window="5m"}' 'flos_flightrec_recorded_total' \
   'flos_query_outcomes_total{outcome="hit"}' 'flos_query_outcomes_total{outcome="ok"}' \
   'flos_traces_started_total' 'flos_traces_kept_total{sampled="tail"}' \
-  'flos_traces_kept_total{sampled="head"} 0'; do
+  'flos_traces_kept_total{sampled="head"} 0' \
+  'flos_legacy_requests_total{endpoint="/topk"}'; do
   grep -qF "$m" "$WORK/metrics.prom" || fail "/metrics missing $m"
 done
 curl -fsS "$BASE/debug/flos/slo" | grep -q '"window":"5m"' || fail "/debug/flos/slo has no 5m window"
