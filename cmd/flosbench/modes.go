@@ -2,10 +2,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"time"
 
@@ -161,20 +159,9 @@ func modesBench(out io.Writer, jsonPath string) error {
 			"all_gaps_within_eps":    gapsOK,
 			"target_speedup":         2.0,
 		}
-		f, err := os.Create(jsonPath)
-		if err != nil {
+		if err := writeBenchJSON(out, jsonPath, body); err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(body); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	}
 	return nil
 }

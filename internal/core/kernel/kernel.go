@@ -1,0 +1,419 @@
+// Package kernel is the bound-solver layer extracted from the core engines:
+// the relax-to-budget inner loops that drain the residual worklists over the
+// interleaved (lb,ub) bound store (PHP family) and the per-level queues of
+// the finite-horizon THT system.
+//
+// The engines own everything around the solve — expansion, wiring, dummy
+// updates, tightening refresh, certification — and delegate only the
+// relaxation sweeps here, through a view struct (PHPState / THTState) whose
+// fields alias engine storage. Three kernels sit behind one Solver:
+//
+//   - Serial: the reference kernel — a verbatim relocation of the engines'
+//     fused Gauss–Seidel worklist pass. Byte-identical results and work
+//     counters to the pre-extraction engines, enforced by the golden suite.
+//   - Parallel: partitions the active frontier into cache-sized blocks of
+//     the local CSR and runs frontier-synchronous block-Jacobi sweeps with
+//     per-block FIFOs and an atomic residual reduction. Values are
+//     deterministic regardless of worker count or scheduling: each round
+//     computes from an immutable snapshot of the bound store and applies the
+//     results in block order, so GOMAXPROCS=1 and GOMAXPROCS=64 produce the
+//     same bits. Correctness rests on bound monotonicity (lower bounds only
+//     rise, upper bounds only fall under relaxation of a sub-/super-
+//     solution), which tolerates even chaotic sweep orderings — the
+//     synchronous schedule is chosen on top of that for reproducibility.
+//   - Staged: two-phase precision — float32 shadow sweeps to near-
+//     convergence, then a float64 finish that re-enters values through the
+//     same pend/worklist bookkeeping the serial kernel maintains.
+//     Certification always reads the float64 store; the float32 phase is an
+//     accelerator that never touches it directly.
+//
+// Kernels never select nodes — expansion stays with the engines — and every
+// kernel drains to the same residual tolerance θ, so the exactness argument
+// (Theorem 1 over valid one-sided bounds) is untouched as long as every
+// value written to the float64 store remains a valid lower/upper bound. The
+// serial and parallel kernels guarantee that by monotone relaxation; the
+// staged kernel by a one-sided safety margin at the precision switch (see
+// php_staged.go). Different kernels may still land at different points
+// inside the θ band (Gauss–Seidel propagates within a sweep, Jacobi
+// between rounds), which can shift where the stopping rule first separates
+// and therefore how far the search expands: every answer remains certified
+// at the resolution its Certification.Gap reports, and cross-kernel answers
+// agree up to ties within that resolution, but visited counts, the reported
+// gap, and wall-clock work are per-kernel properties, not invariants.
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind selects a bound-solver kernel. The zero value is Auto.
+type Kind int
+
+const (
+	// Auto picks per solve call: the serial reference kernel below
+	// DefaultThreshold visited nodes, the parallel kernel above it. The
+	// decision depends only on the visited-set size and the configured
+	// threshold — never on GOMAXPROCS or current load — so results are
+	// deterministic across machines and runs.
+	Auto Kind = iota
+	// Serial always runs the reference Gauss–Seidel worklist kernel:
+	// byte-identical to the pre-kernel engines.
+	Serial
+	// Parallel always runs the partitioned block-Jacobi kernel (degrading
+	// to a single-threaded synchronous sweep when no extra workers are
+	// available; the values do not depend on the worker count).
+	Parallel
+	// Staged always runs the two-phase precision kernel: float32 sweeps to
+	// near-convergence, float64 finish. The THT system has no staged
+	// variant (its values live on an integer-like hop scale where float32
+	// staging buys nothing); THT solves fall back to Parallel.
+	Staged
+)
+
+// String renders the kind the way Options spells it.
+func (k Kind) String() string {
+	switch k {
+	case Auto:
+		return "auto"
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	case Staged:
+		return "staged"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// MarshalJSON renders the kind as its API spelling.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the API spelling (or the empty string, as Auto).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseKind is the inverse of Kind.String. The empty string parses as Auto
+// so request schemas can leave the field optional.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "serial":
+		return Serial, nil
+	case "parallel":
+		return Parallel, nil
+	case "staged":
+		return Staged, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (want auto|serial|parallel|staged)", s)
+}
+
+// DefaultThreshold is the visited-set size at which Auto switches from the
+// serial fast path to the partitioned parallel kernel. Small queries — the
+// overwhelming majority under the paper's locality argument — never pay the
+// round-synchronization overhead; the threshold is deliberately high so the
+// switch only engages where the solve is wall-clock dominant. Every graph in
+// the golden suite and the committed sweep baselines sits far below it, which
+// is what keeps Auto byte-identical to Serial on all pinned fixtures.
+const DefaultThreshold = 32768
+
+// DefaultBlockRows is the parallel kernel's partition width: rows per block,
+// sized so one block's interleaved (lb,ub) stripe (2×8 bytes per row) plus
+// its FIFO stays within a typical L2 slice.
+const DefaultBlockRows = 2048
+
+// Config tunes a Solver. The zero value is a valid serial-only setup.
+type Config struct {
+	// Kind selects the kernel; Auto picks by visited-set size.
+	Kind Kind
+	// Workers caps the goroutines one solve call uses (including the
+	// caller); <=0 selects GOMAXPROCS. The actual count is further limited
+	// by the token budget, never below 1. Worker count never affects
+	// computed values, only wall clock.
+	Workers int
+	// Threshold overrides DefaultThreshold for Auto (<=0 keeps the default).
+	Threshold int
+	// BlockRows overrides DefaultBlockRows (<=0 keeps the default).
+	BlockRows int
+	// Tokens, when non-nil, is the shared intra-query parallelism budget:
+	// each solve call TryAcquires its extra workers from it and releases
+	// them on return, so concurrent queries (a loaded qserve pool, a Batch
+	// fan-out) degrade gracefully to single-threaded sweeps instead of
+	// oversubscribing the machine.
+	Tokens *TokenBudget
+}
+
+func (c Config) threshold() int {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return DefaultThreshold
+}
+
+func (c Config) blockRows() int {
+	if c.BlockRows > 0 {
+		return c.BlockRows
+	}
+	return DefaultBlockRows
+}
+
+func (c Config) maxWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports one solve call's kernel telemetry (BoundKernel.LastStats).
+type Stats struct {
+	// Kind is the kernel variant that actually ran (Auto resolves).
+	Kind Kind
+	// Sweeps counts float64 node relaxations — the engines' native work
+	// unit, added to the search's sweep counter.
+	Sweeps int
+	// F32Sweeps counts float32 shadow relaxations (staged kernel only).
+	F32Sweeps int
+	// Blocks is the number of non-empty partition blocks the parallel
+	// kernel engaged (its per-block FIFO count), 0 on the serial path.
+	Blocks int
+	// Rounds is the number of frontier-synchronous sweep rounds.
+	Rounds int
+	// Workers is the number of goroutines used, including the caller.
+	Workers int
+	// Residual is the atomic reduction of |Δvalue| over the final round's
+	// relaxations — 0 when the worklists fully drained.
+	Residual float64
+}
+
+// BoundKernel is the contract the engines program against: relax the bound
+// systems to tolerance within the iteration budget, report the work done.
+// The state views alias engine storage; Solve calls mutate bounds, queues,
+// and pend accumulators in place (reallocated queue slices are written back
+// through the view).
+type BoundKernel interface {
+	// SolvePHP drains the PHP-family residual worklists over the
+	// interleaved (lb,ub) store.
+	SolvePHP(*PHPState)
+	// SolveTHT drains the finite-horizon per-level queues.
+	SolveTHT(*THTState)
+	// LastStats reports the most recent solve call's telemetry.
+	LastStats() Stats
+}
+
+// Solver implements BoundKernel with all three kernels behind one reusable
+// scratch arena: the per-block FIFOs, the frontier snapshot buffers, and the
+// float32 shadow store persist across solve calls (and, held inside a warm
+// engine, across queries), so steady-state solves allocate nothing.
+// A Solver is not safe for concurrent use; each engine owns one.
+type Solver struct {
+	cfg   Config
+	stats Stats
+
+	// Parallel scratch: frontier snapshots, the dense Jacobi result stripe
+	// (indexed like the interleaved bnd store), per-block FIFOs, and the
+	// list of non-empty blocks per round.
+	frontLB, frontUB []int32
+	jac              []float64
+	fifoLB, fifoUB   [][]int32
+	liveLB, liveUB   []int32
+	changed          []bool
+
+	// Staged scratch: the float32 shadow of the interleaved store plus its
+	// private worklists (see php_staged.go). maxRow tracks the deepest
+	// fan-in the shadow has relaxed this query — it scales the write-back
+	// safety margin.
+	bnd32              []float32
+	q32LB, q32UB       []int32
+	inQ32LB, inQ32UB   []bool
+	pend32LB, pend32UB []float32
+	seedLB, seedUB     []int32
+	maxRow             int
+}
+
+// NewSolver returns an empty solver; scratch grows on demand.
+func NewSolver() *Solver { return &Solver{} }
+
+// Configure installs the configuration for subsequent solves, keeping all
+// retained scratch capacity. Engines call it from reset, once per query; the
+// float32 shadow mirrors one query's bound store, so its live prefix (and
+// the lockstep worklist arrays) is dropped here and reseeded from the next
+// query's float64 values on demand.
+func (s *Solver) Configure(cfg Config) {
+	s.cfg = cfg
+	s.bnd32 = s.bnd32[:0]
+	s.inQ32LB, s.inQ32UB = s.inQ32LB[:0], s.inQ32UB[:0]
+	s.pend32LB, s.pend32UB = s.pend32LB[:0], s.pend32UB[:0]
+	s.maxRow = 0
+}
+
+// Config returns the active configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// LastStats reports the most recent solve call's telemetry.
+func (s *Solver) LastStats() Stats { return s.stats }
+
+// ShadowLen reports the current length of the float32 shadow store — 0 until
+// a staged solve ran. Exercised by workspace-reuse tests.
+func (s *Solver) ShadowLen() int { return len(s.bnd32) }
+
+// resolve maps Auto to a concrete kernel for a solve over n visited nodes.
+func (s *Solver) resolve(n int) Kind {
+	k := s.cfg.Kind
+	if k == Auto {
+		if n >= s.cfg.threshold() {
+			return Parallel
+		}
+		return Serial
+	}
+	return k
+}
+
+// acquireWorkers claims the solve call's goroutine allowance: the caller's
+// own slot plus up to maxWorkers-1 extras from the token budget (all of them
+// when no budget is configured). The returned release must be called when
+// the solve finishes.
+func (s *Solver) acquireWorkers() (workers int, release func()) {
+	want := s.cfg.maxWorkers() - 1
+	if want < 0 {
+		want = 0
+	}
+	if s.cfg.Tokens == nil {
+		return want + 1, func() {}
+	}
+	got := s.cfg.Tokens.TryAcquire(want)
+	return got + 1, func() { s.cfg.Tokens.Release(got) }
+}
+
+// TokenBudget is a shared pool of parallelism tokens coordinating
+// intra-query parallel sweeps with inter-query concurrency: a serving pool
+// sizes one budget to the machine, every running query implicitly owns its
+// caller goroutine, and kernels TryAcquire extra workers from what is left.
+// Under full pool load the budget is exhausted, kernels run single-threaded,
+// and batch throughput is unchanged; on an idle pool a lone query gets the
+// whole machine. Acquisition is lock-free and never blocks.
+type TokenBudget struct {
+	avail atomic.Int64
+	cap   int64
+}
+
+// NewTokenBudget returns a budget holding n tokens (n < 0 is treated as 0).
+func NewTokenBudget(n int) *TokenBudget {
+	if n < 0 {
+		n = 0
+	}
+	b := &TokenBudget{cap: int64(n)}
+	b.avail.Store(int64(n))
+	return b
+}
+
+// TryAcquire claims up to n tokens without blocking and returns how many it
+// got (possibly 0).
+func (b *TokenBudget) TryAcquire(n int) int {
+	if b == nil || n <= 0 {
+		return 0
+	}
+	for {
+		cur := b.avail.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > cur {
+			take = cur
+		}
+		if b.avail.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns n previously acquired tokens.
+func (b *TokenBudget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.avail.Add(int64(n))
+}
+
+// Cap returns the budget's total token count.
+func (b *TokenBudget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.cap)
+}
+
+// Outstanding returns how many tokens are currently claimed. It can never
+// exceed Cap; a drained system returns to 0 (leak check in tests).
+func (b *TokenBudget) Outstanding() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.cap - b.avail.Load())
+}
+
+// parallelBlocks runs fn(b) for b in [0,n) across the given worker count,
+// claiming block indices from an atomic cursor. workers<=1 (or a single
+// block) runs inline on the caller. The caller always participates, so
+// workers goroutines total means workers-1 spawns.
+func parallelBlocks(workers, n int, fn func(b int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for b := 0; b < n; b++ {
+			fn(b)
+		}
+		return
+	}
+	var cur atomic.Int64
+	var wg sync.WaitGroup
+	body := func() {
+		for {
+			b := int(cur.Add(1)) - 1
+			if b >= n {
+				return
+			}
+			fn(b)
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body()
+	wg.Wait()
+}
+
+// atomicAddFloat accumulates delta into an atomically-shared float64 cell
+// (the parallel kernel's residual reduction).
+func atomicAddFloat(cell *atomic.Uint64, delta float64) {
+	if delta == 0 {
+		return
+	}
+	for {
+		old := cell.Load()
+		next := math.Float64frombits(old) + delta
+		if cell.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Auto, Serial, Parallel, Staged} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if got, err := ParseKind(""); err != nil || got != Auto {
+		t.Fatalf("ParseKind(\"\") = %v, %v; want Auto", got, err)
+	}
+	if _, err := ParseKind("vectorized"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	b, err := json.Marshal(Parallel)
+	if err != nil || string(b) != `"parallel"` {
+		t.Fatalf("Marshal(Parallel) = %s, %v", b, err)
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"staged"`), &k); err != nil || k != Staged {
+		t.Fatalf("Unmarshal staged = %v, %v", k, err)
+	}
+	if err := json.Unmarshal([]byte(`""`), &k); err != nil || k != Auto {
+		t.Fatalf("Unmarshal empty = %v, %v; want Auto", k, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("Unmarshal accepted bogus kind")
+	}
+}
+
+func TestResolveThresholdIsDeterministic(t *testing.T) {
+	s := NewSolver()
+	s.Configure(Config{Kind: Auto, Threshold: 100})
+	if got := s.resolve(99); got != Serial {
+		t.Fatalf("resolve(99) = %v, want Serial", got)
+	}
+	if got := s.resolve(100); got != Parallel {
+		t.Fatalf("resolve(100) = %v, want Parallel", got)
+	}
+	// Pinned kinds ignore the threshold entirely.
+	s.Configure(Config{Kind: Staged, Threshold: 100})
+	if got := s.resolve(1); got != Staged {
+		t.Fatalf("resolve with pinned Staged = %v", got)
+	}
+}
+
+func TestTokenBudget(t *testing.T) {
+	b := NewTokenBudget(4)
+	if b.Cap() != 4 || b.Outstanding() != 0 {
+		t.Fatalf("fresh budget cap=%d outstanding=%d", b.Cap(), b.Outstanding())
+	}
+	if got := b.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire(3) = %d", got)
+	}
+	// Partial grant: only one token left.
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) on 1 remaining = %d", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty = %d", got)
+	}
+	if b.Outstanding() != 4 {
+		t.Fatalf("Outstanding = %d, want 4", b.Outstanding())
+	}
+	b.Release(4)
+	if b.Outstanding() != 0 {
+		t.Fatalf("Outstanding after release = %d, want 0", b.Outstanding())
+	}
+	// Nil-safety for the unconfigured path.
+	var nb *TokenBudget
+	if nb.TryAcquire(2) != 0 || nb.Cap() != 0 || nb.Outstanding() != 0 {
+		t.Fatal("nil budget should be inert")
+	}
+	nb.Release(2)
+}
+
+func TestTokenBudgetConcurrent(t *testing.T) {
+	b := NewTokenBudget(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				got := b.TryAcquire(3)
+				if out := b.Outstanding(); out < 0 || out > b.Cap() {
+					t.Errorf("outstanding %d out of [0,%d]", out, b.Cap())
+				}
+				b.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Outstanding() != 0 {
+		t.Fatalf("leaked %d tokens", b.Outstanding())
+	}
+}
+
+func TestParallelBlocksCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hit := make([]int32, n)
+			var mu sync.Mutex
+			parallelBlocks(workers, n, func(b int) {
+				mu.Lock()
+				hit[b]++
+				mu.Unlock()
+			})
+			for b, c := range hit {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: block %d run %d times", workers, n, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAcquireWorkersWithBudget(t *testing.T) {
+	b := NewTokenBudget(2)
+	s := NewSolver()
+	s.Configure(Config{Workers: 8, Tokens: b})
+	w, release := s.acquireWorkers()
+	if w != 3 { // caller + the 2 available tokens
+		t.Fatalf("workers = %d, want 3", w)
+	}
+	// A concurrent solver finds the budget drained and degrades to serial.
+	s2 := NewSolver()
+	s2.Configure(Config{Workers: 8, Tokens: b})
+	w2, release2 := s2.acquireWorkers()
+	if w2 != 1 {
+		t.Fatalf("drained-budget workers = %d, want 1", w2)
+	}
+	release()
+	release2()
+	if b.Outstanding() != 0 {
+		t.Fatalf("leaked %d tokens", b.Outstanding())
+	}
+}

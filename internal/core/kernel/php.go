@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"flos/internal/linalg"
+)
+
+// PHPState is the solve-call view of a PHP-family engine: every field
+// aliases engine storage, packed fresh before each SolvePHP call. Local
+// index 0 is always the query node (its bounds are pinned at 1 and its row
+// is empty), which is why no node-identifier slice appears here.
+//
+// The kernel mutates Bnd, the queues, the membership bitmaps, and the pend
+// accumulators in place. QueueLB/QueueUB may be reallocated by appends; the
+// engine reads them back from the state after the call.
+type PHPState struct {
+	// Rows are the off-diagonal local transition entries (row 0 empty).
+	Rows [][]linalg.Entry
+	// Ladj is the local undirected dependency adjacency.
+	Ladj [][]int32
+	// Bnd is the interleaved bound store: lb of local node i at Bnd[2i],
+	// ub at Bnd[2i+1].
+	Bnd []float64
+	// Rd is the dummy-node value the upper-bound system redirects
+	// boundary-crossing mass to.
+	Rd float64
+	// C and Tau are the decay factor and the solver tolerance.
+	C, Tau float64
+	// Budget caps relaxations per bound side (maxIter·|S|).
+	Budget int64
+
+	// Worklist state: one FIFO per side with membership bitmaps and
+	// accumulated input drift.
+	QueueLB, QueueUB []int32
+	InQLB, InQUB     []bool
+	PendLB, PendUB   []float64
+
+	// Dummy/self-entry inputs. Tighten selects Section 5.3's entries
+	// (SelfLoop/DummyTight, maintained by the engine's refresh); otherwise
+	// the dummy entry is the out-mass computed from Deg/InW. OutCnt>0 marks
+	// boundary rows — interior rows have no dummy or self entry.
+	Tighten              bool
+	Deg, InW             []float64
+	OutCnt               []int32
+	SelfLoop, DummyTight []float64
+}
+
+// dummyEntry mirrors phpEngine.dummyEntry on the view: local node i's
+// transition entry into the dummy node for the upper-bound system.
+func (st *PHPState) dummyEntry(i int32) float64 {
+	if i == 0 || st.OutCnt[i] == 0 {
+		return 0
+	}
+	if st.Tighten {
+		return st.DummyTight[i]
+	}
+	// Untightened: the out-mass Σ_{j∉S} p_ij (PHP convention: a degree-0
+	// node keeps its walk, out-mass 0).
+	d := st.Deg[i]
+	if d == 0 {
+		return 0
+	}
+	m := (d - st.InW[i]) / d
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// selfEntry mirrors phpEngine.selfEntry: the diagonal entry (0 unless
+// tightening).
+func (st *PHPState) selfEntry(i int32) float64 {
+	if !st.Tighten || i == 0 || st.OutCnt[i] == 0 {
+		return 0
+	}
+	return st.SelfLoop[i]
+}
+
+// SolvePHP re-solves both PHP-family bound systems to tolerance,
+// dispatching on the configured kind. See the package comment for the
+// kernel catalogue.
+func (s *Solver) SolvePHP(st *PHPState) {
+	n := len(st.Bnd) / 2
+	switch s.resolve(n) {
+	case Parallel:
+		s.solvePHPParallel(st)
+	case Staged:
+		s.solvePHPStaged(st)
+	default:
+		s.stats = Stats{Kind: Serial, Workers: 1}
+		s.solvePHPSerial(st)
+	}
+}
+
+// solvePHPSerial is the reference kernel: the engines' residual-driven
+// Gauss–Seidel relaxation, relocated verbatim from phpEngine.solveBounds.
+// The two systems share no mutable state — the lower side reads and writes
+// only Bnd[2i]/PendLB/InQLB, the upper only Bnd[2i+1]/PendUB/InQUB/Rd — so
+// any interleaving of the two relaxation sequences produces bit-identical
+// results to running them back to back. The 1:1 interleave keeps t.Rows[i],
+// Ladj[i], and the neighbors' interleaved bound pairs in cache across the
+// pair of relaxations (the fusion the struct-of-arrays store exists for).
+func (s *Solver) solvePHPSerial(st *PHPState) {
+	// Pop via head indexes rather than q = q[1:]: reslicing the front off
+	// erodes the backing array's capacity one slot per pop, so the queues
+	// (which persist across queries in a warm workspace) would reallocate
+	// on nearly every append instead of amortizing to zero.
+	qlb, qub := st.QueueLB, st.QueueUB
+	headLB, headUB := 0, 0
+	budget := st.Budget
+	var processedLB, processedUB int64
+	// The propagation threshold sits a factor 16 below τ so the relaxed
+	// bounds are at least as tight as a Jacobi-to-τ solve — the RWR
+	// termination guard compares quantities near the τ scale, where any
+	// extra slack inflates the visited set.
+	theta := st.Tau / 16
+	for {
+		moreLB := headLB < len(qlb) && processedLB < budget
+		moreUB := headUB < len(qub) && processedUB < budget
+		if !moreLB && !moreUB {
+			break
+		}
+		if moreLB {
+			i := qlb[headLB]
+			headLB++
+			st.InQLB[i] = false
+			st.PendLB[i] = 0
+			processedLB++
+			s.stats.Sweeps++
+			if i == 0 {
+				st.Bnd[2*i] = 1
+			} else {
+				var sum float64
+				for _, en := range st.Rows[i] {
+					sum += en.Val * st.Bnd[2*en.Col]
+				}
+				v := st.C * sum
+				if self := st.selfEntry(i); self > 0 {
+					v /= 1 - st.C*self
+				}
+				d := abs(v - st.Bnd[2*i])
+				st.Bnd[2*i] = v
+				if d != 0 {
+					// Charge the change to every dependent row; a row
+					// re-relaxes once its accumulated potential shift
+					// exceeds theta. (c bounds the entry value times decay,
+					// so c·d overestimates the per-row effect.)
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						st.PendLB[j] += st.C * d
+						if !st.InQLB[j] && st.PendLB[j] > theta {
+							st.InQLB[j] = true
+							qlb = append(qlb, j)
+						}
+					}
+				}
+			}
+		}
+		if moreUB {
+			i := qub[headUB]
+			headUB++
+			st.InQUB[i] = false
+			st.PendUB[i] = 0
+			processedUB++
+			s.stats.Sweeps++
+			if i == 0 {
+				st.Bnd[2*i+1] = 1
+			} else {
+				var sum float64
+				for _, en := range st.Rows[i] {
+					sum += en.Val * st.Bnd[2*en.Col+1]
+				}
+				sum += st.dummyEntry(i) * st.Rd
+				v := st.C * sum
+				if self := st.selfEntry(i); self > 0 {
+					v /= 1 - st.C*self
+				}
+				d := abs(v - st.Bnd[2*i+1])
+				st.Bnd[2*i+1] = v
+				if d != 0 {
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						st.PendUB[j] += st.C * d
+						if !st.InQUB[j] && st.PendUB[j] > theta {
+							st.InQUB[j] = true
+							qub = append(qub, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Drained or budget hit: compact the unprocessed tails to the front so
+	// the inQ flags stay consistent with the queue contents and the full
+	// backing capacity survives for the next call.
+	n := copy(qlb, qlb[headLB:])
+	st.QueueLB = qlb[:n]
+	n = copy(qub, qub[headUB:])
+	st.QueueUB = qub[:n]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

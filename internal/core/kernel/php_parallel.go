@@ -1,0 +1,234 @@
+package kernel
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// solvePHPParallel is the partitioned kernel: frontier-synchronous
+// block-Jacobi sweeps over the active worklists.
+//
+// Each round snapshots the two frontiers (every queued row, up to the
+// remaining per-side budget), buckets them into per-block FIFOs partitioning
+// the local CSR into cache-sized row blocks, and runs the relaxations of all
+// non-empty blocks across the worker pool. The compute phase treats the
+// interleaved bound store as immutable — every worker writes its results
+// into a disjoint stripe of the Jacobi scratch and accumulates its residual
+// into one atomic cell — and a serial apply phase then commits the values,
+// charges the pend accumulators, and seeds the next round's frontiers in
+// block order.
+//
+// Two properties follow from that structure:
+//
+//   - Correctness: a Jacobi round relaxes a sub-solution (lower side) from
+//     inputs no smaller than the last committed state, so values only rise
+//     toward the fixpoint and never cross it; symmetrically the upper side
+//     only falls. This is the monotone-bounds argument that makes even
+//     chaotic sweep orderings sound — the synchronous schedule is a special
+//     case chosen for the next property.
+//   - Determinism: frontier snapshots, bucketing, and the apply order are
+//     all independent of the worker count and of goroutine scheduling, so
+//     the solved bounds are bit-identical at GOMAXPROCS=1 and GOMAXPROCS=64.
+//     (The race-matrix CI job relies on this: the golden comparisons hold at
+//     any core count.)
+//
+// Versus the serial Gauss–Seidel kernel the values differ only in where the
+// iteration truncates — both sides stop once no accumulated input drift
+// exceeds θ = τ/16 — so the certified top-k sets and flags agree (enforced
+// by the kernel-equivalence suite), while the bit patterns need not.
+func (s *Solver) solvePHPParallel(st *PHPState) {
+	workers, release := s.acquireWorkers()
+	defer release()
+	s.stats = Stats{Kind: Parallel, Workers: workers}
+
+	n := len(st.Bnd) / 2
+	if cap(s.jac) < 2*n {
+		s.jac = make([]float64, 2*n)
+	}
+	jac := s.jac[:2*n]
+	blockRows := s.cfg.blockRows()
+	theta := st.Tau / 16
+	budget := st.Budget
+	var processedLB, processedUB int64
+	var residual atomic.Uint64
+
+	for {
+		moreLB := len(st.QueueLB) > 0 && processedLB < budget
+		moreUB := len(st.QueueUB) > 0 && processedUB < budget
+		if !moreLB && !moreUB {
+			break
+		}
+		s.stats.Rounds++
+		residual.Store(0)
+
+		// Snapshot the frontiers. Popping a row clears its membership bit
+		// and pend, exactly like a serial pop; rows past the budget stay
+		// queued with their flags intact.
+		frontLB, frontUB := s.frontLB[:0], s.frontUB[:0]
+		if moreLB {
+			frontLB = takeFrontier(&st.QueueLB, st.InQLB, st.PendLB, budget-processedLB, frontLB)
+			processedLB += int64(len(frontLB))
+		}
+		if moreUB {
+			frontUB = takeFrontier(&st.QueueUB, st.InQUB, st.PendUB, budget-processedUB, frontUB)
+			processedUB += int64(len(frontUB))
+		}
+		s.frontLB, s.frontUB = frontLB, frontUB
+		s.stats.Sweeps += len(frontLB) + len(frontUB)
+
+		// Bucket each frontier into per-block FIFOs. A row appears in at
+		// most one FIFO per side (queue membership is deduplicated), so the
+		// compute phase writes disjoint scratch entries.
+		liveLB := bucketBlocks(&s.fifoLB, frontLB, blockRows, s.liveLB[:0])
+		liveUB := bucketBlocks(&s.fifoUB, frontUB, blockRows, s.liveUB[:0])
+		s.liveLB, s.liveUB = liveLB, liveUB
+		if nb := len(liveLB) + len(liveUB); nb > s.stats.Blocks {
+			s.stats.Blocks = nb
+		}
+
+		// Compute phase: both sides' blocks share one parallel region. The
+		// bound store is read-only here; results land in the Jacobi stripe.
+		nb := len(liveLB) + len(liveUB)
+		parallelBlocks(workers, nb, func(b int) {
+			var local float64
+			if b < len(liveLB) {
+				for _, i := range s.fifoLB[liveLB[b]] {
+					v := relaxLB(st, i)
+					jac[2*i] = v
+					local += abs(v - st.Bnd[2*i])
+				}
+			} else {
+				for _, i := range s.fifoUB[liveUB[b-len(liveLB)]] {
+					v := relaxUB(st, i)
+					jac[2*i+1] = v
+					local += abs(v - st.Bnd[2*i+1])
+				}
+			}
+			atomicAddFloat(&residual, local)
+		})
+
+		// Apply phase: commit values and propagate drift, serially, in
+		// block order then FIFO order — a deterministic schedule that seeds
+		// the next round's frontiers through the same pend/θ rule the
+		// serial kernel uses.
+		qlb := st.QueueLB
+		for _, b := range liveLB {
+			fifo := s.fifoLB[b]
+			for _, i := range fifo {
+				v := jac[2*i]
+				d := abs(v - st.Bnd[2*i])
+				st.Bnd[2*i] = v
+				if d != 0 {
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						st.PendLB[j] += st.C * d
+						if !st.InQLB[j] && st.PendLB[j] > theta {
+							st.InQLB[j] = true
+							qlb = append(qlb, j)
+						}
+					}
+				}
+			}
+			s.fifoLB[b] = fifo[:0]
+		}
+		st.QueueLB = qlb
+		qub := st.QueueUB
+		for _, b := range liveUB {
+			fifo := s.fifoUB[b]
+			for _, i := range fifo {
+				v := jac[2*i+1]
+				d := abs(v - st.Bnd[2*i+1])
+				st.Bnd[2*i+1] = v
+				if d != 0 {
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						st.PendUB[j] += st.C * d
+						if !st.InQUB[j] && st.PendUB[j] > theta {
+							st.InQUB[j] = true
+							qub = append(qub, j)
+						}
+					}
+				}
+			}
+			s.fifoUB[b] = fifo[:0]
+		}
+		st.QueueUB = qub
+	}
+	s.jac = jac
+	s.stats.Residual = math.Float64frombits(residual.Load())
+}
+
+// relaxLB evaluates the lower-bound equation of row i against the current
+// store (read-only).
+func relaxLB(st *PHPState, i int32) float64 {
+	if i == 0 {
+		return 1
+	}
+	var sum float64
+	for _, en := range st.Rows[i] {
+		sum += en.Val * st.Bnd[2*en.Col]
+	}
+	v := st.C * sum
+	if self := st.selfEntry(i); self > 0 {
+		v /= 1 - st.C*self
+	}
+	return v
+}
+
+// relaxUB evaluates the upper-bound equation of row i against the current
+// store (read-only).
+func relaxUB(st *PHPState, i int32) float64 {
+	if i == 0 {
+		return 1
+	}
+	var sum float64
+	for _, en := range st.Rows[i] {
+		sum += en.Val * st.Bnd[2*en.Col+1]
+	}
+	sum += st.dummyEntry(i) * st.Rd
+	v := st.C * sum
+	if self := st.selfEntry(i); self > 0 {
+		v /= 1 - st.C*self
+	}
+	return v
+}
+
+// takeFrontier pops up to maxTake rows off the queue head into dst,
+// clearing membership and pend exactly like a serial pop, and compacts the
+// untaken tail to the queue front.
+func takeFrontier(q *[]int32, inQ []bool, pend []float64, maxTake int64, dst []int32) []int32 {
+	take := len(*q)
+	if int64(take) > maxTake {
+		take = int(maxTake)
+	}
+	for _, i := range (*q)[:take] {
+		inQ[i] = false
+		pend[i] = 0
+		dst = append(dst, i)
+	}
+	n := copy(*q, (*q)[take:])
+	*q = (*q)[:n]
+	return dst
+}
+
+// bucketBlocks distributes a frontier into per-block FIFOs (block = local
+// index / blockRows) and returns the non-empty block list in first-touch
+// order. The FIFO slices are caller-owned scratch, truncated again by the
+// apply phase.
+func bucketBlocks(fifos *[][]int32, front []int32, blockRows int, live []int32) []int32 {
+	for _, i := range front {
+		b := int(i) / blockRows
+		for b >= len(*fifos) {
+			*fifos = append(*fifos, nil)
+		}
+		if len((*fifos)[b]) == 0 {
+			live = append(live, int32(b))
+		}
+		(*fifos)[b] = append((*fifos)[b], i)
+	}
+	return live
+}

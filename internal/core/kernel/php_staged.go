@@ -1,0 +1,270 @@
+package kernel
+
+// The staged kernel: two-phase precision. Large relaxation frontiers are
+// first driven to near-convergence on a float32 shadow of the interleaved
+// bound store — halving the memory traffic of the sweep, which is what the
+// solve is bound on once the bookkeeping around it is free — and the result
+// is then fed back into the float64 store through a one-sided safety margin,
+// after which the ordinary serial float64 kernel finishes the drain.
+// Certification never sees the shadow: `measure.CertGap` and every bound the
+// engines read are float64, so exact mode stays exact.
+//
+// Validity argument. Theorem 1 needs every value in the float64 store to be
+// a true one-sided bound. Float32 sweeps cannot promise that directly — a
+// relaxed value can overshoot the fixpoint by accumulated roundoff — so the
+// write-back haircuts each candidate by a forward-error bound computed from
+// the phase itself: one float32 relaxation of a row with fan-in r incurs
+// local roundoff at most (r+4)·ε₃₂ on values in [0,1], and the recursion
+// through neighbors is damped by the decay factor, so the distance between
+// the float32 and float64 fixpoints is at most (r_max+4)·ε₃₂/(1−c). The
+// margin applies 4× that (plus an absolute floor) on the safe side — lower
+// candidates are shaved down, upper candidates padded up — and a candidate
+// is written only if it still improves the current float64 value, preserving
+// bound monotonicity. Each write-back propagates through the same pend/θ
+// bookkeeping as a serial relaxation, so the float64 finish re-verifies the
+// neighborhood of every seed at full precision.
+//
+// The shadow is maintained incrementally per query (Configure drops it):
+// rows the engine visits are appended from the float64 store, rows the
+// float32 phase relaxes stay current, and rows refined only by the float64
+// finish go stale on the pessimistic side — a stale-low lower bound (or
+// stale-high upper bound) is a weaker but still valid input, so the shadow
+// never needs an O(|S|) resync between solve calls.
+
+const (
+	// stagedMinFrontier gates the float32 phase: below it the frontier is
+	// too small for the precision round-trip to pay off and the call runs
+	// the plain serial float64 kernel. Deliberately low so modest test
+	// graphs still exercise the staged path.
+	stagedMinFrontier = 32
+	// eps32 is the float32 unit roundoff (2^-24).
+	eps32 = 5.9604644775390625e-08
+	// f32ThetaFloor keeps the float32 propagation threshold above the
+	// precision the shadow can resolve; tighter drift is left to the
+	// float64 finish.
+	f32ThetaFloor = 1e-6
+	// seedMarginAbs is the absolute component of the write-back haircut.
+	seedMarginAbs = 1e-12
+)
+
+// solvePHPStaged runs the float32 phase when the frontier is large enough,
+// then always finishes with the serial float64 kernel on the same state.
+func (s *Solver) solvePHPStaged(st *PHPState) {
+	s.stats = Stats{Kind: Staged, Workers: 1}
+	if len(st.QueueLB)+len(st.QueueUB) >= stagedMinFrontier {
+		s.stageF32(st)
+	}
+	s.solvePHPSerial(st)
+}
+
+// stageF32 drains float32 mirrors of the current worklists on the shadow
+// store, then seeds the float64 systems with the margined results.
+func (s *Solver) stageF32(st *PHPState) {
+	n := len(st.Bnd) / 2
+	s.grow32(st, n)
+	c32 := float32(st.C)
+	theta := st.Tau / 16
+	if theta < f32ThetaFloor {
+		theta = f32ThetaFloor
+	}
+	theta32 := float32(theta)
+
+	// Private worklists seeded from copies of the float64 queues — the
+	// engine's queue/pend state is never consumed by this phase.
+	qlb, qub := s.q32LB[:0], s.q32UB[:0]
+	for _, i := range st.QueueLB {
+		if !s.inQ32LB[i] {
+			s.inQ32LB[i] = true
+			qlb = append(qlb, i)
+		}
+	}
+	for _, i := range st.QueueUB {
+		if !s.inQ32UB[i] {
+			s.inQ32UB[i] = true
+			qub = append(qub, i)
+		}
+	}
+	seedLB, seedUB := s.seedLB[:0], s.seedUB[:0]
+
+	headLB, headUB := 0, 0
+	budget := st.Budget
+	var processedLB, processedUB int64
+	for {
+		moreLB := headLB < len(qlb) && processedLB < budget
+		moreUB := headUB < len(qub) && processedUB < budget
+		if !moreLB && !moreUB {
+			break
+		}
+		if moreLB {
+			i := qlb[headLB]
+			headLB++
+			s.inQ32LB[i] = false
+			s.pend32LB[i] = 0
+			processedLB++
+			s.stats.F32Sweeps++
+			if i != 0 {
+				row := st.Rows[i]
+				if len(row) > s.maxRow {
+					s.maxRow = len(row)
+				}
+				var sum float32
+				for _, en := range row {
+					sum += float32(en.Val) * s.bnd32[2*en.Col]
+				}
+				v := c32 * sum
+				if self := st.selfEntry(i); self > 0 {
+					v /= float32(1 - st.C*self)
+				}
+				d := v - s.bnd32[2*i]
+				if d < 0 {
+					d = -d
+				}
+				s.bnd32[2*i] = v
+				seedLB = append(seedLB, i)
+				if d != 0 {
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						s.pend32LB[j] += c32 * d
+						if !s.inQ32LB[j] && s.pend32LB[j] > theta32 {
+							s.inQ32LB[j] = true
+							qlb = append(qlb, j)
+						}
+					}
+				}
+			}
+		}
+		if moreUB {
+			i := qub[headUB]
+			headUB++
+			s.inQ32UB[i] = false
+			s.pend32UB[i] = 0
+			processedUB++
+			s.stats.F32Sweeps++
+			if i != 0 {
+				row := st.Rows[i]
+				if len(row) > s.maxRow {
+					s.maxRow = len(row)
+				}
+				var sum float32
+				for _, en := range row {
+					sum += float32(en.Val) * s.bnd32[2*en.Col+1]
+				}
+				sum += float32(st.dummyEntry(i) * st.Rd)
+				v := c32 * sum
+				if self := st.selfEntry(i); self > 0 {
+					v /= float32(1 - st.C*self)
+				}
+				d := v - s.bnd32[2*i+1]
+				if d < 0 {
+					d = -d
+				}
+				s.bnd32[2*i+1] = v
+				seedUB = append(seedUB, i)
+				if d != 0 {
+					for _, j := range st.Ladj[i] {
+						if j == 0 {
+							continue
+						}
+						s.pend32UB[j] += c32 * d
+						if !s.inQ32UB[j] && s.pend32UB[j] > theta32 {
+							s.inQ32UB[j] = true
+							qub = append(qub, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Budget-truncated remainders are simply discarded: clear their flags so
+	// the next phase starts clean; the float64 finish owns convergence.
+	for _, i := range qlb[headLB:] {
+		s.inQ32LB[i] = false
+	}
+	for _, i := range qub[headUB:] {
+		s.inQ32UB[i] = false
+	}
+	s.q32LB, s.q32UB = qlb[:0], qub[:0]
+	s.seedLB, s.seedUB = seedLB, seedUB
+
+	s.seedF64(st)
+}
+
+// seedF64 writes the margined float32 results into the float64 store,
+// propagating each improvement through the standard pend/θ rule so the
+// float64 finish re-verifies every seeded neighborhood.
+func (s *Solver) seedF64(st *PHPState) {
+	// Forward-error haircut: 4× the a-priori float32 fixpoint error for the
+	// deepest fan-in this query's shadow has relaxed (see file comment).
+	margin := 4 * float64(s.maxRow+4) * eps32 / (1 - st.C)
+	theta := st.Tau / 16
+
+	// The seed lists carry one entry per relaxation; dedup with the (now
+	// all-clear) membership bitmaps, restoring them before returning.
+	dedup := func(list []int32, flags []bool) []int32 {
+		out := list[:0]
+		for _, i := range list {
+			if !flags[i] {
+				flags[i] = true
+				out = append(out, i)
+			}
+		}
+		for _, i := range out {
+			flags[i] = false
+		}
+		return out
+	}
+	for _, i := range dedup(s.seedLB, s.inQ32LB) {
+		v := float64(s.bnd32[2*i])
+		seed := v - (v*margin + seedMarginAbs)
+		if seed <= st.Bnd[2*i] {
+			continue
+		}
+		d := seed - st.Bnd[2*i]
+		st.Bnd[2*i] = seed
+		for _, j := range st.Ladj[i] {
+			if j == 0 {
+				continue
+			}
+			st.PendLB[j] += st.C * d
+			if !st.InQLB[j] && st.PendLB[j] > theta {
+				st.InQLB[j] = true
+				st.QueueLB = append(st.QueueLB, j)
+			}
+		}
+	}
+	for _, i := range dedup(s.seedUB, s.inQ32UB) {
+		v := float64(s.bnd32[2*i+1])
+		seed := v + v*margin + seedMarginAbs
+		if seed >= st.Bnd[2*i+1] {
+			continue
+		}
+		d := st.Bnd[2*i+1] - seed
+		st.Bnd[2*i+1] = seed
+		for _, j := range st.Ladj[i] {
+			if j == 0 {
+				continue
+			}
+			st.PendUB[j] += st.C * d
+			if !st.InQUB[j] && st.PendUB[j] > theta {
+				st.InQUB[j] = true
+				st.QueueUB = append(st.QueueUB, j)
+			}
+		}
+	}
+}
+
+// grow32 extends the shadow store and its worklist arrays to n rows, seeding
+// newly visited rows from the float64 store.
+func (s *Solver) grow32(st *PHPState, n int) {
+	for i := int32(len(s.bnd32) / 2); int(i) < n; i++ {
+		s.bnd32 = append(s.bnd32, float32(st.Bnd[2*i]), float32(st.Bnd[2*i+1]))
+	}
+	for len(s.inQ32LB) < n {
+		s.inQ32LB = append(s.inQ32LB, false)
+		s.inQ32UB = append(s.inQ32UB, false)
+		s.pend32LB = append(s.pend32LB, 0)
+		s.pend32UB = append(s.pend32UB, 0)
+	}
+}

@@ -1,0 +1,213 @@
+package kernel
+
+// THTEntry is one local transition entry of the finite-horizon system:
+// (local column, p_ij).
+type THTEntry struct {
+	Col int32
+	P   float64
+}
+
+// THTState is the solve-call view of the finite-horizon THT engine. Like
+// PHPState every field aliases engine storage; local index 0 is the query
+// node (its rows stay pinned at 0 and its levels are never queued). The
+// engine computes the distance floor and the boundary re-dirty before the
+// call — the kernel only drains the per-level queues.
+type THTState struct {
+	// Rows are the within-S transition entries (row 0 empty).
+	Rows [][]THTEntry
+	// Ladj is the local undirected dependency adjacency.
+	Ladj [][]int32
+	// LbL/UbL are the level-l bound values, l = 0..L (level 0 identically 0).
+	LbL, UbL [][]float64
+	// InQ/Queue are the per-level dirty queues. The kernel truncates and
+	// appends the inner slices in place; the outer headers are never
+	// reallocated.
+	InQ   [][]bool
+	Queue [][]int32
+	// L is the horizon; Floor is D+1, the hop-distance floor for unvisited
+	// mass (distInf when the component is exhausted).
+	L     int
+	Floor int32
+	// Out-mass inputs (THT convention: a degree-0 node sends full mass
+	// outside).
+	Deg, InW []float64
+	OutCnt   []int32
+}
+
+// outMass mirrors thtEngine.outMass on the view.
+func (st *THTState) outMass(i int32) float64 {
+	if st.Deg[i] == 0 {
+		return 1
+	}
+	m := (st.Deg[i] - st.InW[i]) / st.Deg[i]
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// SolveTHT drains the per-level dirty queues in level order, dispatching on
+// the configured kind. The staged kernel has no THT variant (the hop-scale
+// values gain nothing from float32 staging); it falls back to Parallel.
+//
+// Unlike the PHP systems, the THT recursion is layered: the level-l equation
+// of a row reads only level l−1 values, which are frozen while level l
+// drains, and each dirty row is relaxed exactly once per level (queue
+// membership is deduplicated). Within a level the relaxations are therefore
+// order-independent and write disjoint rows — so the parallel kernel
+// produces bit-identical values AND work counters to the serial one, and is
+// held to that standard by the equivalence tests.
+func (s *Solver) SolveTHT(st *THTState) {
+	n := 0
+	if len(st.LbL) > 0 {
+		n = len(st.LbL[len(st.LbL)-1])
+	}
+	switch s.resolve(n) {
+	case Parallel, Staged:
+		s.solveTHTParallel(st)
+	default:
+		s.stats = Stats{Kind: Serial, Workers: 1}
+		s.solveTHTSerial(st)
+	}
+}
+
+// levelFloor is the floor value for unvisited mass at level l: min(l−1, D+1).
+func levelFloor(st *THTState, l int) float64 {
+	fl := float64(l - 1)
+	if ff := float64(st.Floor); ff < fl {
+		fl = ff
+	}
+	return fl
+}
+
+// relaxTHT evaluates both level-l bounds of row i from the level l−1 values.
+func relaxTHT(st *THTState, i int32, l int, lbPrev, ubPrev []float64, fl float64) (lo, hi float64) {
+	var sLo, sHi float64
+	for _, en := range st.Rows[i] {
+		sLo += en.P * lbPrev[en.Col]
+		sHi += en.P * ubPrev[en.Col]
+	}
+	om := 0.0
+	if st.OutCnt[i] > 0 || st.Deg[i] == 0 {
+		om = st.outMass(i)
+	}
+	lo = 1 + sLo + om*fl
+	hi = 1 + sHi + om*float64(st.L)
+	if cap := float64(l); hi > cap {
+		hi = cap
+	}
+	if lo > hi {
+		lo = hi // both remain valid; keeps the interval well-formed
+	}
+	return lo, hi
+}
+
+// solveTHTSerial is the reference kernel: a verbatim relocation of
+// thtEngine.solveBounds' drain (LIFO within each level, dependents dirtied
+// one level up).
+func (s *Solver) solveTHTSerial(st *THTState) {
+	for l := 1; l <= st.L; l++ {
+		q := st.Queue[l]
+		lbPrev, ubPrev := st.LbL[l-1], st.UbL[l-1]
+		lbCur, ubCur := st.LbL[l], st.UbL[l]
+		fl := levelFloor(st, l)
+		for len(q) > 0 {
+			i := q[len(q)-1]
+			q = q[:len(q)-1]
+			st.InQ[l][i] = false
+			s.stats.Sweeps++
+			lo, hi := relaxTHT(st, i, l, lbPrev, ubPrev, fl)
+			if lo == lbCur[i] && hi == ubCur[i] {
+				continue
+			}
+			lbCur[i] = lo
+			ubCur[i] = hi
+			if l < st.L {
+				nq := st.Queue[l+1]
+				for _, j := range st.Ladj[i] {
+					if !st.InQ[l+1][j] && j != 0 {
+						st.InQ[l+1][j] = true
+						nq = append(nq, j)
+					}
+				}
+				st.Queue[l+1] = nq
+			}
+		}
+		st.Queue[l] = q[:0]
+	}
+}
+
+// solveTHTParallel relaxes each level's frontier across the worker pool. The
+// level-l frontier is static during its drain (relaxations only dirty level
+// l+1), values are computed purely from the frozen l−1 layer, and each row
+// appears at most once — so workers write lbCur/ubCur directly without
+// synchronization and record changed flags per frontier slot. The serial
+// apply pass then walks the frontier in the reference kernel's LIFO order
+// (reverse append order) enqueuing dependents, which makes this kernel
+// bit-identical to solveTHTSerial in values, queue orders, and sweep counts
+// for any worker count.
+func (s *Solver) solveTHTParallel(st *THTState) {
+	workers, release := s.acquireWorkers()
+	defer release()
+	s.stats = Stats{Kind: Parallel, Workers: workers}
+	blockRows := s.cfg.blockRows()
+
+	for l := 1; l <= st.L; l++ {
+		front := st.Queue[l]
+		if len(front) == 0 {
+			continue
+		}
+		s.stats.Rounds++
+		s.stats.Sweeps += len(front)
+		lbPrev, ubPrev := st.LbL[l-1], st.UbL[l-1]
+		lbCur, ubCur := st.LbL[l], st.UbL[l]
+		fl := levelFloor(st, l)
+		for _, i := range front {
+			st.InQ[l][i] = false
+		}
+		if cap(s.changed) < len(front) {
+			s.changed = make([]bool, len(front))
+		}
+		changed := s.changed[:len(front)]
+
+		nb := (len(front) + blockRows - 1) / blockRows
+		if nb > s.stats.Blocks {
+			s.stats.Blocks = nb
+		}
+		parallelBlocks(workers, nb, func(b int) {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > len(front) {
+				hi = len(front)
+			}
+			for pos := lo; pos < hi; pos++ {
+				i := front[pos]
+				vlo, vhi := relaxTHT(st, i, l, lbPrev, ubPrev, fl)
+				if vlo == lbCur[i] && vhi == ubCur[i] {
+					changed[pos] = false
+					continue
+				}
+				lbCur[i] = vlo
+				ubCur[i] = vhi
+				changed[pos] = true
+			}
+		})
+
+		if l < st.L {
+			nq := st.Queue[l+1]
+			for pos := len(front) - 1; pos >= 0; pos-- {
+				if !changed[pos] {
+					continue
+				}
+				for _, j := range st.Ladj[front[pos]] {
+					if !st.InQ[l+1][j] && j != 0 {
+						st.InQ[l+1][j] = true
+						nq = append(nq, j)
+					}
+				}
+			}
+			st.Queue[l+1] = nq
+		}
+		st.Queue[l] = front[:0]
+	}
+}

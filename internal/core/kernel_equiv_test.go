@@ -1,0 +1,236 @@
+package core
+
+// Kernel-equivalence suite: replays the full golden scenario grid (the same
+// graphs × queries × measures × tightening combinations golden_test.go pins)
+// under every bound-solver kernel and checks each kernel against its
+// contract:
+//
+//   - Auto must be byte-identical to Serial on every pinned fixture. Auto
+//     resolves purely on |S| against kernel.DefaultThreshold, and all golden
+//     graphs sit far below it, so this holds on any machine and any
+//     GOMAXPROCS — which is what lets CI run the golden suite under a
+//     GOMAXPROCS matrix without per-machine goldens.
+//   - The THT kernels are byte-identical to Serial by construction (the
+//     parallel level sweep applies updates in the exact LIFO order the
+//     serial solver used), so THT runs are held to full bit equality:
+//     ranking, score bits, and every work counter.
+//   - The PHP-family Parallel and Staged kernels follow a different
+//     relaxation order (frontier-synchronous Jacobi rounds; a float32
+//     pre-pass), so individual float64 values may differ in low-order bits
+//     and sweep counts legitimately differ. They are held to the semantic
+//     contract instead: identical top-k node sets, identical Exact and
+//     Certified flags, and per-node certified intervals that overlap the
+//     serial intervals (both enclose the true score, so disjoint intervals
+//     would prove one of them invalid) with scores inside the interval
+//     union. This is the test that would catch a wrong float32 write-back
+//     margin: an invalid staged bound excludes the true value and detaches
+//     from the serial interval.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"testing"
+
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// equivSlop absorbs the measure-scale conversion roundoff when comparing
+// certified intervals produced by different (all individually valid)
+// relaxation orders.
+func equivSlop(lo, hi float64) float64 {
+	m := math.Max(math.Abs(lo), math.Abs(hi))
+	return 1e-12 + 1e-9*m
+}
+
+func sortedNodes(rs []measure.Ranked) []graph.NodeID {
+	out := make([]graph.NodeID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Node
+	}
+	slices.Sort(out)
+	return out
+}
+
+// requireSameBits holds two results to full bit equality (the THT contract).
+func requireSameBits(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	wn, wb := rankedBits(want.TopK)
+	gn, gb := rankedBits(got.TopK)
+	if fmt.Sprint(wn) != fmt.Sprint(gn) || fmt.Sprint(wb) != fmt.Sprint(gb) {
+		t.Fatalf("%s: ranking/scores differ from serial\nserial %v %v\ngot    %v %v", label, wn, wb, gn, gb)
+	}
+	if want.Visited != got.Visited || want.Iterations != got.Iterations || want.Sweeps != got.Sweeps {
+		t.Fatalf("%s: counters differ from serial: serial {v:%d it:%d sw:%d} got {v:%d it:%d sw:%d}",
+			label, want.Visited, want.Iterations, want.Sweeps, got.Visited, got.Iterations, got.Sweeps)
+	}
+	if want.Exact != got.Exact || want.Certification.Certified != got.Certification.Certified {
+		t.Fatalf("%s: flags differ from serial: serial exact=%v cert=%v, got exact=%v cert=%v",
+			label, want.Exact, want.Certification.Certified, got.Exact, got.Certification.Certified)
+	}
+}
+
+// requireTiedSet compares two selections as sets, tolerating membership
+// differences only between tied nodes. Exact score ties (e.g. symmetric grid
+// nodes) may resolve to either tied node depending on low-order bits, so a
+// disputed node's certified interval (taken from the result that selected
+// it) must overlap every other disputed interval within tieEps: legitimate
+// tie flips certify near-equal scores, a wrong node does not.
+func requireTiedSet(t *testing.T, label string, want, got []measure.Ranked, wantCert, gotCert Certification, tieEps float64) {
+	t.Helper()
+	wn, gn := sortedNodes(want), sortedNodes(got)
+	if fmt.Sprint(wn) == fmt.Sprint(gn) {
+		return
+	}
+	inW := map[graph.NodeID]bool{}
+	for _, n := range wn {
+		inW[n] = true
+	}
+	inG := map[graph.NodeID]bool{}
+	for _, n := range gn {
+		inG[n] = true
+	}
+	var disputed []NodeBounds
+	for _, b := range wantCert.Bounds {
+		if !inG[b.Node] {
+			disputed = append(disputed, b)
+		}
+	}
+	for _, b := range gotCert.Bounds {
+		if !inW[b.Node] {
+			disputed = append(disputed, b)
+		}
+	}
+	for i := range disputed {
+		for j := i + 1; j < len(disputed); j++ {
+			a, b := disputed[i], disputed[j]
+			slop := tieEps + equivSlop(a.Lower, a.Upper) + equivSlop(b.Lower, b.Upper)
+			if a.Lower > b.Upper+slop || b.Lower > a.Upper+slop {
+				t.Fatalf("%s: top-k node set differs beyond tie tolerance\nserial %v\ngot    %v\nnodes %d [%g,%g] and %d [%g,%g] are not tied",
+					label, wn, gn, a.Node, a.Lower, a.Upper, b.Node, b.Lower, b.Upper)
+			}
+		}
+	}
+}
+
+// requireEquivalent holds a PHP-family result to the semantic contract
+// against the serial reference.
+func requireEquivalent(t *testing.T, label string, want, got *Result, tieEps float64) {
+	t.Helper()
+	requireTiedSet(t, label, want.TopK, got.TopK, want.Certification, got.Certification, tieEps)
+	if want.Exact != got.Exact {
+		t.Fatalf("%s: Exact flag differs: serial %v, got %v", label, want.Exact, got.Exact)
+	}
+	if want.Certification.Certified != got.Certification.Certified {
+		t.Fatalf("%s: Certified flag differs: serial %v, got %v",
+			label, want.Certification.Certified, got.Certification.Certified)
+	}
+	wIv := map[graph.NodeID]NodeBounds{}
+	for _, b := range want.Certification.Bounds {
+		wIv[b.Node] = b
+	}
+	wScore := map[graph.NodeID]float64{}
+	for _, r := range want.TopK {
+		wScore[r.Node] = r.Score
+	}
+	gIv := map[graph.NodeID]NodeBounds{}
+	for _, b := range got.Certification.Bounds {
+		gIv[b.Node] = b
+	}
+	for _, r := range got.TopK {
+		w, ok := wIv[r.Node]
+		g := gIv[r.Node]
+		if !ok {
+			continue // set equality already checked; bounds list mirrors TopK
+		}
+		slop := equivSlop(w.Lower, w.Upper) + equivSlop(g.Lower, g.Upper)
+		// Both intervals certify the same true score, so they must overlap.
+		if g.Lower > w.Upper+slop || w.Lower > g.Upper+slop {
+			t.Fatalf("%s: node %d certified intervals disjoint: serial [%g,%g], got [%g,%g]",
+				label, r.Node, w.Lower, w.Upper, g.Lower, g.Upper)
+		}
+		// And both reported scores must land inside the interval union.
+		lo, hi := math.Min(w.Lower, g.Lower)-slop, math.Max(w.Upper, g.Upper)+slop
+		if r.Score < lo || r.Score > hi {
+			t.Fatalf("%s: node %d score %g outside certified union [%g,%g]", label, r.Node, r.Score, lo, hi)
+		}
+		if ws := wScore[r.Node]; ws < lo || ws > hi {
+			t.Fatalf("%s: node %d serial score %g outside certified union [%g,%g]", label, r.Node, ws, lo, hi)
+		}
+	}
+}
+
+// TestKernelEquivalence replays every golden scenario under every kernel.
+func TestKernelEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, gc := range goldenGraphs(t) {
+		for _, q := range goldenQueries(gc.g.NumNodes()) {
+			for _, kind := range measure.Kinds() {
+				for _, tighten := range []bool{true, false} {
+					if kind == measure.THT && !tighten {
+						continue
+					}
+					opt := goldenOptions(kind, tighten)
+					base := fmt.Sprintf("%s/%v/q=%d/tighten=%v", gc.name, kind, q, tighten)
+
+					opt.Kernel = KernelSerial
+					serial, err := TopKCtx(ctx, gc.g, q, opt)
+					if err != nil {
+						t.Fatalf("%s/serial: %v", base, err)
+					}
+
+					opt.Kernel = KernelAuto
+					auto, err := TopKCtx(ctx, gc.g, q, opt)
+					if err != nil {
+						t.Fatalf("%s/auto: %v", base, err)
+					}
+					requireSameBits(t, base+"/auto", serial, auto)
+
+					for _, kk := range []KernelKind{KernelParallel, KernelStaged} {
+						opt.Kernel = kk
+						got, err := TopKCtx(ctx, gc.g, q, opt)
+						if err != nil {
+							t.Fatalf("%s/%v: %v", base, kk, err)
+						}
+						label := fmt.Sprintf("%s/%v", base, kk)
+						if kind == measure.THT {
+							requireSameBits(t, label, serial, got)
+						} else {
+							requireEquivalent(t, label, serial, got, opt.TieEps)
+						}
+					}
+				}
+			}
+
+			// Unified search under forced kernels: both selections must keep
+			// their node sets (byte-identity is not required — the RWR side
+			// shares the PHP engine's bounds, so Jacobi ordering moves low
+			// bits there too).
+			uopt := goldenOptions(measure.PHP, true)
+			uopt.Kernel = KernelSerial
+			us, err := UnifiedTopKCtx(ctx, gc.g, q, uopt)
+			if err != nil {
+				t.Fatalf("%s/unified/q=%d serial: %v", gc.name, q, err)
+			}
+			for _, kk := range []KernelKind{KernelAuto, KernelParallel, KernelStaged} {
+				uopt.Kernel = kk
+				ug, err := UnifiedTopKCtx(ctx, gc.g, q, uopt)
+				if err != nil {
+					t.Fatalf("%s/unified/q=%d %v: %v", gc.name, q, kk, err)
+				}
+				label := fmt.Sprintf("%s/unified/q=%d/%v", gc.name, q, kk)
+				requireTiedSet(t, label+"/php", us.PHPFamily, ug.PHPFamily, us.PHPCert, ug.PHPCert, uopt.TieEps)
+				requireTiedSet(t, label+"/rwr", us.RWR, ug.RWR, us.RWRCert, ug.RWRCert, uopt.TieEps)
+				if kk == KernelAuto {
+					pn, pb := rankedBits(us.PHPFamily)
+					gn, gb := rankedBits(ug.PHPFamily)
+					if fmt.Sprint(pn) != fmt.Sprint(gn) || fmt.Sprint(pb) != fmt.Sprint(gb) {
+						t.Fatalf("%s: auto must be byte-identical to serial", label)
+					}
+				}
+			}
+		}
+	}
+}

@@ -224,22 +224,32 @@ func (s *localSearch) outMassOf(i int32, zeroDegree float64) float64 {
 	return m
 }
 
-// offerDesc feeds one candidate into a k-bounded selection buffer kept
-// sorted under the total order (key descending, ties toward the smaller
-// global identifier) — the exact order sortScoredDesc imposed when the
-// termination test still sorted every interior candidate. Because the skip
-// test compares under the full total order, the resulting top-k is
-// independent of offer order.
-func (s *localSearch) offerDesc(best []scored, k int, i int32, key float64) []scored {
+// offer feeds one candidate into a k-bounded selection buffer kept sorted
+// under the engines' selection total order: key descending when asc is
+// false (PHP family — the exact order sortScoredDesc imposed when the
+// termination test still sorted every interior candidate), key ascending
+// when asc is true (THT, lower-is-better keys), ties toward the smaller
+// global identifier either way. Because the skip test compares under the
+// full total order, the resulting top-k is independent of offer order.
+func (s *localSearch) offer(best []scored, k int, i int32, key float64, asc bool) []scored {
+	// before(a, b) is the strict selection order: does (aKey, ai) precede
+	// (bKey, bi)?
+	before := func(aKey float64, ai int32, bKey float64, bi int32) bool {
+		if aKey != bKey {
+			if asc {
+				return aKey < bKey
+			}
+			return aKey > bKey
+		}
+		return s.nodes[ai] < s.nodes[bi]
+	}
 	if len(best) == k {
-		w := best[k-1]
-		if key < w.key || (key == w.key && s.nodes[i] > s.nodes[w.i]) {
+		if w := best[k-1]; !before(key, i, w.key, w.i) {
 			return best
 		}
 	}
 	pos := len(best)
-	for pos > 0 && (best[pos-1].key < key ||
-		(best[pos-1].key == key && s.nodes[best[pos-1].i] > s.nodes[i])) {
+	for pos > 0 && before(key, i, best[pos-1].key, best[pos-1].i) {
 		pos--
 	}
 	if len(best) < k {
@@ -250,26 +260,13 @@ func (s *localSearch) offerDesc(best []scored, k int, i int32, key float64) []sc
 	return best
 }
 
-// offerAsc is offerDesc for lower-is-better keys (THT): ascending key, ties
-// toward the smaller global identifier.
+// offerDesc and offerAsc name the two selection orders at the call sites.
+func (s *localSearch) offerDesc(best []scored, k int, i int32, key float64) []scored {
+	return s.offer(best, k, i, key, false)
+}
+
 func (s *localSearch) offerAsc(best []scored, k int, i int32, key float64) []scored {
-	if len(best) == k {
-		w := best[k-1]
-		if key > w.key || (key == w.key && s.nodes[i] > s.nodes[w.i]) {
-			return best
-		}
-	}
-	pos := len(best)
-	for pos > 0 && (best[pos-1].key > key ||
-		(best[pos-1].key == key && s.nodes[best[pos-1].i] > s.nodes[i])) {
-		pos--
-	}
-	if len(best) < k {
-		best = append(best, scored{})
-	}
-	copy(best[pos+1:], best[pos:len(best)-1])
-	best[pos] = scored{i, key}
-	return best
+	return s.offer(best, k, i, key, true)
 }
 
 // markSel ensures the inSel scratch covers the current size and marks the

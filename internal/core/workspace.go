@@ -4,6 +4,7 @@ import (
 	"context"
 	"slices"
 
+	"flos/internal/core/kernel"
 	"flos/internal/graph"
 )
 
@@ -216,26 +217,29 @@ func (ws *Workspace) Unified(ctx context.Context, g graph.Graph, q graph.NodeID,
 }
 
 // phpFor returns the workspace's PHP-family engine reset for a new query,
-// or a cold engine when ws is nil.
-func (ws *Workspace) phpFor(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten bool) *phpEngine {
+// or a cold engine when ws is nil. kcfg selects the bound-solver kernel; the
+// engine's kernel scratch (per-block FIFOs, the float32 shadow store) is
+// retained across queries like every other engine slice, and reconfigured —
+// including dropping the shadow's live prefix — on every reset.
+func (ws *Workspace) phpFor(g graph.Graph, q graph.NodeID, c, tau float64, maxIter int, tighten bool, kcfg kernel.Config) *phpEngine {
 	if ws == nil {
-		return newPHPEngine(g, q, c, tau, maxIter, tighten)
+		return newPHPEngine(g, q, c, tau, maxIter, tighten, kcfg)
 	}
 	if ws.php == nil {
 		ws.php = new(phpEngine)
 	}
-	ws.php.reset(g, q, c, tau, maxIter, tighten, true)
+	ws.php.reset(g, q, c, tau, maxIter, tighten, true, kcfg)
 	return ws.php
 }
 
 // thtFor is phpFor for the finite-horizon engine.
-func (ws *Workspace) thtFor(g graph.Graph, q graph.NodeID, L int) *thtEngine {
+func (ws *Workspace) thtFor(g graph.Graph, q graph.NodeID, L int, kcfg kernel.Config) *thtEngine {
 	if ws == nil {
-		return newTHTEngine(g, q, L)
+		return newTHTEngine(g, q, L, kcfg)
 	}
 	if ws.tht == nil {
 		ws.tht = new(thtEngine)
 	}
-	ws.tht.reset(g, q, L, true)
+	ws.tht.reset(g, q, L, true, kcfg)
 	return ws.tht
 }

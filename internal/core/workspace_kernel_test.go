@@ -1,0 +1,168 @@
+package core
+
+// Workspace reuse across mode and kernel switches (ISSUE 9 satellite): one
+// Workspace must serve exact → ε → anytime queries and serial → parallel →
+// staged kernel changes back to back, with every warm answer equal to the
+// same query run cold. The hazards these tests pin:
+//
+//   - the generation-stamped dense index arrays must invalidate across
+//     switches (a stale stamp would leak visited-set membership between
+//     queries that take different trajectories under different kernels);
+//   - the staged kernel's float32 shadow store is per-query state and must
+//     be dropped on every reset — a shadow surviving into the next query
+//     would make staged results depend on what ran before (cold ≠ warm);
+//   - the warm-path allocation ceiling must hold with the kernel layer in
+//     the loop: the engine-owned kernel state (kst) must not escape to the
+//     heap per call, and kernel scratch must be retained across queries
+//     like every other engine slice.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// TestWorkspaceKernelModeSwitch drives one Workspace through the full
+// mode × kernel grid twice and requires every warm result to match the cold
+// run of the same options bit for bit (same kernel on both sides, so even
+// parallel/staged runs must agree with themselves).
+func TestWorkspaceKernelModeSwitch(t *testing.T) {
+	g := randomConnected(t, 400, 900, 11)
+	ws := NewWorkspace()
+	ctx := context.Background()
+
+	type combo struct {
+		mode   Mode
+		kernel KernelKind
+	}
+	var grid []combo
+	for _, m := range []Mode{ModeExact, ModeEpsilon, ModeAnytime} {
+		for _, kk := range []KernelKind{KernelSerial, KernelParallel, KernelStaged} {
+			grid = append(grid, combo{m, kk})
+		}
+	}
+
+	// Two passes over the grid: the second pass reuses state the first left
+	// behind in every configuration.
+	for pass := 0; pass < 2; pass++ {
+		for ci, c := range grid {
+			q := graph.NodeID((37*ci + 100*pass) % g.NumNodes())
+			opt := testOptions(measure.RWR, 8)
+			opt.Mode = c.mode
+			opt.Kernel = c.kernel
+			if c.mode == ModeEpsilon {
+				opt.Epsilon = 1e-4
+			}
+			label := fmt.Sprintf("pass=%d mode=%v kernel=%v q=%d", pass, c.mode, c.kernel, q)
+
+			warm, err := ws.TopK(ctx, g, q, opt)
+			if err != nil {
+				t.Fatalf("%s warm: %v", label, err)
+			}
+			cold, err := TopKCtx(ctx, g, q, opt)
+			if err != nil {
+				t.Fatalf("%s cold: %v", label, err)
+			}
+			requireSameBits(t, label, cold, warm)
+		}
+	}
+}
+
+// TestWorkspaceShadowReset pins the staged kernel's per-query shadow
+// lifecycle: the float32 store fills during a staged query, is dropped by
+// the reset of the next query (any kernel), and never makes a staged answer
+// depend on the query that ran before it on the same workspace.
+func TestWorkspaceShadowReset(t *testing.T) {
+	g := randomConnected(t, 400, 900, 5)
+	ws := NewWorkspace()
+	ctx := context.Background()
+
+	stagedOpt := testOptions(measure.PHP, 8)
+	stagedOpt.Kernel = KernelStaged
+	serialOpt := testOptions(measure.PHP, 8)
+	serialOpt.Kernel = KernelSerial
+
+	first, err := ws.TopK(ctx, g, 7, stagedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ws.php.kern.ShadowLen(); n == 0 {
+		t.Fatal("staged query left no float32 shadow; the f32 phase never ran")
+	}
+	if first.Visited < stagedMinVisitedForShadow {
+		t.Fatalf("fixture too small to exercise the staged phase: visited %d", first.Visited)
+	}
+
+	// A serial query on the same workspace must clear the shadow on reset.
+	if _, err := ws.TopK(ctx, g, 200, serialOpt); err != nil {
+		t.Fatal(err)
+	}
+	if n := ws.php.kern.ShadowLen(); n != 0 {
+		t.Fatalf("shadow survived a serial reset: %d live entries", n)
+	}
+
+	// Staged after arbitrary history must equal staged cold: the shadow is
+	// rebuilt from this query's bounds alone.
+	for _, q := range []graph.NodeID{7, 123, 399} {
+		warm, err := ws.TopK(ctx, g, q, stagedOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := TopKCtx(ctx, g, q, stagedOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameBits(t, fmt.Sprintf("staged warm-vs-cold q=%d", q), cold, warm)
+	}
+}
+
+// stagedMinVisitedForShadow documents what the shadow assertion above needs:
+// the f32 phase only engages once a solve call's frontier reaches the staged
+// kernel's minimum, which the 400-node fixture comfortably exceeds.
+const stagedMinVisitedForShadow = 32
+
+// TestWorkspaceKernelAllocCeiling re-checks the warm allocation ceiling with
+// kernel switching in the mix: after staged and parallel queries have grown
+// the kernel scratch, a warm serial query must still allocate only the
+// Result it returns — the kernel state lives on the engine and is reused.
+func TestWorkspaceKernelAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
+	g, err := gen.Community(5000, 25000, gen.CommunityParamsForDensity(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ctx := context.Background()
+	const q = graph.NodeID(2500)
+
+	for _, kk := range []KernelKind{KernelStaged, KernelParallel, KernelSerial} {
+		opt := DefaultOptions(measure.PHP, 20)
+		opt.Kernel = kk
+		for i := 0; i < 3; i++ {
+			if _, err := ws.TopK(ctx, g, q, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, kk := range []KernelKind{KernelSerial, KernelStaged} {
+		opt := DefaultOptions(measure.PHP, 20)
+		opt.Kernel = kk
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := ws.TopK(ctx, g, q, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const ceiling = 64
+		if allocs > ceiling {
+			t.Fatalf("warm %v TopK allocates %.0f objects/op, ceiling %d", kk, allocs, ceiling)
+		}
+		t.Logf("warm %v TopK: %.1f allocs/op (ceiling %d)", kk, allocs, ceiling)
+	}
+}

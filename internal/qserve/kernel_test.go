@@ -1,0 +1,166 @@
+package qserve
+
+// Token-budget coordination tests (ISSUE 9): intra-query solver parallelism
+// must compose with the pool's inter-query parallelism without changing any
+// answer and without leaking CPU-slot tokens. The budget only modulates how
+// many goroutines a kernel's compute phase uses — the deterministic apply
+// order makes results independent of the grant — so a saturated pool running
+// parallel-kernel queries must produce the same bits as a serial-kernel run
+// of the same requests, and the budget must drain back to zero once the pool
+// goes idle.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+)
+
+// TestKernelTokenCoordination saturates a pool (more in-flight queries than
+// workers, more workers than GOMAXPROCS on small machines) with
+// parallel-kernel requests and checks three things: every answer matches the
+// serial-kernel single-threaded reference's node set and flags, the token
+// budget never exceeds its cap, and it drains to zero afterwards.
+func TestKernelTokenCoordination(t *testing.T) {
+	g, err := gen.Community(8000, 40000, gen.DefaultCommunityParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := graph.LargestComponentNodes(g)
+	kinds := []measure.Kind{measure.PHP, measure.RWR, measure.THT}
+
+	const n = 48
+	reqs := make([]Request, n)
+	want := make([]*core.Result, n)
+	for i := range reqs {
+		opt := core.DefaultOptions(kinds[i%len(kinds)], 10)
+		opt.Kernel = core.KernelParallel
+		if i%5 == 4 {
+			opt.Kernel = core.KernelStaged
+		}
+		reqs[i] = Request{Query: lc[(i*131)%len(lc)], Opt: opt}
+		res, err := core.TopK(g, reqs[i].Query, reqs[i].Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	pool := New(g, Config{Workers: 8, QueueDepth: n, CacheEntries: -1})
+	defer pool.Close()
+	if cap := pool.tokens.Cap(); cap != runtime.GOMAXPROCS(0) {
+		t.Fatalf("token budget cap = %d, want GOMAXPROCS = %d", cap, runtime.GOMAXPROCS(0))
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]*Response, n)
+	overCap := make(chan int, 1)
+	stop := make(chan struct{})
+	go func() {
+		// Outstanding may move at any time while queries run, but it must
+		// never exceed the cap: every grant is bounded by what Release gave
+		// back.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if o := pool.tokens.Outstanding(); o > pool.tokens.Cap() {
+				select {
+				case overCap <- o:
+				default:
+				}
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pool.Do(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case o := <-overCap:
+		t.Fatalf("token budget outstanding %d exceeded cap %d", o, pool.tokens.Cap())
+	default:
+	}
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		w, res := want[i], got[i].TopK
+		if len(w.TopK) != len(res.TopK) {
+			t.Fatalf("query %d: size %d vs %d", i, len(w.TopK), len(res.TopK))
+		}
+		for r := range w.TopK {
+			if w.TopK[r] != res.TopK[r] {
+				t.Fatalf("query %d rank %d: pool %+v vs reference %+v (kernel results must not depend on token grants)",
+					i, r, res.TopK[r], w.TopK[r])
+			}
+		}
+		if w.Exact != res.Exact || w.Certification.Certified != res.Certification.Certified {
+			t.Fatalf("query %d: flags diverged under pool execution", i)
+		}
+	}
+
+	if o := pool.tokens.Outstanding(); o != 0 {
+		t.Fatalf("token budget leaked: %d outstanding after drain", o)
+	}
+}
+
+// TestKernelCacheKeyIsolation pins that the kernel participates in the result
+// cache key: a serial-kernel entry must not answer a parallel-kernel request
+// (their score bits may legitimately differ), while repeating the same
+// kernel hits.
+func TestKernelCacheKeyIsolation(t *testing.T) {
+	g, err := gen.Community(2000, 8000, gen.DefaultCommunityParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(g, Config{Workers: 2, CacheEntries: 64})
+	defer pool.Close()
+
+	mk := func(kk core.KernelKind) Request {
+		opt := core.DefaultOptions(measure.PHP, 10)
+		opt.Kernel = kk
+		return Request{Query: 42, Opt: opt}
+	}
+	ctx := context.Background()
+	if _, err := pool.Do(ctx, mk(core.KernelSerial)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pool.Do(ctx, mk(core.KernelSerial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("repeated serial-kernel request missed the cache")
+	}
+	r3, err := pool.Do(ctx, mk(core.KernelParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("parallel-kernel request was served a serial-kernel cache entry")
+	}
+	r4, err := pool.Do(ctx, mk(core.KernelParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.CacheHit {
+		t.Fatal("repeated parallel-kernel request missed the cache")
+	}
+}

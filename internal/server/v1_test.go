@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -47,6 +48,36 @@ func TestV1TopKEnvelope(t *testing.T) {
 			if b.Lower > b.Upper+1e-9 {
 				t.Fatalf("%s: inverted interval [%g, %g]", m, b.Lower, b.Upper)
 			}
+		}
+	}
+}
+
+// TestV1TopKKernel checks the bound-solver kernel parameter: every kernel
+// answers 200 with a certified exact result, and the top-k node set is the
+// same across kernels (scores may differ in low-order bits; the set and the
+// flags may not).
+func TestV1TopKKernel(t *testing.T) {
+	ts := newTestServer(t, false)
+	nodeSets := make(map[string][]int64)
+	for _, kk := range []string{"", "auto", "serial", "parallel", "staged"} {
+		var body v1TopKBody
+		url := ts.URL + "/v1/topk?q=100&k=5&measure=php&kernel=" + kk
+		if code := getJSON(t, url, &body); code != 200 {
+			t.Fatalf("kernel=%q: code %d", kk, code)
+		}
+		if !body.Exact || !body.Certification.Certified {
+			t.Fatalf("kernel=%q: not certified exact: %+v", kk, body.Certification)
+		}
+		var nodes []int64
+		for _, r := range body.Results {
+			nodes = append(nodes, int64(r.Node))
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		nodeSets[kk] = nodes
+	}
+	for kk, nodes := range nodeSets {
+		if fmt.Sprint(nodes) != fmt.Sprint(nodeSets["serial"]) {
+			t.Fatalf("kernel=%q returned node set %v, serial returned %v", kk, nodes, nodeSets["serial"])
 		}
 	}
 }
@@ -179,8 +210,10 @@ func TestV1BadRequests(t *testing.T) {
 		"/v1/topk?q=1&epsilon=1e-3",               // epsilon without ModeEpsilon
 		"/v1/topk?q=1&mode=anytime&deadline=-1s",  // non-positive deadline
 		"/v1/topk?q=1&mode=anytime&deadline=soon", // unparsable deadline
+		"/v1/topk?q=1&kernel=bogus",               // unknown bound-solver kernel
 		"/v1/unified?q=1&mode=epsilon&epsilon=2",  // same checks on /v1/unified
-		"/v1/topk?q=999999",                       // legacy validation still applies
+		"/v1/unified?q=1&kernel=bogus",
+		"/v1/topk?q=999999", // legacy validation still applies
 		"/v1/topk?q=1&k=0",
 	}
 	for _, c := range cases {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench_gate.sh — gate a CI job on one numeric metric in a BENCH_*.json file.
+#
+# Usage: bench_gate.sh <json> <metric> <threshold> [ge|le]
+#
+#   <json>       path to a flosbench-written BENCH_*.json artifact
+#   <metric>     top-level key holding a number (or true/false, compared as 1/0)
+#   <threshold>  the gate value
+#   ge|le        pass when metric >= threshold (default) or <= threshold
+#
+# Every benchmark gate in ci.yml goes through this script so the extraction
+# and comparison logic exists exactly once. POSIX tools only (sed + awk): the
+# values flosbench writes are top-level `"key": value` pairs on their own
+# indented lines, which is all the extraction relies on.
+set -eu
+
+if [ $# -lt 3 ] || [ $# -gt 4 ]; then
+    echo "usage: $0 <json> <metric> <threshold> [ge|le]" >&2
+    exit 2
+fi
+json=$1
+metric=$2
+threshold=$3
+dir=${4:-ge}
+
+case "$dir" in
+ge | le) ;;
+*)
+    echo "bench_gate: direction must be ge or le, got '$dir'" >&2
+    exit 2
+    ;;
+esac
+[ -f "$json" ] || {
+    echo "bench_gate: no such file: $json" >&2
+    exit 1
+}
+
+value=$(sed -n "s/^[[:space:]]*\"$metric\":[[:space:]]*\([0-9.eE+-]*\|true\|false\),\{0,1\}[[:space:]]*$/\1/p" "$json" | head -n 1)
+case "$value" in
+true) value=1 ;;
+false) value=0 ;;
+"")
+    echo "bench_gate: metric '$metric' not found at top level of $json" >&2
+    exit 1
+    ;;
+esac
+
+# Context for the CI log: where the run happened (satellite of the env stamp).
+env_line=$(sed -n 's/^[[:space:]]*"\(gomaxprocs\|num_cpu\|go_version\)":[[:space:]]*\(.*\)/\1=\2/p' "$json" | tr -d '",' | tr '\n' ' ')
+echo "bench_gate: $json $metric=$value (gate: $dir $threshold) [$env_line]"
+
+awk -v v="$value" -v t="$threshold" -v d="$dir" \
+    'BEGIN { exit (d == "ge" ? v >= t : v <= t) ? 0 : 1 }' || {
+    echo "bench_gate: FAIL — $metric=$value violates $dir $threshold" >&2
+    exit 1
+}

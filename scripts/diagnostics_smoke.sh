@@ -178,14 +178,10 @@ FLOSD_PID=""
 
 echo "== recorder overhead benchmark -> $OUT =="
 "$WORK/flosbench" -recorder -json "$OUT"
-p50=$(awk -F': ' '/"median_overhead_pct"/ {gsub(/,/, "", $2); print $2}' "$OUT")
-[ -n "$p50" ] || fail "no median_overhead_pct in $OUT"
-awk -v v="$p50" 'BEGIN { exit !(v <= 2.0) }' || fail "median overhead ${p50}% exceeds the 2% target"
+bash scripts/bench_gate.sh "$OUT" median_overhead_pct 2.0 le || fail "recorder overhead gate"
 
 echo "== span-tracing overhead benchmark -> $TRACE_OUT =="
 "$WORK/flosbench" -trace-overhead -json "$TRACE_OUT"
-tp50=$(awk -F': ' '/"median_overhead_pct"/ {gsub(/,/, "", $2); print $2}' "$TRACE_OUT")
-[ -n "$tp50" ] || fail "no median_overhead_pct in $TRACE_OUT"
-awk -v v="$tp50" 'BEGIN { exit !(v <= 2.0) }' || fail "tracing median overhead ${tp50}% exceeds the 2% target"
+bash scripts/bench_gate.sh "$TRACE_OUT" median_overhead_pct 2.0 le || fail "tracing overhead gate"
 
-echo "diagnostics smoke: OK (recorder median overhead ${p50}%, tracing ${tp50}%)"
+echo "diagnostics smoke: OK (recorder and tracing median overhead within the 2% gate)"
