@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"flos/internal/obs/cachelens"
+)
+
+// cacheReportDump is the GET /debug/flos/cache payload: one analytics
+// snapshot per instrumented cache, either may be absent.
+type cacheReportDump struct {
+	PageCache   *cachelens.Snapshot `json:"page_cache"`
+	ResultCache *cachelens.Snapshot `json:"result_cache"`
+}
+
+// cacheReport renders a saved /debug/flos/cache snapshot as the capacity-
+// planning tables an operator sizes a cache with: the miss-ratio curve with
+// its ghost-list cross-check, the working-set windows, and the hot-block
+// ranking. A bare snapshot (one lens's JSON, not the two-plane wrapper) is
+// accepted too.
+func cacheReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dump cacheReportDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if dump.PageCache == nil && dump.ResultCache == nil {
+		// Maybe the file is one lens's snapshot without the wrapper.
+		var single cachelens.Snapshot
+		if err := json.Unmarshal(raw, &single); err == nil && single.Accesses > 0 {
+			renderLens("cache", &single)
+			return nil
+		}
+		return fmt.Errorf("%s holds no cache-analytics snapshot (save GET /debug/flos/cache)", path)
+	}
+	if dump.PageCache != nil {
+		renderLens("page cache", dump.PageCache)
+	}
+	if dump.ResultCache != nil {
+		if dump.PageCache != nil {
+			fmt.Println()
+		}
+		renderLens("result cache", dump.ResultCache)
+	}
+	return nil
+}
+
+func renderLens(name string, s *cachelens.Snapshot) {
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Printf("accesses %d (hits %d, misses %d), measured hit ratio %.4f, sampling 1/%d (%d sampled, %d tracked, %d cold)\n",
+		s.Accesses, s.Hits, s.Misses, s.HitRatio, s.SampleRate,
+		s.SampledAccesses, s.SampledTracked, s.SampledCold)
+
+	fmt.Println("miss-ratio curve (estimated hit ratio by capacity under LRU):")
+	fmt.Printf("%8s %10s %9s %9s  %s\n", "scale", "capacity", "hit", "miss", "")
+	for _, p := range s.Curve {
+		marker := ""
+		if p.Scale == 1 {
+			marker = fmt.Sprintf("  <- deployed (measured %.4f)", s.HitRatio)
+		}
+		fmt.Printf("%7gx %10d %9.4f %9.4f  %-30s%s\n",
+			p.Scale, p.Capacity, p.EstHitRatio, p.EstMissRatio, bar(p.EstHitRatio, 30), marker)
+	}
+
+	g := s.Ghost
+	fmt.Printf("ghost list: %d/%d entries, %d evictions, %d would-have-hits -> measured hit ratio at ~2x: %.4f\n",
+		g.Entries, g.Capacity, g.Evictions, g.WouldHaveHits, g.HitRatioAt2x)
+
+	for _, w := range s.WorkingSet {
+		fmt.Printf("working set (%s window): last completed %d entries, in progress %d, %d rollovers\n",
+			w.Window, w.DistinctEst, w.CurrentEst, w.Rollovers)
+	}
+
+	if len(s.HotBlocks) > 0 {
+		kind := "heat slot"
+		if s.DenseBlocks {
+			kind = "block"
+		}
+		fmt.Printf("hot blocks (decayed heat, %d ticks):\n", s.Ticks)
+		max := s.HotBlocks[0].Heat
+		for i, hb := range s.HotBlocks {
+			frac := 0.0
+			if max > 0 {
+				frac = hb.Heat / max
+			}
+			fmt.Printf("%4d. %s %-10d heat %10.1f  %s\n", i+1, kind, hb.Block, hb.Heat, bar(frac, 40))
+		}
+	}
+}
+
+// bar renders frac in [0,1] as a width-w unicode bar.
+func bar(frac float64, w int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(w) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", w-n)
+}

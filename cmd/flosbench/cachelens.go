@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"flos/internal/core"
+	"flos/internal/gen"
+	"flos/internal/graph"
+	"flos/internal/measure"
+	"flos/internal/obs/cachelens"
+	"flos/internal/qserve"
+)
+
+// cachelensBench measures the cache-analytics plane's hot-path cost: the same
+// single-worker PHP top-20 workload served by a pool with a result-cache lens
+// attached (production sampling rate, 1/64) versus without. The design is
+// paired like recorderBench: each query node is timed back-to-back on both
+// pools with the order alternating per round, and the headline number is the
+// median of the per-pair overhead ratios. The result cache is enabled,
+// deliberately smaller than the distinct-query set, and every query is asked
+// twice back to back, so the lens sees the full mix it sees in production:
+// hits (the unsampled fast path, from the immediate re-reference), misses
+// (ghost probes — the cyclic scan of 400 distinct keys through 256 entries
+// never re-hits under LRU), and a steady eviction stream into the ghost list.
+func cachelensBench(out io.Writer, jsonPath string) error {
+	const (
+		nodes        = 50000
+		edges        = 250000
+		queries      = 400
+		rounds       = 5
+		cacheEntries = 256 // < queries: constant misses + evictions
+	)
+	g, err := gen.Community(nodes, edges, gen.CommunityParamsForDensity(2*float64(edges)/float64(nodes)), 1)
+	if err != nil {
+		return err
+	}
+	workload := make([]graph.NodeID, 0, 2*queries)
+	for i := 0; i < queries; i++ {
+		q := graph.NodeID((i * 7919) % nodes)
+		workload = append(workload, q, q) // second ask is a cache hit
+	}
+	opt := core.DefaultOptions(measure.PHP, 20)
+	ctx := context.Background()
+
+	newPool := func(withLens bool) (*qserve.Pool, *cachelens.Lens) {
+		cfg := qserve.Config{Workers: 1, CacheEntries: cacheEntries}
+		var lens *cachelens.Lens
+		if withLens {
+			lens = cachelens.New(cachelens.Config{
+				Capacity: cacheEntries,
+				Seed:     1,
+				// SampleRate 0 selects the production default (64).
+			})
+			cfg.CacheLens = lens
+		}
+		return qserve.New(g, cfg), lens
+	}
+	offPool, _ := newPool(false)
+	onPool, lens := newPool(true)
+	defer offPool.Close()
+	defer onPool.Close()
+
+	timeOne := func(p *qserve.Pool, q graph.NodeID) (time.Duration, error) {
+		start := time.Now()
+		if _, err := p.Do(ctx, qserve.Request{Query: q, Opt: opt}); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both pools (workspace slices, cache population) outside the timing.
+	for _, q := range workload {
+		if _, err := timeOne(offPool, q); err != nil {
+			return err
+		}
+		if _, err := timeOne(onPool, q); err != nil {
+			return err
+		}
+	}
+
+	var offLat, onLat []time.Duration
+	var ratios []float64
+	for r := 0; r < rounds; r++ {
+		for _, q := range workload {
+			first, second := offPool, onPool
+			if r%2 == 1 { // alternate order: neither side always runs cache-cold
+				first, second = second, first
+			}
+			d1, err := timeOne(first, q)
+			if err != nil {
+				return err
+			}
+			d2, err := timeOne(second, q)
+			if err != nil {
+				return err
+			}
+			off, on := d1, d2
+			if r%2 == 1 {
+				off, on = d2, d1
+			}
+			offLat = append(offLat, off)
+			onLat = append(onLat, on)
+			ratios = append(ratios, float64(on)/float64(off)-1)
+		}
+	}
+
+	stats := func(ds []time.Duration) (p50, mean float64) {
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return float64(sorted[len(sorted)/2].Microseconds()),
+			float64(sum.Microseconds()) / float64(len(sorted))
+	}
+	offP50, offMean := stats(offLat)
+	onP50, onMean := stats(onLat)
+	sort.Float64s(ratios)
+	medianOverhead := 100 * ratios[len(ratios)/2]
+	meanOverhead := 100 * (onMean - offMean) / offMean
+
+	snap := lens.Snapshot(5)
+	m := onPool.Metrics()
+	if snap.Accesses != m.CacheHits+m.CacheMisses {
+		return fmt.Errorf("lens accesses %d != cache lookups %d", snap.Accesses, m.CacheHits+m.CacheMisses)
+	}
+	if snap.Ghost.Evictions == 0 {
+		return fmt.Errorf("no evictions recorded: the workload did not stress the ghost list")
+	}
+	if m.CacheHits == 0 {
+		return fmt.Errorf("no cache hits: the workload did not exercise the lens's fast path")
+	}
+
+	fmt.Fprintf(out, "cache-analytics overhead: PHP k=20, %d-node community graph, %d paired ops (%d distinct, each asked twice) x %d rounds, 1 worker, %d-entry cache, sample 1/%d\n",
+		nodes, len(workload), queries, rounds, cacheEntries, snap.SampleRate)
+	fmt.Fprintf(out, "%-14s %10s %10s\n", "", "p50-us", "mean-us")
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "lens off", offP50, offMean)
+	fmt.Fprintf(out, "%-14s %10.1f %10.1f\n", "lens on", onP50, onMean)
+	fmt.Fprintf(out, "paired median overhead %+.2f%%, mean %+.2f%%   (target: <= 2%% median)\n",
+		medianOverhead, meanOverhead)
+	fmt.Fprintf(out, "lens saw %d accesses (hit ratio %.3f), %d evictions, %d ghost would-have-hits; MRC 1x est %.3f\n",
+		snap.Accesses, snap.HitRatio, snap.Ghost.Evictions, snap.Ghost.WouldHaveHits, curveAt(snap, 1))
+
+	if jsonPath != "" {
+		body := map[string]any{
+			"bench":               "cachelens-overhead",
+			"nodes":               nodes,
+			"edges":               edges,
+			"queries_per_round":   queries,
+			"rounds":              rounds,
+			"cache_entries":       cacheEntries,
+			"sample_rate":         snap.SampleRate,
+			"off_p50_us":          offP50,
+			"on_p50_us":           onP50,
+			"off_mean_us":         offMean,
+			"on_mean_us":          onMean,
+			"median_overhead_pct": medianOverhead,
+			"mean_overhead_pct":   meanOverhead,
+			"lens_accesses":       snap.Accesses,
+			"lens_hit_ratio":      snap.HitRatio,
+			"lens_evictions":      snap.Ghost.Evictions,
+			"target_pct":          2.0,
+		}
+		if err := writeBenchJSON(out, jsonPath, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// curveAt reads the estimated hit ratio at one MRC scale (0 if absent).
+func curveAt(s cachelens.Snapshot, scale float64) float64 {
+	for _, p := range s.Curve {
+		if p.Scale == scale {
+			return p.EstHitRatio
+		}
+	}
+	return 0
+}

@@ -18,6 +18,7 @@
 //	flosbench -live             # live-graph serving: surgical vs full-flush invalidation
 //	flosbench -modes            # serving modes: exact vs ε-certified paired RWR queries
 //	flosbench -kernel           # bound-solver kernels: serial vs parallel vs staged paired queries
+//	flosbench -cachelens        # cache-analytics lens on/off latency overhead
 //
 // Scales default to laptop-bench sizes; pass -scale 1 -synthscale 1
 // -diskscale 1 -queries 1000 to run the paper's full configuration.
@@ -44,7 +45,8 @@ func main() {
 		liveMode   = flag.Bool("live", false, "benchmark live-graph serving: surgical vs full-flush cache invalidation under mutations")
 		modes      = flag.Bool("modes", false, "benchmark serving modes: exact vs ε-certified paired RWR queries")
 		kernels    = flag.Bool("kernel", false, "benchmark bound-solver kernels: serial vs parallel vs staged paired exact queries")
-		benchJSON  = flag.String("json", "", "with -recorder, -trace-overhead, -live, -modes, or -kernel: also write the machine-readable result (BENCH_5/7/6/8/9.json) to this file")
+		lensOver   = flag.Bool("cachelens", false, "benchmark query latency with the cache-analytics lens on vs off")
+		benchJSON  = flag.String("json", "", "with -recorder, -trace-overhead, -live, -modes, -kernel, or -cachelens: also write the machine-readable result (BENCH_5/7/6/8/9/10.json) to this file")
 		profiles   = flag.Bool("profiles", false, "print stand-in structural fingerprints (clustering, diameter)")
 		scale      = flag.Float64("scale", 0, "SNAP stand-in scale (default 1/8; 1 = paper size)")
 		synthScale = flag.Float64("synthscale", 0, "Table 6 synthetic scale (default 1/16)")
@@ -141,6 +143,12 @@ func main() {
 	}
 	if *kernels {
 		if err := kernelBench(out, *benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *lensOver {
+		if err := cachelensBench(out, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return

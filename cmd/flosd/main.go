@@ -45,6 +45,14 @@
 // with -slow-latency. -trace-export appends every kept trace to a file as
 // OTLP-shaped JSON lines for offline tooling.
 //
+// Cache analytics are on by default (-cachelens 0 disables): the page cache
+// (-store) and the result cache each get a lens maintaining online miss-ratio
+// curves at 0.25x..4x capacity via SHARDS-style sampling (-cachelens-sample
+// sets the 1-in-N rate), a ghost list measuring would-have-hits at ~2x, decayed
+// hot/cold block heat, and 1m/10m working-set estimates — exported as
+// flos_pagecache_* / flos_result_cache_* gauges and GET /debug/flos/cache
+// (render a saved snapshot offline with `flos -cachereport`).
+//
 // Logs are structured (log/slog, text to stderr): one access record per
 // request with its ID, status, and latency, plus per-query debug records at
 // -log-level debug. -pprof exposes net/http/pprof on a separate listener so
@@ -61,6 +69,7 @@ import (
 
 	"flos"
 	"flos/internal/obs"
+	"flos/internal/obs/cachelens"
 	"flos/internal/obs/trace"
 	"flos/internal/server"
 )
@@ -99,6 +108,9 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 256, "completed-trace ring size (0 disables span tracing)")
 		traceSample = flag.Float64("trace-sample", 1.0, "head-sampling rate in [0,1]; slow/shed/deadline/failed traces are kept regardless")
 		traceExport = flag.String("trace-export", "", "append kept traces to this file as OTLP-shaped JSON lines; empty disables")
+
+		lensOn     = flag.Bool("cachelens", true, "cache analytics: miss-ratio curves, ghost lists, working-set windows, heatmaps on the page and result caches (GET /debug/flos/cache)")
+		lensSample = flag.Int("cachelens-sample", 64, "cache-analytics spatial sampling rate: 1 key in N tracked (1 = exact, higher = cheaper)")
 	)
 	flag.Parse()
 
@@ -108,6 +120,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	var g flos.Graph
+	var store *flos.DiskGraph
 	start := time.Now()
 	switch {
 	case *graphPath != "":
@@ -128,7 +141,7 @@ func main() {
 			fatal(logger, "open disk store", err)
 		}
 		defer dg.Close()
-		g = dg
+		g, store = dg, dg
 	default:
 		logger.Error("one of -graph, -bin, -store is required")
 		os.Exit(1)
@@ -217,6 +230,35 @@ func main() {
 			"ring", *traceRing, "head_rate", *traceSample, "export", *traceExport)
 	}
 
+	// Cache analytics: attach a lens to the page cache (disk stores) and the
+	// result cache before any traffic flows. A 10s tick drives heat decay and
+	// the working-set windows.
+	var resultLens *cachelens.Lens
+	if *lensOn {
+		const lensTick = 10 * time.Second
+		if store != nil {
+			pageLens := store.AttachLens(cachelens.Config{
+				SampleRate: *lensSample,
+				TickEvery:  lensTick,
+			})
+			defer pageLens.Close()
+		}
+		if *cache >= 0 {
+			entries := *cache
+			if entries == 0 {
+				entries = 1024 // the pool's own default
+			}
+			resultLens = cachelens.New(cachelens.Config{
+				Capacity:   entries,
+				SampleRate: *lensSample,
+				TickEvery:  lensTick,
+			})
+			defer resultLens.Close()
+		}
+		logger.Info("cache analytics",
+			"sample_rate", *lensSample, "page_lens", store != nil, "result_lens", resultLens != nil)
+	}
+
 	srv := server.New(g, server.Config{
 		MaxK:         *maxK,
 		MaxBatch:     *maxBatch,
@@ -230,6 +272,7 @@ func main() {
 		Recorder:     rec,
 		SLO:          slo,
 		Tracer:       tracer,
+		CacheLens:    resultLens,
 	})
 	defer srv.Close()
 	m := srv.Pool().Metrics()

@@ -4,6 +4,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"flos/internal/obs/cachelens"
 )
 
 // pageCache is an LRU cache of fixed-size file pages under a byte budget —
@@ -24,6 +26,11 @@ type pageCache struct {
 	pageSize int64
 	fileSize int64
 	shards   []cacheShard
+
+	// lens, when non-nil, observes every page lookup and eviction for the
+	// cache-analytics plane (MRC, ghost list, heatmap). Recorded outside the
+	// shard locks; nil-safe, so the disabled path costs one nil check.
+	lens *cachelens.Lens
 }
 
 // maxCacheShards bounds the stripe count; 64 comfortably exceeds the core
@@ -43,9 +50,11 @@ type cacheShard struct {
 	// on the flight instead of issuing a duplicate read.
 	flights map[int64]*flight
 
-	hits   int64
-	misses int64
-	dedups int64
+	hits      int64
+	misses    int64
+	dedups    int64
+	evictions int64
+	hwmPages  int // most pages ever resident at once in this shard
 }
 
 type page struct {
@@ -102,11 +111,13 @@ func (c *pageCache) get(idx int64, onFault func(time.Duration)) ([]byte, error) 
 		sh.hits++
 		sh.touch(p)
 		sh.mu.Unlock()
+		c.lens.RecordGet(uint64(idx), true)
 		return p.data, nil
 	}
 	if f, ok := sh.flights[idx]; ok {
 		sh.dedups++
 		sh.mu.Unlock()
+		c.lens.RecordGet(uint64(idx), false)
 		if onFault != nil {
 			start := time.Now()
 			<-f.done
@@ -120,6 +131,7 @@ func (c *pageCache) get(idx int64, onFault func(time.Duration)) ([]byte, error) 
 	f := &flight{done: make(chan struct{})}
 	sh.flights[idx] = f
 	sh.mu.Unlock()
+	c.lens.RecordGet(uint64(idx), false)
 
 	var start time.Time
 	if onFault != nil {
@@ -131,12 +143,18 @@ func (c *pageCache) get(idx int64, onFault func(time.Duration)) ([]byte, error) 
 	}
 	close(f.done)
 
+	var evicted []int64
 	sh.mu.Lock()
 	delete(sh.flights, idx)
 	if f.err == nil {
-		sh.insert(&page{idx: idx, data: f.data})
+		evicted = sh.insert(&page{idx: idx, data: f.data})
 	}
 	sh.mu.Unlock()
+	if c.lens != nil {
+		for _, e := range evicted {
+			c.lens.RecordEvict(uint64(e))
+		}
+	}
 	return f.data, f.err
 }
 
@@ -177,16 +195,25 @@ func (c *pageCache) readAt(dst []byte, off int64, onFault func(time.Duration)) e
 	return nil
 }
 
-// insert adds a freshly loaded page and evicts LRU pages over budget.
-// Caller holds sh.mu. A concurrent flight can race another get of the same
-// page only through the flights map, so p.idx is never already resident.
-func (sh *cacheShard) insert(p *page) {
+// insert adds a freshly loaded page and evicts LRU pages over budget,
+// returning the evicted page indices so the caller can report them to the
+// lens outside the shard lock. Caller holds sh.mu. A concurrent flight can
+// race another get of the same page only through the flights map, so p.idx
+// is never already resident.
+func (sh *cacheShard) insert(p *page) []int64 {
 	sh.pages[p.idx] = p
 	sh.bytes += int64(len(p.data))
 	sh.pushFront(p)
+	if n := len(sh.pages); n > sh.hwmPages {
+		sh.hwmPages = n
+	}
+	var evicted []int64
 	for sh.bytes > sh.budget && sh.tail != nil && sh.tail != p {
+		evicted = append(evicted, sh.tail.idx)
 		sh.evict(sh.tail)
 	}
+	sh.evictions += int64(len(evicted))
+	return evicted
 }
 
 func (sh *cacheShard) touch(p *page) {
@@ -237,9 +264,16 @@ type Stats struct {
 	// FaultsDeduped counts lookups that piggybacked on a concurrent fault
 	// of the same page instead of issuing a duplicate disk read.
 	FaultsDeduped int64
+	// Evictions counts pages pushed out by the LRU to stay under budget.
+	Evictions int64
 	// ResidentBytes / ResidentPages describe current occupancy.
 	ResidentBytes int64
 	ResidentPages int
+	// ResidentPagesHWM is the high-water mark of resident pages — the most
+	// the cache ever held at once. HWM well under budget means the budget
+	// was never the constraint; HWM at budget with a high eviction rate
+	// means the working set does not fit.
+	ResidentPagesHWM int
 	// Shards is the lock-stripe count.
 	Shards int
 }
@@ -250,8 +284,10 @@ func (c *pageCache) stats() Stats {
 		st.Hits += ss.Hits
 		st.Misses += ss.Misses
 		st.FaultsDeduped += ss.FaultsDeduped
+		st.Evictions += ss.Evictions
 		st.ResidentBytes += ss.ResidentBytes
 		st.ResidentPages += ss.ResidentPages
+		st.ResidentPagesHWM += ss.ResidentPagesHWM
 	}
 	return st
 }
@@ -265,9 +301,13 @@ type ShardStat struct {
 	Shard int
 	// Hits, Misses, FaultsDeduped as in Stats, per stripe.
 	Hits, Misses, FaultsDeduped int64
-	// ResidentBytes / ResidentPages describe the stripe's occupancy.
-	ResidentBytes int64
-	ResidentPages int
+	// Evictions counts LRU evictions in this stripe.
+	Evictions int64
+	// ResidentBytes / ResidentPages describe the stripe's occupancy;
+	// ResidentPagesHWM is the stripe's all-time occupancy peak.
+	ResidentBytes    int64
+	ResidentPages    int
+	ResidentPagesHWM int
 }
 
 // shardStats snapshots each stripe under its own lock. Stripes are read
@@ -279,12 +319,14 @@ func (c *pageCache) shardStats() []ShardStat {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		out[i] = ShardStat{
-			Shard:         i,
-			Hits:          sh.hits,
-			Misses:        sh.misses,
-			FaultsDeduped: sh.dedups,
-			ResidentBytes: sh.bytes,
-			ResidentPages: len(sh.pages),
+			Shard:            i,
+			Hits:             sh.hits,
+			Misses:           sh.misses,
+			FaultsDeduped:    sh.dedups,
+			Evictions:        sh.evictions,
+			ResidentBytes:    sh.bytes,
+			ResidentPages:    len(sh.pages),
+			ResidentPagesHWM: sh.hwmPages,
 		}
 		sh.mu.Unlock()
 	}

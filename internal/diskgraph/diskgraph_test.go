@@ -12,6 +12,7 @@ import (
 	"flos/internal/gen"
 	"flos/internal/graph"
 	"flos/internal/measure"
+	"flos/internal/obs/cachelens"
 )
 
 func writeStore(t *testing.T, g *graph.MemGraph, pageSize int) string {
@@ -287,4 +288,96 @@ func TestFaultObserver(t *testing.T) {
 	// Clearing the observer keeps reads working.
 	r.SetFaultObserver(nil)
 	r.Neighbors(0)
+}
+
+// TestEvictionCountersAndHWM covers the new Stats fields: a cache too small
+// for its file must report LRU evictions and a resident-pages high-water
+// mark, per stripe and in the aggregate.
+func TestEvictionCountersAndHWM(t *testing.T) {
+	data := make([]byte, 100)
+	c := newPageCache(bytes.NewReader(data), 10, 30, 100)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 10; i++ {
+			var b [10]byte
+			if err := c.readAt(b[:], int64(i)*10, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.stats()
+	if st.Evictions == 0 {
+		t.Fatal("10 pages through a 3-page budget evicted nothing")
+	}
+	if st.Evictions != st.Misses-int64(st.ResidentPages) {
+		t.Fatalf("evictions %d != misses %d - resident %d", st.Evictions, st.Misses, st.ResidentPages)
+	}
+	if st.ResidentPagesHWM < st.ResidentPages || st.ResidentPagesHWM == 0 {
+		t.Fatalf("HWM %d vs resident %d", st.ResidentPagesHWM, st.ResidentPages)
+	}
+	var perShard int64
+	for _, ss := range c.shardStats() {
+		perShard += ss.Evictions
+		if ss.ResidentPagesHWM < ss.ResidentPages {
+			t.Fatalf("shard %d HWM %d below resident %d", ss.Shard, ss.ResidentPagesHWM, ss.ResidentPages)
+		}
+	}
+	if perShard != st.Evictions {
+		t.Fatalf("shard evictions sum %d != aggregate %d", perShard, st.Evictions)
+	}
+}
+
+// TestStoreLensIntegration attaches an analytics lens to a store with a
+// deliberately undersized cache and checks the exported snapshot: geometry
+// auto-fill (capacity from budget, dense page blocks), access accounting
+// that matches the cache's own counters, eviction flow into the ghost list,
+// and a populated heatmap.
+func TestStoreLensIntegration(t *testing.T) {
+	g, err := gen.RMAT(2000, 8000, gen.DefaultRMAT(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeStore(t, g, 512)
+	s, err := Open(path, 8<<10) // 16 pages: forces eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	lens := s.AttachLens(cachelens.Config{SampleRate: 1, Seed: 3})
+	if s.Lens() != lens {
+		t.Fatal("Lens() does not return the attached lens")
+	}
+	for pass := 0; pass < 2; pass++ {
+		for v := 0; v < s.NumNodes(); v += 3 {
+			s.Neighbors(graph.NodeID(v))
+			s.Degree(graph.NodeID(v))
+		}
+	}
+
+	st := s.CacheStats()
+	snap := lens.Snapshot(10)
+	if snap.Accesses != st.Hits+st.Misses+st.FaultsDeduped {
+		t.Fatalf("lens accesses %d != cache lookups %d", snap.Accesses, st.Hits+st.Misses+st.FaultsDeduped)
+	}
+	if snap.Ghost.Evictions != st.Evictions {
+		t.Fatalf("lens evictions %d != cache evictions %d", snap.Ghost.Evictions, st.Evictions)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("undersized cache evicted nothing")
+	}
+	if !snap.DenseBlocks {
+		t.Fatal("page-cache lens should map blocks densely")
+	}
+	if snap.Capacity != 16 {
+		t.Fatalf("auto-filled capacity = %d, want 16 pages", snap.Capacity)
+	}
+	if len(snap.HotBlocks) == 0 {
+		t.Fatal("no hot blocks after thousands of reads")
+	}
+	if len(snap.Curve) != len(cachelens.DefaultScales) {
+		t.Fatalf("curve has %d points", len(snap.Curve))
+	}
+	if snap.Ghost.WouldHaveHits == 0 {
+		t.Fatal("re-reading the whole file through a 16-page cache produced no ghost hits")
+	}
 }

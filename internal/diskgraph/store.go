@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flos/internal/graph"
+	"flos/internal/obs/cachelens"
 )
 
 // Store is a read-only disk-resident graph served through a byte-budgeted,
@@ -222,6 +223,33 @@ func (r *Reader) Neighbors(v graph.NodeID) ([]graph.NodeID, []float64) {
 	}
 	return nbrs, ws
 }
+
+// AttachLens enables cache analytics on the page cache: every page lookup
+// and eviction feeds a cachelens.Lens whose miss-ratio curve, ghost list,
+// heatmap, and working-set windows are exported through the returned handle.
+// Zero-valued cfg fields are auto-filled from the store's geometry: Capacity
+// becomes the page budget (the 1x point of the MRC) and Blocks the file's
+// page count, so the heatmap indexes real page IDs. Call before serving
+// traffic — attaching is not synchronized with concurrent reads — and Close
+// the returned lens on shutdown when cfg.TickEvery is set.
+func (s *Store) AttachLens(cfg cachelens.Config) *cachelens.Lens {
+	if cfg.Capacity <= 0 {
+		budget := int64(0)
+		for i := range s.cache.shards {
+			budget += s.cache.shards[i].budget
+		}
+		cfg.Capacity = int(budget / s.cache.pageSize)
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = (s.l.totalSize + s.cache.pageSize - 1) / s.cache.pageSize
+	}
+	lens := cachelens.New(cfg)
+	s.cache.lens = lens
+	return lens
+}
+
+// Lens returns the attached analytics lens, or nil when analytics are off.
+func (s *Store) Lens() *cachelens.Lens { return s.cache.lens }
 
 // CacheStats reports aggregate page-cache behavior since Open.
 func (s *Store) CacheStats() Stats { return s.cache.stats() }

@@ -1,0 +1,386 @@
+package cachelens
+
+import (
+	"container/list"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lruSim is a plain LRU cache simulator — the exact reference the sampled
+// estimates are validated against. Deliberately independent of stackDist.
+type lruSim struct {
+	cap  int
+	ll   *list.List
+	pos  map[uint64]*list.Element
+	hits int
+	n    int
+}
+
+func newLRUSim(capacity int) *lruSim {
+	return &lruSim{cap: capacity, ll: list.New(), pos: make(map[uint64]*list.Element)}
+}
+
+// access plays one key and reports (hit, evictedKey, evicted).
+func (s *lruSim) access(key uint64) (bool, uint64, bool) {
+	s.n++
+	if e, ok := s.pos[key]; ok {
+		s.hits++
+		s.ll.MoveToFront(e)
+		return true, 0, false
+	}
+	var evicted uint64
+	var didEvict bool
+	if s.ll.Len() >= s.cap {
+		back := s.ll.Back()
+		evicted = back.Value.(uint64)
+		delete(s.pos, evicted)
+		s.ll.Remove(back)
+		didEvict = true
+	}
+	s.pos[key] = s.ll.PushFront(key)
+	return false, evicted, didEvict
+}
+
+func (s *lruSim) hitRatio() float64 { return float64(s.hits) / float64(s.n) }
+
+// zipfTrace generates a seeded Zipf access trace — the pinned synthetic
+// workload of the MRC acceptance test. The v parameter flattens the head of
+// the distribution: spatial sampling is accurate when no single key carries
+// a macroscopic fraction of all accesses (DESIGN.md §15 discusses the
+// hot-key concentration caveat), which also matches page-granularity access
+// streams where each page aggregates many nodes.
+func zipfTrace(seed int64, n int, keyspace uint64, skew, v float64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, skew, v, keyspace-1)
+	trace := make([]uint64, n)
+	for i := range trace {
+		trace[i] = z.Uint64()
+	}
+	return trace
+}
+
+// TestMRCMatchesExactOnZipf is the acceptance-criterion test: play a pinned
+// Zipf trace through a real LRU at the deployed capacity (feeding the lens
+// its true hits/misses/evictions), simulate exact LRU at every MRC scale,
+// and require the sampled curve within 0.05 absolute error per scale. The
+// ghost list's directly measured 2x ratio must also agree with the exact 2x
+// simulation.
+func TestMRCMatchesExactOnZipf(t *testing.T) {
+	const (
+		capacity = 2000
+		n        = 1_000_000
+		keyspace = 100_000
+	)
+	trace := zipfTrace(42, n, keyspace, 1.2, 256)
+
+	lens := New(Config{Capacity: capacity, SampleRate: 64, Seed: 7})
+	deployed := newLRUSim(capacity)
+	scales := DefaultScales
+	exact := make([]*lruSim, len(scales))
+	for i, s := range scales {
+		exact[i] = newLRUSim(int(s * capacity))
+	}
+
+	for _, key := range trace {
+		hit, evicted, didEvict := deployed.access(key)
+		lens.RecordGet(key, hit)
+		if didEvict {
+			lens.RecordEvict(evicted)
+		}
+		for _, sim := range exact {
+			sim.access(key)
+		}
+	}
+
+	snap := lens.Snapshot(10)
+	if snap.Accesses != n {
+		t.Fatalf("accesses = %d, want %d", snap.Accesses, n)
+	}
+	if snap.SampledAccesses < n/(64*2) {
+		t.Fatalf("sampled only %d of %d accesses at rate 64", snap.SampledAccesses, n)
+	}
+	for i, p := range snap.Curve {
+		want := exact[i].hitRatio()
+		diff := p.EstHitRatio - want
+		if diff < 0 {
+			diff = -diff
+		}
+		t.Logf("scale %.2fx: exact %.4f sampled %.4f (|err| %.4f)", p.Scale, want, p.EstHitRatio, diff)
+		if diff > 0.05 {
+			t.Errorf("scale %.2fx: sampled hit ratio %.4f vs exact %.4f, |err| %.4f > 0.05",
+				p.Scale, p.EstHitRatio, want, diff)
+		}
+	}
+
+	// The measured hit ratio at 1x and the curve's 1x estimate describe the
+	// same cache; they must agree within the same tolerance.
+	var at1x float64
+	for _, p := range snap.Curve {
+		if p.Scale == 1 {
+			at1x = p.EstHitRatio
+		}
+	}
+	if d := at1x - snap.HitRatio; d > 0.05 || d < -0.05 {
+		t.Errorf("curve 1x %.4f disagrees with measured hit ratio %.4f", at1x, snap.HitRatio)
+	}
+
+	// Ghost cross-check: resident (1x) + ghost (1x deep) ≈ LRU at 2x.
+	exact2x := exact[3].hitRatio()
+	if d := snap.Ghost.HitRatioAt2x - exact2x; d > 0.05 || d < -0.05 {
+		t.Errorf("ghost 2x ratio %.4f disagrees with exact 2x %.4f", snap.Ghost.HitRatioAt2x, exact2x)
+	}
+	if snap.Ghost.Evictions == 0 || snap.Ghost.WouldHaveHits == 0 {
+		t.Errorf("ghost list saw no traffic: %+v", snap.Ghost)
+	}
+}
+
+// TestMRCDeterministicUnderSeed replays the same trace into two identically
+// seeded lenses and requires byte-identical analytics: the sampled subset is
+// a pure function of (seed, key), so every estimate must be too.
+func TestMRCDeterministicUnderSeed(t *testing.T) {
+	trace := zipfTrace(99, 200_000, 50_000, 1.2, 64)
+	run := func() Snapshot {
+		lens := New(Config{Capacity: 500, SampleRate: 32, Seed: 1234})
+		sim := newLRUSim(500)
+		for _, key := range trace {
+			hit, evicted, didEvict := sim.access(key)
+			lens.RecordGet(key, hit)
+			if didEvict {
+				lens.RecordEvict(evicted)
+			}
+		}
+		return lens.Snapshot(10)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identically seeded lenses diverge:\n%+v\nvs\n%+v", a, b)
+	}
+	// A different seed samples a different subset: the curve may move a
+	// little, but the sampled population itself must differ.
+	lens := New(Config{Capacity: 500, SampleRate: 32, Seed: 4321})
+	for _, key := range trace {
+		lens.RecordGet(key, true)
+	}
+	if c := lens.Snapshot(10); c.SampledAccesses == a.SampledAccesses {
+		t.Logf("note: different seed sampled the same count (%d) — legal but unlikely", c.SampledAccesses)
+	}
+}
+
+// TestMRCMonotone is the property test: under LRU's stack-inclusion
+// property a bigger cache never hits less, so every estimated curve must be
+// non-decreasing in scale — on any trace, any seed.
+func TestMRCMonotone(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		lens := New(Config{Capacity: 100 + int(seed)*37, SampleRate: 8, Seed: uint64(seed)})
+		for i := 0; i < 50_000; i++ {
+			key := uint64(r.Intn(2000))
+			lens.RecordGet(key, r.Intn(2) == 0)
+			if r.Intn(10) == 0 {
+				lens.RecordEvict(uint64(r.Intn(2000)))
+			}
+		}
+		snap := lens.Snapshot(5)
+		for i := 1; i < len(snap.Curve); i++ {
+			if snap.Curve[i].EstHitRatio < snap.Curve[i-1].EstHitRatio {
+				t.Fatalf("seed %d: curve not monotone: %.4f@%.2fx > %.4f@%.2fx",
+					seed, snap.Curve[i-1].EstHitRatio, snap.Curve[i-1].Scale,
+					snap.Curve[i].EstHitRatio, snap.Curve[i].Scale)
+			}
+		}
+	}
+}
+
+// TestStackDistMatchesNaive validates the Fenwick structure against a naive
+// move-to-front list on a trace long enough to exercise slot-space rebuilds
+// and oldest-key eviction.
+func TestStackDistMatchesNaive(t *testing.T) {
+	const maxTracked = 64
+	sd := newStackDist(maxTracked)
+	var naive []uint64 // most recent first
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20_000; i++ {
+		key := uint64(r.Intn(200))
+		wantDist, wantCold := 0, true
+		for j, k := range naive {
+			if k == key {
+				wantDist, wantCold = j+1, false
+				naive = append(naive[:j], naive[j+1:]...)
+				break
+			}
+		}
+		naive = append([]uint64{key}, naive...)
+		if len(naive) > maxTracked {
+			naive = naive[:maxTracked]
+		}
+		gotDist, gotCold := sd.access(key)
+		if gotCold != wantCold || gotDist != wantDist {
+			t.Fatalf("access %d key %d: got (d=%d cold=%v), want (d=%d cold=%v)",
+				i, key, gotDist, gotCold, wantDist, wantCold)
+		}
+	}
+}
+
+// TestSamplerRace stresses the lens with concurrent writers, snapshot
+// readers, and epoch ticks — meaningful under -race (the CI Race step).
+func TestSamplerRace(t *testing.T) {
+	lens := New(Config{Capacity: 256, SampleRate: 4, Blocks: 512, HeatSlots: 512})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20_000; i++ {
+				key := uint64(r.Intn(512))
+				lens.RecordGet(key, i%3 != 0)
+				if i%7 == 0 {
+					lens.RecordEvict(key)
+				}
+			}
+		}(w)
+	}
+	go func() {
+		defer close(readerDone)
+		now := time.Unix(0, 0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now = now.Add(time.Second)
+			lens.Tick(now)
+			snap := lens.Snapshot(10)
+			if snap.Accesses < snap.Hits {
+				t.Errorf("accesses %d < hits %d", snap.Accesses, snap.Hits)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	snap := lens.Snapshot(10)
+	if snap.Accesses != 4*20_000 {
+		t.Fatalf("accesses = %d, want %d", snap.Accesses, 4*20_000)
+	}
+}
+
+// TestHeatDecayAndRanking checks the heatmap: dense block mapping, top-N
+// ordering hottest-first, and exponential decay by exactly one half-life.
+func TestHeatDecayAndRanking(t *testing.T) {
+	lens := New(Config{Capacity: 16, Blocks: 100, HeatSlots: 128, HeatHalfLife: time.Minute})
+	t0 := time.Unix(1000, 0)
+	lens.Tick(t0) // anchor the clock
+	for i := 0; i < 30; i++ {
+		lens.RecordGet(7, true)
+	}
+	for i := 0; i < 10; i++ {
+		lens.RecordGet(13, true)
+	}
+	lens.RecordGet(99, false)
+
+	snap := lens.Snapshot(2)
+	if !snap.DenseBlocks {
+		t.Fatal("100 blocks in 128 slots should map densely")
+	}
+	if len(snap.HotBlocks) != 2 || snap.HotBlocks[0].Block != 7 || snap.HotBlocks[1].Block != 13 {
+		t.Fatalf("top-2 = %+v, want blocks 7 then 13", snap.HotBlocks)
+	}
+	if snap.HotBlocks[0].Heat != 30 {
+		t.Fatalf("block 7 heat = %v, want 30", snap.HotBlocks[0].Heat)
+	}
+
+	lens.Tick(t0.Add(time.Minute)) // one half-life
+	snap = lens.Snapshot(2)
+	if h := snap.HotBlocks[0].Heat; h < 14.9 || h > 15.1 {
+		t.Fatalf("block 7 heat after one half-life = %v, want ~15", h)
+	}
+}
+
+// TestWSSWindows checks window rollover: the published estimate is the
+// scaled distinct count of the completed window.
+func TestWSSWindows(t *testing.T) {
+	lens := New(Config{Capacity: 64, SampleRate: 1, WindowShort: time.Minute, WindowLong: 10 * time.Minute})
+	t0 := time.Unix(0, 0)
+	lens.Tick(t0)
+	for i := 0; i < 500; i++ {
+		lens.RecordGet(uint64(i%40), true) // 40 distinct keys
+	}
+	snap := lens.Snapshot(1)
+	if snap.WorkingSet[0].CurrentEst != 40 {
+		t.Fatalf("short-window current estimate = %d, want 40", snap.WorkingSet[0].CurrentEst)
+	}
+	lens.Tick(t0.Add(61 * time.Second))
+	snap = lens.Snapshot(1)
+	if snap.WorkingSet[0].DistinctEst != 40 || snap.WorkingSet[0].Rollovers != 1 {
+		t.Fatalf("short window after rollover = %+v, want est 40 rollovers 1", snap.WorkingSet[0])
+	}
+	if snap.WorkingSet[1].Rollovers != 0 {
+		t.Fatalf("long window rolled early: %+v", snap.WorkingSet[1])
+	}
+	if snap.WorkingSet[0].CurrentEst != 0 {
+		t.Fatalf("short window did not reset: %+v", snap.WorkingSet[0])
+	}
+}
+
+// TestNilLensIsSafe pins the instrumentation contract: every method on a
+// nil lens is a no-op, so callers guard with nothing but the nil receiver.
+func TestNilLensIsSafe(t *testing.T) {
+	var lens *Lens
+	lens.RecordGet(1, true)
+	lens.RecordEvict(1)
+	lens.Tick(time.Now())
+	lens.Close()
+	if got := lens.Snapshot(5); got.Accesses != 0 {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	if lens.Evictions() != 0 {
+		t.Fatal("nil lens reports evictions")
+	}
+}
+
+// TestGhostReentry exercises the sequence-number guard: a key that ghost-
+// hits (leaving the list) and is later re-evicted must not be deleted early
+// when its stale FIFO slot reaches the head.
+func TestGhostReentry(t *testing.T) {
+	lens := New(Config{Capacity: 4, GhostEntries: 4, SampleRate: 1})
+	lens.RecordEvict(1)
+	lens.RecordGet(1, false) // ghost hit: key 1 leaves the list
+	lens.RecordEvict(1)      // re-enters with a new sequence
+	for k := uint64(2); k <= 6; k++ {
+		lens.RecordEvict(k) // push the stale slot of key 1 past the head
+	}
+	// Keys 3..6 are the live FIFO tail plus key 1's re-entry was displaced;
+	// what matters: no panic and the list stays bounded.
+	snap := lens.Snapshot(1)
+	if snap.Ghost.Entries > 4 {
+		t.Fatalf("ghost list overran its bound: %+v", snap.Ghost)
+	}
+	if snap.Ghost.WouldHaveHits != 1 {
+		t.Fatalf("would-have-hits = %d, want 1", snap.Ghost.WouldHaveHits)
+	}
+}
+
+// TestAutoTick covers the background ticker path used by flosd.
+func TestAutoTick(t *testing.T) {
+	lens := New(Config{Capacity: 16, TickEvery: time.Millisecond})
+	defer lens.Close()
+	for i := 0; i < 100; i++ {
+		lens.RecordGet(uint64(i), false)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for lens.Snapshot(1).Ticks < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background ticker never fired twice")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lens.Close() // double Close must be safe
+}

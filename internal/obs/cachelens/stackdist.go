@@ -1,0 +1,139 @@
+package cachelens
+
+// stackDist measures exact LRU stack distances over the sampled key
+// population — the Mattson stack algorithm with a Fenwick (binary indexed)
+// tree instead of a linked stack, so each access costs O(log n) rather than
+// a stack walk.
+//
+// Every access is assigned a monotonically increasing time slot; a key's
+// only live slot is its most recent access, so the number of occupied slots
+// newer than a key's previous slot is exactly the number of distinct keys
+// touched since — its stack distance. The Fenwick tree maintains occupied
+// counts by slot so that "occupied slots after p" is two prefix sums.
+//
+// Two bounds keep it small: the population is capped at maxTracked (the
+// oldest key is dropped past that — a later re-access counts as cold, i.e.
+// deeper than any capacity the MRC evaluates), and the slot space is 4x the
+// population so slot assignment can run forward cheaply and compact with a
+// renumbering rebuild only every ~3·maxTracked accesses.
+//
+// Not safe for concurrent use; the Lens serializes access under its mutex.
+type stackDist struct {
+	maxTracked int
+	capSlots   int
+	tree       []int    // Fenwick over occupied slots, 1-indexed
+	occupied   []bool   // 1-indexed
+	keyAt      []uint64 // 1-indexed; valid where occupied
+	last       map[uint64]int
+	clock      int // highest assigned slot
+	size       int // occupied slots == tracked keys
+	oldest     int // lowest slot that may be occupied
+}
+
+func newStackDist(maxTracked int) *stackDist {
+	if maxTracked < 16 {
+		maxTracked = 16
+	}
+	capSlots := 4 * maxTracked
+	return &stackDist{
+		maxTracked: maxTracked,
+		capSlots:   capSlots,
+		tree:       make([]int, capSlots+1),
+		occupied:   make([]bool, capSlots+1),
+		keyAt:      make([]uint64, capSlots+1),
+		last:       make(map[uint64]int, maxTracked),
+		oldest:     1,
+	}
+}
+
+func (s *stackDist) add(i, delta int) {
+	for ; i <= s.capSlots; i += i & (-i) {
+		s.tree[i] += delta
+	}
+}
+
+// prefix counts occupied slots in [1, i].
+func (s *stackDist) prefix(i int) int {
+	n := 0
+	for ; i > 0; i -= i & (-i) {
+		n += s.tree[i]
+	}
+	return n
+}
+
+// access records one sampled access and returns the key's 1-based stack
+// distance (the position it would occupy in a full LRU stack of the sampled
+// population, counting itself), or cold=true for a first touch or a key
+// that aged out of the tracked population.
+func (s *stackDist) access(key uint64) (distance int, cold bool) {
+	cold = true
+	if prev, ok := s.last[key]; ok {
+		cold = false
+		// Occupied slots newer than prev = distinct keys since, +1 for the
+		// key itself.
+		distance = s.size - s.prefix(prev) + 1
+		s.add(prev, -1)
+		s.occupied[prev] = false
+		s.size--
+	}
+	if s.clock >= s.capSlots {
+		s.rebuild()
+	}
+	s.clock++
+	slot := s.clock
+	s.occupied[slot] = true
+	s.keyAt[slot] = key
+	s.add(slot, 1)
+	s.last[key] = slot
+	s.size++
+	if s.size > s.maxTracked {
+		s.evictOldest()
+	}
+	return distance, cold
+}
+
+// evictOldest drops the least-recently-accessed tracked key.
+func (s *stackDist) evictOldest() {
+	for s.oldest <= s.capSlots && !s.occupied[s.oldest] {
+		s.oldest++
+	}
+	if s.oldest > s.capSlots {
+		return
+	}
+	slot := s.oldest
+	delete(s.last, s.keyAt[slot])
+	s.add(slot, -1)
+	s.occupied[slot] = false
+	s.size--
+	s.oldest++
+}
+
+// rebuild renumbers the occupied slots compactly (order preserved) when the
+// forward clock runs out of slot space.
+func (s *stackDist) rebuild() {
+	type kv struct {
+		key  uint64
+		slot int
+	}
+	live := make([]kv, 0, s.size)
+	for i := s.oldest; i <= s.clock; i++ {
+		if s.occupied[i] {
+			live = append(live, kv{key: s.keyAt[i], slot: i})
+		}
+	}
+	for i := range s.tree {
+		s.tree[i] = 0
+	}
+	for i := range s.occupied {
+		s.occupied[i] = false
+	}
+	for i, e := range live {
+		slot := i + 1
+		s.occupied[slot] = true
+		s.keyAt[slot] = e.key
+		s.add(slot, 1)
+		s.last[e.key] = slot
+	}
+	s.clock = len(live)
+	s.oldest = 1
+}

@@ -2,11 +2,13 @@ package qserve
 
 import (
 	"container/list"
+	"math"
 	"sync"
 
 	"flos/internal/core"
 	"flos/internal/graph"
 	"flos/internal/measure"
+	"flos/internal/obs/cachelens"
 )
 
 // cacheKey identifies one answer. Every option that can change the result
@@ -51,6 +53,41 @@ func keyOf(epoch uint64, req Request) cacheKey {
 	}
 }
 
+// hashKey folds a cacheKey into the uint64 identity the analytics lens
+// tracks (FNV-1a combine over every field; the lens re-mixes with its own
+// seeded finalizer, so this only needs to separate distinct keys). The
+// epoch participates: an entry from a retired epoch really is a different
+// cache entry, and reuse across epochs is a cold access by construction.
+func hashKey(k cacheKey) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	mix(k.epoch)
+	mix(uint64(k.q))
+	mix(b(k.unified))
+	mix(uint64(k.kind))
+	mix(math.Float64bits(k.params.C))
+	mix(uint64(k.params.L))
+	mix(math.Float64bits(k.params.Tau))
+	mix(uint64(k.params.MaxIter))
+	mix(uint64(k.k))
+	mix(b(k.tighten))
+	mix(uint64(k.maxVisited))
+	mix(math.Float64bits(k.tieEps))
+	mix(uint64(k.mode))
+	mix(math.Float64bits(k.epsilon))
+	mix(uint64(k.kernel))
+	return h
+}
+
 // exactKey is k with the serving mode stripped back to exact. An exact
 // answer is a valid (indeed, the best possible) answer for the same query
 // in ε or anytime mode, so mode lookups fall back to it; the converse never
@@ -70,6 +107,13 @@ type resultCache struct {
 	m   map[cacheKey]*list.Element
 
 	hits, misses, evictions int64
+
+	// lens, when non-nil, observes lookups and LRU evictions for the cache
+	// analytics plane. Invalidations are deliberately NOT recorded: those
+	// entries die for correctness, not for space, so counting them would
+	// make a bigger cache look better than it could be. Recorded outside
+	// mu; nil-safe.
+	lens *cachelens.Lens
 }
 
 type cacheEntry struct {
@@ -89,17 +133,17 @@ type cacheEntry struct {
 	guarded bool
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, lens *cachelens.Lens) *resultCache {
 	return &resultCache{
-		max: max,
-		ll:  list.New(),
-		m:   make(map[cacheKey]*list.Element, max),
+		max:  max,
+		ll:   list.New(),
+		m:    make(map[cacheKey]*list.Element, max),
+		lens: lens,
 	}
 }
 
 func (c *resultCache) get(k cacheKey) (*Response, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.m[k]
 	if !ok && k.mode != core.ModeExact {
 		// Exact-serves-ε asymmetry: an exact entry answers the same query in
@@ -107,49 +151,50 @@ func (c *resultCache) get(k cacheKey) (*Response, bool) {
 		// never serves an exact request — that direction is not probed.
 		el, ok = c.m[exactKey(k)]
 	}
-	if !ok {
+	var resp *Response
+	if ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		resp = el.Value.(*cacheEntry).resp
+	} else {
 		c.misses++
-		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	c.mu.Unlock()
+	c.lens.RecordGet(hashKey(k), ok)
+	return resp, ok
 }
 
 func (c *resultCache) put(k cacheKey, resp *Response) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
-		el.Value.(*cacheEntry).resp = resp
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	c.putLive(k, resp, nil, nil, 0, false)
 }
 
-// putLive stores a response together with its read footprint so later
-// mutation batches can invalidate it surgically.
+// putLive stores a response, optionally together with its read footprint so
+// later mutation batches can invalidate it surgically (nil footprint on
+// non-live pools — put delegates here).
 func (c *resultCache) putLive(k cacheKey, resp *Response, fp, visited []graph.NodeID, guard float64, guarded bool) {
+	var evicted []uint64
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.m[k]; ok {
 		e := el.Value.(*cacheEntry)
 		e.resp, e.fp, e.visited, e.guard, e.guarded = resp, fp, visited, guard, guarded
 		c.ll.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp, fp: fp, visited: visited, guard: guard, guarded: guarded})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+		oldKey := oldest.Value.(*cacheEntry).key
+		delete(c.m, oldKey)
 		c.evictions++
+		if c.lens != nil {
+			evicted = append(evicted, hashKey(oldKey))
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range evicted {
+		c.lens.RecordEvict(h)
 	}
 }
 

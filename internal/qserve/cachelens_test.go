@@ -1,0 +1,116 @@
+package qserve
+
+import (
+	"context"
+	"testing"
+
+	"flos/internal/core"
+	"flos/internal/graph"
+	"flos/internal/livegraph"
+	"flos/internal/measure"
+	"flos/internal/obs/cachelens"
+)
+
+// TestResultCacheLens attaches an analytics lens to a pool's result cache
+// and checks the flow accounting end to end: every cache lookup lands in
+// the lens, LRU evictions feed the ghost list, the occupancy gauges
+// (entries, capacity) are exported, and repeated queries register as hits
+// on both planes.
+func TestResultCacheLens(t *testing.T) {
+	g := liveTestGraph(t, 2000, 5400, 3)
+	lens := cachelens.New(cachelens.Config{Capacity: 4, SampleRate: 1, Seed: 11})
+	pool := New(g, Config{Workers: 2, CacheEntries: 4, CacheLens: lens})
+	defer pool.Close()
+	ctx := context.Background()
+
+	lget := graph.LargestComponentNodes(g)
+	// 8 distinct queries through a 4-entry cache: the first 4 evict as the
+	// second 4 land. Then re-ask the last one — a hit.
+	for i := 0; i < 8; i++ {
+		if _, err := pool.Do(ctx, Request{Query: lget[i*17%len(lget)], Opt: core.DefaultOptions(measure.PHP, 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := pool.Do(ctx, Request{Query: lget[7*17%len(lget)], Opt: core.DefaultOptions(measure.PHP, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("repeat of the most recent query missed")
+	}
+
+	m := pool.Metrics()
+	if m.CacheCapacity != 4 {
+		t.Fatalf("CacheCapacity = %d, want 4", m.CacheCapacity)
+	}
+	if m.CacheEntries != 4 {
+		t.Fatalf("CacheEntries = %d, want full occupancy 4", m.CacheEntries)
+	}
+	if m.CacheEvictions == 0 {
+		t.Fatal("8 distinct queries through 4 entries evicted nothing")
+	}
+
+	snap := lens.Snapshot(5)
+	if snap.Accesses != m.CacheHits+m.CacheMisses {
+		t.Fatalf("lens accesses %d != cache lookups %d", snap.Accesses, m.CacheHits+m.CacheMisses)
+	}
+	if snap.Hits != m.CacheHits || snap.Misses != m.CacheMisses {
+		t.Fatalf("lens hits/misses %d/%d != cache %d/%d", snap.Hits, snap.Misses, m.CacheHits, m.CacheMisses)
+	}
+	if snap.Ghost.Evictions != m.CacheEvictions {
+		t.Fatalf("lens evictions %d != cache evictions %d", snap.Ghost.Evictions, m.CacheEvictions)
+	}
+	if snap.DenseBlocks {
+		t.Fatal("result-cache keys are hashed; lens must not claim dense blocks")
+	}
+}
+
+// TestLensIgnoresInvalidations pins the accounting rule that surgical and
+// full invalidations never enter the lens's eviction stream: those entries
+// die for correctness, so a ghost hit on them must not suggest a bigger
+// cache would have kept them. Also covers the last-batch survivor gauges.
+func TestLensIgnoresInvalidations(t *testing.T) {
+	base := liveTestGraph(t, 400, 1200, 2)
+	lg := livegraph.New(base)
+	lens := cachelens.New(cachelens.Config{Capacity: 128, SampleRate: 1, Seed: 5})
+	pool := New(lg, Config{Workers: 2, CacheEntries: 128, CacheLens: lens})
+	defer pool.Close()
+	ctx := context.Background()
+
+	lget := graph.LargestComponentNodes(base)
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Query: lget[i*31%len(lget)], Opt: core.DefaultOptions(measure.PHP, 5)}
+		if _, err := pool.Do(ctx, reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A mutation touching a query node surgically invalidates its entry —
+	// the cache's eviction counter stays flat and so must the lens's.
+	if _, err := pool.Mutate([]livegraph.EdgeOp{
+		{Op: livegraph.OpSet, U: reqs[0].Query, V: lget[100%len(lget)], W: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := pool.Metrics()
+	if m.InvalidationsSurgical == 0 {
+		t.Fatal("touching mutation invalidated nothing")
+	}
+	if m.LastBatchSurgical == 0 || m.LastBatchSurgical+m.LastBatchRetained != int64(len(reqs)) {
+		t.Fatalf("last-batch gauges surgical=%d retained=%d, want them to partition %d entries",
+			m.LastBatchSurgical, m.LastBatchRetained, len(reqs))
+	}
+	if got := lens.Snapshot(1).Ghost.Evictions; got != m.CacheEvictions {
+		t.Fatalf("lens evictions %d != cache LRU evictions %d after surgical invalidation", got, m.CacheEvictions)
+	}
+	if m.CacheEvictions != 0 {
+		t.Fatalf("surgical invalidation leaked into the LRU eviction counter: %d", m.CacheEvictions)
+	}
+
+	// Full flush: same rule.
+	pool.BumpEpoch()
+	if got := lens.Snapshot(1).Ghost.Evictions; got != 0 {
+		t.Fatalf("full flush leaked %d evictions into the lens", got)
+	}
+}

@@ -75,6 +75,14 @@ type metrics struct {
 	retained      atomic.Int64
 	recertHits    atomic.Int64
 
+	// Last-batch gauges (stored, not accumulated): how the most recent
+	// mutation batch split the cache into surgically evicted entries and
+	// survivors. The cumulative counters above tell you how much
+	// invalidation has happened; these tell you what the last batch did —
+	// the steady-state "survivors per epoch" view.
+	lastBatchSurgical atomic.Int64
+	lastBatchRetained atomic.Int64
+
 	lat          obs.Histogram // all executed (non-cache-hit) queries
 	latByMeasure [len(measureLabels)]obs.Histogram
 }
@@ -118,6 +126,8 @@ func (m *metrics) snapshot() Metrics {
 		InvalidationsSurgical: m.invalSurgical.Load(),
 		CacheRetained:         m.retained.Load(),
 		RecertifyHits:         m.recertHits.Load(),
+		LastBatchSurgical:     m.lastBatchSurgical.Load(),
+		LastBatchRetained:     m.lastBatchRetained.Load(),
 		P50Micros:             lat.QuantileUS(0.50),
 		P99Micros:             lat.QuantileUS(0.99),
 		Latency:               lat,
@@ -180,9 +190,11 @@ type Metrics struct {
 	// QueueDepth is the current number of admitted-but-waiting queries;
 	// QueueCap its bound; Workers the worker count.
 	QueueDepth, QueueCap, Workers int
-	// Cache counters; zero when the cache is disabled.
+	// Cache counters; zero when the cache is disabled. CacheEntries is the
+	// live entry count (occupancy) and CacheCapacity its configured bound,
+	// so CacheEntries/CacheCapacity is the steady-state fill ratio.
 	CacheHits, CacheMisses, CacheEvictions int64
-	CacheEntries                           int
+	CacheEntries, CacheCapacity            int
 	// Epoch is the current invalidation epoch. On a live pool it mirrors the
 	// current snapshot's epoch.
 	Epoch uint64
@@ -194,6 +206,10 @@ type Metrics struct {
 	// warm-started re-certification instead of a cold recompute.
 	InvalidationsFull, InvalidationsSurgical int64
 	CacheRetained, RecertifyHits             int64
+	// LastBatchSurgical / LastBatchRetained are gauges describing only the
+	// most recent mutation batch: entries it evicted surgically and entries
+	// it carried forward (the per-epoch survivor count).
+	LastBatchSurgical, LastBatchRetained int64
 	// Live-graph gauges, zero on non-live pools: snapshots currently
 	// referenced, snapshots ever published, adjacency rows copy-on-write
 	// re-materialized, and edge ops applied.

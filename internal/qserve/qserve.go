@@ -39,6 +39,7 @@ import (
 	"flos/internal/livegraph"
 	"flos/internal/measure"
 	"flos/internal/obs"
+	"flos/internal/obs/cachelens"
 	"flos/internal/obs/trace"
 )
 
@@ -80,6 +81,11 @@ type Config struct {
 	// as errors. Client cancellations are excluded — they say nothing about
 	// the server's objectives.
 	SLO *obs.SLOTracker
+	// CacheLens, when non-nil, observes every result-cache lookup and LRU
+	// eviction for the cache analytics plane (miss-ratio curve, ghost list,
+	// working-set windows). Ignored when caching is disabled. Size it with
+	// Capacity = CacheEntries so the curve's 1x point is the deployed bound.
+	CacheLens *cachelens.Lens
 }
 
 func (c Config) withDefaults() Config {
@@ -235,7 +241,7 @@ func New(g graph.Graph, cfg Config) *Pool {
 		tokens: kernel.NewTokenBudget(runtime.GOMAXPROCS(0)),
 	}
 	if cfg.CacheEntries > 0 {
-		p.cache = newResultCache(cfg.CacheEntries)
+		p.cache = newResultCache(cfg.CacheEntries, cfg.CacheLens)
 	}
 	if lg, ok := g.(*livegraph.LiveGraph); ok {
 		p.live = lg
@@ -358,6 +364,8 @@ func (p *Pool) MutateCtx(ctx context.Context, ops []livegraph.EdgeOp) (uint64, e
 		surgical, retained := p.cache.invalidate(oldEpoch, newEpoch, touched, maxTouchedDeg, p.stale)
 		p.met.invalSurgical.Add(surgical)
 		p.met.retained.Add(retained)
+		p.met.lastBatchSurgical.Store(surgical)
+		p.met.lastBatchRetained.Store(retained)
 		inval.SetAttrs(trace.Int("surgical", surgical), trace.Int("retained", retained))
 		inval.End()
 	}
@@ -948,6 +956,7 @@ func (p *Pool) Metrics() Metrics {
 	m.Epoch = p.epoch.Load()
 	if p.cache != nil {
 		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries = p.cache.counters()
+		m.CacheCapacity = p.cache.max
 	}
 	if p.live != nil {
 		ls := p.live.Stats()

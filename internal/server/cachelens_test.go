@@ -1,0 +1,195 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flos/internal/diskgraph"
+	"flos/internal/gen"
+	"flos/internal/obs/cachelens"
+)
+
+// newDiskLensServer builds a server over a real disk store small enough to
+// evict (8 KiB budget over a 512-byte page file), with analytics lenses on
+// both the page cache and the result cache — the full cache-analytics plane.
+func newDiskLensServer(t *testing.T) (*httptest.Server, *Server, *diskgraph.Store) {
+	t.Helper()
+	g, err := gen.RMAT(2000, 8000, gen.DefaultRMAT(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.flos")
+	if err := diskgraph.Create(path, g, 512); err != nil {
+		t.Fatal(err)
+	}
+	store, err := diskgraph.Open(path, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	store.AttachLens(cachelens.Config{SampleRate: 1, Seed: 3})
+
+	rl := cachelens.New(cachelens.Config{Capacity: 8, SampleRate: 1, Seed: 5})
+	srv := New(store, Config{
+		CacheEntries: 8,
+		CacheLens:    rl,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, store
+}
+
+// TestCacheLensEndpoint drives disk-backed queries and checks the
+// /debug/flos/cache payload shape: both planes present, the page-cache
+// snapshot carrying a full miss-ratio curve over dense block IDs with real
+// eviction traffic, the result cache hashed.
+func TestCacheLensEndpoint(t *testing.T) {
+	ts, _, _ := newDiskLensServer(t)
+	for q := 0; q < 24; q++ {
+		if code := getJSON(t, ts.URL+"/topk?q="+strconv.Itoa(q*37)+"&k=5&measure=rwr", nil); code != 200 {
+			t.Fatalf("query %d: code %d", q, code)
+		}
+	}
+
+	var body cacheLensBody
+	if code := getJSON(t, ts.URL+"/debug/flos/cache", &body); code != 200 {
+		t.Fatalf("debug/flos/cache code %d", code)
+	}
+	pc, rc := body.PageCache, body.ResultCache
+	if pc == nil || rc == nil {
+		t.Fatalf("missing planes: page=%v result=%v", pc != nil, rc != nil)
+	}
+	if pc.Accesses == 0 || pc.Hits == 0 {
+		t.Fatalf("page lens saw no traffic: %+v", pc)
+	}
+	if len(pc.Curve) != len(cachelens.DefaultScales) {
+		t.Fatalf("curve has %d points, want %d", len(pc.Curve), len(cachelens.DefaultScales))
+	}
+	for i := 1; i < len(pc.Curve); i++ {
+		if pc.Curve[i].EstHitRatio < pc.Curve[i-1].EstHitRatio {
+			t.Fatalf("MRC not monotone: %+v", pc.Curve)
+		}
+	}
+	if !pc.DenseBlocks {
+		t.Fatal("page lens must report dense block IDs")
+	}
+	if pc.Capacity != 16 { // 8 KiB budget / 512-byte pages
+		t.Fatalf("page lens capacity %d, want 16", pc.Capacity)
+	}
+	if pc.Ghost.Evictions == 0 {
+		t.Fatal("16-page budget over a bigger file evicted nothing")
+	}
+	if len(pc.HotBlocks) == 0 {
+		t.Fatal("no hot blocks ranked")
+	}
+	if rc.DenseBlocks {
+		t.Fatal("result lens keys are hashed, not dense")
+	}
+	if rc.Accesses == 0 {
+		t.Fatal("result lens saw no lookups")
+	}
+
+	// ?n= bounds the heat ranking; a bad n is a structured 400.
+	var small cacheLensBody
+	if code := getJSON(t, ts.URL+"/debug/flos/cache?n=2", &small); code != 200 {
+		t.Fatalf("n=2 code %d", code)
+	}
+	if len(small.PageCache.HotBlocks) > 2 {
+		t.Fatalf("n=2 returned %d hot blocks", len(small.PageCache.HotBlocks))
+	}
+	if code := getJSON(t, ts.URL+"/debug/flos/cache?n=zero", nil); code != 400 {
+		t.Fatalf("bad n: code %d, want 400", code)
+	}
+}
+
+// TestCacheLensDisabled404 pins the debug-endpoint discipline: with no lens
+// attached anywhere the endpoint answers a structured 404, not an empty 200.
+func TestCacheLensDisabled404(t *testing.T) {
+	ts := newTestServer(t, false)
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/debug/flos/cache", &e); code != 404 || e.Error == "" {
+		t.Fatalf("code %d, err %q; want structured 404", code, e.Error)
+	}
+}
+
+// TestCacheLensMetrics checks both exposition formats carry the analytics
+// plane: the Prometheus gauges for MRC/WSS/ghost under both prefixes, the new
+// per-shard eviction and HWM series, and the JSON mirror with the extended
+// disk body and cache_analytics section.
+func TestCacheLensMetrics(t *testing.T) {
+	ts, _, store := newDiskLensServer(t)
+	for q := 0; q < 24; q++ {
+		if code := getJSON(t, ts.URL+"/topk?q="+strconv.Itoa(q*37)+"&k=5&measure=rwr", nil); code != 200 {
+			t.Fatalf("query %d: code %d", q, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`flos_pagecache_mrc_hit_ratio{scale="0.25x"}`,
+		`flos_pagecache_mrc_hit_ratio{scale="1x"}`,
+		`flos_pagecache_mrc_hit_ratio{scale="4x"}`,
+		`flos_pagecache_wss_estimate{window="1m0s"}`,
+		`flos_pagecache_wss_estimate{window="10m0s"}`,
+		"flos_pagecache_ghost_would_have_hits_total",
+		"flos_pagecache_ghost_hit_ratio_at_2x",
+		"flos_pagecache_lens_hit_ratio",
+		`flos_result_cache_mrc_hit_ratio{scale="2x"}`,
+		"flos_result_cache_ghost_evictions_total",
+		"flos_result_cache_capacity 8",
+		`flos_page_cache_evictions_total{shard="0"}`,
+		`flos_page_cache_resident_pages_hwm{shard="0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	var body metricsBody
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &body); code != 200 {
+		t.Fatal("metrics json failed")
+	}
+	if body.Disk == nil {
+		t.Fatal("no disk section for a disk-resident graph")
+	}
+	st := store.CacheStats()
+	if body.Disk.Evictions == 0 || body.Disk.Evictions != st.Evictions {
+		t.Fatalf("disk evictions %d, store says %d", body.Disk.Evictions, st.Evictions)
+	}
+	if body.Disk.ResidentPagesHWM == 0 || body.Disk.ResidentPagesHWM != st.ResidentPagesHWM {
+		t.Fatalf("disk HWM %d, store says %d", body.Disk.ResidentPagesHWM, st.ResidentPagesHWM)
+	}
+	var perShardEvictions int64
+	for _, sh := range body.Disk.PerShard {
+		perShardEvictions += sh.Evictions
+	}
+	if perShardEvictions != body.Disk.Evictions {
+		t.Fatalf("per-shard evictions sum %d != aggregate %d", perShardEvictions, body.Disk.Evictions)
+	}
+	if body.CacheCapacity != 8 {
+		t.Fatalf("cache_capacity %d, want 8", body.CacheCapacity)
+	}
+	if body.CacheAnalytics == nil || body.CacheAnalytics.PageCache == nil || body.CacheAnalytics.ResultCache == nil {
+		t.Fatalf("cache_analytics incomplete: %+v", body.CacheAnalytics)
+	}
+	if got := body.CacheAnalytics.PageCache.Ghost.Evictions; got != st.Evictions {
+		t.Fatalf("lens evictions %d != page-cache evictions %d", got, st.Evictions)
+	}
+}

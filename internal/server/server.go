@@ -47,6 +47,10 @@
 //	GET /debug/flos/traces     newest kept traces (?n=, def. 32) with tracer
 //	                           counters; ?id=<32-hex trace id> returns that
 //	                           trace's full span tree
+//	GET /debug/flos/cache      cache-analytics snapshots (miss-ratio curves,
+//	                           ghost list, working-set windows, top-N hot
+//	                           blocks; ?n= bounds the heat ranking, def. 20)
+//	                           for the page cache and the result cache
 //
 // trace=1 returns the per-iteration convergence trajectory (visited/
 // boundary/candidate counts, the certification gap, per-phase timings)
@@ -94,6 +98,7 @@ import (
 	"flos/internal/livegraph"
 	"flos/internal/measure"
 	"flos/internal/obs"
+	"flos/internal/obs/cachelens"
 	"flos/internal/obs/trace"
 	"flos/internal/qserve"
 )
@@ -114,6 +119,10 @@ type Server struct {
 	rec    *obs.FlightRecorder
 	slo    *obs.SLOTracker
 	tracer *trace.Tracer
+
+	// resultLens is the result cache's analytics lens (nil when disabled);
+	// the page cache's lens, when attached, is reached through s.store.
+	resultLens *cachelens.Lens
 
 	// Defaults applied when a request omits parameters.
 	defaults measure.Params
@@ -174,6 +183,12 @@ type Config struct {
 	// kept traces are served by GET /debug/flos/traces, and trace IDs join
 	// the flight recorder, slow-query log, exemplars, and access logs.
 	Tracer *trace.Tracer
+	// CacheLens, when non-nil, attaches cache analytics to the result cache:
+	// miss-ratio curves, ghost list, working-set windows, and hot-key heat,
+	// exported as flos_result_cache_* gauges and GET /debug/flos/cache. The
+	// page cache's lens is attached on the store itself (Store.AttachLens)
+	// before the server is built; the server discovers it there.
+	CacheLens *cachelens.Lens
 }
 
 // New builds a Server for g and starts its worker pool; Close releases it.
@@ -213,6 +228,7 @@ func New(g graph.Graph, cfg Config) *Server {
 	s.rec = cfg.Recorder
 	s.slo = cfg.SLO
 	s.tracer = cfg.Tracer
+	s.resultLens = cfg.CacheLens
 	workers := cfg.Workers
 	if cfg.Serialize {
 		workers = 1
@@ -225,6 +241,7 @@ func New(g graph.Graph, cfg Config) *Server {
 		Logger:       s.log,
 		Recorder:     cfg.Recorder,
 		SLO:          cfg.SLO,
+		CacheLens:    cfg.CacheLens,
 	})
 	return s
 }
@@ -236,7 +253,7 @@ var endpointPaths = []string{
 	"/graph/edges",
 	"/v1/topk", "/v1/topk/batch", "/v1/unified", "/v1/graph/edges",
 	"/debug/flos/slow", "/debug/flos/flightrec", "/debug/flos/slo",
-	"/debug/flos/traces",
+	"/debug/flos/traces", "/debug/flos/cache",
 }
 
 // Pool exposes the serving pool (epoch bumps, metrics).
@@ -264,6 +281,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/flos/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/flos/slo", s.handleSLO)
 	mux.HandleFunc("/debug/flos/traces", s.handleTraces)
+	mux.HandleFunc("/debug/flos/cache", s.handleCacheLens)
 	return s.instrument(mux)
 }
 
@@ -533,6 +551,54 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// pageLens returns the page cache's analytics lens: attached on the disk
+// store before the server was built, nil for memory-resident graphs or when
+// analytics are off.
+func (s *Server) pageLens() *cachelens.Lens {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Lens()
+}
+
+// cacheLensBody is the GET /debug/flos/cache payload: one analytics snapshot
+// per instrumented cache. A cache without a lens is omitted, so the body also
+// documents which planes are on.
+type cacheLensBody struct {
+	PageCache   *cachelens.Snapshot `json:"page_cache,omitempty"`
+	ResultCache *cachelens.Snapshot `json:"result_cache,omitempty"`
+}
+
+// handleCacheLens serves the cache-analytics snapshots: miss-ratio curves,
+// ghost-list would-have-hits, working-set windows, and the top-N hot blocks
+// (?n=, default 20) for every cache with a lens attached. 404 when analytics
+// are off everywhere — the same discipline as the other debug endpoints.
+func (s *Server) handleCacheLens(w http.ResponseWriter, r *http.Request) {
+	pl, rl := s.pageLens(), s.resultLens
+	if pl == nil && rl == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "cache analytics disabled (-cachelens 0)"})
+		return
+	}
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			badRequest(w, "bad n: %q", v)
+			return
+		}
+	}
+	var body cacheLensBody
+	if pl != nil {
+		snap := pl.Snapshot(n)
+		body.PageCache = &snap
+	}
+	if rl != nil {
+		snap := rl.Snapshot(n)
+		body.ResultCache = &snap
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 type statsBody struct {
 	Nodes int   `json:"nodes"`
 	Edges int64 `json:"edges"`
@@ -565,6 +631,7 @@ type metricsBody struct {
 	CacheMisses    int64   `json:"cache_misses"`
 	CacheEvictions int64   `json:"cache_evictions"`
 	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	Epoch          uint64  `json:"epoch"`
 
@@ -597,6 +664,10 @@ type metricsBody struct {
 
 	// Disk page-cache counters; present only for disk-resident graphs.
 	Disk *diskMetricsBody `json:"disk,omitempty"`
+
+	// CacheAnalytics mirrors GET /debug/flos/cache (top-20 heat ranking);
+	// present when at least one cache has an analytics lens attached.
+	CacheAnalytics *cacheLensBody `json:"cache_analytics,omitempty"`
 }
 
 type measureLatencyBody struct {
@@ -649,6 +720,12 @@ type liveMetricsBody struct {
 	InvalidationsSurgical int64 `json:"invalidations_surgical"`
 	CacheRetained         int64 `json:"cache_retained"`
 	RecertifyHits         int64 `json:"recertify_hits"`
+
+	// LastBatchSurgical / LastBatchRetained partition the cache entries the
+	// most recent mutation batch saw: evicted surgically vs carried forward —
+	// the per-epoch survivor gauge.
+	LastBatchSurgical int64 `json:"last_batch_surgical"`
+	LastBatchRetained int64 `json:"last_batch_retained"`
 }
 
 type runtimeBody struct {
@@ -662,21 +739,28 @@ type diskMetricsBody struct {
 	PageHits      int64 `json:"page_hits"`
 	PageFaults    int64 `json:"page_faults"`
 	FaultsDeduped int64 `json:"faults_deduped"`
+	Evictions     int64 `json:"evictions"`
 	ResidentBytes int64 `json:"resident_bytes"`
 	ResidentPages int   `json:"resident_pages"`
-	Shards        int   `json:"shards"`
+	// ResidentPagesHWM is the all-time occupancy peak (summed over stripes):
+	// well under budget means the budget never bound; at budget with a high
+	// eviction rate means the working set does not fit.
+	ResidentPagesHWM int `json:"resident_pages_hwm"`
+	Shards           int `json:"shards"`
 
 	// PerShard breaks the counters down by lock stripe.
 	PerShard []shardBody `json:"per_shard"`
 }
 
 type shardBody struct {
-	Shard         int   `json:"shard"`
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	FaultsDeduped int64 `json:"faults_deduped"`
-	ResidentBytes int64 `json:"resident_bytes"`
-	ResidentPages int   `json:"resident_pages"`
+	Shard            int   `json:"shard"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	FaultsDeduped    int64 `json:"faults_deduped"`
+	Evictions        int64 `json:"evictions"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	ResidentPages    int   `json:"resident_pages"`
+	ResidentPagesHWM int   `json:"resident_pages_hwm"`
 }
 
 func readRuntime() runtimeBody {
@@ -722,6 +806,7 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 		CacheMisses:    m.CacheMisses,
 		CacheEvictions: m.CacheEvictions,
 		CacheEntries:   m.CacheEntries,
+		CacheCapacity:  m.CacheCapacity,
 		CacheHitRatio:  m.CacheHitRatio(),
 		Epoch:          m.Epoch,
 		Runtime:        readRuntime(),
@@ -752,6 +837,8 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 			InvalidationsSurgical: m.InvalidationsSurgical,
 			CacheRetained:         m.CacheRetained,
 			RecertifyHits:         m.RecertifyHits,
+			LastBatchSurgical:     m.LastBatchSurgical,
+			LastBatchRetained:     m.LastBatchRetained,
 		}
 	}
 	if s.slo != nil {
@@ -770,24 +857,40 @@ func (s *Server) metricsJSON(w http.ResponseWriter) {
 	if s.store != nil {
 		st := s.store.CacheStats()
 		disk := &diskMetricsBody{
-			PageHits:      st.Hits,
-			PageFaults:    st.Misses,
-			FaultsDeduped: st.FaultsDeduped,
-			ResidentBytes: st.ResidentBytes,
-			ResidentPages: st.ResidentPages,
-			Shards:        st.Shards,
+			PageHits:         st.Hits,
+			PageFaults:       st.Misses,
+			FaultsDeduped:    st.FaultsDeduped,
+			Evictions:        st.Evictions,
+			ResidentBytes:    st.ResidentBytes,
+			ResidentPages:    st.ResidentPages,
+			ResidentPagesHWM: st.ResidentPagesHWM,
+			Shards:           st.Shards,
 		}
 		for _, ss := range s.store.ShardStats() {
 			disk.PerShard = append(disk.PerShard, shardBody{
-				Shard:         ss.Shard,
-				Hits:          ss.Hits,
-				Misses:        ss.Misses,
-				FaultsDeduped: ss.FaultsDeduped,
-				ResidentBytes: ss.ResidentBytes,
-				ResidentPages: ss.ResidentPages,
+				Shard:            ss.Shard,
+				Hits:             ss.Hits,
+				Misses:           ss.Misses,
+				FaultsDeduped:    ss.FaultsDeduped,
+				Evictions:        ss.Evictions,
+				ResidentBytes:    ss.ResidentBytes,
+				ResidentPages:    ss.ResidentPages,
+				ResidentPagesHWM: ss.ResidentPagesHWM,
 			})
 		}
 		body.Disk = disk
+	}
+	if pl, rl := s.pageLens(), s.resultLens; pl != nil || rl != nil {
+		ca := &cacheLensBody{}
+		if pl != nil {
+			snap := pl.Snapshot(20)
+			ca.PageCache = &snap
+		}
+		if rl != nil {
+			snap := rl.Snapshot(20)
+			ca.ResultCache = &snap
+		}
+		body.CacheAnalytics = ca
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -835,6 +938,7 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	p.Counter("flos_result_cache_misses_total", "Result-cache misses.", nil, m.CacheMisses)
 	p.Counter("flos_result_cache_evictions_total", "Result-cache evictions.", nil, m.CacheEvictions)
 	p.Gauge("flos_result_cache_entries", "Resident result-cache entries.", nil, float64(m.CacheEntries))
+	p.Gauge("flos_result_cache_capacity", "Result-cache entry bound (entries/capacity = fill ratio).", nil, float64(m.CacheCapacity))
 	p.Gauge("flos_graph_epoch", "Result-cache invalidation epoch.", nil, float64(m.Epoch))
 	p.Gauge("flos_graph_nodes", "Nodes in the served graph.", nil, float64(s.g.NumNodes()))
 	p.Gauge("flos_graph_edges", "Edges in the served graph.", nil, float64(s.g.NumEdges()))
@@ -847,6 +951,8 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 		p.Counter("flos_live_snapshots_total", "Live-graph snapshots ever published.", nil, m.SnapshotsTotal)
 		p.Counter("flos_live_rows_cowed_total", "Adjacency rows re-materialized copy-on-write.", nil, m.RowsCoWed)
 		p.Counter("flos_live_ops_applied_total", "Edge mutations applied.", nil, m.OpsApplied)
+		p.Gauge("flos_result_cache_last_batch_invalidated", "Entries the most recent mutation batch evicted surgically.", nil, float64(m.LastBatchSurgical))
+		p.Gauge("flos_result_cache_last_batch_survivors", "Entries the most recent mutation batch carried forward untouched.", nil, float64(m.LastBatchRetained))
 	}
 
 	if s.store != nil {
@@ -855,9 +961,17 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 			p.Counter("flos_page_cache_hits_total", "Page-cache hits by lock shard.", shard, ss.Hits)
 			p.Counter("flos_page_cache_faults_total", "Page faults (disk reads) by lock shard.", shard, ss.Misses)
 			p.Counter("flos_page_cache_faults_deduped_total", "Faults deduplicated singleflight-style by lock shard.", shard, ss.FaultsDeduped)
+			p.Counter("flos_page_cache_evictions_total", "Pages evicted by LRU to stay under budget, by lock shard.", shard, ss.Evictions)
 			p.Gauge("flos_page_cache_resident_bytes", "Resident page bytes by lock shard.", shard, float64(ss.ResidentBytes))
 			p.Gauge("flos_page_cache_resident_pages", "Resident pages by lock shard.", shard, float64(ss.ResidentPages))
+			p.Gauge("flos_page_cache_resident_pages_hwm", "All-time resident-page peak by lock shard.", shard, float64(ss.ResidentPagesHWM))
 		}
+	}
+	if pl := s.pageLens(); pl != nil {
+		lensProm(p, "flos_pagecache", "page cache", pl.Snapshot(0))
+	}
+	if s.resultLens != nil {
+		lensProm(p, "flos_result_cache", "result cache", s.resultLens.Snapshot(0))
 	}
 
 	if s.slo != nil {
@@ -893,6 +1007,33 @@ func (s *Server) metricsProm(w http.ResponseWriter) {
 	if err := p.Err(); err != nil {
 		s.log.Warn("metrics exposition write failed", "err", err)
 	}
+}
+
+// scaleLabel renders an MRC capacity multiple as its metric label: 0.25 →
+// "0.25x", 1 → "1x".
+func scaleLabel(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64) + "x"
+}
+
+// lensProm writes one cache-analytics lens as Prometheus gauges under the
+// given metric prefix (flos_pagecache / flos_result_cache): the miss-ratio
+// curve by scale, the working-set estimates by window, and the ghost list's
+// directly measured would-have-hit counters.
+func lensProm(p *obs.PromWriter, prefix, what string, snap cachelens.Snapshot) {
+	for _, pt := range snap.Curve {
+		p.Gauge(prefix+"_mrc_hit_ratio",
+			"Estimated "+what+" hit ratio at a multiple of deployed capacity (SHARDS-sampled miss-ratio curve).",
+			map[string]string{"scale": scaleLabel(pt.Scale)}, pt.EstHitRatio)
+	}
+	p.Gauge(prefix+"_lens_hit_ratio", "Measured "+what+" hit ratio over the lens's lifetime (calibration for the curve's 1x point).", nil, snap.HitRatio)
+	p.Gauge(prefix+"_lens_sample_rate", "Lens spatial sampling rate (1 in N keys tracked).", nil, float64(snap.SampleRate))
+	for _, ws := range snap.WorkingSet {
+		win := map[string]string{"window": ws.Window}
+		p.Gauge(prefix+"_wss_estimate", "Estimated distinct "+what+" entries touched in the last completed window (scaled sampled count).", win, float64(ws.DistinctEst))
+	}
+	p.Counter(prefix+"_ghost_evictions_total", "Capacity evictions recorded into the "+what+" ghost list.", nil, snap.Ghost.Evictions)
+	p.Counter(prefix+"_ghost_would_have_hits_total", "Misses that would have hit a ~2x-capacity "+what+" (key still in the ghost list).", nil, snap.Ghost.WouldHaveHits)
+	p.Gauge(prefix+"_ghost_hit_ratio_at_2x", "Directly measured "+what+" hit ratio at ~2x capacity ((hits + ghost hits) / accesses).", nil, snap.Ghost.HitRatioAt2x)
 }
 
 // rankedBody is one result entry.

@@ -13,7 +13,11 @@
 # a certification block, ε-certified query with achieved gap <= ε, anytime
 # under an expiring deadline answering 200 with certified:false, and the
 # legacy routes still answering unchanged but carrying Deprecation headers
-# and the flos_legacy_requests_total counter. Then it runs the recorder- and
+# and the flos_legacy_requests_total counter. The cache-analytics plane
+# (on by default) is asserted too: /debug/flos/cache serves the result-cache
+# snapshot (no page plane — this server holds the graph in memory), the
+# flos_result_cache_* lens gauges land in /metrics, and `flos -cachereport`
+# renders the saved snapshot offline. Then it runs the recorder- and
 # tracing-overhead benchmarks and gates
 # both on the <= 2% median target, leaving the machine-readable results in
 # BENCH_5.json / BENCH_7.json (override with BENCH_OUT / TRACE_BENCH_OUT).
@@ -160,6 +164,28 @@ for m in 'flos_slo_availability{window="5m"}' 'flos_slo_availability_burn_rate{w
   grep -qF "$m" "$WORK/metrics.prom" || fail "/metrics missing $m"
 done
 curl -fsS "$BASE/debug/flos/slo" | grep -q '"window":"5m"' || fail "/debug/flos/slo has no 5m window"
+
+echo "== cache analytics: result-cache lens snapshot and gauges =="
+curl -fsS "$BASE/debug/flos/cache" >"$WORK/cache.json"
+grep -q '"result_cache":{' "$WORK/cache.json" || fail "/debug/flos/cache has no result_cache plane"
+if grep -q '"page_cache":{' "$WORK/cache.json"; then
+  fail "/debug/flos/cache grew a page_cache plane on an in-memory graph"
+fi
+grep -q '"miss_ratio_curve":\[' "$WORK/cache.json" || fail "cache snapshot has no miss-ratio curve"
+grep -q '"ghost":{' "$WORK/cache.json" || fail "cache snapshot has no ghost-list block"
+grep -q '"working_set":\[' "$WORK/cache.json" || fail "cache snapshot has no working-set windows"
+for m in 'flos_result_cache_mrc_hit_ratio{scale="1x"}' 'flos_result_cache_mrc_hit_ratio{scale="4x"}' \
+  'flos_result_cache_lens_hit_ratio' 'flos_result_cache_wss_estimate{window="1m0s"}' \
+  'flos_result_cache_ghost_hit_ratio_at_2x' 'flos_result_cache_capacity 64'; do
+  grep -qF "$m" "$WORK/metrics.prom" || fail "/metrics missing $m"
+done
+
+echo "== offline cache report renders the capacity-planning tables =="
+"$WORK/flos" -cachereport "$WORK/cache.json" >"$WORK/cachereport.txt"
+grep -q "miss-ratio curve" "$WORK/cachereport.txt" ||
+  { cat "$WORK/cachereport.txt" >&2; fail "cache report printed no miss-ratio curve"; }
+grep -q -- "<- deployed" "$WORK/cachereport.txt" || fail "cache report marks no deployed scale"
+grep -q "ghost list:" "$WORK/cachereport.txt" || fail "cache report has no ghost-list line"
 
 echo "== offline replay renders the convergence table =="
 "$WORK/flos" -replay "$WORK/slow.json" -replay-id "$SLOW_ID" >"$WORK/replay.txt"
